@@ -1,0 +1,155 @@
+package hermes
+
+import (
+	"io"
+	"testing"
+)
+
+// benchScale keeps per-iteration work bounded so -bench completes quickly;
+// use cmd/hermes-bench -scale full for the larger measured runs.
+func benchScale() ExperimentScale {
+	return ExperimentScale{Chunks: 2000, Dim: 16, Queries: 24, Shards: 10, Seed: 42}
+}
+
+// benchmarkExperiment regenerates one paper artifact per iteration and
+// verifies it produced data.
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tabs, err := RunExperiment(id, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tabs {
+			if len(t.Rows) == 0 {
+				b.Fatalf("%s produced an empty table", id)
+			}
+			if err := t.WriteText(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation.
+
+func BenchmarkTable1Quantization(b *testing.B)   { benchmarkExperiment(b, "table1") }
+func BenchmarkFig4HNSWvsIVF(b *testing.B)        { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5Stride(b *testing.B)           { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6LatencyBreakdown(b *testing.B) { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7Scaling(b *testing.B)          { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8PriorWork(b *testing.B)        { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig10ClusterSizing(b *testing.B)   { benchmarkExperiment(b, "fig10") }
+func BenchmarkFig11Accuracy(b *testing.B)        { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12DSE(b *testing.B)             { benchmarkExperiment(b, "fig12") }
+func BenchmarkFig13Imbalance(b *testing.B)       { benchmarkExperiment(b, "fig13") }
+func BenchmarkFig14EndToEnd(b *testing.B)        { benchmarkExperiment(b, "fig14") }
+func BenchmarkFig16TTFT(b *testing.B)            { benchmarkExperiment(b, "fig16") }
+func BenchmarkFig17Models(b *testing.B)          { benchmarkExperiment(b, "fig17") }
+func BenchmarkFig18Throughput(b *testing.B)      { benchmarkExperiment(b, "fig18") }
+func BenchmarkFig19ClusterSize(b *testing.B)     { benchmarkExperiment(b, "fig19") }
+func BenchmarkFig20Platforms(b *testing.B)       { benchmarkExperiment(b, "fig20") }
+func BenchmarkFig21DVFS(b *testing.B)            { benchmarkExperiment(b, "fig21") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationPrune(b *testing.B)    { benchmarkExperiment(b, "ablation-prune") }
+func BenchmarkAblationRerank(b *testing.B)   { benchmarkExperiment(b, "ablation-rerank") }
+func BenchmarkAblationSeeds(b *testing.B)    { benchmarkExperiment(b, "ablation-seeds") }
+func BenchmarkAblationResidual(b *testing.B) { benchmarkExperiment(b, "ablation-residual") }
+func BenchmarkValidateModel(b *testing.B)    { benchmarkExperiment(b, "validate-model") }
+func BenchmarkAblationCacheHit(b *testing.B) { benchmarkExperiment(b, "ablation-cachehit") }
+
+// Core-operation benchmarks: the building blocks behind every experiment.
+
+func buildBenchStore(b *testing.B) (*Store, *Corpus) {
+	b.Helper()
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 4000, Dim: 32, NumTopics: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := Build(c.Vectors, BuildOptions{NumShards: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, c
+}
+
+func BenchmarkHermesHierarchicalSearch(b *testing.B) {
+	st, c := buildBenchStore(b)
+	qs := c.Queries(64, 2)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := st.Search(qs.Vectors.Row(i%64), p)
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSearchAllBaseline(b *testing.B) {
+	st, c := buildBenchStore(b)
+	qs := c.Queries(64, 2)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := st.SearchAll(qs.Vectors.Row(i%64), p)
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkMonolithicSearch(b *testing.B) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 4000, Dim: 32, NumTopics: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mono, err := BuildMonolithic(c.Vectors, 8, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := c.Queries(64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mono.Search(qs.Vectors.Row(i%64), 5, 128)
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkDisaggregation(b *testing.B) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 2000, Dim: 16, NumTopics: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(c.Vectors, BuildOptions{NumShards: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncoder(b *testing.B) {
+	enc := NewEncoder(768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = enc.Encode("what is the capital of the retrieval augmented nation")
+	}
+}
+
+func BenchmarkPipelineModel(b *testing.B) {
+	tabs, err := RunExperiment("fig16", benchScale())
+	if err != nil || len(tabs) == 0 {
+		b.Fatalf("pipeline model unavailable: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig16", benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command hermes-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hermes-bench -exp all                 # every experiment, text output
+//	hermes-bench -exp fig14,fig16         # a subset
+//	hermes-bench -exp fig11 -format csv   # CSV for plotting
+//	hermes-bench -scale full              # larger measured runs
+//	hermes-bench -list                    # list experiment IDs
+//
+// Experiments map one-to-one onto the paper's evaluation artifacts; see
+// DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		formatFlag = flag.String("format", "text", "output format: text or csv")
+		scaleFlag  = flag.String("scale", "small", "measured-experiment scale: small or full")
+		listFlag   = flag.Bool("list", false, "list experiment IDs and exit")
+		seedFlag   = flag.Int64("seed", 42, "generation seed")
+		outFlag    = flag.String("out", "", "also write one CSV file per table into this directory")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = experiments.SmallScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fatalf("unknown scale %q (want small or full)", *scaleFlag)
+	}
+	sc.Seed = *seedFlag
+
+	ids := experiments.IDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	if *outFlag != "" {
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fatalf("create -out dir: %v", err)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tabs, err := experiments.Run(id, sc)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		for part, t := range tabs {
+			if *outFlag != "" {
+				name := t.ID
+				if len(tabs) > 1 {
+					name = fmt.Sprintf("%s-%d", t.ID, part)
+				}
+				path := filepath.Join(*outFlag, name+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fatalf("%s: %v", id, err)
+				}
+				if err := t.WriteCSV(f); err != nil {
+					f.Close()
+					fatalf("%s: write csv: %v", id, err)
+				}
+				f.Close()
+			}
+		}
+		for _, t := range tabs {
+			var werr error
+			switch *formatFlag {
+			case "text":
+				werr = t.WriteText(os.Stdout)
+			case "csv":
+				fmt.Printf("# %s: %s\n", t.ID, t.Title)
+				werr = t.WriteCSV(os.Stdout)
+				fmt.Println()
+			default:
+				fatalf("unknown format %q (want text or csv)", *formatFlag)
+			}
+			if werr != nil {
+				fatalf("%s: write: %v", id, werr)
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hermes-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

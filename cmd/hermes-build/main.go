@@ -1,0 +1,133 @@
+// Command hermes-build constructs retrieval indexes from a (synthetic)
+// corpus and writes them to an index directory, mirroring the paper
+// artifact's offline index-construction step.
+//
+// Usage:
+//
+//	hermes-build -out ./idx -type hermes -chunks 20000 -dim 64 -shards 10
+//	hermes-build -out ./idx -type monolithic -chunks 20000 -dim 64
+//	hermes-build -out ./idx -type split -chunks 20000 -dim 64 -shards 10
+//
+// The directory receives meta.json (index type, shape, and the corpus spec
+// so queries and chunk text can be regenerated deterministically) plus one
+// shard-NNN.ivf file per shard (a single shard-000.ivf for monolithic).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/ivf"
+	"repro/internal/striding"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "hermes-index", "output directory")
+		typ    = flag.String("type", "hermes", "index type: hermes, split, or monolithic")
+		chunks = flag.Int("chunks", 20000, "corpus size in chunks (1 chunk = 64 tokens)")
+		dim    = flag.Int("dim", 64, "embedding dimensionality")
+		topics = flag.Int("topics", 10, "latent topics in the synthetic corpus")
+		shards = flag.Int("shards", 10, "shard count for hermes/split indexes")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		quant  = flag.Int("quant", 8, "quantization bits: 0 (flat), 4, or 8")
+		embed  = flag.String("embed", "topic", "embedding source: topic (latent vectors) or text (hash-embedded chunk text; enables free-text search)")
+		edim   = flag.Int("embed-dim", 48, "embedding dim for -embed text")
+	)
+	flag.Parse()
+
+	spec := corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *topics, Seed: *seed}
+	fmt.Fprintf(os.Stderr, "generating corpus: %d chunks, dim %d, %d topics...\n", *chunks, *dim, *topics)
+	c, err := corpus.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	meta := indexfile.Meta{Type: *typ, Dim: *dim, Embedding: *embed, Corpus: spec}
+	var indexes []*ivf.Index
+	if *embed == "text" {
+		if *typ != "hermes" {
+			fatal(fmt.Errorf("-embed text requires -type hermes"))
+		}
+		fmt.Fprintf(os.Stderr, "hash-embedding %d chunk texts at dim %d...\n", *chunks, *edim)
+		ts, err := striding.BuildTextStore(c, *edim, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		meta.Dim = *edim
+		meta.EmbedDim = *edim
+		for _, sh := range ts.Store.Shards {
+			indexes = append(indexes, sh.Index)
+		}
+		meta.Shards = len(indexes)
+		writeOut(*out, meta, indexes)
+		return
+	} else if *embed != "topic" {
+		fatal(fmt.Errorf("unknown -embed %q", *embed))
+	}
+	switch *typ {
+	case "hermes":
+		fmt.Fprintf(os.Stderr, "clustering into %d shards (multi-seed imbalance minimization)...\n", *shards)
+		st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: *shards, QuantBits: *quant})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chosen seed %d, shard imbalance %.2f\n", st.SeedUsed, st.Imbalance)
+		for _, sh := range st.Shards {
+			indexes = append(indexes, sh.Index)
+		}
+		meta.Shards = len(indexes)
+	case "split":
+		st, err := hermes.BuildNaiveSplit(c.Vectors, *shards, *quant)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sh := range st.Shards {
+			indexes = append(indexes, sh.Index)
+		}
+		meta.Shards = len(indexes)
+	case "monolithic":
+		ix, err := hermes.BuildMonolithic(c.Vectors, *quant, 0, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		indexes = append(indexes, ix)
+		meta.Shards = 1
+	default:
+		fatal(fmt.Errorf("unknown index type %q", *typ))
+	}
+
+	writeOut(*out, meta, indexes)
+}
+
+func writeOut(out string, meta indexfile.Meta, indexes []*ivf.Index) {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, ix := range indexes {
+		path := filepath.Join(out, indexfile.ShardFile(i))
+		if err := indexfile.WriteIndex(path, ix); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d vectors, %s)\n", path, ix.Len(), ix.QuantizerName())
+	}
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(out, "meta.json"), metaBytes, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, "meta.json"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-build:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command hermes-coordinator drives a set of hermes-node shard servers: it
+// scatters the sample phase to every node, ranks nodes by their sampled
+// document, deep-searches the top clusters, and prints merged results with
+// per-phase latencies — the online half of the distributed architecture.
+//
+// Usage:
+//
+//	hermes-coordinator -nodes 127.0.0.1:7001,127.0.0.1:7002 -index ./idx -queries 5
+//	hermes-coordinator -nodes ... -index ./idx -queries 5 -all   # naive search-all baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/distsearch"
+	"repro/internal/hermes"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "", "comma-separated shard node addresses")
+		dir       = flag.String("index", "hermes-index", "index directory (for the corpus spec)")
+		queries   = flag.Int("queries", 5, "number of queries to run")
+		qseed     = flag.Int64("qseed", 7, "query generation seed")
+		k         = flag.Int("k", 5, "documents to retrieve")
+		deep      = flag.Int("deep", 3, "clusters to deep-search")
+		all       = flag.Bool("all", false, "search every node (naive baseline)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
+	)
+	flag.Parse()
+
+	if *nodesFlag == "" {
+		fatal(fmt.Errorf("-nodes is required"))
+	}
+	addrs := strings.Split(*nodesFlag, ",")
+	meta, err := indexfile.ReadMeta(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := corpus.Generate(meta.Corpus)
+	if err != nil {
+		fatal(err)
+	}
+	store := corpus.NewChunkStore(c)
+
+	co, err := distsearch.Dial(addrs, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer co.Close()
+	fmt.Printf("connected to %d nodes, %d vectors total, dim %d\n\n", co.Nodes(), co.TotalSize(), co.Dim())
+
+	params := hermes.DefaultParams()
+	params.K = *k
+	params.DeepClusters = *deep
+	qs := c.Queries(*queries, *qseed)
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		var res *distsearch.Result
+		if *all {
+			res, err = co.SearchAll(qs.Vectors.Row(i), params)
+		} else {
+			res, err = co.Search(qs.Vectors.Row(i), params)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query %d (topic %d): sample %v, deep %v on nodes %v\n",
+			i, qs.Topics[i], res.SampleLatency, res.DeepLatency, res.DeepNodes)
+		for rank, n := range res.Neighbors {
+			txt, err := store.Get(n.ID)
+			if err != nil {
+				fatal(err)
+			}
+			if len(txt) > 60 {
+				txt = txt[:60] + "..."
+			}
+			fmt.Printf("  %d. chunk %-6d d=%.4f %s\n", rank+1, n.ID, n.Score, txt)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-coordinator:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command hermes-eval evaluates the retrieval accuracy of a built index
+// directory against exhaustive brute-force ground truth, mirroring the
+// paper artifact's accuracy-evaluation scripts: NDCG and recall for the
+// Hermes hierarchical search across deep-cluster counts, plus centroid
+// routing and (for comparison directories) the monolithic search.
+//
+// Usage:
+//
+//	hermes-eval -index ./idx -queries 100 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/flatindex"
+	"repro/internal/hermes"
+	"repro/internal/ivf"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		dir     = flag.String("index", "hermes-index", "index directory from hermes-build")
+		queries = flag.Int("queries", 100, "evaluation query count")
+		qseed   = flag.Int64("qseed", 11, "query generation seed")
+		k       = flag.Int("k", 5, "documents retrieved per query")
+		deepN   = flag.Int("deep-nprobe", 128, "deep-phase nProbe")
+		sampleN = flag.Int("sample-nprobe", 8, "sample-phase nProbe")
+	)
+	flag.Parse()
+
+	meta, indexes, err := indexfile.ReadAll(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := corpus.Generate(meta.Corpus)
+	if err != nil {
+		fatal(err)
+	}
+	qs := c.Queries(*queries, *qseed)
+	fmt.Fprintf(os.Stderr, "computing exhaustive ground truth over %d vectors x %d queries...\n",
+		c.Vectors.Len(), *queries)
+	exact := flatindex.New(meta.Dim)
+	exact.AddBatch(0, c.Vectors)
+	truth := exact.GroundTruth(qs.Vectors, *k)
+
+	if meta.Type == "monolithic" {
+		evalMonolithic(indexes, qs, truth, *k, *deepN)
+		return
+	}
+	st, err := hermes.FromIndexes(indexes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index: %s (%s, %d shards, imbalance %.2f)\n\n", *dir, meta.Type, meta.Shards, st.Imbalance)
+	fmt.Printf("%-9s  %-33s  %-22s\n", "", "hermes (doc sampling)", "centroid routing")
+	fmt.Printf("%-9s  %-10s %-10s %-10s  %-10s %-10s\n", "deep", "ndcg", "recall", "mrr", "ndcg", "recall")
+	for deep := 1; deep <= meta.Shards; deep++ {
+		p := hermes.Params{K: *k, SampleNProbe: *sampleN, DeepNProbe: *deepN, DeepClusters: deep}
+		var hN, hR, hM, cN, cR float64
+		for i := 0; i < qs.Vectors.Len(); i++ {
+			q := qs.Vectors.Row(i)
+			hres, _ := st.Search(q, p)
+			hN += metrics.NDCGAtK(ids(hres), truth[i], *k)
+			hR += metrics.RecallAtK(ids(hres), truth[i], *k)
+			hM += metrics.MRRAtK(ids(hres), truth[i], *k)
+			cres, _ := st.SearchCentroid(q, p)
+			cN += metrics.NDCGAtK(ids(cres), truth[i], *k)
+			cR += metrics.RecallAtK(ids(cres), truth[i], *k)
+		}
+		n := float64(qs.Vectors.Len())
+		fmt.Printf("%-9d  %-10.4f %-10.4f %-10.4f  %-10.4f %-10.4f\n", deep, hN/n, hR/n, hM/n, cN/n, cR/n)
+	}
+}
+
+func evalMonolithic(indexes []*ivf.Index, qs *corpus.QuerySet, truth [][]int64, k, nProbe int) {
+	ix := indexes[0]
+	var ndcg, recall float64
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		res := ix.Search(qs.Vectors.Row(i), k, nProbe)
+		ndcg += metrics.NDCGAtK(ids(res), truth[i], k)
+		recall += metrics.RecallAtK(ids(res), truth[i], k)
+	}
+	n := float64(qs.Vectors.Len())
+	fmt.Printf("monolithic index: nProbe=%d ndcg=%.4f recall=%.4f\n", nProbe, ndcg/n, recall/n)
+}
+
+func ids(ns []vec.Neighbor) []int64 {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = n.ID
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command hermes-loadtest drives a running hermes-node cluster (or an
+// in-process one it spins up itself) with an open-loop Poisson query load
+// and reports achieved throughput and sojourn-latency percentiles — the
+// serving-side measurement methodology of the paper's Figure 15.
+//
+// Against a running cluster:
+//
+//	hermes-loadtest -nodes 127.0.0.1:7001,127.0.0.1:7002 -index ./idx -qps 200 -queries 1000
+//
+// Self-contained (builds a store and local TCP nodes itself):
+//
+//	hermes-loadtest -selfcontained -chunks 10000 -shards 10 -qps 500 -queries 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/distsearch"
+	"repro/internal/hermes"
+	"repro/internal/loadgen"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "", "comma-separated shard node addresses")
+		dir       = flag.String("index", "hermes-index", "index directory (for the corpus spec)")
+		self      = flag.Bool("selfcontained", false, "build a store and local nodes in-process")
+		chunks    = flag.Int("chunks", 10000, "corpus size for -selfcontained")
+		dim       = flag.Int("dim", 32, "embedding dim for -selfcontained")
+		shards    = flag.Int("shards", 10, "shard count for -selfcontained")
+		qps       = flag.Float64("qps", 200, "offered arrival rate")
+		queries   = flag.Int("queries", 1000, "number of arrivals")
+		conc      = flag.Int("concurrency", 8, "max in-flight queries")
+		deep      = flag.Int("deep", 3, "clusters to deep-search")
+		seed      = flag.Int64("seed", 23, "generation seed")
+		allFlag   = flag.Bool("all", false, "use the naive search-all baseline")
+	)
+	flag.Parse()
+
+	var co *distsearch.Coordinator
+	var qset *corpus.QuerySet
+	switch {
+	case *self:
+		spec := corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *shards, Seed: *seed}
+		c, err := corpus.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "building %d-shard store over %d chunks...\n", *shards, *chunks)
+		st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: *shards})
+		if err != nil {
+			fatal(err)
+		}
+		lc, err := distsearch.LaunchLocal(st, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer lc.Close()
+		co, err = distsearch.Dial(lc.Addrs(), 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		qset = c.Queries(*queries, *seed+1)
+	case *nodesFlag != "":
+		meta, err := indexfile.ReadMeta(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := corpus.Generate(meta.Corpus)
+		if err != nil {
+			fatal(err)
+		}
+		co, err = distsearch.Dial(strings.Split(*nodesFlag, ","), 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		qset = c.Queries(*queries, *seed+1)
+	default:
+		fatal(fmt.Errorf("pass -nodes or -selfcontained"))
+	}
+	defer co.Close()
+
+	params := hermes.DefaultParams()
+	params.DeepClusters = *deep
+	fmt.Fprintf(os.Stderr, "offered load: %.0f QPS x %d queries, concurrency %d, deep=%d, search-all=%v\n",
+		*qps, *queries, *conc, *deep, *allFlag)
+
+	rep, err := loadgen.Run(loadgen.Config{
+		TargetQPS:   *qps,
+		Queries:     *queries,
+		Concurrency: *conc,
+		Seed:        *seed,
+	}, func(i int) error {
+		q := qset.Vectors.Row(i % qset.Vectors.Len())
+		var err error
+		if *allFlag {
+			_, err = co.SearchAll(q, params)
+		} else {
+			_, err = co.Search(q, params)
+		}
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("completed %d/%d (failed %d) in %v\n", rep.Completed, rep.Offered, rep.Failed, rep.Wall)
+	fmt.Printf("achieved throughput: %.1f QPS (offered %.1f)\n", rep.AchievedQPS, *qps)
+	fmt.Printf("sojourn latency: mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		rep.Sojourn.Mean, rep.Sojourn.P50, rep.Sojourn.P95, rep.Sojourn.P99, rep.Sojourn.Max)
+	fmt.Printf("service latency: mean %v  p50 %v  p95 %v\n",
+		rep.Service.Mean, rep.Service.P50, rep.Service.P95)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-loadtest:", err)
+	os.Exit(1)
+}

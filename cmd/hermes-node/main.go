@@ -1,0 +1,66 @@
+// Command hermes-node serves one shard of an index directory over TCP,
+// implementing the per-node half of the distributed Hermes architecture.
+// Run one process per shard (typically on separate machines), then point
+// hermes-coordinator at the node addresses.
+//
+// Usage:
+//
+//	hermes-node -index ./idx -shard 0 -addr 127.0.0.1:7001
+//	hermes-node -index ./idx -shard 1 -addr 127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/distsearch"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		dir   = flag.String("index", "hermes-index", "index directory from hermes-build")
+		shard = flag.Int("shard", 0, "shard number to serve")
+		addr  = flag.String("addr", "127.0.0.1:0", "listen address")
+	)
+	flag.Parse()
+
+	meta, err := indexfile.ReadMeta(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *shard < 0 || *shard >= meta.Shards {
+		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, meta.Shards))
+	}
+	ix, err := indexfile.ReadIndex(filepath.Join(*dir, indexfile.ShardFile(*shard)))
+	if err != nil {
+		fatal(err)
+	}
+	logger := log.New(os.Stderr, fmt.Sprintf("node[%d] ", *shard), log.LstdFlags)
+	node, err := distsearch.NewNode(*shard, ix, logger)
+	if err != nil {
+		fatal(err)
+	}
+	if err := node.Listen(*addr); err != nil {
+		fatal(err)
+	}
+	logger.Printf("serving shard %d (%d vectors, %s) on %s", *shard, ix.Len(), ix.QuantizerName(), node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	if err := node.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command hermes-search queries an index directory built by hermes-build,
+// running either the monolithic search or the Hermes hierarchical search
+// depending on the index type, and prints retrieved chunk IDs, text
+// snippets, and per-query statistics.
+//
+// Queries are regenerated deterministically from the corpus spec recorded in
+// meta.json (the corpus is synthetic; query vectors must come from the same
+// topic distribution to be meaningful).
+//
+// Usage:
+//
+//	hermes-search -index ./idx -queries 5
+//	hermes-search -index ./idx -queries 5 -deep 5 -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/encoder"
+	"repro/internal/hermes"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		dir     = flag.String("index", "hermes-index", "index directory from hermes-build")
+		queries = flag.Int("queries", 5, "number of queries to run")
+		qseed   = flag.Int64("qseed", 7, "query generation seed")
+		k       = flag.Int("k", 5, "documents to retrieve")
+		deep    = flag.Int("deep", 3, "clusters to deep-search (hermes/split)")
+		sampleN = flag.Int("sample-nprobe", 8, "sample-phase nProbe")
+		deepN   = flag.Int("deep-nprobe", 128, "deep-phase nProbe")
+		snippet = flag.Int("snippet", 12, "words of chunk text to print")
+		text    = flag.String("text", "", "free-text query (requires an index built with -embed text)")
+	)
+	flag.Parse()
+
+	meta, indexes, err := indexfile.ReadAll(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := corpus.Generate(meta.Corpus)
+	if err != nil {
+		fatal(err)
+	}
+	store := corpus.NewChunkStore(c)
+	var queryVecs [][]float32
+	var queryTopics []int
+	if *text != "" {
+		if meta.Embedding != "text" {
+			fatal(fmt.Errorf("-text requires an index built with hermes-build -embed text"))
+		}
+		enc := encoder.NewHashEncoder(meta.Dim)
+		queryVecs = [][]float32{enc.Encode(*text)}
+		queryTopics = []int{-1}
+	} else if meta.Embedding == "text" {
+		// Synthesize topical text queries and embed them the same way the
+		// index was built.
+		enc := encoder.NewHashEncoder(meta.Dim)
+		for i := 0; i < *queries; i++ {
+			topic := i % meta.Corpus.NumTopics
+			queryVecs = append(queryVecs, enc.Encode(corpus.QueryText(topic, 8, *qseed+int64(i))))
+			queryTopics = append(queryTopics, topic)
+		}
+	} else {
+		qs := c.Queries(*queries, *qseed)
+		for i := 0; i < qs.Vectors.Len(); i++ {
+			queryVecs = append(queryVecs, qs.Vectors.Row(i))
+			queryTopics = append(queryTopics, qs.Topics[i])
+		}
+	}
+	params := hermes.Params{K: *k, SampleNProbe: *sampleN, DeepNProbe: *deepN, DeepClusters: *deep}
+
+	fmt.Printf("index: %s (%s, %d shards, dim %d, %d chunks)\n\n",
+		*dir, meta.Type, meta.Shards, meta.Dim, meta.Corpus.NumChunks)
+
+	var st *hermes.Store
+	if meta.Type != "monolithic" {
+		st, err = hermes.FromIndexes(indexes)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for i := 0; i < len(queryVecs); i++ {
+		q := queryVecs[i]
+		start := time.Now()
+		var ids []int64
+		var statsLine string
+		if meta.Type == "monolithic" {
+			res := indexes[0].Search(q, *k, *deepN)
+			for _, n := range res {
+				ids = append(ids, n.ID)
+			}
+			statsLine = fmt.Sprintf("nProbe=%d", *deepN)
+		} else {
+			res, stats := st.Search(q, params)
+			for _, n := range res {
+				ids = append(ids, n.ID)
+			}
+			statsLine = fmt.Sprintf("sampled=%d deep=%v scanned=%d+%d",
+				stats.SampledShards, stats.DeepShards, stats.SampleScanned, stats.DeepScanned)
+		}
+		elapsed := time.Since(start)
+
+		fmt.Printf("query %d (topic %d, %v, %s):\n", i, queryTopics[i], elapsed, statsLine)
+		for rank, id := range ids {
+			txt, err := store.Get(id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %d. chunk %-6d %s\n", rank+1, id, truncateWords(txt, *snippet))
+		}
+		fmt.Println()
+	}
+}
+
+func truncateWords(s string, n int) string {
+	count := 0
+	for i, r := range s {
+		if r == ' ' {
+			count++
+			if count >= n {
+				return s[:i] + " ..."
+			}
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-search:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command hermes-trace generates cluster-access traces from an index
+// directory (step 10 of the paper artifact's workflow): it replays a query
+// stream through the hierarchical search, records which shards each query's
+// deep phase touched, and reports per-cluster access counts and imbalance —
+// the raw material of Figure 13 and the input to the multi-node energy
+// model.
+//
+// Usage:
+//
+//	hermes-trace -index ./idx -queries 500
+//	hermes-trace -index ./idx -queries 500 -csv      # per-query trace rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/trace"
+	"repro/pkg/indexfile"
+)
+
+func main() {
+	var (
+		dir     = flag.String("index", "hermes-index", "index directory from hermes-build")
+		queries = flag.Int("queries", 500, "queries to trace")
+		qseed   = flag.Int64("qseed", 29, "query generation seed")
+		deep    = flag.Int("deep", 3, "clusters deep-searched per query")
+		csvOut  = flag.Bool("csv", false, "emit per-query trace rows as CSV")
+	)
+	flag.Parse()
+
+	meta, indexes, err := indexfile.ReadAll(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if meta.Type == "monolithic" {
+		fatal(fmt.Errorf("traces require a sharded index (got monolithic)"))
+	}
+	st, err := hermes.FromIndexes(indexes)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := corpus.Generate(meta.Corpus)
+	if err != nil {
+		fatal(err)
+	}
+	params := hermes.DefaultParams()
+	params.DeepClusters = *deep
+	qs := c.Queries(*queries, *qseed)
+	tr := trace.Collect(st, qs, params)
+
+	if *csvOut {
+		fmt.Println("query_id,deep_shards")
+		for _, e := range tr.Entries {
+			parts := make([]string, len(e.DeepShards))
+			for i, s := range e.DeepShards {
+				parts[i] = fmt.Sprint(s)
+			}
+			fmt.Printf("%d,%s\n", e.QueryID, strings.Join(parts, " "))
+		}
+		return
+	}
+
+	counts := tr.AccessCounts()
+	sizes := st.Sizes()
+	fmt.Printf("trace: %d queries x %d deep clusters over %d shards\n\n", *queries, *deep, st.NumShards())
+	fmt.Printf("%-8s %-12s %-14s\n", "cluster", "size_docs", "deep_accesses")
+	for s := 0; s < st.NumShards(); s++ {
+		fmt.Printf("%-8d %-12d %-14d\n", s, sizes[s], counts[s])
+	}
+	ratio, unvisited := tr.AccessImbalance()
+	fmt.Printf("\nsize imbalance (max/min): %.2f\n", st.Imbalance)
+	fmt.Printf("access imbalance (max/min): %.2f (%d clusters never deep-searched)\n", ratio, unvisited)
+	fmt.Printf("hottest clusters: %v\n", tr.TopShards()[:min(3, st.NumShards())])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-trace:", err)
+	os.Exit(1)
+}

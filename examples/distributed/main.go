@@ -1,0 +1,90 @@
+// Distributed serving: disaggregate a datastore, launch one TCP shard node
+// per cluster on localhost, and drive the two-phase scatter/gather protocol
+// through a coordinator — the working version of the paper's Figure 9
+// architecture. Compares hierarchical routing against the naive
+// search-every-node baseline on the same cluster.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hermes "repro"
+)
+
+func main() {
+	corpus, err := hermes.GenerateCorpus(hermes.CorpusSpec{
+		NumChunks: 8000, Dim: 32, NumTopics: 8, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := hermes.Build(corpus.Vectors, hermes.BuildOptions{NumShards: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One TCP node per shard (in-process here; cmd/hermes-node runs the
+	// same node as a standalone daemon).
+	cluster, err := hermes.LaunchLocalCluster(store, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("launched %d shard nodes:\n", len(cluster.Addrs()))
+	for i, addr := range cluster.Addrs() {
+		fmt.Printf("  shard %d (%d vectors) on %s\n", i, store.Shards[i].Size, addr)
+	}
+
+	co, err := hermes.DialCluster(cluster.Addrs(), 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer co.Close()
+
+	queries := corpus.Queries(12, 4)
+	params := hermes.DefaultParams()
+	exact := hermes.NewFlatIndex(corpus.Spec.Dim)
+	exact.AddBatch(0, corpus.Vectors)
+	truth := exact.GroundTruth(queries.Vectors, params.K)
+
+	fmt.Println("\nhierarchical (sample all, deep-search top 3) vs search-all:")
+	var hierNDCG, allNDCG float64
+	var hierTime, allTime time.Duration
+	for i := 0; i < queries.Vectors.Len(); i++ {
+		q := queries.Vectors.Row(i)
+		hier, err := co.Search(q, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all, err := co.SearchAll(q, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hierNDCG += hermes.NDCGAtK(ids(hier.Neighbors), truth[i], params.K)
+		allNDCG += hermes.NDCGAtK(ids(all.Neighbors), truth[i], params.K)
+		hierTime += hier.SampleLatency + hier.DeepLatency
+		allTime += all.DeepLatency
+		if i < 3 {
+			fmt.Printf("  query %d: deep nodes %v, sample %v + deep %v\n",
+				i, hier.DeepNodes, hier.SampleLatency, hier.DeepLatency)
+		}
+	}
+	n := float64(queries.Vectors.Len())
+	fmt.Printf("\nNDCG@%d:   hierarchical %.4f | search-all %.4f\n", params.K, hierNDCG/n, allNDCG/n)
+	fmt.Printf("mean wire+search time: hierarchical %v | search-all %v\n",
+		hierTime/time.Duration(n), allTime/time.Duration(n))
+	fmt.Println("\n(hierarchical touches 3 of 8 nodes deeply; on real multi-host nodes")
+	fmt.Println(" that is the throughput and energy win of Figs. 18 and 21)")
+}
+
+func ids(ns []hermes.Neighbor) []int64 {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = n.ID
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Quickstart: build a disaggregated Hermes datastore, run the hierarchical
+// search, and compare its accuracy and work against the monolithic baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hermes "repro"
+)
+
+func main() {
+	// 1. A datastore: 5,000 chunks (= 320k tokens at 64 tokens/chunk) with
+	// latent topic structure, the property Hermes' clustering exploits.
+	corpus, err := hermes.GenerateCorpus(hermes.CorpusSpec{
+		NumChunks: 5000,
+		Dim:       32,
+		NumTopics: 10,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d chunks (%d tokens), dim %d\n",
+		corpus.Vectors.Len(), corpus.Tokens(), corpus.Spec.Dim)
+
+	// 2. Offline: disaggregate into 10 similarity-clustered shards, each
+	// with its own IVF-SQ8 index (paper Section 4.1). The builder sweeps
+	// k-means seeds to minimize shard-size imbalance.
+	store, err := hermes.Build(corpus.Vectors, hermes.BuildOptions{NumShards: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store: %d shards, sizes %v, imbalance %.2f\n",
+		store.NumShards(), store.Sizes(), store.Imbalance)
+
+	// Baselines for comparison.
+	mono, err := hermes.BuildMonolithic(corpus.Vectors, 8, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := hermes.NewFlatIndex(corpus.Spec.Dim)
+	exact.AddBatch(0, corpus.Vectors)
+
+	// 3. Online: hierarchical search (sample all shards cheaply, deep-search
+	// the top 3) vs the monolithic search, scored against exhaustive ground
+	// truth.
+	queries := corpus.Queries(50, 2)
+	truth := exact.GroundTruth(queries.Vectors, 5)
+	params := hermes.DefaultParams()
+
+	var hermesNDCG, monoNDCG float64
+	var sampleScanned, deepScanned, monoScanned int
+	for i := 0; i < queries.Vectors.Len(); i++ {
+		q := queries.Vectors.Row(i)
+
+		res, stats := store.Search(q, params)
+		hermesNDCG += hermes.NDCGAtK(ids(res), truth[i], 5)
+		sampleScanned += stats.SampleScanned
+		deepScanned += stats.DeepScanned
+
+		mres, mstats := mono.SearchWithStats(q, 5, 128)
+		monoNDCG += hermes.NDCGAtK(ids(mres), truth[i], 5)
+		monoScanned += mstats.VectorsScanned
+	}
+	n := float64(queries.Vectors.Len())
+	fmt.Printf("\naccuracy over %d queries (NDCG@5 vs exhaustive ground truth):\n", int(n))
+	fmt.Printf("  hermes (3/10 shards deep): %.4f\n", hermesNDCG/n)
+	fmt.Printf("  monolithic (nProbe 128):   %.4f\n", monoNDCG/n)
+	fmt.Printf("\nwork per query (vectors scanned):\n")
+	fmt.Printf("  hermes: %d sample + %d deep = %d\n",
+		sampleScanned/int(n), deepScanned/int(n), (sampleScanned+deepScanned)/int(n))
+	fmt.Printf("  monolithic: %d\n", monoScanned/int(n))
+
+	// 4. Map retrieved IDs back to document text — the augmentation input.
+	chunks := hermes.NewChunkStore(corpus)
+	res, _ := store.Search(queries.Vectors.Row(0), params)
+	fmt.Printf("\ntop chunks for query 0 (topic %d):\n", queries.Topics[0])
+	for rank, nb := range res {
+		txt, err := chunks.Get(nb.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(txt) > 64 {
+			txt = txt[:64] + "..."
+		}
+		fmt.Printf("  %d. %s\n", rank+1, txt)
+	}
+}
+
+func ids(ns []hermes.Neighbor) []int64 {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = n.ID
+	}
+	return out
+}

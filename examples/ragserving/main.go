@@ -1,0 +1,116 @@
+// RAG serving: model the full encode → retrieve → prefill → decode pipeline
+// with retrieval striding under four serving strategies (Baseline, PipeRAG,
+// RAGCache, Hermes, and everything combined), at two datastore scales.
+// Reproduces the reasoning behind the paper's Figures 8 and 14: prior-work
+// optimizations carry small datastores, Hermes carries large ones.
+//
+//	go run ./examples/ragserving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/encoder"
+	"repro/internal/hwmodel"
+	"repro/internal/llm"
+	"repro/internal/multinode"
+	"repro/internal/rag"
+)
+
+func main() {
+	engine, err := llm.NewEngine(llm.Gemma2_9B, llm.A6000Ada, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inference engine: %s\n", engine)
+	fmt.Println("pipeline: batch 32, 512 input tokens, 256 output tokens, stride 16")
+
+	for _, scale := range []struct {
+		label  string
+		tokens int64
+	}{
+		{"small datastore (1B tokens)", 1e9},
+		{"at-scale datastore (100B tokens)", 100e9},
+	} {
+		fmt.Printf("\n--- %s ---\n", scale.label)
+		mono, err := monoRetriever(scale.tokens, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hermesTier, err := hermesRetriever(scale.tokens, 10, 32, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type runSpec struct {
+			name        string
+			ret         rag.Retriever
+			pipe, cache bool
+		}
+		runs := []runSpec{
+			{"Baseline (monolithic)", mono, false, false},
+			{"PipeRAG", mono, true, false},
+			{"RAGCache", mono, false, true},
+			{"Hermes", hermesTier, false, false},
+			{"Hermes+PipeRAG+RAGCache", hermesTier, true, true},
+		}
+		var baseE2E, baseJ float64
+		for i, r := range runs {
+			rep, err := rag.Run(rag.PipelineConfig{
+				Batch: 32, InputTokens: 512, OutputTokens: 256, Stride: 16,
+				Engine: engine, Encoder: encoder.DefaultLatencyModel,
+				Retriever: r.ret, Pipelined: r.pipe, PrefixCache: r.cache,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				baseE2E = rep.E2E.Seconds()
+				baseJ = rep.TotalJoules()
+			}
+			fmt.Printf("%-26s TTFT %7.2fs  E2E %8.2fs (%5.2fx)  energy %9.0fJ (%4.2fx)\n",
+				r.name, rep.TTFT.Seconds(), rep.E2E.Seconds(), baseE2E/rep.E2E.Seconds(),
+				rep.TotalJoules(), baseJ/rep.TotalJoules())
+		}
+	}
+	fmt.Println("\nenergy ledger of the at-scale Hermes run:")
+	hermesTier, err := hermesRetriever(100e9, 10, 32, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rag.Run(rag.PipelineConfig{
+		Batch: 32, InputTokens: 512, OutputTokens: 256, Stride: 16,
+		Engine: engine, Encoder: encoder.DefaultLatencyModel, Retriever: hermesTier,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, stage := range rep.Energy.Stages() {
+		fmt.Printf("  %-9s %10.0f J\n", stage, rep.Energy.Stage(stage))
+	}
+}
+
+func monoRetriever(tokens int64, batch int) (rag.Retriever, error) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, 1)
+	if err != nil {
+		return nil, err
+	}
+	return rag.NewMonolithicRetriever(cl, batch)
+}
+
+func hermesRetriever(tokens int64, nodes, batch, deep int) (rag.Retriever, error) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &rag.HermesRetriever{
+		Cluster: cl,
+		Config: multinode.HermesConfig{
+			Batch:          batch,
+			DeepLoads:      multinode.SpreadLoads(nodes, batch, deep),
+			SampleFraction: 8.0 / 128.0,
+			Policy:         multinode.DVFSEnhanced,
+		},
+	}, nil
+}

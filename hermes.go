@@ -1,0 +1,256 @@
+// Package hermes is the public API of the Hermes reproduction: algorithm-
+// system co-design for efficient retrieval-augmented generation at scale
+// (Shen et al., ISCA 2025).
+//
+// The package re-exports the stable surface of the internal packages as one
+// coherent API:
+//
+//   - datastore construction: GenerateCorpus, Build (clustered shards),
+//     BuildMonolithic, BuildNaiveSplit;
+//   - the hierarchical search and its baselines on Store;
+//   - query encoding: NewEncoder;
+//   - evaluation: NDCGAtK, RecallAtK, exact ground truth via NewFlatIndex;
+//   - distributed serving: LaunchLocalCluster, DialCluster;
+//   - end-to-end pipeline modeling: RunPipeline with the Baseline /
+//     PipeRAG / RAGCache / Hermes strategies;
+//   - experiment regeneration: RunExperiment, ExperimentIDs.
+//
+// See examples/quickstart for a five-minute tour and DESIGN.md for the
+// architecture and per-experiment index.
+package hermes
+
+import (
+	"log"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/distsearch"
+	"repro/internal/encoder"
+	"repro/internal/experiments"
+	"repro/internal/flatindex"
+	"repro/internal/hermes"
+	"repro/internal/ivf"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/rag"
+	"repro/internal/rerank"
+	"repro/internal/striding"
+	"repro/internal/vec"
+)
+
+// ---------------------------------------------------------------------------
+// Vectors and corpora.
+
+// Matrix is a dense row-major collection of fixed-dimension float32 vectors.
+type Matrix = vec.Matrix
+
+// Neighbor is a scored retrieval candidate (smaller score = closer).
+type Neighbor = vec.Neighbor
+
+// NewMatrix allocates an n x dim matrix of zeros.
+func NewMatrix(n, dim int) *Matrix { return vec.NewMatrix(n, dim) }
+
+// CorpusSpec configures synthetic corpus generation.
+type CorpusSpec = corpus.Spec
+
+// Corpus is a generated datastore: embeddings plus topic structure.
+type Corpus = corpus.Corpus
+
+// QuerySet is a batch of generated queries.
+type QuerySet = corpus.QuerySet
+
+// ChunkStore maps retrieved chunk IDs to document text.
+type ChunkStore = corpus.ChunkStore
+
+// GenerateCorpus builds a synthetic topical corpus (the SPHERE/Common Crawl
+// stand-in; see DESIGN.md for why the substitution preserves behaviour).
+func GenerateCorpus(spec CorpusSpec) (*Corpus, error) { return corpus.Generate(spec) }
+
+// NewChunkStore creates the ID-to-text store over a corpus.
+func NewChunkStore(c *Corpus) *ChunkStore { return corpus.NewChunkStore(c) }
+
+// ---------------------------------------------------------------------------
+// Indexes and search.
+
+// Params are the hierarchical-search runtime knobs (paper Table 2).
+type Params = hermes.Params
+
+// Store is a disaggregated datastore: similarity-clustered shards, each with
+// its own IVF index.
+type Store = hermes.Store
+
+// Shard is one disaggregated index cluster.
+type Shard = hermes.Shard
+
+// BuildOptions configures disaggregation.
+type BuildOptions = hermes.BuildOptions
+
+// SearchStats reports per-query work (shards sampled/deep-searched).
+type SearchStats = hermes.SearchStats
+
+// IVFIndex is a single inverted-file index (the monolithic baseline type).
+type IVFIndex = ivf.Index
+
+// DefaultParams returns the paper's evaluation configuration: k=5, sample
+// nProbe 8, deep nProbe 128, 3 deep clusters.
+func DefaultParams() Params { return hermes.DefaultParams() }
+
+// Build disaggregates a corpus into similarity-clustered shards and builds
+// one IVF index per shard (Section 4.1 of the paper).
+func Build(data *Matrix, opts BuildOptions) (*Store, error) { return hermes.Build(data, opts) }
+
+// BuildNaiveSplit builds the round-robin split baseline.
+func BuildNaiveSplit(data *Matrix, numShards, quantBits int) (*Store, error) {
+	return hermes.BuildNaiveSplit(data, numShards, quantBits)
+}
+
+// BuildMonolithic builds the single-index baseline (quantBits: 0=Flat,
+// 8=SQ8, 4=SQ4; nlist 0 uses the paper's 4*sqrt(n) heuristic).
+func BuildMonolithic(data *Matrix, quantBits, nlist int, seed int64) (*IVFIndex, error) {
+	return hermes.BuildMonolithic(data, quantBits, nlist, seed)
+}
+
+// FlatIndex is the exact brute-force index used for ground truth.
+type FlatIndex = flatindex.Index
+
+// NewFlatIndex creates an empty exact index.
+func NewFlatIndex(dim int) *FlatIndex { return flatindex.New(dim) }
+
+// ---------------------------------------------------------------------------
+// Encoding and metrics.
+
+// Encoder deterministically embeds text into vectors (the BGE-large
+// stand-in on the serving path).
+type Encoder = encoder.HashEncoder
+
+// NewEncoder returns a text encoder producing dim-dimensional embeddings.
+func NewEncoder(dim int) *Encoder { return encoder.NewHashEncoder(dim) }
+
+// NDCGAtK scores a ranked retrieval against ranked ground truth in [0,1].
+func NDCGAtK(retrieved, truth []int64, k int) float64 { return metrics.NDCGAtK(retrieved, truth, k) }
+
+// RecallAtK is the fraction of true nearest neighbors recovered.
+func RecallAtK(retrieved, truth []int64, k int) float64 {
+	return metrics.RecallAtK(retrieved, truth, k)
+}
+
+// ---------------------------------------------------------------------------
+// Distributed serving.
+
+// Cluster is a set of in-process shard nodes serving over localhost TCP.
+type Cluster = distsearch.LocalCluster
+
+// Coordinator scatters hierarchical searches across shard nodes.
+type Coordinator = distsearch.Coordinator
+
+// DistResult is a distributed query outcome.
+type DistResult = distsearch.Result
+
+// LaunchLocalCluster starts one TCP node per shard of the store.
+func LaunchLocalCluster(store *Store, logger *log.Logger) (*Cluster, error) {
+	return distsearch.LaunchLocal(store, logger)
+}
+
+// DialCluster connects a coordinator to shard-node addresses.
+func DialCluster(addrs []string, timeout time.Duration) (*Coordinator, error) {
+	return distsearch.Dial(addrs, timeout)
+}
+
+// ---------------------------------------------------------------------------
+// Reranking and strided generation.
+
+// Reranker re-scores retrieved candidates against full-precision vectors.
+type Reranker = rerank.Reranker
+
+// RerankMetric selects the re-scoring function.
+type RerankMetric = rerank.Metric
+
+// Rerank metrics.
+const (
+	RerankInnerProduct = rerank.InnerProduct
+	RerankL2           = rerank.L2
+	RerankCosine       = rerank.Cosine
+)
+
+// NewReranker builds a reranker whose IDs index rows of m.
+func NewReranker(metric RerankMetric, m *Matrix) *Reranker {
+	return rerank.NewFromMatrix(metric, m)
+}
+
+// TextStore bundles a text-embedded disaggregated store with its chunk
+// text, encoder, and reranker — the serving path for free-text queries.
+type TextStore = striding.TextStore
+
+// BuildTextStore hash-embeds every chunk's text and disaggregates the result.
+func BuildTextStore(c *Corpus, dim, shards int) (*TextStore, error) {
+	return striding.BuildTextStore(c, dim, shards)
+}
+
+// StridingConfig assembles a retrieval-strided generation session.
+type StridingConfig = striding.Config
+
+// StridingSession runs the Figure 3 online loop: retrieve, augment,
+// generate a stride, refresh the query, repeat.
+type StridingSession = striding.Session
+
+// StridingResult is a completed strided generation.
+type StridingResult = striding.Result
+
+// NewStridingSession validates and builds a session.
+func NewStridingSession(cfg StridingConfig) (*StridingSession, error) {
+	return striding.NewSession(cfg)
+}
+
+// TopicQueryText synthesizes a text query about a corpus topic.
+func TopicQueryText(topic, words int, seed int64) string {
+	return corpus.QueryText(topic, words, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Load generation.
+
+// LoadConfig drives an open-loop Poisson load test.
+type LoadConfig = loadgen.Config
+
+// LoadReport summarizes a load test (achieved QPS, sojourn percentiles).
+type LoadReport = loadgen.Report
+
+// RunLoad generates Poisson arrivals at the target rate through fn.
+func RunLoad(cfg LoadConfig, fn func(queryIdx int) error) (*LoadReport, error) {
+	return loadgen.Run(cfg, fn)
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline modeling.
+
+// PipelineConfig describes one RAG serving scenario.
+type PipelineConfig = rag.PipelineConfig
+
+// PipelineReport is the modeled outcome (TTFT, E2E, energy ledger).
+type PipelineReport = rag.Report
+
+// RunPipeline evaluates a serving scenario analytically.
+func RunPipeline(cfg PipelineConfig) (*PipelineReport, error) { return rag.Run(cfg) }
+
+// ---------------------------------------------------------------------------
+// Experiments.
+
+// ExperimentTable is one regenerated table/figure series.
+type ExperimentTable = experiments.Table
+
+// ExperimentScale sizes the measured experiments.
+type ExperimentScale = experiments.Scale
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, sc ExperimentScale) ([]*ExperimentTable, error) {
+	return experiments.Run(id, sc)
+}
+
+// SmallExperimentScale finishes measured experiments in seconds.
+func SmallExperimentScale() ExperimentScale { return experiments.SmallScale() }
+
+// FullExperimentScale is the larger configuration used by cmd/hermes-bench.
+func FullExperimentScale() ExperimentScale { return experiments.FullScale() }

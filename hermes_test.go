@@ -1,0 +1,171 @@
+package hermes
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface the way a
+// downstream user would: generate a corpus, build the disaggregated store,
+// search it hierarchically, check accuracy against exact ground truth, and
+// serve it over the distributed layer.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 1200, Dim: 16, NumTopics: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(c.Vectors, BuildOptions{NumShards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewFlatIndex(16)
+	ref.AddBatch(0, c.Vectors)
+	qs := c.Queries(20, 2)
+	truth := ref.GroundTruth(qs.Vectors, 5)
+
+	var ndcg float64
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		res, stats := st.Search(qs.Vectors.Row(i), DefaultParams())
+		ids := make([]int64, len(res))
+		for j, n := range res {
+			ids[j] = n.ID
+		}
+		ndcg += NDCGAtK(ids, truth[i], 5)
+		if stats.SampledShards != 6 {
+			t.Fatalf("sampled %d shards", stats.SampledShards)
+		}
+	}
+	if ndcg/20 < 0.9 {
+		t.Fatalf("public API NDCG = %v", ndcg/20)
+	}
+
+	// Distributed serving round trip.
+	cluster, err := LaunchLocalCluster(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	co, err := DialCluster(cluster.Addrs(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	res, err := co.Search(qs.Vectors.Row(0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) == 0 {
+		t.Fatal("distributed search returned nothing")
+	}
+}
+
+func TestPublicAPIChunkStoreAndEncoder(t *testing.T) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 100, Dim: 8, NumTopics: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewChunkStore(c)
+	txt, err := store.Get(5)
+	if err != nil || txt == "" {
+		t.Fatalf("chunk fetch failed: %v %q", err, txt)
+	}
+	enc := NewEncoder(8)
+	v := enc.Encode(txt)
+	if len(v) != 8 {
+		t.Fatalf("encoded dim %d", len(v))
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 23 {
+		t.Fatalf("expected 23 experiments, got %d", len(ids))
+	}
+	tabs, err := RunExperiment("fig16", SmallExperimentScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+		t.Fatal("experiment produced no data")
+	}
+}
+
+func TestPublicAPIStridedGeneration(t *testing.T) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 500, Dim: 8, NumTopics: 3, Seed: 7, TokensPerChunk: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := BuildTextStore(c, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewStridingSession(StridingConfig{Text: ts, Stride: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Generate(TopicQueryText(1, 6, 2), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strides) != 3 {
+		t.Fatalf("strides = %d", len(res.Strides))
+	}
+	if res.Output == "" {
+		t.Fatal("no output generated")
+	}
+}
+
+func TestPublicAPIRerankAndLoad(t *testing.T) {
+	m := NewMatrix(3, 2)
+	copy(m.Row(0), []float32{0, 0})
+	copy(m.Row(1), []float32{1, 0})
+	copy(m.Row(2), []float32{5, 5})
+	rr := NewReranker(RerankL2, m)
+	ranked := rr.Rerank([]float32{0.9, 0}, []Neighbor{{ID: 0}, {ID: 1}, {ID: 2}})
+	if ranked[0].ID != 1 {
+		t.Fatalf("rerank top = %d", ranked[0].ID)
+	}
+	rep, err := RunLoad(LoadConfig{TargetQPS: 2000, Queries: 20, Concurrency: 2, Seed: 3},
+		func(int) error { return nil })
+	if err != nil || rep.Completed != 20 {
+		t.Fatalf("load run: %v %+v", err, rep)
+	}
+}
+
+func TestPublicAPIMutation(t *testing.T) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 400, Dim: 8, NumTopics: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(c.Vectors, BuildOptions{NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Add(9999, c.Vectors.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Remove(9999); !ok {
+		t.Fatal("remove of ingested doc failed")
+	}
+	st.Compact()
+	if st.Len() != 400 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	c, err := GenerateCorpus(CorpusSpec{NumChunks: 600, Dim: 8, NumTopics: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildNaiveSplit(c.Vectors, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	mono, err := BuildMonolithic(c.Vectors, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Len() != 600 {
+		t.Fatalf("monolithic len %d", mono.Len())
+	}
+}

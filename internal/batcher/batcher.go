@@ -1,0 +1,166 @@
+// Package batcher is the serving front-end that turns individual query
+// arrivals into the batches everything downstream is optimized for. The
+// paper's systems are evaluated at fixed batch sizes (32-256) because FAISS
+// scan throughput, GPU prefill, and Hermes' per-node deep loads all amortize
+// across a batch; a real deployment gets single queries and must form those
+// batches itself. The batcher groups arrivals until either MaxBatch queries
+// are waiting or MaxWait has elapsed since the first, trading a bounded
+// queueing delay for batch efficiency.
+package batcher
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// ProcessFunc executes one batch and returns per-query results,
+// index-aligned with the input. distsearch.Coordinator.SearchBatch wrapped
+// in a closure is the canonical implementation.
+type ProcessFunc func(queries [][]float32) ([][]vec.Neighbor, error)
+
+// Config sizes the batcher.
+type Config struct {
+	// MaxBatch flushes as soon as this many queries are waiting.
+	MaxBatch int
+	// MaxWait flushes a partial batch this long after its first arrival.
+	MaxWait time.Duration
+	// Process executes flushed batches.
+	Process ProcessFunc
+}
+
+// Batcher groups queries into batches. Safe for concurrent Search calls.
+type Batcher struct {
+	cfg     Config
+	mu      sync.Mutex
+	pending []*request
+	timer   *time.Timer
+	closed  bool
+
+	flushes, queriesServed int64
+}
+
+type request struct {
+	query []float32
+	done  chan response
+}
+
+type response struct {
+	neighbors []vec.Neighbor
+	err       error
+}
+
+// New validates the configuration and returns a ready batcher.
+func New(cfg Config) (*Batcher, error) {
+	if cfg.MaxBatch <= 0 {
+		return nil, fmt.Errorf("batcher: MaxBatch must be positive")
+	}
+	if cfg.MaxWait <= 0 {
+		return nil, fmt.Errorf("batcher: MaxWait must be positive")
+	}
+	if cfg.Process == nil {
+		return nil, fmt.Errorf("batcher: Process is required")
+	}
+	return &Batcher{cfg: cfg}, nil
+}
+
+// Search enqueues a query and blocks until its batch completes.
+func (b *Batcher) Search(q []float32) ([]vec.Neighbor, error) {
+	req := &request{query: q, done: make(chan response, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("batcher: closed")
+	}
+	b.pending = append(b.pending, req)
+	switch {
+	case len(b.pending) >= b.cfg.MaxBatch:
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.flush(batch)
+	case len(b.pending) == 1:
+		// First arrival arms the wait timer.
+		b.timer = time.AfterFunc(b.cfg.MaxWait, b.flushTimer)
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+	resp := <-req.done
+	return resp.neighbors, resp.err
+}
+
+// takeLocked detaches the pending batch; callers hold b.mu.
+func (b *Batcher) takeLocked() []*request {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+func (b *Batcher) flushTimer() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(batch)
+}
+
+func (b *Batcher) flush(batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	queries := make([][]float32, len(batch))
+	for i, r := range batch {
+		queries[i] = r.query
+	}
+	results, err := b.cfg.Process(queries)
+	if err == nil && len(results) != len(batch) {
+		err = fmt.Errorf("batcher: Process returned %d results for %d queries", len(results), len(batch))
+	}
+	b.mu.Lock()
+	b.flushes++
+	b.queriesServed += int64(len(batch))
+	b.mu.Unlock()
+	for i, r := range batch {
+		if err != nil {
+			r.done <- response{err: err}
+			continue
+		}
+		r.done <- response{neighbors: results[i]}
+	}
+}
+
+// Stats reports batching effectiveness.
+type Stats struct {
+	Flushes, QueriesServed int64
+	// MeanBatch is queries per flush.
+	MeanBatch float64
+}
+
+// Stats snapshots the counters.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Stats{Flushes: b.flushes, QueriesServed: b.queriesServed}
+	if s.Flushes > 0 {
+		s.MeanBatch = float64(s.QueriesServed) / float64(s.Flushes)
+	}
+	return s
+}
+
+// Close flushes any pending batch and rejects future Searches.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(batch)
+}

@@ -1,0 +1,171 @@
+package batcher
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// echoProcess returns each query's first element as the neighbor ID.
+func echoProcess(queries [][]float32) ([][]vec.Neighbor, error) {
+	out := make([][]vec.Neighbor, len(queries))
+	for i, q := range queries {
+		out[i] = []vec.Neighbor{{ID: int64(q[0])}}
+	}
+	return out, nil
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{MaxBatch: 0, MaxWait: time.Millisecond, Process: echoProcess}); err == nil {
+		t.Fatal("MaxBatch=0 should error")
+	}
+	if _, err := New(Config{MaxBatch: 4, MaxWait: 0, Process: echoProcess}); err == nil {
+		t.Fatal("MaxWait=0 should error")
+	}
+	if _, err := New(Config{MaxBatch: 4, MaxWait: time.Millisecond}); err == nil {
+		t.Fatal("nil Process should error")
+	}
+}
+
+func TestResultsRoutedToCallers(t *testing.T) {
+	b, err := New(Config{MaxBatch: 4, MaxWait: 5 * time.Millisecond, Process: echoProcess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Search([]float32{float32(i)})
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if len(res) != 1 || res[0].ID != int64(i) {
+				t.Errorf("query %d got %+v", i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.QueriesServed != 16 {
+		t.Fatalf("served %d", st.QueriesServed)
+	}
+	if st.MeanBatch < 2 {
+		t.Fatalf("mean batch %v; batching ineffective", st.MeanBatch)
+	}
+}
+
+func TestMaxBatchFlushesImmediately(t *testing.T) {
+	var calls int64
+	proc := func(qs [][]float32) ([][]vec.Neighbor, error) {
+		atomic.AddInt64(&calls, 1)
+		if len(qs) != 4 {
+			t.Errorf("batch size %d, want 4", len(qs))
+		}
+		return echoProcess(qs)
+	}
+	b, err := New(Config{MaxBatch: 4, MaxWait: time.Hour, Process: proc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Search([]float32{float32(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait() // must complete despite the 1-hour MaxWait
+	if atomic.LoadInt64(&calls) != 2 {
+		t.Fatalf("flushes = %d, want 2", calls)
+	}
+}
+
+func TestMaxWaitFlushesPartialBatch(t *testing.T) {
+	b, err := New(Config{MaxBatch: 100, MaxWait: 10 * time.Millisecond, Process: echoProcess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	start := time.Now()
+	res, err := b.Search([]float32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 7 {
+		t.Fatalf("got %+v", res)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("partial batch flushed too early: %v", elapsed)
+	}
+}
+
+func TestProcessErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	b, err := New(Config{MaxBatch: 2, MaxWait: time.Millisecond,
+		Process: func([][]float32) ([][]vec.Neighbor, error) { return nil, boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Search([]float32{1}); !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestMismatchedResultsError(t *testing.T) {
+	b, err := New(Config{MaxBatch: 2, MaxWait: time.Millisecond,
+		Process: func(qs [][]float32) ([][]vec.Neighbor, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Search([]float32{1}); err == nil {
+		t.Fatal("mismatched result count should error")
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	released := make(chan struct{})
+	b, err := New(Config{MaxBatch: 100, MaxWait: time.Hour,
+		Process: func(qs [][]float32) ([][]vec.Neighbor, error) {
+			close(released)
+			return echoProcess(qs)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Search([]float32{1})
+		done <- err
+	}()
+	// Give the search time to enqueue, then close: the pending query must
+	// be flushed rather than stranded.
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pending query failed on close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending query stranded by Close")
+	}
+	<-released
+	if _, err := b.Search([]float32{2}); err == nil {
+		t.Fatal("post-close Search should error")
+	}
+	b.Close() // double close is safe
+}

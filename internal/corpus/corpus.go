@@ -1,0 +1,210 @@
+// Package corpus generates the synthetic retrieval datastore used by every
+// experiment. The paper's corpus (SPHERE, an encoded Common Crawl subset)
+// has two properties all Hermes results depend on: document embeddings have
+// topical cluster structure (so similarity-aware disaggregation concentrates
+// a query's neighbors in few shards), and query popularity over topics is
+// skewed (so shard access frequency is imbalanced, Fig. 13). A seeded
+// Gaussian topic-mixture reproduces both at laptop scale.
+//
+// Token accounting follows DESIGN.md: one chunk = TokensPerChunk tokens =
+// one embedding vector, so "datastore size in tokens" converts directly to a
+// vector count.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// DefaultTokensPerChunk is the chunk granularity used when Spec leaves it 0.
+const DefaultTokensPerChunk = 64
+
+// Spec configures synthetic corpus generation.
+type Spec struct {
+	// NumChunks is the number of document chunks (= vectors).
+	NumChunks int
+	// Dim is the embedding dimensionality.
+	Dim int
+	// NumTopics is the number of latent topics (cluster structure).
+	NumTopics int
+	// TopicSpread is the intra-topic standard deviation relative to the
+	// unit-scale topic centers. Default 0.25.
+	TopicSpread float64
+	// ZipfS controls topic popularity skew for queries (s parameter of a
+	// Zipf distribution); <= 1 disables skew (uniform topics). Default 1.3.
+	ZipfS float64
+	// TokensPerChunk sets the chunk granularity (default 64).
+	TokensPerChunk int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TopicSpread <= 0 {
+		s.TopicSpread = 0.25
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.3
+	}
+	if s.TokensPerChunk <= 0 {
+		s.TokensPerChunk = DefaultTokensPerChunk
+	}
+	return s
+}
+
+// Corpus is a generated datastore: embeddings plus the chunk text store.
+type Corpus struct {
+	Spec Spec
+	// Vectors holds one embedding per chunk, row i for chunk ID i.
+	Vectors *vec.Matrix
+	// Topics records the latent topic of each chunk.
+	Topics []int
+	// Centers holds the topic center vectors (NumTopics x Dim).
+	Centers *vec.Matrix
+	// topicWeights is the (normalized) query popularity per topic.
+	topicWeights []float64
+}
+
+// Generate builds a corpus from spec.
+func Generate(spec Spec) (*Corpus, error) {
+	spec = spec.withDefaults()
+	if spec.NumChunks <= 0 || spec.Dim <= 0 || spec.NumTopics <= 0 {
+		return nil, fmt.Errorf("corpus: invalid spec %+v", spec)
+	}
+	if spec.NumTopics > spec.NumChunks {
+		return nil, fmt.Errorf("corpus: NumTopics %d > NumChunks %d", spec.NumTopics, spec.NumChunks)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Topic centers: random unit-ish directions scaled for separation.
+	centers := vec.NewMatrix(spec.NumTopics, spec.Dim)
+	for tIdx := 0; tIdx < spec.NumTopics; tIdx++ {
+		row := centers.Row(tIdx)
+		for d := range row {
+			row[d] = float32(rng.NormFloat64())
+		}
+		vec.Normalize(row)
+		vec.Scale(row, 2) // separation scale vs TopicSpread noise
+	}
+
+	// Topic popularity: Zipf over a random permutation of topics so topic
+	// ID does not correlate with popularity.
+	weights := make([]float64, spec.NumTopics)
+	perm := rng.Perm(spec.NumTopics)
+	for rank, tIdx := range perm {
+		if spec.ZipfS > 1 {
+			weights[tIdx] = 1 / math.Pow(float64(rank+1), spec.ZipfS)
+		} else {
+			weights[tIdx] = 1
+		}
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	for i := range weights {
+		weights[i] /= wsum
+	}
+
+	// Chunks: documents are drawn per-topic with mild size imbalance —
+	// each topic's share of the datastore is uniform in [0.5, 1.5]/T,
+	// mirroring the ~2x size spread the paper reports for k-means shards.
+	shares := make([]float64, spec.NumTopics)
+	var ssum float64
+	for i := range shares {
+		shares[i] = 0.5 + rng.Float64()
+		ssum += shares[i]
+	}
+	counts := make([]int, spec.NumTopics)
+	assigned := 0
+	for i := range shares {
+		counts[i] = int(float64(spec.NumChunks) * shares[i] / ssum)
+		assigned += counts[i]
+	}
+	for i := 0; assigned < spec.NumChunks; i, assigned = (i+1)%spec.NumTopics, assigned+1 {
+		counts[i]++
+	}
+
+	vectors := vec.NewMatrix(spec.NumChunks, spec.Dim)
+	topics := make([]int, spec.NumChunks)
+	idx := 0
+	for tIdx := 0; tIdx < spec.NumTopics; tIdx++ {
+		for c := 0; c < counts[tIdx]; c++ {
+			row := vectors.Row(idx)
+			center := centers.Row(tIdx)
+			for d := range row {
+				row[d] = center[d] + float32(rng.NormFloat64()*spec.TopicSpread)
+			}
+			topics[idx] = tIdx
+			idx++
+		}
+	}
+	// Shuffle chunk order so IDs are not sorted by topic.
+	permC := rng.Perm(spec.NumChunks)
+	shuffled := vec.NewMatrix(spec.NumChunks, spec.Dim)
+	shuffledTopics := make([]int, spec.NumChunks)
+	for dst, src := range permC {
+		copy(shuffled.Row(dst), vectors.Row(src))
+		shuffledTopics[dst] = topics[src]
+	}
+
+	return &Corpus{
+		Spec:         spec,
+		Vectors:      shuffled,
+		Topics:       shuffledTopics,
+		Centers:      centers,
+		topicWeights: weights,
+	}, nil
+}
+
+// Tokens returns the datastore size in tokens.
+func (c *Corpus) Tokens() int64 {
+	return int64(c.Vectors.Len()) * int64(c.Spec.TokensPerChunk)
+}
+
+// QuerySet is a batch of generated queries with their latent topics.
+type QuerySet struct {
+	Vectors *vec.Matrix
+	Topics  []int
+}
+
+// Queries draws n queries: a topic is sampled from the skewed popularity
+// distribution, then the query embedding is the topic center plus noise
+// (slightly wider than document noise, as real queries are noisier than
+// documents).
+func (c *Corpus) Queries(n int, seed int64) *QuerySet {
+	rng := rand.New(rand.NewSource(seed))
+	qs := &QuerySet{Vectors: vec.NewMatrix(n, c.Spec.Dim), Topics: make([]int, n)}
+	spread := c.Spec.TopicSpread * 1.2
+	for i := 0; i < n; i++ {
+		tIdx := c.sampleTopic(rng)
+		qs.Topics[i] = tIdx
+		row := qs.Vectors.Row(i)
+		center := c.Centers.Row(tIdx)
+		for d := range row {
+			row[d] = center[d] + float32(rng.NormFloat64()*spread)
+		}
+	}
+	return qs
+}
+
+func (c *Corpus) sampleTopic(rng *rand.Rand) int {
+	x := rng.Float64()
+	var cum float64
+	for tIdx, w := range c.topicWeights {
+		cum += w
+		if x <= cum {
+			return tIdx
+		}
+	}
+	return len(c.topicWeights) - 1
+}
+
+// TopicWeights exposes the query popularity distribution (for trace
+// analysis tests).
+func (c *Corpus) TopicWeights() []float64 {
+	return append([]float64(nil), c.topicWeights...)
+}

@@ -1,0 +1,224 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func mustGenerate(t testing.TB, spec Spec) *Corpus {
+	t.Helper()
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateShapes(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 500, Dim: 16, NumTopics: 5, Seed: 1})
+	if c.Vectors.Len() != 500 || c.Vectors.Dim != 16 {
+		t.Fatalf("vectors shape %dx%d", c.Vectors.Len(), c.Vectors.Dim)
+	}
+	if len(c.Topics) != 500 {
+		t.Fatalf("topics len %d", len(c.Topics))
+	}
+	if c.Centers.Len() != 5 {
+		t.Fatalf("centers len %d", c.Centers.Len())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{NumChunks: 0, Dim: 4, NumTopics: 1}); err == nil {
+		t.Fatal("NumChunks=0 should error")
+	}
+	if _, err := Generate(Spec{NumChunks: 2, Dim: 4, NumTopics: 5}); err == nil {
+		t.Fatal("NumTopics > NumChunks should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{NumChunks: 200, Dim: 8, NumTopics: 4, Seed: 42}
+	a := mustGenerate(t, spec)
+	b := mustGenerate(t, spec)
+	for i := 0; i < 200; i++ {
+		if a.Topics[i] != b.Topics[i] {
+			t.Fatalf("topic %d differs", i)
+		}
+		for d := 0; d < 8; d++ {
+			if a.Vectors.Row(i)[d] != b.Vectors.Row(i)[d] {
+				t.Fatalf("vector %d dim %d differs", i, d)
+			}
+		}
+	}
+}
+
+func TestChunksNearTheirTopicCenter(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 1000, Dim: 12, NumTopics: 6, Seed: 2})
+	misassigned := 0
+	for i := 0; i < c.Vectors.Len(); i++ {
+		nearest, _ := c.Centers.ArgMinL2(c.Vectors.Row(i))
+		if nearest != c.Topics[i] {
+			misassigned++
+		}
+	}
+	// Topic separation (centers at radius 2, spread 0.25) should make
+	// misassignment essentially zero.
+	if frac := float64(misassigned) / 1000; frac > 0.02 {
+		t.Fatalf("%.1f%% of chunks closer to a foreign topic center", frac*100)
+	}
+}
+
+func TestAllTopicsPopulated(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 300, Dim: 8, NumTopics: 10, Seed: 3})
+	seen := make(map[int]int)
+	for _, tp := range c.Topics {
+		seen[tp]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d topics populated", len(seen))
+	}
+}
+
+func TestTopicSizeImbalanceBounded(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 10000, Dim: 4, NumTopics: 10, Seed: 4})
+	counts := make([]int, 10)
+	for _, tp := range c.Topics {
+		counts[tp]++
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < minC {
+			minC = n
+		}
+		if n > maxC {
+			maxC = n
+		}
+	}
+	ratio := float64(maxC) / float64(minC)
+	// The generator targets the paper's ~2x spread; allow (1, 3.5].
+	if ratio <= 1.0 || ratio > 3.5 {
+		t.Fatalf("topic size imbalance %v outside expected range", ratio)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 100, Dim: 4, NumTopics: 2, Seed: 5, TokensPerChunk: 32})
+	if c.Tokens() != 3200 {
+		t.Fatalf("Tokens = %d", c.Tokens())
+	}
+}
+
+func TestQueriesFollowTopicSkew(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 1000, Dim: 8, NumTopics: 8, Seed: 6, ZipfS: 1.5})
+	qs := c.Queries(4000, 7)
+	counts := make([]float64, 8)
+	for _, tp := range qs.Topics {
+		counts[tp]++
+	}
+	weights := c.TopicWeights()
+	// Empirical frequencies should correlate with the weights: the most
+	// popular topic must receive more queries than the least popular.
+	maxW, minW := 0, 0
+	for i := range weights {
+		if weights[i] > weights[maxW] {
+			maxW = i
+		}
+		if weights[i] < weights[minW] {
+			minW = i
+		}
+	}
+	if counts[maxW] <= counts[minW] {
+		t.Fatalf("popular topic got %v queries, unpopular %v", counts[maxW], counts[minW])
+	}
+	// Chi-square-lite: each empirical frequency within 3x of expectation.
+	for i := range weights {
+		expected := weights[i] * 4000
+		if expected > 20 && (counts[i] > 3*expected || counts[i] < expected/3) {
+			t.Fatalf("topic %d frequency %v far from expectation %v", i, counts[i], expected)
+		}
+	}
+}
+
+func TestQueriesNearTopicCenters(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 500, Dim: 8, NumTopics: 4, Seed: 8})
+	qs := c.Queries(100, 9)
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		d := vec.L2Squared(qs.Vectors.Row(i), c.Centers.Row(qs.Topics[i]))
+		// Spread is 0.3 (=0.25*1.2) per dim over 8 dims → E[d] ≈ 0.72.
+		if float64(d) > 8 {
+			t.Fatalf("query %d distance %v to its topic center too large", i, d)
+		}
+	}
+}
+
+func TestUniformTopicsWhenZipfDisabled(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 400, Dim: 4, NumTopics: 4, Seed: 10, ZipfS: -1})
+	w := c.TopicWeights()
+	for _, x := range w {
+		if math.Abs(x-0.25) > 1e-9 {
+			t.Fatalf("weights not uniform: %v", w)
+		}
+	}
+}
+
+func TestChunkStoreGet(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 50, Dim: 4, NumTopics: 2, Seed: 11, TokensPerChunk: 16})
+	s := NewChunkStore(c)
+	txt, err := s.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(txt, "[chunk 7 topic ") {
+		t.Fatalf("chunk text = %q", txt)
+	}
+	// Roughly TokensPerChunk words.
+	words := len(strings.Fields(txt))
+	if words < 10 || words > 20 {
+		t.Fatalf("chunk has %d words, want ~16", words)
+	}
+}
+
+func TestChunkStoreDeterministic(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 20, Dim: 4, NumTopics: 2, Seed: 12})
+	s1 := NewChunkStore(c)
+	s2 := NewChunkStore(c)
+	a, _ := s1.Get(5)
+	b, _ := s2.Get(5)
+	if a != b {
+		t.Fatal("chunk text not deterministic")
+	}
+	// Cached second read identical.
+	a2, _ := s1.Get(5)
+	if a2 != a {
+		t.Fatal("cached read differs")
+	}
+}
+
+func TestChunkStoreOutOfRange(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 10, Dim: 4, NumTopics: 2, Seed: 13})
+	s := NewChunkStore(c)
+	if _, err := s.Get(-1); err == nil {
+		t.Fatal("negative ID should error")
+	}
+	if _, err := s.Get(10); err == nil {
+		t.Fatal("ID >= len should error")
+	}
+}
+
+func TestChunkStoreGetMany(t *testing.T) {
+	c := mustGenerate(t, Spec{NumChunks: 10, Dim: 4, NumTopics: 2, Seed: 14})
+	s := NewChunkStore(c)
+	texts, err := s.GetMany([]int64{0, 3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) != 3 {
+		t.Fatalf("got %d texts", len(texts))
+	}
+	if _, err := s.GetMany([]int64{0, 99}); err == nil {
+		t.Fatal("GetMany with bad ID should error")
+	}
+}

@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// ChunkStore maps chunk IDs to document text, the "Chunk Datastore" box of
+// the paper's Figure 3: after the index returns document IDs, the store is
+// consulted to fetch the text prepended to the LLM prompt.
+//
+// Text is materialized lazily and deterministically from the chunk's topic
+// and ID so that a trillion-token store never needs the full text resident —
+// matching how the experiments only touch the chunks they retrieve. Each
+// topic draws most of its words from a topic-specific vocabulary, so chunk
+// text carries the same topical signal as the chunk's embedding; this is
+// what lets the text → hash-embedding → index pipeline (internal/striding,
+// cmd/hermes-search) retrieve topically.
+type ChunkStore struct {
+	tokensPerChunk int
+	topics         []int
+	mu             sync.Mutex
+	cache          map[int64]string
+	cacheCap       int
+}
+
+// NewChunkStore creates a store over the corpus' chunks.
+func NewChunkStore(c *Corpus) *ChunkStore {
+	return &ChunkStore{
+		tokensPerChunk: c.Spec.TokensPerChunk,
+		topics:         c.Topics,
+		cache:          make(map[int64]string),
+		cacheCap:       4096,
+	}
+}
+
+// Len returns the number of chunks addressable in the store.
+func (s *ChunkStore) Len() int { return len(s.topics) }
+
+// TokensPerChunk returns the chunk granularity in tokens.
+func (s *ChunkStore) TokensPerChunk() int { return s.tokensPerChunk }
+
+// Topic returns the latent topic of chunk id.
+func (s *ChunkStore) Topic(id int64) (int, error) {
+	if id < 0 || id >= int64(len(s.topics)) {
+		return 0, fmt.Errorf("corpus: chunk %d out of range [0,%d)", id, len(s.topics))
+	}
+	return s.topics[id], nil
+}
+
+// Get returns the text of chunk id. It errors on out-of-range IDs.
+func (s *ChunkStore) Get(id int64) (string, error) {
+	if id < 0 || id >= int64(len(s.topics)) {
+		return "", fmt.Errorf("corpus: chunk %d out of range [0,%d)", id, len(s.topics))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if txt, ok := s.cache[id]; ok {
+		return txt, nil
+	}
+	txt := synthesizeChunk(id, s.topics[id], s.tokensPerChunk)
+	if len(s.cache) < s.cacheCap {
+		s.cache[id] = txt
+	}
+	return txt, nil
+}
+
+// GetMany fetches several chunks, preserving order.
+func (s *ChunkStore) GetMany(ids []int64) ([]string, error) {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		txt, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = txt
+	}
+	return out, nil
+}
+
+// sharedVocabulary is the domain-general word stock every topic mixes in.
+var sharedVocabulary = strings.Fields(`
+retrieval augmented generation datastore index cluster search vector
+embedding query document token chunk model inference batch stride cache
+pipeline memory scale system design network node shard probe rank
+`)
+
+// topicVocabularySize is the number of topic-specific terms per topic.
+const topicVocabularySize = 24
+
+// topicFraction is the share of chunk tokens drawn from the topic's own
+// vocabulary (the rest come from the shared stock).
+const topicFraction = 0.7
+
+// TopicVocabulary returns topic t's specific terms. Terms are synthetic but
+// deterministic ("t3w07"-style), giving every topic a disjoint lexical
+// signature for hash-embedding retrieval.
+func TopicVocabulary(topic int) []string {
+	out := make([]string, topicVocabularySize)
+	for w := range out {
+		out[w] = fmt.Sprintf("t%dw%02d", topic, w)
+	}
+	return out
+}
+
+// QueryText synthesizes a plausible text query about a topic: a handful of
+// the topic's terms plus shared words, the way a user query shares
+// vocabulary with the documents that answer it.
+func QueryText(topic, words int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed*7919 + int64(topic)))
+	tv := TopicVocabulary(topic)
+	parts := make([]string, words)
+	for i := range parts {
+		if rng.Float64() < topicFraction {
+			parts[i] = tv[rng.Intn(len(tv))]
+		} else {
+			parts[i] = sharedVocabulary[rng.Intn(len(sharedVocabulary))]
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func synthesizeChunk(id int64, topic, tokens int) string {
+	rng := rand.New(rand.NewSource(id*1000003 + int64(topic)))
+	tv := TopicVocabulary(topic)
+	var b strings.Builder
+	fmt.Fprintf(&b, "[chunk %d topic %d]", id, topic)
+	for i := 0; i < tokens-3; i++ {
+		b.WriteByte(' ')
+		if rng.Float64() < topicFraction {
+			b.WriteString(tv[rng.Intn(len(tv))])
+		} else {
+			b.WriteString(sharedVocabulary[rng.Intn(len(sharedVocabulary))])
+		}
+	}
+	return b.String()
+}

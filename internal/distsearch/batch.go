@@ -1,0 +1,156 @@
+package distsearch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hermes"
+	"repro/internal/vec"
+)
+
+// BatchResult is the outcome of one batched distributed search.
+type BatchResult struct {
+	// Results holds per-query neighbors, index-aligned with the input.
+	Results [][]vec.Neighbor
+	// DeepLoads[s] counts how many of the batch's queries deep-searched
+	// node s — the trace input of the multi-node energy model.
+	DeepLoads []int
+	// SampleLatency and DeepLatency are the wall times of the two
+	// scatter/gather rounds.
+	SampleLatency, DeepLatency time.Duration
+}
+
+// SearchBatch runs the hierarchical search for a whole batch using one
+// round trip per node per phase: the sample batch is scattered to all nodes
+// at once, shards are ranked per query, and each node then receives a single
+// deep request carrying exactly the sub-batch of queries routed to it.
+func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*BatchResult, error) {
+	if len(queries) == 0 {
+		return &BatchResult{DeepLoads: make([]int, len(co.nodes))}, nil
+	}
+	for i, q := range queries {
+		if len(q) != co.dim {
+			return nil, fmt.Errorf("distsearch: batch query %d dim %d != %d", i, len(q), co.dim)
+		}
+	}
+	if p.K <= 0 {
+		p = hermes.DefaultParams()
+	}
+
+	// Phase 1 — one sample-batch request per node.
+	start := time.Now()
+	sampleScores := make([][]float32, len(co.nodes)) // [node][query]
+	sampleOK := make([][]bool, len(co.nodes))
+	errs := make([]error, len(co.nodes))
+	var wg sync.WaitGroup
+	for ni, n := range co.nodes {
+		wg.Add(1)
+		go func(ni int, n *nodeClient) {
+			defer wg.Done()
+			resp, err := n.roundTrip(&Request{Op: OpSampleBatch, Queries: queries, NProbe: p.SampleNProbe})
+			if err != nil {
+				errs[ni] = err
+				return
+			}
+			scores := make([]float32, len(queries))
+			oks := make([]bool, len(queries))
+			for qi, res := range resp.Batch {
+				if len(res) > 0 {
+					scores[qi] = res[0].Score
+					oks[qi] = true
+				}
+			}
+			sampleScores[ni] = scores
+			sampleOK[ni] = oks
+		}(ni, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sampleLat := time.Since(start)
+
+	// Rank shards per query and build per-node deep sub-batches.
+	type ranked struct {
+		node int
+		d    float32
+	}
+	deepQueries := make([][][]float32, len(co.nodes)) // [node] -> sub-batch
+	deepQueryIdx := make([][]int, len(co.nodes))      // [node] -> original query indices
+	deepLoads := make([]int, len(co.nodes))
+	for qi := range queries {
+		order := make([]ranked, 0, len(co.nodes))
+		for ni := range co.nodes {
+			if sampleOK[ni][qi] {
+				order = append(order, ranked{ni, sampleScores[ni][qi]})
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+		deep := p.DeepClusters
+		if deep > len(order) {
+			deep = len(order)
+		}
+		for _, r := range order[:deep] {
+			if p.PruneEps > 0 && float64(r.d) > (1+p.PruneEps)*float64(order[0].d) {
+				break
+			}
+			deepQueries[r.node] = append(deepQueries[r.node], queries[qi])
+			deepQueryIdx[r.node] = append(deepQueryIdx[r.node], qi)
+			deepLoads[r.node]++
+		}
+	}
+
+	// Phase 2 — one deep-batch request per loaded node.
+	deepStart := time.Now()
+	merged := make([]*vec.TopK, len(queries))
+	for qi := range merged {
+		merged[qi] = vec.NewTopK(p.K)
+	}
+	var mu sync.Mutex
+	for ni, n := range co.nodes {
+		if len(deepQueries[ni]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ni int, n *nodeClient) {
+			defer wg.Done()
+			resp, err := n.roundTrip(&Request{
+				Op: OpDeepBatch, Queries: deepQueries[ni], K: p.K, NProbe: p.DeepNProbe,
+			})
+			if err != nil {
+				errs[ni] = err
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for slot, res := range resp.Batch {
+				qi := deepQueryIdx[ni][slot]
+				for _, nb := range res {
+					merged[qi].Push(nb.ID, nb.Score)
+				}
+			}
+		}(ni, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	deepLat := time.Since(deepStart)
+
+	out := &BatchResult{
+		Results:       make([][]vec.Neighbor, len(queries)),
+		DeepLoads:     deepLoads,
+		SampleLatency: sampleLat,
+		DeepLatency:   deepLat,
+	}
+	for qi := range queries {
+		out.Results[qi] = merged[qi].Results()
+	}
+	return out, nil
+}

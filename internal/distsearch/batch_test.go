@@ -1,0 +1,115 @@
+package distsearch
+
+import (
+	"testing"
+
+	"repro/internal/hermes"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	_, _, co, c := cluster(t, 1200, 6)
+	qs := c.Queries(24, 51)
+	queries := make([][]float32, qs.Vectors.Len())
+	for i := range queries {
+		queries[i] = qs.Vectors.Row(i)
+	}
+	p := hermes.DefaultParams()
+	batch, err := co.SearchBatch(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(queries) {
+		t.Fatalf("batch returned %d results", len(batch.Results))
+	}
+	for i, q := range queries {
+		single, err := co.Search(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Neighbors) != len(batch.Results[i]) {
+			t.Fatalf("query %d: batch %d results vs single %d", i, len(batch.Results[i]), len(single.Neighbors))
+		}
+		for j := range single.Neighbors {
+			if single.Neighbors[j].ID != batch.Results[i][j].ID {
+				t.Fatalf("query %d pos %d: batch %d != single %d", i, j,
+					batch.Results[i][j].ID, single.Neighbors[j].ID)
+			}
+		}
+	}
+}
+
+func TestSearchBatchDeepLoads(t *testing.T) {
+	_, _, co, c := cluster(t, 1000, 5)
+	qs := c.Queries(20, 53)
+	queries := make([][]float32, qs.Vectors.Len())
+	for i := range queries {
+		queries[i] = qs.Vectors.Row(i)
+	}
+	p := hermes.DefaultParams()
+	batch, err := co.SearchBatch(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.DeepLoads) != 5 {
+		t.Fatalf("DeepLoads len %d", len(batch.DeepLoads))
+	}
+	total := 0
+	for _, l := range batch.DeepLoads {
+		total += l
+	}
+	if total != 20*p.DeepClusters {
+		t.Fatalf("total deep searches %d, want %d", total, 20*p.DeepClusters)
+	}
+	if batch.SampleLatency <= 0 || batch.DeepLatency <= 0 {
+		t.Fatal("phase latencies not populated")
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	_, _, co, _ := cluster(t, 400, 2)
+	res, err := co.SearchBatch(nil, hermes.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 0 || len(res.DeepLoads) != 2 {
+		t.Fatalf("empty batch result wrong: %+v", res)
+	}
+}
+
+func TestSearchBatchDimValidation(t *testing.T) {
+	_, _, co, _ := cluster(t, 400, 2)
+	if _, err := co.SearchBatch([][]float32{{1, 2}}, hermes.DefaultParams()); err == nil {
+		t.Fatal("wrong-dim batch query should error")
+	}
+}
+
+func TestSearchBatchWithPruning(t *testing.T) {
+	_, _, co, c := cluster(t, 1500, 6)
+	qs := c.Queries(30, 57)
+	queries := make([][]float32, qs.Vectors.Len())
+	for i := range queries {
+		queries[i] = qs.Vectors.Row(i)
+	}
+	base := hermes.DefaultParams()
+	pruned := base
+	pruned.PruneEps = 0.25
+	rb, err := co.SearchBatch(queries, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := co.SearchBatch(queries, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(loads []int) int {
+		t := 0
+		for _, l := range loads {
+			t += l
+		}
+		return t
+	}
+	if sum(rp.DeepLoads) >= sum(rb.DeepLoads) {
+		t.Fatalf("pruned batch deep searches %d should be < unpruned %d",
+			sum(rp.DeepLoads), sum(rb.DeepLoads))
+	}
+}

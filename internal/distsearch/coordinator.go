@@ -1,0 +1,399 @@
+package distsearch
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hermes"
+	"repro/internal/vec"
+)
+
+// nodeClient is one persistent connection to a shard node. Requests on a
+// single connection are serialized by a mutex; the coordinator issues
+// cross-node requests in parallel.
+type nodeClient struct {
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+
+	shardID  int
+	size     int
+	dim      int
+	centroid []float32
+}
+
+func dialNode(addr string, timeout time.Duration) (*nodeClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("distsearch: dial %s: %w", addr, err)
+	}
+	c := &nodeClient{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	info, err := c.roundTrip(&Request{Op: OpInfo})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.shardID = info.ShardID
+	c.size = info.Size
+	c.dim = info.Dim
+	c.centroid = info.Centroid
+	return c, nil
+}
+
+func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("distsearch: send to %s: %w", c.addr, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("distsearch: recv from %s: %w", c.addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("distsearch: node %s: %s", c.addr, resp.Err)
+	}
+	return &resp, nil
+}
+
+// Coordinator fans queries out to shard nodes following Hermes' two-phase
+// protocol and aggregates the results.
+type Coordinator struct {
+	nodes []*nodeClient
+	dim   int
+	// lenient degrades gracefully on node failure instead of failing the
+	// query (see SetLenient).
+	lenient bool
+}
+
+// SetLenient toggles degraded-mode serving: when enabled, a node that fails
+// mid-query is skipped — the sample phase ranks the surviving shards and the
+// deep phase aggregates whatever returns — instead of failing the whole
+// query. Results may miss the dead shard's documents (lower recall) but the
+// service stays up, which is how a production tier rides out node loss. A
+// query still errors if every node fails.
+func (co *Coordinator) SetLenient(lenient bool) { co.lenient = lenient }
+
+// Dial connects to every node address. All nodes must expose the same
+// vector dimensionality.
+func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distsearch: no node addresses")
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	co := &Coordinator{}
+	for _, addr := range addrs {
+		c, err := dialNode(addr, timeout)
+		if err != nil {
+			co.Close()
+			return nil, err
+		}
+		if co.dim == 0 {
+			co.dim = c.dim
+		} else if co.dim != c.dim {
+			co.Close()
+			c.conn.Close()
+			return nil, fmt.Errorf("distsearch: node %s dim %d != %d", addr, c.dim, co.dim)
+		}
+		co.nodes = append(co.nodes, c)
+	}
+	return co, nil
+}
+
+// Nodes returns the number of connected shard nodes.
+func (co *Coordinator) Nodes() int { return len(co.nodes) }
+
+// Dim returns the index dimensionality.
+func (co *Coordinator) Dim() int { return co.dim }
+
+// TotalSize sums the shard sizes reported at connect time.
+func (co *Coordinator) TotalSize() int {
+	total := 0
+	for _, n := range co.nodes {
+		total += n.size
+	}
+	return total
+}
+
+// Result is a distributed query outcome.
+type Result struct {
+	Neighbors []vec.Neighbor
+	// DeepNodes lists the shard IDs deep-searched, ranked most relevant
+	// first.
+	DeepNodes []int
+	// SampleLatency and DeepLatency are the wall times of the two phases.
+	SampleLatency, DeepLatency time.Duration
+}
+
+// Search executes the hierarchical search across the cluster: scatter the
+// sample request to all nodes, rank by sampled-document distance, deep-search
+// the top p.DeepClusters nodes, and merge.
+func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
+	if len(q) != co.dim {
+		return nil, fmt.Errorf("distsearch: query dim %d != %d", len(q), co.dim)
+	}
+	if p.K <= 0 {
+		p = hermes.DefaultParams()
+	}
+
+	// Phase 1 — scatter sampling.
+	type sample struct {
+		node  int
+		score float32
+		ok    bool
+		err   error
+	}
+	start := time.Now()
+	samples := make([]sample, len(co.nodes))
+	var wg sync.WaitGroup
+	for i, n := range co.nodes {
+		wg.Add(1)
+		go func(i int, n *nodeClient) {
+			defer wg.Done()
+			resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe})
+			if err != nil {
+				samples[i] = sample{node: i, err: err}
+				return
+			}
+			if len(resp.Neighbors) == 0 {
+				samples[i] = sample{node: i}
+				return
+			}
+			samples[i] = sample{node: i, score: resp.Neighbors[0].Score, ok: true}
+		}(i, n)
+	}
+	wg.Wait()
+	sampleLat := time.Since(start)
+	ranked := samples[:0:0]
+	var firstErr error
+	for _, s := range samples {
+		if s.err != nil {
+			if !co.lenient {
+				return nil, s.err
+			}
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			continue
+		}
+		if s.ok {
+			ranked = append(ranked, s)
+		}
+	}
+	if len(ranked) == 0 {
+		if firstErr != nil {
+			return nil, fmt.Errorf("distsearch: all nodes failed: %w", firstErr)
+		}
+		return &Result{SampleLatency: sampleLat}, nil
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+
+	// Phase 2 — deep search the top clusters.
+	deep := p.DeepClusters
+	if deep > len(ranked) {
+		deep = len(ranked)
+	}
+	deepStart := time.Now()
+	type deepResult struct {
+		neighbors []vec.Neighbor
+		err       error
+	}
+	deepResults := make([]deepResult, deep)
+	deepNodes := make([]int, deep)
+	for i := 0; i < deep; i++ {
+		wg.Add(1)
+		deepNodes[i] = co.nodes[ranked[i].node].shardID
+		go func(slot, nodeIdx int) {
+			defer wg.Done()
+			resp, err := co.nodes[nodeIdx].roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe})
+			if err != nil {
+				deepResults[slot] = deepResult{err: err}
+				return
+			}
+			deepResults[slot] = deepResult{neighbors: resp.Neighbors}
+		}(i, ranked[i].node)
+	}
+	wg.Wait()
+	deepLat := time.Since(deepStart)
+
+	tk := vec.NewTopK(p.K)
+	gotAny := false
+	for _, dr := range deepResults {
+		if dr.err != nil {
+			if !co.lenient {
+				return nil, dr.err
+			}
+			continue
+		}
+		gotAny = true
+		for _, n := range dr.neighbors {
+			tk.Push(n.ID, n.Score)
+		}
+	}
+	if !gotAny && deep > 0 {
+		return nil, fmt.Errorf("distsearch: every deep-search node failed")
+	}
+	return &Result{
+		Neighbors:     tk.Results(),
+		DeepNodes:     deepNodes,
+		SampleLatency: sampleLat,
+		DeepLatency:   deepLat,
+	}, nil
+}
+
+// SearchAll deep-searches every node (the naive distributed baseline) and
+// merges.
+func (co *Coordinator) SearchAll(q []float32, p hermes.Params) (*Result, error) {
+	if len(q) != co.dim {
+		return nil, fmt.Errorf("distsearch: query dim %d != %d", len(q), co.dim)
+	}
+	if p.K <= 0 {
+		p = hermes.DefaultParams()
+	}
+	start := time.Now()
+	results := make([][]vec.Neighbor, len(co.nodes))
+	errs := make([]error, len(co.nodes))
+	var wg sync.WaitGroup
+	for i, n := range co.nodes {
+		wg.Add(1)
+		go func(i int, n *nodeClient) {
+			defer wg.Done()
+			resp, err := n.roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = resp.Neighbors
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	tk := vec.NewTopK(p.K)
+	deepNodes := make([]int, len(co.nodes))
+	for i, rs := range results {
+		deepNodes[i] = co.nodes[i].shardID
+		for _, n := range rs {
+			tk.Push(n.ID, n.Score)
+		}
+	}
+	return &Result{Neighbors: tk.Results(), DeepNodes: deepNodes, DeepLatency: time.Since(start)}, nil
+}
+
+// Add ingests a document into the cluster, routing it to the node whose
+// shard centroid is most similar — the same rule that assigned the original
+// corpus. It returns the chosen node's shard ID.
+func (co *Coordinator) Add(id int64, v []float32) (int, error) {
+	if len(v) != co.dim {
+		return 0, fmt.Errorf("distsearch: Add dim %d != %d", len(v), co.dim)
+	}
+	best, bestDist := -1, float32(0)
+	for i, n := range co.nodes {
+		if len(n.centroid) != co.dim {
+			continue
+		}
+		d := vec.L2Squared(v, n.centroid)
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("distsearch: no node exposes a centroid for routing")
+	}
+	resp, err := co.nodes[best].roundTrip(&Request{Op: OpAdd, ID: id, Query: v})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ShardID, nil
+}
+
+// Remove deletes a document from whichever node holds it. It returns the
+// shard ID and false if no node had the id.
+func (co *Coordinator) Remove(id int64) (int, bool, error) {
+	for _, n := range co.nodes {
+		resp, err := n.roundTrip(&Request{Op: OpRemove, ID: id})
+		if err != nil {
+			if co.lenient {
+				continue
+			}
+			return 0, false, err
+		}
+		if resp.OK {
+			return resp.ShardID, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// NodeStats is one node's live serving counters.
+type NodeStats struct {
+	ShardID         int
+	Size            int
+	SampleServed    int64
+	DeepServed      int64
+	MutationsServed int64
+	Tombstones      int
+}
+
+// Stats gathers serving counters from every node — the live view of the
+// deep-search load imbalance (Fig. 13) on a running cluster.
+func (co *Coordinator) Stats() ([]NodeStats, error) {
+	out := make([]NodeStats, len(co.nodes))
+	for i, n := range co.nodes {
+		resp, err := n.roundTrip(&Request{Op: OpStats})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = NodeStats{
+			ShardID:         resp.ShardID,
+			Size:            resp.Size,
+			SampleServed:    resp.SampleServed,
+			DeepServed:      resp.DeepServed,
+			MutationsServed: resp.MutationsServed,
+			Tombstones:      resp.Tombstones,
+		}
+	}
+	return out, nil
+}
+
+// Compact reclaims tombstoned space on every node.
+func (co *Coordinator) Compact() error {
+	for _, n := range co.nodes {
+		if _, err := n.roundTrip(&Request{Op: OpCompact}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown asks every node to stop serving, then closes the connections.
+func (co *Coordinator) Shutdown() error {
+	var firstErr error
+	for _, n := range co.nodes {
+		if _, err := n.roundTrip(&Request{Op: OpShutdown}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	co.Close()
+	return firstErr
+}
+
+// Close drops all connections without stopping the nodes.
+func (co *Coordinator) Close() {
+	for _, n := range co.nodes {
+		if n != nil && n.conn != nil {
+			n.conn.Close()
+		}
+	}
+}

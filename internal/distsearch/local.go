@@ -1,0 +1,50 @@
+package distsearch
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hermes"
+)
+
+// LocalCluster runs every shard node of a disaggregated store in-process on
+// localhost TCP — the harness used by tests, examples/distributed, and
+// quick experiments. The protocol and sockets are identical to a real
+// multi-host deployment; only process placement differs.
+type LocalCluster struct {
+	nodes []*Node
+	addrs []string
+}
+
+// LaunchLocal starts one node per shard on ephemeral localhost ports.
+func LaunchLocal(store *hermes.Store, logger *log.Logger) (*LocalCluster, error) {
+	lc := &LocalCluster{}
+	for i, shard := range store.Shards {
+		node, err := NewNode(i, shard.Index, logger)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		if err := node.Listen("127.0.0.1:0"); err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("distsearch: launch shard %d: %w", i, err)
+		}
+		lc.nodes = append(lc.nodes, node)
+		lc.addrs = append(lc.addrs, node.Addr())
+	}
+	return lc, nil
+}
+
+// Addrs returns the listen addresses of all shard nodes.
+func (lc *LocalCluster) Addrs() []string {
+	return append([]string(nil), lc.addrs...)
+}
+
+// Close stops every node.
+func (lc *LocalCluster) Close() {
+	for _, n := range lc.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

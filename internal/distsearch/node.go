@@ -1,0 +1,249 @@
+package distsearch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ivf"
+	"repro/internal/vec"
+)
+
+// Node serves one shard's IVF index over TCP.
+type Node struct {
+	shardID int
+	index   *ivf.Index
+	ln      net.Listener
+	logger  *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// idxMu guards the shard index: searches share a read lock, OpAdd and
+	// OpRemove take the write lock (ivf.Index permits concurrent reads but
+	// not read/write races).
+	idxMu sync.RWMutex
+
+	// Served-request counters (atomic).
+	sampleServed, deepServed, mutationsServed int64
+}
+
+// NewNode wraps a trained shard index. The logger may be nil to discard
+// diagnostics.
+func NewNode(shardID int, index *ivf.Index, logger *log.Logger) (*Node, error) {
+	if index == nil || !index.Trained() {
+		return nil, fmt.Errorf("distsearch: node %d requires a trained index", shardID)
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Node{
+		shardID: shardID,
+		index:   index,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen binds the node to addr ("127.0.0.1:0" for an ephemeral port) and
+// starts the accept loop in a background goroutine.
+func (n *Node) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("distsearch: node %d listen: %w", n.shardID, err)
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address; Listen must have succeeded.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ShardID returns the node's shard identifier.
+func (n *Node) ShardID() int { return n.shardID }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			if !n.isClosed() {
+				n.logger.Printf("node %d accept: %v", n.shardID, err)
+			}
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !n.isClosed() {
+				n.logger.Printf("node %d decode: %v", n.shardID, err)
+			}
+			return
+		}
+		resp := n.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			if !n.isClosed() {
+				n.logger.Printf("node %d encode: %v", n.shardID, err)
+			}
+			return
+		}
+		if req.Op == OpShutdown {
+			go n.Close()
+			return
+		}
+	}
+}
+
+func (n *Node) handle(req *Request) *Response {
+	switch req.Op {
+	case OpAdd, OpRemove, OpCompact:
+		n.idxMu.Lock()
+		defer n.idxMu.Unlock()
+	default:
+		n.idxMu.RLock()
+		defer n.idxMu.RUnlock()
+	}
+	switch req.Op {
+	case OpInfo:
+		return &Response{ShardID: n.shardID, Size: n.index.Len(), Dim: n.index.Dim(), Centroid: n.meanCentroid()}
+	case OpSample:
+		if len(req.Query) != n.index.Dim() {
+			return &Response{Err: fmt.Sprintf("node %d: query dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
+		}
+		atomic.AddInt64(&n.sampleServed, 1)
+		res := n.index.Search(req.Query, 1, req.NProbe)
+		return &Response{ShardID: n.shardID, Neighbors: res}
+	case OpDeep:
+		if len(req.Query) != n.index.Dim() {
+			return &Response{Err: fmt.Sprintf("node %d: query dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
+		}
+		if req.K <= 0 {
+			return &Response{Err: fmt.Sprintf("node %d: k must be positive", n.shardID)}
+		}
+		atomic.AddInt64(&n.deepServed, 1)
+		res := n.index.Search(req.Query, req.K, req.NProbe)
+		return &Response{ShardID: n.shardID, Neighbors: res}
+	case OpSampleBatch:
+		atomic.AddInt64(&n.sampleServed, int64(len(req.Queries)))
+		return n.handleBatch(req, 1, req.NProbe)
+	case OpDeepBatch:
+		if req.K <= 0 {
+			return &Response{Err: fmt.Sprintf("node %d: k must be positive", n.shardID)}
+		}
+		atomic.AddInt64(&n.deepServed, int64(len(req.Queries)))
+		return n.handleBatch(req, req.K, req.NProbe)
+	case OpAdd:
+		if len(req.Query) != n.index.Dim() {
+			return &Response{Err: fmt.Sprintf("node %d: add dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
+		}
+		if err := n.index.Add(req.ID, req.Query); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		atomic.AddInt64(&n.mutationsServed, 1)
+		return &Response{ShardID: n.shardID, OK: true}
+	case OpRemove:
+		atomic.AddInt64(&n.mutationsServed, 1)
+		return &Response{ShardID: n.shardID, OK: n.index.Remove(req.ID)}
+	case OpStats:
+		return &Response{
+			ShardID:         n.shardID,
+			Size:            n.index.Len(),
+			SampleServed:    atomic.LoadInt64(&n.sampleServed),
+			DeepServed:      atomic.LoadInt64(&n.deepServed),
+			MutationsServed: atomic.LoadInt64(&n.mutationsServed),
+			Tombstones:      n.index.Tombstones(),
+		}
+	case OpCompact:
+		n.index.Compact()
+		return &Response{ShardID: n.shardID, OK: true}
+	case OpShutdown:
+		return &Response{ShardID: n.shardID}
+	default:
+		return &Response{Err: fmt.Sprintf("node %d: unknown op %d", n.shardID, req.Op)}
+	}
+}
+
+// meanCentroid averages the shard's coarse centroids — the routing key the
+// coordinator uses for ingest.
+func (n *Node) meanCentroid() []float32 {
+	out := make([]float32, n.index.Dim())
+	for c := 0; c < n.index.NList(); c++ {
+		vec.Add(out, n.index.Centroid(c))
+	}
+	vec.Scale(out, 1/float32(n.index.NList()))
+	return out
+}
+
+func (n *Node) handleBatch(req *Request, k, nProbe int) *Response {
+	batch := make([][]vec.Neighbor, len(req.Queries))
+	for i, q := range req.Queries {
+		if len(q) != n.index.Dim() {
+			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
+		}
+		batch[i] = n.index.Search(q, k, nProbe)
+	}
+	return &Response{ShardID: n.shardID, Batch: batch}
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// Close stops the listener, closes live connections, and waits for handler
+// goroutines to drain. Safe to call multiple times.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	var err error
+	if n.ln != nil {
+		err = n.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,79 @@
+// Package distsearch is the working distributed implementation of Hermes'
+// serving architecture (Figure 9): one shard node per disaggregated index
+// cluster and a coordinator that scatters the sample phase to every node,
+// ranks nodes by their sampled document, and gathers a deep search from the
+// top-ranked subset.
+//
+// The wire protocol is gob over TCP with one request/response pair per
+// round-trip. Whereas internal/multinode models a large cluster
+// analytically, this package actually runs the protocol — the tests and
+// examples/distributed spin up real nodes on localhost.
+package distsearch
+
+import "repro/internal/vec"
+
+// Op selects the request type.
+type Op uint8
+
+const (
+	// OpInfo asks a node for its shard metadata.
+	OpInfo Op = iota + 1
+	// OpSample performs the low-nProbe single-document sample search.
+	OpSample
+	// OpDeep performs the high-nProbe top-k deep search.
+	OpDeep
+	// OpShutdown asks the node to stop serving after replying.
+	OpShutdown
+	// OpSampleBatch runs the sample search for many queries in one round
+	// trip; OpDeepBatch likewise for the deep search. Batch variants are
+	// what the coordinator uses for throughput-oriented serving — one
+	// request per node per phase instead of one per query.
+	OpSampleBatch
+	OpDeepBatch
+	// OpAdd ingests a vector into the node's shard; OpRemove tombstones
+	// one. Together they make the distributed datastore mutable without
+	// an offline rebuild (the RAG freshness premise).
+	OpAdd
+	OpRemove
+	// OpStats returns the node's served-request counters (live load
+	// observability, the per-node view of Fig. 13's access imbalance).
+	// OpCompact reclaims tombstoned space after removals.
+	OpStats
+	OpCompact
+)
+
+// Request is the single wire request envelope.
+type Request struct {
+	Op     Op
+	Query  []float32
+	K      int
+	NProbe int
+	// Queries carries the batch for OpSampleBatch/OpDeepBatch.
+	Queries [][]float32
+	// ID identifies the document for OpAdd/OpRemove (OpAdd's vector
+	// travels in Query).
+	ID int64
+}
+
+// Response is the single wire response envelope. Err is non-empty when the
+// node rejected or failed the request.
+type Response struct {
+	Err string
+	// Info fields.
+	ShardID int
+	Size    int
+	Dim     int
+	// Search results (best first). For OpSample, at most one entry.
+	Neighbors []vec.Neighbor
+	// Batch holds per-query results for the batch ops, index-aligned with
+	// Request.Queries.
+	Batch [][]vec.Neighbor
+	// Centroid is the node's mean coarse centroid (OpInfo), used by the
+	// coordinator to route ingested documents to the most similar shard.
+	Centroid []float32
+	// OK reports OpRemove success (the id was present and is now gone).
+	OK bool
+	// Stats fields (OpStats).
+	SampleServed, DeepServed, MutationsServed int64
+	Tombstones                                int
+}

@@ -1,0 +1,106 @@
+// Package encoder models the query encoder of the RAG pipeline (the paper
+// uses BGE-large-en on a GPU). It has two halves:
+//
+//   - a deterministic text-to-vector hash embedding used on the serving path
+//     (cmd/hermes-search, examples) so text queries can be embedded without a
+//     neural network, and
+//   - a latency/energy model of a BGE-large-class encoder, used by the
+//     end-to-end pipeline accounting, where encoding is a small fixed
+//     per-batch cost (the "Encoding" slice of Figure 6).
+package encoder
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// HashEncoder maps text deterministically into a dim-dimensional unit
+// vector: each whitespace token seeds a PRNG that emits a Gaussian direction
+// and the token vectors are averaged. Similar texts (sharing tokens) map to
+// nearby vectors, which is all the serving path needs.
+type HashEncoder struct {
+	dim int
+}
+
+// NewHashEncoder returns an encoder producing dim-dimensional embeddings.
+func NewHashEncoder(dim int) *HashEncoder {
+	if dim <= 0 {
+		panic("encoder: dim must be positive")
+	}
+	return &HashEncoder{dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *HashEncoder) Dim() int { return e.dim }
+
+// Encode embeds the text.
+func (e *HashEncoder) Encode(text string) []float32 {
+	out := make([]float32, e.dim)
+	tokens := strings.Fields(strings.ToLower(text))
+	if len(tokens) == 0 {
+		return out
+	}
+	for _, tok := range tokens {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		for d := range out {
+			out[d] += float32(rng.NormFloat64())
+		}
+	}
+	vec.Normalize(out)
+	return out
+}
+
+// EncodeBatch embeds several texts into a matrix.
+func (e *HashEncoder) EncodeBatch(texts []string) *vec.Matrix {
+	m := vec.NewMatrix(len(texts), e.dim)
+	for i, t := range texts {
+		copy(m.Row(i), e.Encode(t))
+	}
+	return m
+}
+
+// LatencyModel is the analytic cost of a BGE-large-class encoder (~335M
+// parameters) on the inference GPU: a small per-batch cost that scales with
+// batch waves.
+type LatencyModel struct {
+	// PerQuery is the encoding time for one query at full batch
+	// utilization.
+	PerQuery time.Duration
+	// MaxBatch is the largest batch processed in one wave.
+	MaxBatch int
+	// Watts is the encoder's power draw while active.
+	Watts float64
+}
+
+// DefaultLatencyModel approximates BGE-large on a datacenter GPU; the
+// resulting per-batch encode cost is a few tens of milliseconds, matching
+// the thin "Encoding" slice in Figure 6.
+var DefaultLatencyModel = LatencyModel{PerQuery: 800 * time.Microsecond, MaxBatch: 256, Watts: 180}
+
+// BatchLatency returns the modeled wall time to encode a batch.
+func (m LatencyModel) BatchLatency(batch int) time.Duration {
+	if batch <= 0 {
+		return 0
+	}
+	waves := (batch + m.MaxBatch - 1) / m.MaxBatch
+	perWave := time.Duration(float64(m.PerQuery) * float64(min(batch, m.MaxBatch)))
+	return time.Duration(waves) * perWave
+}
+
+// BatchEnergy returns the modeled Joules to encode a batch.
+func (m LatencyModel) BatchEnergy(batch int) float64 {
+	return m.Watts * m.BatchLatency(batch).Seconds()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

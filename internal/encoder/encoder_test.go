@@ -1,0 +1,108 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	e := NewHashEncoder(32)
+	a := e.Encode("retrieval augmented generation")
+	b := e.Encode("retrieval augmented generation")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestEncodeUnitNorm(t *testing.T) {
+	e := NewHashEncoder(64)
+	v := e.Encode("some query text here")
+	if math.Abs(float64(vec.Norm(v))-1) > 1e-5 {
+		t.Fatalf("norm = %v, want 1", vec.Norm(v))
+	}
+}
+
+func TestEncodeEmptyText(t *testing.T) {
+	e := NewHashEncoder(8)
+	v := e.Encode("   ")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text should embed to zero vector")
+		}
+	}
+}
+
+func TestSimilarTextsCloserThanDissimilar(t *testing.T) {
+	e := NewHashEncoder(64)
+	a := e.Encode("vector search index cluster")
+	b := e.Encode("vector search index shard")
+	c := e.Encode("completely unrelated words entirely")
+	simAB := vec.Cosine(a, b)
+	simAC := vec.Cosine(a, c)
+	if simAB <= simAC {
+		t.Fatalf("overlapping texts cos=%v should exceed disjoint cos=%v", simAB, simAC)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	e := NewHashEncoder(16)
+	a := e.Encode("Hello World")
+	b := e.Encode("hello world")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding should be case-insensitive")
+		}
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	e := NewHashEncoder(16)
+	m := e.EncodeBatch([]string{"one", "two"})
+	if m.Len() != 2 || m.Dim != 16 {
+		t.Fatalf("batch shape %dx%d", m.Len(), m.Dim)
+	}
+	single := e.Encode("two")
+	for d := 0; d < 16; d++ {
+		if m.Row(1)[d] != single[d] {
+			t.Fatal("batch row differs from single encode")
+		}
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m := DefaultLatencyModel
+	if m.BatchLatency(0) != 0 {
+		t.Fatal("zero batch should cost nothing")
+	}
+	l32 := m.BatchLatency(32)
+	l256 := m.BatchLatency(256)
+	l512 := m.BatchLatency(512)
+	if l32 <= 0 {
+		t.Fatal("batch latency should be positive")
+	}
+	if l256 <= l32 {
+		t.Fatal("larger batch should take longer")
+	}
+	if l512 != 2*l256 {
+		t.Fatalf("two waves should double latency: %v vs %v", l512, l256)
+	}
+	// Encoding a batch of 128 stays in tens of milliseconds (thin Fig. 6
+	// slice).
+	if l := m.BatchLatency(128); l > 500*time.Millisecond {
+		t.Fatalf("batch-128 encode %v implausibly slow", l)
+	}
+}
+
+func TestLatencyModelEnergy(t *testing.T) {
+	m := DefaultLatencyModel
+	e := m.BatchEnergy(128)
+	want := m.Watts * m.BatchLatency(128).Seconds()
+	if math.Abs(e-want) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+}

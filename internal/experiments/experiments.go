@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment function returns one or more Tables whose rows
+// correspond to the series the paper plots; cmd/hermes-bench renders them as
+// text or CSV and bench_test.go wraps each in a testing.B benchmark.
+//
+// Experiments come in two kinds, mirroring the paper's methodology:
+// *measured* experiments run real indexes built in-process (Table 1, Figs 4,
+// 11, 12, 13), while *modeled* experiments drive the calibrated hardware and
+// LLM models through the multi-node analysis tool (Figs 5-10, 14, 16-21),
+// exactly as the paper models its at-scale numbers from single-node
+// measurements.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("table1", "fig14", ...).
+	ID string
+	// Title describes the artifact reproduced.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// Notes document provenance (measured vs modeled) and caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row built from arbitrary values.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000 || x <= -1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10 || x <= -10:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// WriteText renders an aligned, human-readable table.
+func (t *Table) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV renders the table as CSV (header first; notes as comment rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Scale sizes the measured experiments. Tests and benchmarks use SmallScale;
+// cmd/hermes-bench defaults to FullScale.
+type Scale struct {
+	// Chunks is the corpus size (vectors) for measured experiments.
+	Chunks int
+	// Dim is the embedding dimensionality for measured experiments.
+	Dim int
+	// Queries is the evaluation query count.
+	Queries int
+	// Shards is the disaggregation factor.
+	Shards int
+	// Seed drives all generation.
+	Seed int64
+}
+
+// SmallScale finishes each measured experiment in seconds.
+func SmallScale() Scale {
+	return Scale{Chunks: 3000, Dim: 24, Queries: 40, Shards: 10, Seed: 42}
+}
+
+// FullScale is the cmd/hermes-bench default (minutes on one core).
+func FullScale() Scale {
+	return Scale{Chunks: 20000, Dim: 64, Queries: 128, Shards: 10, Seed: 42}
+}
+
+// Func generates the tables for one experiment at a given scale.
+type Func func(Scale) ([]*Table, error)
+
+var registry = map[string]Func{}
+
+func register(id string, f Func) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = f
+}
+
+// IDs lists registered experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, sc Scale) ([]*Table, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return f(sc)
+}

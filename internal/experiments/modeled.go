@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/encoder"
+	"repro/internal/hwmodel"
+	"repro/internal/llm"
+	"repro/internal/multinode"
+	"repro/internal/rag"
+	"repro/internal/scaling"
+	"repro/internal/vec"
+)
+
+func init() {
+	register("fig5", Fig5Stride)
+	register("fig6", Fig6LatencyBreakdown)
+	register("fig7", Fig7Scaling)
+	register("fig8", Fig8PriorWork)
+	register("fig10", Fig10ClusterSizing)
+	register("fig19", Fig19ClusterSize)
+}
+
+// datastoreSizes are the token counts the paper sweeps.
+var datastoreSizes = []struct {
+	label  string
+	tokens int64
+}{
+	{"100M", 100e6},
+	{"1B", 1e9},
+	{"10B", 10e9},
+	{"100B", 100e9},
+	{"1T", 1e12},
+}
+
+func gemmaA6000() (*llm.Engine, error) {
+	return llm.NewEngine(llm.Gemma2_9B, llm.A6000Ada, 1)
+}
+
+func monoRetriever(tokens int64, batch int) (rag.Retriever, error) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, 1)
+	if err != nil {
+		return nil, err
+	}
+	return rag.NewMonolithicRetriever(cl, batch)
+}
+
+func hermesRetriever(tokens int64, nodes, batch, deep int, policy multinode.DVFSPolicy) (rag.Retriever, error) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &rag.HermesRetriever{
+		Cluster: cl,
+		Config: multinode.HermesConfig{
+			Batch:          batch,
+			DeepLoads:      multinode.SpreadLoads(nodes, batch, deep),
+			SampleFraction: 8.0 / 128.0,
+			Policy:         policy,
+		},
+	}, nil
+}
+
+func baselinePipeline(tokens int64, batch, stride int) (rag.PipelineConfig, error) {
+	eng, err := gemmaA6000()
+	if err != nil {
+		return rag.PipelineConfig{}, err
+	}
+	ret, err := monoRetriever(tokens, batch)
+	if err != nil {
+		return rag.PipelineConfig{}, err
+	}
+	return rag.PipelineConfig{
+		Batch: batch, InputTokens: 512, OutputTokens: 256, Stride: stride,
+		Engine: eng, Encoder: encoder.DefaultLatencyModel, Retriever: ret,
+	}, nil
+}
+
+// Fig5Stride reproduces Figure 5: perplexity vs retrieval stride for the
+// proxy model family, alongside modeled retrieval latency per output
+// sequence at 10B and 100B tokens.
+func Fig5Stride(sc Scale) ([]*Table, error) {
+	ppl := &Table{
+		ID:     "fig5",
+		Title:  "Perplexity vs retrieval stride (paper Fig. 5 left)",
+		Header: []string{"stride", "gpt2_762m", "gpt2_1.5b", "retro_578m_with_retrieval"},
+		Notes: []string{
+			"modeled: parameter power law + retrieval-benefit decay fit to the paper's anchors",
+			"shape: the small retrieval model crosses below the 2x larger model at small strides",
+		},
+	}
+	m := llm.DefaultPerplexityModel
+	for _, stride := range []int{64, 32, 16, 8, 4, 2} {
+		ppl.AddRow(stride,
+			m.WithRetrieval(762e6, 0),
+			m.WithRetrieval(1.5e9, 0),
+			m.WithRetrieval(578e6, stride),
+		)
+	}
+
+	lat := &Table{
+		ID:     "fig5",
+		Title:  "Retrieval latency vs stride (paper Fig. 5 right)",
+		Header: []string{"stride", "strides_per_256_tokens", "latency_10B_s", "latency_100B_s"},
+		Notes:  []string{"modeled: Gold 6448Y tier, batch 32; total retrieval time across all strides"},
+	}
+	for _, stride := range []int{64, 32, 16, 8, 4, 2} {
+		strides := (256 + stride - 1) / stride
+		l10 := hwmodel.XeonGold6448Y.RetrievalLatency(10e9, 32, 0).Seconds() * float64(strides)
+		l100 := hwmodel.XeonGold6448Y.RetrievalLatency(100e9, 32, 0).Seconds() * float64(strides)
+		lat.AddRow(stride, strides, l10, l100)
+	}
+	return []*Table{ppl, lat}, nil
+}
+
+// Fig6LatencyBreakdown reproduces Figure 6: TTFT and end-to-end latency
+// with per-stage breakdown across datastore sizes.
+func Fig6LatencyBreakdown(sc Scale) ([]*Table, error) {
+	tab := &Table{
+		ID:    "fig6",
+		Title: "TTFT and E2E latency breakdown vs datastore size (paper Fig. 6)",
+		Header: []string{"datastore", "encode_s", "retrieve_s", "prefill_s", "decode_s",
+			"ttft_s", "e2e_s", "retrieval_frac_ttft"},
+		Notes: []string{
+			"modeled: batch 32, stride 16, 512 in / 256 out, Gemma2-9B on A6000 Ada",
+			"paper anchors: retrieval ~61% of TTFT at 10B, ~94% at 100B; E2E ~minutes at 1T",
+		},
+	}
+	for _, ds := range datastoreSizes {
+		cfg, err := baselinePipeline(ds.tokens, 32, 16)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := rag.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		retrieveLat, _ := cfg.Retriever.RetrieveBatch()
+		encodeLat := cfg.Encoder.BatchLatency(32)
+		prefillLat := cfg.Engine.PrefillLatency(32, 512)
+		decode := rep.E2E - encodeLat - time.Duration(rep.Strides)*(retrieveLat+prefillLat)
+		frac := retrieveLat.Seconds() / rep.TTFT.Seconds()
+		tab.AddRow(ds.label, encodeLat.Seconds(), retrieveLat.Seconds(), prefillLat.Seconds(),
+			decode.Seconds(), rep.TTFT.Seconds(), rep.E2E.Seconds(), frac)
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig7Scaling reproduces Figure 7: throughput, energy per query, and memory
+// footprint vs datastore size. Memory comes from a measured calibration
+// sweep of real IVF-SQ8 indexes (extrapolated beyond the sweep); throughput
+// and energy from the platform model.
+func Fig7Scaling(sc Scale) ([]*Table, error) {
+	gen := func(n, dim int, seed int64) *vec.Matrix {
+		rng := rand.New(rand.NewSource(seed))
+		m := vec.NewMatrix(n, dim)
+		for i := 0; i < n; i++ {
+			for d := 0; d < dim; d++ {
+				m.Row(i)[d] = float32(rng.NormFloat64())
+			}
+		}
+		return m
+	}
+	model, err := scaling.Calibrate(scaling.SweepConfig{
+		Dim:   sc.Dim,
+		Sizes: []int{sc.Chunks / 4, sc.Chunks / 2, sc.Chunks},
+		Seed:  sc.Seed,
+	}, gen)
+	if err != nil {
+		return nil, err
+	}
+	// Scale measured bytes/token at the experiment dim up to the paper's
+	// 768-dim SQ8 deployment.
+	bytesPerToken768 := model.BytesPerToken() * 768 / float64(sc.Dim)
+
+	tab := &Table{
+		ID:     "fig7",
+		Title:  "Throughput, energy, memory vs datastore size (paper Fig. 7)",
+		Header: []string{"datastore", "qps", "joules_per_query", "memory_bytes_768d", "provenance"},
+		Notes: []string{
+			fmt.Sprintf("memory slope measured on real IVF-SQ8 indexes (R2=%.3f), scaled to 768 dims; ~%.1f TB at 1T tokens",
+				model.MemoryFit.R2, bytesPerToken768*1e12/1e12),
+			"throughput/energy modeled on the calibrated Gold 6448Y platform, batch 32",
+		},
+	}
+	for _, ds := range datastoreSizes {
+		cost := multinode.Monolithic(hwmodel.XeonGold6448Y, ds.tokens, 32)
+		qps := cost.Throughput(32)
+		jpq := cost.EnergyJ / 32
+		mem := bytesPerToken768 * float64(ds.tokens)
+		tab.AddRow(ds.label, qps, jpq, fmt.Sprintf("%.3e", mem), "modeled")
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig8PriorWork reproduces Figure 8: the benefit of PipeRAG and RAGCache on
+// small vs large datastores, and the speedup-vs-size curve showing both
+// collapsing at scale.
+func Fig8PriorWork(sc Scale) ([]*Table, error) {
+	tab := &Table{
+		ID:     "fig8",
+		Title:  "Prior-work speedup vs datastore size (paper Fig. 8 right)",
+		Header: []string{"datastore", "baseline_e2e_s", "piperag_speedup", "ragcache_speedup"},
+		Notes: []string{
+			"modeled: batch 32, stride 16; pipelining overlaps retrieval with inference,",
+			"caching removes per-stride re-prefill; both collapse once retrieval dominates",
+		},
+	}
+	for _, ds := range datastoreSizes {
+		base, err := baselinePipeline(ds.tokens, 32, 16)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := rag.Run(base)
+		if err != nil {
+			return nil, err
+		}
+		pipe := base
+		pipe.Pipelined = true
+		rp, err := rag.Run(pipe)
+		if err != nil {
+			return nil, err
+		}
+		cache := base
+		cache.PrefixCache = true
+		rc, err := rag.Run(cache)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(ds.label, rb.E2E.Seconds(),
+			rb.E2E.Seconds()/rp.E2E.Seconds(),
+			rb.E2E.Seconds()/rc.E2E.Seconds())
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig10ClusterSizing reproduces Figure 10 (right): shard search latency vs
+// shard size compared to the Gemma2-9B inference latency it must hide under,
+// identifying the largest shard whose retrieval fits the pipeline gap.
+func Fig10ClusterSizing(sc Scale) ([]*Table, error) {
+	eng, err := gemmaA6000()
+	if err != nil {
+		return nil, err
+	}
+	// The pipeline gap retrieval must hide under: the full inference pass
+	// (prefill plus the whole 256-token decode) at batch 32, matching the
+	// paper's Fig. 10 Gemma2-9B inference-latency line.
+	inference := eng.PrefillLatency(32, 512) + eng.DecodeLatency(32, 512, 256)
+
+	tab := &Table{
+		ID:     "fig10",
+		Title:  "Shard search latency vs size against inference latency (paper Fig. 10)",
+		Header: []string{"shard_tokens", "search_latency_s", "inference_latency_s", "fits_pipeline_gap"},
+		Notes: []string{
+			"modeled: Gold 6448Y, batch 32; the largest fitting shard size sets the shard count",
+		},
+	}
+	sizes := []int64{10e6, 100e6, 1e9, 10e9, 100e9}
+	for _, tok := range sizes {
+		lat := hwmodel.XeonGold6448Y.RetrievalLatency(tok, 32, 0)
+		tab.AddRow(fmt.Sprintf("%d", tok), lat.Seconds(), inference.Seconds(), lat <= inference)
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig19ClusterSize reproduces Figure 19: the optimal shard size for hiding
+// retrieval under inference across input/output-length serving scenarios.
+func Fig19ClusterSize(sc Scale) ([]*Table, error) {
+	eng, err := gemmaA6000()
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		ID:     "fig19",
+		Title:  "Optimal cluster size per serving scenario (paper Fig. 19)",
+		Header: []string{"input_tokens", "output_tokens", "inference_window_s", "max_shard_tokens_B"},
+		Notes: []string{
+			"modeled: largest shard whose batch-32 retrieval hides under the full inference pass",
+			"paper shape: longer inputs/outputs -> bigger windows -> bigger shards (34B at 32 in / 4 out, >100B at 2048 in)",
+		},
+	}
+	cpu := hwmodel.XeonGold6448Y
+	for _, in := range []int{32, 128, 256, 512, 1024, 2048} {
+		for _, out := range []int{4, 32, 256} {
+			window := eng.PrefillLatency(32, in) + eng.DecodeLatency(32, in, out)
+			// Invert the latency model: tokens whose one-wave search
+			// fits the window.
+			perWave := window.Seconds() - cpu.OverheadSec
+			maxTokens := 0.0
+			if perWave > 0 {
+				maxTokens = perWave / cpu.SecPerBTokQuery // billions
+			}
+			tab.AddRow(in, out, window.Seconds(), maxTokens)
+		}
+	}
+	return []*Table{tab}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/hwmodel"
+	"repro/internal/multinode"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("validate-model", ValidateModel)
+}
+
+// ValidateModel cross-checks the analytical multi-node model against real
+// measurements of the in-process implementation — the sanity check behind
+// trusting the modeled experiments (the paper validates its Fig. 15 tool the
+// same way: per-node measurements in, aggregate behaviour out). For each
+// deep-cluster count it compares the *measured* work ratio of hierarchical
+// search vs search-all (vectors scanned, the quantity the model's latency is
+// proportional to) with the model's predicted latency ratio on a matching
+// cluster, plus the real wall-clock ratio as a noisy third column.
+func ValidateModel(sc Scale) ([]*Table, error) {
+	c, err := corpus.Generate(corpus.Spec{
+		NumChunks: sc.Chunks, Dim: sc.Dim, NumTopics: sc.Shards, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: sc.Shards})
+	if err != nil {
+		return nil, err
+	}
+	qs := c.Queries(sc.Queries, sc.Seed+3)
+
+	// Model side: a cluster with the same relative shard sizes (scaled to
+	// tokens) and trace-derived loads.
+	shardTokens := make([]int64, sc.Shards)
+	for i, size := range st.Sizes() {
+		shardTokens[i] = int64(size) * 1e6 // arbitrary scale; ratios are scale-free
+	}
+	cluster, err := multinode.NewCluster(hwmodel.XeonGold6448Y, shardTokens)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &Table{
+		ID:    "validate-model",
+		Title: "Analytical model vs measured implementation (methodology validation)",
+		Header: []string{"deep_clusters", "measured_scan_ratio", "modeled_energy_ratio",
+			"modeled_latency_ratio", "measured_wall_ratio"},
+		Notes: []string{
+			"ratios are search-all cost / hierarchical cost (higher = more Hermes advantage)",
+			"the model's energy is proportional to work, so modeled_energy_ratio should track",
+			"measured_scan_ratio; latency is wave-quantized and wall time is noisy single-core data",
+		},
+	}
+	for _, deep := range []int{1, 3, 5} {
+		p := hermes.DefaultParams()
+		p.DeepClusters = deep
+
+		// Measured: scanned vectors and wall time for both strategies.
+		var hermesScan, allScan int
+		startH := time.Now()
+		for i := 0; i < qs.Vectors.Len(); i++ {
+			_, stats := st.Search(qs.Vectors.Row(i), p)
+			hermesScan += stats.SampleScanned + stats.DeepScanned
+		}
+		hermesWall := time.Since(startH)
+		startA := time.Now()
+		for i := 0; i < qs.Vectors.Len(); i++ {
+			_, stats := st.SearchAll(qs.Vectors.Row(i), p)
+			allScan += stats.DeepScanned
+		}
+		allWall := time.Since(startA)
+
+		// Modeled: per-batch latency under trace loads vs search-all.
+		tr := trace.Collect(st, qs, p)
+		loads := tr.BatchLoads(qs.Vectors.Len())[0]
+		hermesCost, err := cluster.Hermes(multinode.HermesConfig{
+			Batch:          qs.Vectors.Len(),
+			DeepLoads:      loads.ShardBatch,
+			SampleFraction: float64(p.SampleNProbe) / float64(p.DeepNProbe),
+		})
+		if err != nil {
+			return nil, err
+		}
+		allCost := cluster.SplitAll(qs.Vectors.Len())
+
+		tab.AddRow(deep,
+			float64(allScan)/float64(hermesScan),
+			allCost.EnergyJ/hermesCost.EnergyJ,
+			allCost.Latency.Seconds()/hermesCost.Latency.Seconds(),
+			allWall.Seconds()/hermesWall.Seconds(),
+		)
+	}
+	return []*Table{tab}, nil
+}

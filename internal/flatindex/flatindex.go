@@ -1,0 +1,121 @@
+// Package flatindex implements exact brute-force nearest-neighbor search.
+// It is the ground-truth oracle for every accuracy experiment (the paper
+// evaluates NDCG "with documents from an exhaustive brute-force search as our
+// ground truth") and the baseline for recall measurements in Table 1.
+package flatindex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/vec"
+)
+
+// Index is an exact L2 nearest-neighbor index over float32 vectors.
+type Index struct {
+	dim  int
+	data *vec.Matrix
+	ids  []int64
+}
+
+// New creates an empty index for dim-dimensional vectors.
+func New(dim int) *Index {
+	if dim <= 0 {
+		panic(fmt.Sprintf("flatindex: dim must be positive, got %d", dim))
+	}
+	return &Index{dim: dim, data: vec.NewMatrix(0, dim)}
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of stored vectors.
+func (ix *Index) Len() int { return ix.data.Len() }
+
+// Add appends a vector with an explicit ID.
+func (ix *Index) Add(id int64, v []float32) {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("flatindex: Add dim %d != %d", len(v), ix.dim))
+	}
+	ix.data.AppendRow(v)
+	ix.ids = append(ix.ids, id)
+}
+
+// AddBatch appends all rows of m, assigning IDs startID, startID+1, ...
+func (ix *Index) AddBatch(startID int64, m *vec.Matrix) {
+	for i := 0; i < m.Len(); i++ {
+		ix.Add(startID+int64(i), m.Row(i))
+	}
+}
+
+// Search returns the k exact nearest neighbors of q by squared L2 distance,
+// best first.
+func (ix *Index) Search(q []float32, k int) []vec.Neighbor {
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("flatindex: Search dim %d != %d", len(q), ix.dim))
+	}
+	if k <= 0 || ix.Len() == 0 {
+		return nil
+	}
+	tk := vec.NewTopK(k)
+	for i := 0; i < ix.data.Len(); i++ {
+		tk.Push(ix.ids[i], vec.L2Squared(q, ix.data.Row(i)))
+	}
+	return tk.Results()
+}
+
+// SearchBatch runs Search for every query, parallelized across GOMAXPROCS
+// workers with one goroutine per query slot (mirroring FAISS' one-thread-
+// per-query batch scheduling described in the paper).
+func (ix *Index) SearchBatch(queries *vec.Matrix, k int) [][]vec.Neighbor {
+	n := queries.Len()
+	out := make([][]vec.Neighbor, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = ix.Search(queries.Row(i), k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = ix.Search(queries.Row(i), k)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// GroundTruth computes the exact top-k ID lists for a batch of queries; it
+// is the canonical input to metrics.NDCGAtK / RecallAtK.
+func (ix *Index) GroundTruth(queries *vec.Matrix, k int) [][]int64 {
+	res := ix.SearchBatch(queries, k)
+	out := make([][]int64, len(res))
+	for i, r := range res {
+		ids := make([]int64, len(r))
+		for j, n := range r {
+			ids[j] = n.ID
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// MemoryBytes reports the index's storage footprint (vectors + IDs).
+func (ix *Index) MemoryBytes() int64 {
+	return ix.data.Bytes() + int64(len(ix.ids))*8
+}

@@ -1,0 +1,176 @@
+package flatindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func TestSearchExact(t *testing.T) {
+	ix := New(2)
+	ix.Add(10, []float32{0, 0})
+	ix.Add(20, []float32{1, 0})
+	ix.Add(30, []float32{5, 5})
+	res := ix.Search([]float32{0.9, 0}, 2)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].ID != 20 || res[1].ID != 10 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestSearchEmpty(t *testing.T) {
+	ix := New(3)
+	if res := ix.Search([]float32{1, 2, 3}, 5); res != nil {
+		t.Fatalf("empty index returned %v", res)
+	}
+}
+
+func TestSearchKZero(t *testing.T) {
+	ix := New(1)
+	ix.Add(1, []float32{0})
+	if res := ix.Search([]float32{0}, 0); res != nil {
+		t.Fatalf("k=0 returned %v", res)
+	}
+}
+
+func TestSearchKLargerThanN(t *testing.T) {
+	ix := New(1)
+	ix.Add(1, []float32{0})
+	ix.Add(2, []float32{1})
+	res := ix.Search([]float32{0}, 10)
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+}
+
+func TestAddDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Add(1, []float32{1, 2, 3})
+}
+
+// Property: Search matches a naive sort for random inputs.
+func TestSearchMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 5
+		dim := rng.Intn(8) + 2
+		k := rng.Intn(10) + 1
+		ix := New(dim)
+		data := vec.NewMatrix(n, dim)
+		for i := 0; i < n; i++ {
+			for d := 0; d < dim; d++ {
+				data.Row(i)[d] = float32(rng.NormFloat64())
+			}
+		}
+		ix.AddBatch(0, data)
+		q := make([]float32, dim)
+		for d := range q {
+			q[d] = float32(rng.NormFloat64())
+		}
+		res := ix.Search(q, k)
+
+		type pair struct {
+			id int64
+			d  float32
+		}
+		all := make([]pair, n)
+		for i := 0; i < n; i++ {
+			all[i] = pair{int64(i), vec.L2Squared(q, data.Row(i))}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(res) != want {
+			return false
+		}
+		for i := range res {
+			if res[i].Score != all[i].d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := New(4)
+	for i := 0; i < 200; i++ {
+		v := make([]float32, 4)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		ix.Add(int64(i), v)
+	}
+	queries := vec.NewMatrix(16, 4)
+	for i := 0; i < 16; i++ {
+		for d := 0; d < 4; d++ {
+			queries.Row(i)[d] = float32(rng.NormFloat64())
+		}
+	}
+	batch := ix.SearchBatch(queries, 5)
+	for i := 0; i < 16; i++ {
+		single := ix.Search(queries.Row(i), 5)
+		if len(single) != len(batch[i]) {
+			t.Fatalf("query %d: batch len %d != single len %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if single[j].ID != batch[i][j].ID {
+				t.Fatalf("query %d pos %d: batch %d != single %d", i, j, batch[i][j].ID, single[j].ID)
+			}
+		}
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	ix := New(1)
+	ix.Add(100, []float32{0})
+	ix.Add(200, []float32{1})
+	queries := vec.MatrixFromRows([][]float32{{0.1}, {0.9}})
+	gt := ix.GroundTruth(queries, 1)
+	if gt[0][0] != 100 || gt[1][0] != 200 {
+		t.Fatalf("ground truth = %v", gt)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	ix := New(4)
+	ix.Add(1, []float32{1, 2, 3, 4})
+	if got := ix.MemoryBytes(); got != 4*4+8 {
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+}
+
+func BenchmarkFlatSearch10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New(64)
+	for i := 0; i < 10000; i++ {
+		v := make([]float32, 64)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		ix.Add(int64(i), v)
+	}
+	q := make([]float32, 64)
+	for d := range q {
+		q[d] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(q, 10)
+	}
+}

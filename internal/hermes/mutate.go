@@ -1,0 +1,69 @@
+package hermes
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Online datastore mutation. The motivation for RAG is a datastore that
+// evolves faster than models can be retrained (paper Section 1), so the
+// disaggregated store supports incremental ingest and removal without an
+// offline rebuild: new documents are routed to the shard whose k-means
+// centroid is nearest (the same rule that assigned the original corpus) and
+// removal tombstones the entry inside the owning shard's IVF index.
+//
+// Clustering quality degrades slowly as the corpus drifts away from the
+// centroids; Rebalance-style re-clustering remains an offline operation, as
+// in the paper's index-construction workflow.
+
+// Add ingests a new document vector under id, routing it to the most
+// similar shard. It returns the shard index chosen.
+func (st *Store) Add(id int64, v []float32) (int, error) {
+	if len(st.Shards) == 0 {
+		return 0, fmt.Errorf("hermes: Add on empty store")
+	}
+	if len(v) != st.Shards[0].Index.Dim() {
+		return 0, fmt.Errorf("hermes: Add dim %d != %d", len(v), st.Shards[0].Index.Dim())
+	}
+	best, bestDist := 0, float32(0)
+	for s, sh := range st.Shards {
+		d := vec.L2Squared(v, sh.Centroid)
+		if s == 0 || d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	if err := st.Shards[best].Index.Add(id, v); err != nil {
+		return 0, err
+	}
+	st.Shards[best].Size++
+	return best, nil
+}
+
+// Remove deletes the document stored under id from whichever shard holds
+// it. It returns the shard index and false if no shard holds the id.
+func (st *Store) Remove(id int64) (int, bool) {
+	for s, sh := range st.Shards {
+		if sh.Index.Remove(id) {
+			sh.Size--
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Compact reclaims tombstoned space in every shard.
+func (st *Store) Compact() {
+	for _, sh := range st.Shards {
+		sh.Index.Compact()
+	}
+}
+
+// Len returns the number of live documents across all shards.
+func (st *Store) Len() int {
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Index.Len()
+	}
+	return total
+}

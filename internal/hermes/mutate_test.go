@@ -1,0 +1,117 @@
+package hermes
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestStoreAddRoutesToSimilarShard(t *testing.T) {
+	c := testCorpus(t, 1000, 5)
+	st := buildStore(t, c.Vectors, 5)
+
+	// A new document near topic 0's center must land in the shard that
+	// holds topic 0's documents and immediately be retrievable.
+	proto := vec.Copy(c.Centers.Row(0))
+	newID := int64(1_000_000)
+	shard, err := st.Add(newID, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats := st.Search(proto, DefaultParams())
+	if len(res) == 0 || res[0].ID != newID {
+		t.Fatalf("new document not retrieved: %+v", res)
+	}
+	found := false
+	for _, s := range stats.DeepShards {
+		if s == shard {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deep search skipped the ingest shard %d (deep=%v)", shard, stats.DeepShards)
+	}
+}
+
+func TestStoreAddValidation(t *testing.T) {
+	c := testCorpus(t, 500, 3)
+	st := buildStore(t, c.Vectors, 3)
+	if _, err := st.Add(1, []float32{1, 2}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+	empty := &Store{}
+	if _, err := empty.Add(1, []float32{1}); err == nil {
+		t.Fatal("empty store should error")
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	c := testCorpus(t, 800, 4)
+	st := buildStore(t, c.Vectors, 4)
+	before := st.Len()
+
+	wantShard := st.Assign[13]
+	shard, ok := st.Remove(13)
+	if !ok || shard != wantShard {
+		t.Fatalf("Remove(13) = %d,%v, want shard %d", shard, ok, wantShard)
+	}
+	if st.Len() != before-1 {
+		t.Fatalf("Len after remove = %d", st.Len())
+	}
+	// Removed document no longer retrievable via its own vector.
+	res, _ := st.Search(c.Vectors.Row(13), DefaultParams())
+	for _, n := range res {
+		if n.ID == 13 {
+			t.Fatal("removed document still retrieved")
+		}
+	}
+	// Unknown ID.
+	if _, ok := st.Remove(99999); ok {
+		t.Fatal("removing unknown id should fail")
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	c := testCorpus(t, 600, 3)
+	st := buildStore(t, c.Vectors, 3)
+	memBefore := st.MemoryBytes()
+	for id := int64(0); id < 200; id++ {
+		if _, ok := st.Remove(id); !ok {
+			t.Fatalf("remove %d failed", id)
+		}
+	}
+	st.Compact()
+	if st.MemoryBytes() >= memBefore {
+		t.Fatal("Compact did not reclaim memory")
+	}
+	if st.Len() != 400 {
+		t.Fatalf("Len after compact = %d", st.Len())
+	}
+	// Survivors remain retrievable.
+	res, _ := st.Search(c.Vectors.Row(500), DefaultParams())
+	if len(res) == 0 {
+		t.Fatal("post-compact search returned nothing")
+	}
+}
+
+func TestStoreSizesTrackMutation(t *testing.T) {
+	c := testCorpus(t, 400, 2)
+	st := buildStore(t, c.Vectors, 2)
+	shard, err := st.Add(7777, vec.Copy(c.Vectors.Row(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, s := range st.Sizes() {
+		sum += s
+	}
+	if sum != 401 {
+		t.Fatalf("sizes sum %d after add", sum)
+	}
+	if _, ok := st.Remove(7777); !ok {
+		t.Fatal("remove of ingested doc failed")
+	}
+	if st.Shards[shard].Size != st.Shards[shard].Index.Len() {
+		t.Fatal("Shard.Size out of sync with index")
+	}
+}

@@ -1,0 +1,115 @@
+package hermes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+// Property suite for the hierarchical search: invariants that must hold for
+// any corpus, shard count, and parameter setting.
+
+func TestHierarchicalSearchInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := rng.Intn(6) + 2
+		chunks := rng.Intn(600) + 50*shards
+		c, err := corpus.Generate(corpus.Spec{
+			NumChunks: chunks, Dim: rng.Intn(12) + 4, NumTopics: shards, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		st, err := Build(c.Vectors, BuildOptions{NumShards: shards, Seeds: []int64{seed, seed + 1}})
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		p := Params{
+			K:            rng.Intn(8) + 1,
+			SampleNProbe: rng.Intn(8) + 1,
+			DeepNProbe:   rng.Intn(64) + 1,
+			DeepClusters: rng.Intn(shards+2) + 1, // may exceed shard count
+		}
+		q := c.Queries(1, seed+7).Vectors.Row(0)
+		res, stats := st.Search(q, p)
+
+		// 1. Result count bounded by K.
+		if len(res) > p.K {
+			return false
+		}
+		// 2. Scores ascending, IDs unique and in range.
+		seen := map[int64]bool{}
+		for i, r := range res {
+			if i > 0 && r.Score < res[i-1].Score {
+				return false
+			}
+			if r.ID < 0 || r.ID >= int64(chunks) || seen[r.ID] {
+				return false
+			}
+			seen[r.ID] = true
+		}
+		// 3. The sample phase touches every shard; the deep phase at most
+		// min(DeepClusters, shards) distinct shards.
+		if stats.SampledShards != shards {
+			return false
+		}
+		maxDeep := p.DeepClusters
+		if maxDeep > shards {
+			maxDeep = shards
+		}
+		if len(stats.DeepShards) > maxDeep {
+			return false
+		}
+		deepSeen := map[int]bool{}
+		for _, s := range stats.DeepShards {
+			if s < 0 || s >= shards || deepSeen[s] {
+				return false
+			}
+			deepSeen[s] = true
+		}
+		// 4. Every result must live in a deep-searched shard.
+		for _, r := range res {
+			if !deepSeen[st.Assign[r.ID]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SearchAll dominates the hierarchical search — its best result is
+// never worse, since it scans a superset of shards at the same nProbe.
+func TestSearchAllDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := rng.Intn(5) + 2
+		c, err := corpus.Generate(corpus.Spec{
+			NumChunks: 80 * shards, Dim: 8, NumTopics: shards, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		st, err := Build(c.Vectors, BuildOptions{NumShards: shards, Seeds: []int64{seed}})
+		if err != nil {
+			return false
+		}
+		p := DefaultParams()
+		p.DeepClusters = rng.Intn(shards) + 1
+		q := c.Queries(1, seed+11).Vectors.Row(0)
+		hier, _ := st.Search(q, p)
+		all, _ := st.SearchAll(q, p)
+		if len(hier) == 0 || len(all) == 0 {
+			return len(hier) == 0 && len(all) == 0
+		}
+		return all[0].Score <= hier[0].Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package hnsw
+
+// minHeap and maxHeap are small specialized binary heaps over scored
+// candidates. Hand-rolled rather than container/heap to avoid interface
+// boxing on the search hot path.
+
+type minHeap []scored
+
+func (h *minHeap) Len() int { return len(*h) }
+
+func (h *minHeap) pushMin(s scored) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *minHeap) popMin() scored {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *minHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].d < (*h)[smallest].d {
+			smallest = l
+		}
+		if r < n && (*h)[r].d < (*h)[smallest].d {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+type maxHeap []scored
+
+func (h *maxHeap) Len() int { return len(*h) }
+
+func (h *maxHeap) peekMax() scored { return (*h)[0] }
+
+func (h *maxHeap) pushMax(s scored) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d >= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) popMax() scored {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *maxHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].d > (*h)[largest].d {
+			largest = l
+		}
+		if r < n && (*h)[r].d > (*h)[largest].d {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

@@ -1,0 +1,228 @@
+package hnsw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flatindex"
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+func gaussianData(n, dim int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			m.Row(i)[d] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func build(t testing.TB, data *vec.Matrix, cfg Config) *Index {
+	t.Helper()
+	ix, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Len(); i++ {
+		if err := ix.Add(int64(i), data.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("Dim=0 should error")
+	}
+}
+
+func TestEmptySearch(t *testing.T) {
+	ix, err := New(Config{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Search([]float32{1, 2, 3, 4}, 3); res != nil {
+		t.Fatalf("empty search returned %v", res)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ix, _ := New(Config{Dim: 2, Seed: 1})
+	if err := ix.Add(42, []float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Search([]float32{0, 0}, 5)
+	if len(res) != 1 || res[0].ID != 42 {
+		t.Fatalf("single element search = %+v", res)
+	}
+}
+
+func TestAddDimMismatch(t *testing.T) {
+	ix, _ := New(Config{Dim: 3})
+	if err := ix.Add(1, []float32{1}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	data := gaussianData(2000, 16, 1)
+	ix := build(t, data, Config{Dim: 16, M: 16, EfConstruction: 100, EfSearch: 64, Seed: 1})
+	ref := flatindex.New(16)
+	ref.AddBatch(0, data)
+
+	queries := gaussianData(50, 16, 2)
+	truth := ref.GroundTruth(queries, 10)
+	got := make([][]int64, queries.Len())
+	for i := 0; i < queries.Len(); i++ {
+		for _, n := range ix.Search(queries.Row(i), 10) {
+			got[i] = append(got[i], n.ID)
+		}
+	}
+	recall := metrics.MeanRecall(got, truth, 10)
+	if recall < 0.9 {
+		t.Fatalf("HNSW recall = %v, want >= 0.9", recall)
+	}
+}
+
+func TestRecallImprovesWithEf(t *testing.T) {
+	data := gaussianData(1500, 12, 3)
+	ix := build(t, data, Config{Dim: 12, M: 12, EfConstruction: 120, Seed: 2})
+	ref := flatindex.New(12)
+	ref.AddBatch(0, data)
+	queries := gaussianData(40, 12, 4)
+	truth := ref.GroundTruth(queries, 10)
+
+	recallAt := func(ef int) float64 {
+		got := make([][]int64, queries.Len())
+		for i := 0; i < queries.Len(); i++ {
+			for _, n := range ix.SearchEf(queries.Row(i), 10, ef) {
+				got[i] = append(got[i], n.ID)
+			}
+		}
+		return metrics.MeanRecall(got, truth, 10)
+	}
+	rLow, rHigh := recallAt(10), recallAt(200)
+	if rHigh < rLow {
+		t.Fatalf("recall decreased with ef: %v -> %v", rLow, rHigh)
+	}
+	if rHigh < 0.95 {
+		t.Fatalf("ef=200 recall = %v, want >= 0.95", rHigh)
+	}
+}
+
+func TestResultsSortedByDistance(t *testing.T) {
+	data := gaussianData(500, 8, 5)
+	ix := build(t, data, Config{Dim: 8, Seed: 3})
+	res := ix.Search(data.Row(0), 10)
+	for i := 1; i < len(res); i++ {
+		if res[i].Score < res[i-1].Score {
+			t.Fatalf("results not sorted: %v then %v", res[i-1].Score, res[i].Score)
+		}
+	}
+	// The query vector itself is in the index, so the best hit must be
+	// exact.
+	if res[0].ID != 0 || res[0].Score != 0 {
+		t.Fatalf("self-query best hit = %+v", res[0])
+	}
+}
+
+func TestMemoryLargerThanRawVectors(t *testing.T) {
+	data := gaussianData(800, 16, 6)
+	ix := build(t, data, Config{Dim: 16, M: 16, Seed: 4})
+	raw := data.Bytes()
+	if ix.MemoryBytes() <= raw {
+		t.Fatalf("HNSW memory %d should exceed raw vectors %d (graph links)", ix.MemoryBytes(), raw)
+	}
+}
+
+func TestGraphStats(t *testing.T) {
+	data := gaussianData(300, 8, 7)
+	ix := build(t, data, Config{Dim: 8, M: 8, Seed: 5})
+	st := ix.Stats()
+	if st.Nodes != 300 {
+		t.Fatalf("Nodes = %d", st.Nodes)
+	}
+	if st.AvgDegree <= 0 || st.AvgDegree > 16 {
+		t.Fatalf("AvgDegree = %v out of range (0,16]", st.AvgDegree)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	data := gaussianData(400, 8, 8)
+	a := build(t, data, Config{Dim: 8, Seed: 9})
+	b := build(t, data, Config{Dim: 8, Seed: 9})
+	q := gaussianData(1, 8, 10).Row(0)
+	ra, rb := a.Search(q, 5), b.Search(q, 5)
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatalf("same seed produced different graphs at position %d", i)
+		}
+	}
+}
+
+func BenchmarkHNSWSearch(b *testing.B) {
+	data := gaussianData(20000, 64, 1)
+	ix, err := New(Config{Dim: 64, M: 16, EfConstruction: 100, EfSearch: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < data.Len(); i++ {
+		if err := ix.Add(int64(i), data.Row(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := data.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search(q, 10)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	data := gaussianData(600, 12, 50)
+	orig := build(t, data, Config{Dim: 12, M: 12, EfConstruction: 80, Seed: 6})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() || restored.Dim() != orig.Dim() {
+		t.Fatalf("restored shape %d/%d", restored.Len(), restored.Dim())
+	}
+	// Identical graph must answer identically.
+	queries := gaussianData(15, 12, 51)
+	for i := 0; i < queries.Len(); i++ {
+		a := orig.Search(queries.Row(i), 8)
+		b := restored.Search(queries.Row(i), 8)
+		if len(a) != len(b) {
+			t.Fatalf("query %d result counts differ", i)
+		}
+		for j := range a {
+			if a[j].ID != b[j].ID || a[j].Score != b[j].Score {
+				t.Fatalf("query %d pos %d differs: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+	// The restored graph accepts further insertions.
+	if err := restored.Add(9999, queries.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	res := restored.Search(queries.Row(0), 1)
+	if len(res) == 0 || res[0].ID != 9999 {
+		t.Fatal("insertion after Load not retrievable")
+	}
+}
+
+func TestLoadCorruptData(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}

@@ -1,0 +1,97 @@
+package hnsw
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/vec"
+)
+
+// wireIndex is the gob-encoded form of an HNSW graph.
+type wireIndex struct {
+	Dim            int
+	M              int
+	EfConstruction int
+	EfSearch       int
+	Seed           int64
+	Entry          int32
+	MaxLevel       int
+	Data           []float32
+	IDs            []int64
+	// Neighbors flattens the per-node adjacency: for node i, Levels[i]
+	// gives the layer count and Flat[i] the concatenated layers with
+	// Counts[i] holding per-layer lengths.
+	Counts [][]int32
+	Flat   [][]int32
+}
+
+// Save serializes the graph in gob format.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	wi := wireIndex{
+		Dim:            ix.cfg.Dim,
+		M:              ix.cfg.M,
+		EfConstruction: ix.cfg.EfConstruction,
+		EfSearch:       ix.cfg.EfSearch,
+		Seed:           ix.cfg.Seed,
+		Entry:          ix.entry,
+		MaxLevel:       ix.maxLevel,
+		Data:           ix.data.Data(),
+	}
+	wi.IDs = make([]int64, len(ix.nodes))
+	wi.Counts = make([][]int32, len(ix.nodes))
+	wi.Flat = make([][]int32, len(ix.nodes))
+	for i := range ix.nodes {
+		wi.IDs[i] = ix.nodes[i].id
+		counts := make([]int32, len(ix.nodes[i].neighbors))
+		var flat []int32
+		for l, nbrs := range ix.nodes[i].neighbors {
+			counts[l] = int32(len(nbrs))
+			flat = append(flat, nbrs...)
+		}
+		wi.Counts[i] = counts
+		wi.Flat[i] = flat
+	}
+	return gob.NewEncoder(w).Encode(&wi)
+}
+
+// Load deserializes a graph written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var wi wireIndex
+	if err := gob.NewDecoder(r).Decode(&wi); err != nil {
+		return nil, fmt.Errorf("hnsw: decode: %w", err)
+	}
+	ix, err := New(Config{
+		Dim: wi.Dim, M: wi.M, EfConstruction: wi.EfConstruction,
+		EfSearch: wi.EfSearch, Seed: wi.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := len(wi.IDs)
+	if len(wi.Data) != n*wi.Dim {
+		return nil, fmt.Errorf("hnsw: corrupt data: %d floats for %d nodes of dim %d", len(wi.Data), n, wi.Dim)
+	}
+	ix.data = vec.NewMatrix(n, wi.Dim)
+	copy(ix.data.Data(), wi.Data)
+	ix.nodes = make([]node, n)
+	for i := 0; i < n; i++ {
+		ix.nodes[i].id = wi.IDs[i]
+		counts := wi.Counts[i]
+		flat := wi.Flat[i]
+		ix.nodes[i].neighbors = make([][]int32, len(counts))
+		off := int32(0)
+		for l, c := range counts {
+			if int(off+c) > len(flat) {
+				return nil, fmt.Errorf("hnsw: corrupt adjacency for node %d", i)
+			}
+			ix.nodes[i].neighbors[l] = flat[off : off+c : off+c]
+			off += c
+		}
+	}
+	ix.entry = wi.Entry
+	ix.maxLevel = wi.MaxLevel
+	return ix, nil
+}

@@ -1,0 +1,225 @@
+// Package hwmodel provides analytical latency and power models for the CPU
+// retrieval platforms the paper measures (Intel Xeon Gold 6448Y, Platinum
+// 8380, Silver 4316, and ARM Neoverse-N1), including the DVFS
+// frequency/voltage/power relationship exploited by Hermes' load-balancing
+// optimization (Section 4.2 and Figure 21).
+//
+// The paper measures these platforms with RAPL; here each platform is a
+// calibrated parametric model. The Gold 6448Y coefficients are anchored to
+// the paper's Figure 6 measurement (5.62 s retrieval latency for a 10-billion
+// token IVF-SQ8 index at batch 32 on 32 cores); the other platforms are
+// scaled by their relative per-core throughput and core counts, preserving
+// the ordering of Figure 20 (Platinum 8380 fastest, Neoverse-N1 needing
+// larger batches to compete).
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CPUSpec is a parametric retrieval-platform model.
+type CPUSpec struct {
+	Name  string
+	Cores int
+	// Frequency range (GHz). BaseGHz is the calibration point.
+	MinGHz, BaseGHz, MaxGHz float64
+	// SecPerBTokQuery is the seconds one core needs at BaseGHz to search
+	// one query against a 1-billion-token IVF-SQ8 shard (nProbe 128).
+	SecPerBTokQuery float64
+	// OverheadSec is the fixed per-wave cost of a batch search (coarse
+	// quantizer probing, result aggregation, dispatch) independent of the
+	// shard size. It is why naively splitting a datastore over N nodes
+	// costs more total energy than one monolithic search.
+	OverheadSec float64
+	// ActiveWatts is package power at BaseGHz under full load; IdleWatts
+	// is package power when idle.
+	ActiveWatts, IdleWatts float64
+	// VMin and VMax bound the DVFS voltage ladder (volts).
+	VMin, VMax float64
+}
+
+// Validate reports whether the spec is internally consistent.
+func (c CPUSpec) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("hwmodel: %s has no cores", c.Name)
+	}
+	if !(c.MinGHz > 0 && c.MinGHz <= c.BaseGHz && c.BaseGHz <= c.MaxGHz) {
+		return fmt.Errorf("hwmodel: %s frequency range invalid (%v/%v/%v)", c.Name, c.MinGHz, c.BaseGHz, c.MaxGHz)
+	}
+	if c.SecPerBTokQuery <= 0 || c.ActiveWatts <= c.IdleWatts || c.IdleWatts < 0 {
+		return fmt.Errorf("hwmodel: %s power/latency coefficients invalid", c.Name)
+	}
+	if !(c.VMin > 0 && c.VMin < c.VMax) {
+		return fmt.Errorf("hwmodel: %s voltage range invalid", c.Name)
+	}
+	return nil
+}
+
+// Voltage returns the modeled supply voltage at frequency f (GHz): linear
+// between VMin at MinGHz and VMax at MaxGHz, clamped.
+func (c CPUSpec) Voltage(fGHz float64) float64 {
+	if fGHz <= c.MinGHz {
+		return c.VMin
+	}
+	if fGHz >= c.MaxGHz {
+		return c.VMax
+	}
+	t := (fGHz - c.MinGHz) / (c.MaxGHz - c.MinGHz)
+	return c.VMin + t*(c.VMax-c.VMin)
+}
+
+// Power returns modeled package power (Watts) at frequency f under full
+// load: idle power plus dynamic power scaling as f*V(f)^2 relative to the
+// base operating point (the classic CMOS DVFS model).
+func (c CPUSpec) Power(fGHz float64) float64 {
+	base := c.BaseGHz * c.Voltage(c.BaseGHz) * c.Voltage(c.BaseGHz)
+	dyn := fGHz * c.Voltage(fGHz) * c.Voltage(fGHz)
+	return c.IdleWatts + (c.ActiveWatts-c.IdleWatts)*(dyn/base)
+}
+
+// IdlePower returns package power when the node is idle.
+func (c CPUSpec) IdlePower() float64 { return c.IdleWatts }
+
+// RetrievalLatency models the wall-clock time for one batch of queries
+// against a shard of the given token count at frequency fGHz. FAISS-style
+// batch scheduling assigns one query per core, so the batch executes in
+// ceil(batch/cores) waves; each wave costs SecPerBTokQuery scaled by shard
+// size and inversely by frequency.
+func (c CPUSpec) RetrievalLatency(shardTokens int64, batch int, fGHz float64) time.Duration {
+	if shardTokens <= 0 || batch <= 0 {
+		return 0
+	}
+	if fGHz <= 0 {
+		fGHz = c.BaseGHz
+	}
+	waves := (batch + c.Cores - 1) / c.Cores
+	perWave := c.SecPerBTokQuery*float64(shardTokens)/1e9 + c.OverheadSec
+	sec := perWave * float64(waves) * (c.BaseGHz / fGHz)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// RetrievalEnergy models the Joules consumed by one batch retrieval at
+// frequency fGHz: busy time at utilization-scaled package power.
+func (c CPUSpec) RetrievalEnergy(shardTokens int64, batch int, fGHz float64) float64 {
+	if fGHz <= 0 {
+		fGHz = c.BaseGHz
+	}
+	return c.busyPower(batch, fGHz) * c.RetrievalLatency(shardTokens, batch, fGHz).Seconds()
+}
+
+// EnergyInWindow models the Joules a node consumes over a fixed wall-clock
+// window during which it performs one batch retrieval at frequency fGHz and
+// idles for the remainder. This is the quantity Hermes' DVFS optimization
+// minimizes: when the window is set by a slower stage (the slowest shard, or
+// LLM inference), running slower trades expensive active Joules for the
+// window's unavoidable span. If the busy time exceeds the window the busy
+// time is charged in full.
+func (c CPUSpec) EnergyInWindow(shardTokens int64, batch int, fGHz float64, window time.Duration) float64 {
+	if fGHz <= 0 {
+		fGHz = c.BaseGHz
+	}
+	busy := c.RetrievalLatency(shardTokens, batch, fGHz).Seconds()
+	idle := window.Seconds() - busy
+	if idle < 0 {
+		idle = 0
+	}
+	return c.busyPower(batch, fGHz)*busy + c.IdleWatts*idle
+}
+
+// busyPower scales package power with core utilization: a batch smaller than
+// the core count leaves cores idle during the wave, and RAPL-style package
+// power grows roughly linearly with active cores between idle and full load.
+func (c CPUSpec) busyPower(batch int, fGHz float64) float64 {
+	util := c.Utilization(batch)
+	return c.IdleWatts + (c.Power(fGHz)-c.IdleWatts)*util
+}
+
+// Utilization returns the average fraction of cores busy while a batch is in
+// flight: batch/(waves*cores).
+func (c CPUSpec) Utilization(batch int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	waves := (batch + c.Cores - 1) / c.Cores
+	return float64(batch) / float64(waves*c.Cores)
+}
+
+// Throughput returns modeled steady-state queries/second at batch size b and
+// frequency fGHz against a shard of the given token count.
+func (c CPUSpec) Throughput(shardTokens int64, batch int, fGHz float64) float64 {
+	lat := c.RetrievalLatency(shardTokens, batch, fGHz).Seconds()
+	if lat <= 0 {
+		return 0
+	}
+	return float64(batch) / lat
+}
+
+// FrequencyForLatency returns the lowest frequency (clamped to the DVFS
+// range) at which a batch against shardTokens still completes within target.
+// This is the knob Hermes' DVFS optimization turns: nodes with light load
+// slow down until their latency matches the limiting stage.
+func (c CPUSpec) FrequencyForLatency(shardTokens int64, batch int, target time.Duration) float64 {
+	if target <= 0 {
+		return c.BaseGHz
+	}
+	atBase := c.RetrievalLatency(shardTokens, batch, c.BaseGHz)
+	needed := c.BaseGHz * atBase.Seconds() / target.Seconds()
+	return math.Min(math.Max(needed, c.MinGHz), c.MaxGHz)
+}
+
+// Paper platforms. SecPerBTokQuery values are relative per-core IVF scan
+// speeds consistent with Figure 20's ordering; Gold 6448Y is the calibration
+// anchor (5.62 s for 10B tokens / batch 32 / 32 cores — one wave).
+var (
+	// XeonGold6448Y is the paper's primary retrieval platform (32 cores
+	// used, 2.3 GHz guaranteed in the paper's setup).
+	XeonGold6448Y = CPUSpec{
+		Name: "Intel Xeon Gold 6448Y", Cores: 32,
+		MinGHz: 0.8, BaseGHz: 2.3, MaxGHz: 4.1,
+		SecPerBTokQuery: 0.557, OverheadSec: 0.05,
+		ActiveWatts: 225, IdleWatts: 75,
+		VMin: 0.70, VMax: 1.10,
+	}
+	// XeonPlatinum8380 is the fastest Intel platform in Figure 20.
+	XeonPlatinum8380 = CPUSpec{
+		Name: "Intel Xeon Platinum 8380", Cores: 40,
+		MinGHz: 0.8, BaseGHz: 2.3, MaxGHz: 3.4,
+		SecPerBTokQuery: 0.42, OverheadSec: 0.04,
+		ActiveWatts: 270, IdleWatts: 90,
+		VMin: 0.70, VMax: 1.05,
+	}
+	// XeonSilver4316 is the slowest Intel platform in Figure 20.
+	XeonSilver4316 = CPUSpec{
+		Name: "Intel Xeon Silver 4316", Cores: 20,
+		MinGHz: 0.8, BaseGHz: 2.3, MaxGHz: 3.4,
+		SecPerBTokQuery: 0.80, OverheadSec: 0.06,
+		ActiveWatts: 150, IdleWatts: 55,
+		VMin: 0.70, VMax: 1.05,
+	}
+	// NeoverseN1 is the ARM platform: slower per core but with many more
+	// cores, so large batches recover throughput (Figure 20).
+	NeoverseN1 = CPUSpec{
+		Name: "Ampere Neoverse-N1", Cores: 80,
+		MinGHz: 1.0, BaseGHz: 3.0, MaxGHz: 3.0,
+		SecPerBTokQuery: 1.70, OverheadSec: 0.08,
+		ActiveWatts: 180, IdleWatts: 60,
+		VMin: 0.75, VMax: 1.00,
+	}
+)
+
+// Platforms lists all modeled CPU platforms.
+func Platforms() []CPUSpec {
+	return []CPUSpec{XeonGold6448Y, XeonPlatinum8380, XeonSilver4316, NeoverseN1}
+}
+
+// PlatformByName looks a platform up by its Name field.
+func PlatformByName(name string) (CPUSpec, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return CPUSpec{}, fmt.Errorf("hwmodel: unknown platform %q", name)
+}

@@ -1,0 +1,206 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAllPlatformsValidate(t *testing.T) {
+	for _, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	p, err := PlatformByName("Intel Xeon Gold 6448Y")
+	if err != nil || p.Cores != 32 {
+		t.Fatalf("lookup failed: %v %+v", err, p)
+	}
+	if _, err := PlatformByName("nope"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+func TestCalibrationAnchor(t *testing.T) {
+	// Paper Fig. 6: 10B tokens, batch 32, 32 cores -> 5.62 s.
+	got := XeonGold6448Y.RetrievalLatency(10_000_000_000, 32, XeonGold6448Y.BaseGHz)
+	want := 5620 * time.Millisecond
+	if math.Abs(got.Seconds()-want.Seconds()) > 0.01 {
+		t.Fatalf("anchor latency = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyLinearInTokens(t *testing.T) {
+	// Paper: "roughly linear growth in latency with datastore size".
+	l10 := XeonGold6448Y.RetrievalLatency(10e9, 32, 2.3).Seconds()
+	l100 := XeonGold6448Y.RetrievalLatency(100e9, 32, 2.3).Seconds()
+	if math.Abs(l100/l10-10) > 0.15 {
+		t.Fatalf("latency scaling %v, want ~10x", l100/l10)
+	}
+}
+
+func TestLatencyBatchWaves(t *testing.T) {
+	// 32 cores: batch 32 is one wave, batch 128 is four.
+	l32 := XeonGold6448Y.RetrievalLatency(1e9, 32, 2.3)
+	l128 := XeonGold6448Y.RetrievalLatency(1e9, 128, 2.3)
+	if l128 != 4*l32 {
+		t.Fatalf("batch 128 latency %v != 4x batch 32 %v", l128, l32)
+	}
+	// batch 33 also needs two waves.
+	l33 := XeonGold6448Y.RetrievalLatency(1e9, 33, 2.3)
+	if l33 != 2*l32 {
+		t.Fatalf("batch 33 latency %v != 2x batch 32 %v", l33, l32)
+	}
+}
+
+func TestLatencyZeroInputs(t *testing.T) {
+	if XeonGold6448Y.RetrievalLatency(0, 32, 2.3) != 0 {
+		t.Fatal("zero tokens should cost nothing")
+	}
+	if XeonGold6448Y.RetrievalLatency(1e9, 0, 2.3) != 0 {
+		t.Fatal("zero batch should cost nothing")
+	}
+}
+
+func TestFrequencySlowsLatency(t *testing.T) {
+	fast := XeonGold6448Y.RetrievalLatency(1e9, 32, 2.3)
+	slow := XeonGold6448Y.RetrievalLatency(1e9, 32, 1.15)
+	if math.Abs(slow.Seconds()/fast.Seconds()-2) > 0.01 {
+		t.Fatalf("half frequency should double latency: %v vs %v", slow, fast)
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	p := XeonGold6448Y
+	f := func(a, b uint8) bool {
+		fa := p.MinGHz + float64(a)/255*(p.MaxGHz-p.MinGHz)
+		fb := p.MinGHz + float64(b)/255*(p.MaxGHz-p.MinGHz)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return p.Voltage(fa) <= p.Voltage(fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Voltage(0.1) != p.VMin {
+		t.Fatal("below-range voltage should clamp to VMin")
+	}
+	if p.Voltage(99) != p.VMax {
+		t.Fatal("above-range voltage should clamp to VMax")
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	p := XeonGold6448Y
+	prev := 0.0
+	for f := p.MinGHz; f <= p.MaxGHz; f += 0.1 {
+		pw := p.Power(f)
+		if pw <= prev {
+			t.Fatalf("power not monotone at %v GHz: %v <= %v", f, pw, prev)
+		}
+		prev = pw
+	}
+	// At base frequency the model must return ActiveWatts exactly.
+	if math.Abs(p.Power(p.BaseGHz)-p.ActiveWatts) > 1e-9 {
+		t.Fatalf("power at base = %v, want %v", p.Power(p.BaseGHz), p.ActiveWatts)
+	}
+	if p.Power(p.MinGHz) <= p.IdleWatts {
+		t.Fatal("active power at min frequency must exceed idle power")
+	}
+}
+
+func TestDVFSSavesEnergyOnSlack(t *testing.T) {
+	// The premise of Fig. 21: over a fixed window (set by the slowest
+	// stage), stretching the busy time to fill the window at a lower
+	// frequency costs less energy than racing at base frequency and then
+	// idling.
+	p := XeonGold6448Y
+	window := p.RetrievalLatency(1e9, 32, p.MinGHz) // slack window
+	eRace := p.EnergyInWindow(1e9, 32, p.BaseGHz, window)
+	eStretch := p.EnergyInWindow(1e9, 32, p.MinGHz, window)
+	if eStretch >= eRace {
+		t.Fatalf("stretched energy %v should be < race-to-idle %v", eStretch, eRace)
+	}
+}
+
+func TestEnergyInWindowBusyExceedsWindow(t *testing.T) {
+	// A window shorter than the busy time charges the full busy time and
+	// no idle time.
+	p := XeonGold6448Y
+	busy := p.RetrievalLatency(1e9, 32, p.BaseGHz)
+	e := p.EnergyInWindow(1e9, 32, p.BaseGHz, busy/2)
+	want := p.ActiveWatts * busy.Seconds()
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("over-busy window energy = %v, want %v", e, want)
+	}
+}
+
+func TestFrequencyForLatency(t *testing.T) {
+	p := XeonGold6448Y
+	// Target exactly the base-frequency latency -> base frequency.
+	base := p.RetrievalLatency(1e9, 32, p.BaseGHz)
+	f := p.FrequencyForLatency(1e9, 32, base)
+	if math.Abs(f-p.BaseGHz) > 1e-9 {
+		t.Fatalf("freq for base latency = %v, want %v", f, p.BaseGHz)
+	}
+	// Target 2x the latency -> half frequency.
+	f2 := p.FrequencyForLatency(1e9, 32, 2*base)
+	if math.Abs(f2-p.BaseGHz/2) > 1e-9 {
+		t.Fatalf("freq for 2x latency = %v, want %v", f2, p.BaseGHz/2)
+	}
+	// Absurdly loose target clamps at MinGHz.
+	if f3 := p.FrequencyForLatency(1e9, 32, time.Hour); f3 != p.MinGHz {
+		t.Fatalf("loose target freq = %v, want MinGHz", f3)
+	}
+	// Impossible target clamps at MaxGHz.
+	if f4 := p.FrequencyForLatency(1e12, 32, time.Nanosecond); f4 != p.MaxGHz {
+		t.Fatalf("impossible target freq = %v, want MaxGHz", f4)
+	}
+	// Non-positive target returns base.
+	if f5 := p.FrequencyForLatency(1e9, 32, 0); f5 != p.BaseGHz {
+		t.Fatalf("zero target freq = %v", f5)
+	}
+}
+
+// Running at the frequency chosen for a latency target actually meets it.
+func TestFrequencyForLatencyMeetsTarget(t *testing.T) {
+	p := XeonPlatinum8380
+	target := 3 * time.Second
+	f := p.FrequencyForLatency(5e9, 64, target)
+	got := p.RetrievalLatency(5e9, 64, f)
+	if got > target+time.Millisecond && f > p.MinGHz {
+		t.Fatalf("latency %v misses target %v at chosen freq %v", got, target, f)
+	}
+}
+
+func TestPlatformOrderingMatchesFig20(t *testing.T) {
+	// Platinum 8380 must be the fastest per batch; Neoverse-N1 the
+	// slowest at batch 32 but competitive at large batches thanks to 80
+	// cores.
+	tokens := int64(10e9)
+	lPlat := XeonPlatinum8380.RetrievalLatency(tokens, 32, 0).Seconds()
+	lGold := XeonGold6448Y.RetrievalLatency(tokens, 32, 0).Seconds()
+	lSilver := XeonSilver4316.RetrievalLatency(tokens, 32, 0).Seconds()
+	lARM := NeoverseN1.RetrievalLatency(tokens, 32, 0).Seconds()
+	if !(lPlat < lGold && lGold < lSilver && lSilver < lARM) {
+		t.Fatalf("batch-32 ordering wrong: plat=%v gold=%v silver=%v arm=%v", lPlat, lGold, lSilver, lARM)
+	}
+	// At batch 128 ARM's 80 cores close most of the throughput gap vs
+	// Silver's 20 cores.
+	qARM := NeoverseN1.Throughput(tokens, 128, 0)
+	qSilver := XeonSilver4316.Throughput(tokens, 128, 0)
+	if qARM < qSilver {
+		t.Fatalf("ARM batch-128 QPS %v should beat Silver %v", qARM, qSilver)
+	}
+}
+
+func TestThroughputZeroLatency(t *testing.T) {
+	if XeonGold6448Y.Throughput(0, 32, 0) != 0 {
+		t.Fatal("zero-token throughput should be 0")
+	}
+}

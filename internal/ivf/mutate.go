@@ -1,0 +1,76 @@
+package ivf
+
+import "fmt"
+
+// Mutation support. RAG's whole premise is a mutable, non-parametric
+// datastore that evolves without retraining the LLM (paper Sections 1-2),
+// so the index supports online removal alongside Add: Remove tombstones a
+// list slot so scans skip it, and Compact reclaims the space once enough
+// garbage accumulates. The coarse quantizer is intentionally left untouched
+// — re-clustering is an offline rebuild, as in the paper's workflow.
+
+// slotKey packs an inverted-list index and a position within it.
+func slotKey(list, pos int) uint64 { return uint64(list)<<32 | uint64(uint32(pos)) }
+
+// Remove tombstones the first live entry stored under id. It returns false
+// if the id is not present (or already removed). The slot is skipped during
+// scans until Compact reclaims it; removing and re-adding the same id is
+// safe because tombstones are per slot, not per id.
+func (ix *Index) Remove(id int64) bool {
+	if !ix.trained {
+		return false
+	}
+	for li := range ix.lists {
+		for pos, got := range ix.lists[li].ids {
+			if got != id {
+				continue
+			}
+			if _, dead := ix.dead[slotKey(li, pos)]; dead {
+				continue
+			}
+			if ix.dead == nil {
+				ix.dead = make(map[uint64]struct{})
+			}
+			ix.dead[slotKey(li, pos)] = struct{}{}
+			ix.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Tombstones reports how many removed entries still occupy list space.
+func (ix *Index) Tombstones() int { return len(ix.dead) }
+
+// Compact rewrites every inverted list without tombstoned slots, reclaiming
+// their memory. It must not run concurrently with searches.
+func (ix *Index) Compact() {
+	if len(ix.dead) == 0 {
+		return
+	}
+	cs := ix.cfg.Quantizer.CodeSize()
+	for li := range ix.lists {
+		l := &ix.lists[li]
+		keepIDs := l.ids[:0]
+		keepCodes := l.codes[:0]
+		for pos, id := range l.ids {
+			if _, dead := ix.dead[slotKey(li, pos)]; dead {
+				continue
+			}
+			keepIDs = append(keepIDs, id)
+			keepCodes = append(keepCodes, l.codes[pos*cs:(pos+1)*cs]...)
+		}
+		l.ids = keepIDs
+		l.codes = keepCodes
+	}
+	ix.dead = nil
+}
+
+// Update replaces the vector stored under id (remove + re-add under the
+// current coarse quantizer). It errors if the id is absent.
+func (ix *Index) Update(id int64, v []float32) error {
+	if !ix.Remove(id) {
+		return fmt.Errorf("ivf: Update of unknown id %d", id)
+	}
+	return ix.Add(id, v)
+}

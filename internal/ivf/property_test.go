@@ -1,0 +1,157 @@
+package ivf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+)
+
+// Property suite over randomized corpora and configurations: these are the
+// invariants every IVF search must satisfy regardless of data, quantizer, or
+// probe depth.
+
+func randomIndex(seed int64) (*Index, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := rng.Intn(400) + 50
+	dim := rng.Intn(12) + 4
+	nlist := rng.Intn(15) + 2
+	var qz quant.Quantizer
+	switch rng.Intn(3) {
+	case 0:
+		qz = quant.NewFlat(dim)
+	case 1:
+		qz = quant.NewSQ(dim, 8)
+	default:
+		qz = quant.NewSQ(dim, 4)
+	}
+	data := gaussianData(n, dim, seed+1)
+	ix, err := New(Config{Dim: dim, NList: nlist, Quantizer: qz, Seed: seed, ByResidual: rng.Intn(2) == 1})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ix.Train(data); err != nil {
+		return nil, 0, err
+	}
+	if err := ix.AddBatch(0, data); err != nil {
+		return nil, 0, err
+	}
+	return ix, n, nil
+}
+
+func TestSearchInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		ix, n, err := randomIndex(seed)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		q := make([]float32, ix.Dim())
+		for d := range q {
+			q[d] = float32(rng.NormFloat64())
+		}
+		k := rng.Intn(10) + 1
+		nProbe := rng.Intn(ix.NList()) + 1
+		res, stats := ix.SearchWithStats(q, k, nProbe)
+
+		// 1. No more than k results; never more than stored vectors.
+		if len(res) > k || len(res) > n {
+			return false
+		}
+		// 2. Scores ascending (best first).
+		for i := 1; i < len(res); i++ {
+			if res[i].Score < res[i-1].Score {
+				return false
+			}
+		}
+		// 3. IDs unique and within range.
+		seen := map[int64]bool{}
+		for _, r := range res {
+			if r.ID < 0 || r.ID >= int64(n) || seen[r.ID] {
+				return false
+			}
+			seen[r.ID] = true
+		}
+		// 4. Stats consistent: probed exactly nProbe cells (clamped) and
+		// scanned no more than the index holds.
+		if stats.CellsProbed != nProbe || stats.VectorsScanned > n {
+			return false
+		}
+		// 5. More probes never shrink the result set for k <= n.
+		resFull, _ := ix.SearchWithStats(q, k, ix.NList())
+		return len(resFull) >= len(res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the best result of a full probe with a Flat quantizer is the true
+// nearest stored vector.
+func TestFullProbeFlatFindsNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 20
+		dim := rng.Intn(8) + 2
+		data := gaussianData(n, dim, seed+3)
+		ix, err := New(Config{Dim: dim, NList: rng.Intn(8) + 2, Seed: seed})
+		if err != nil || ix.Train(data) != nil || ix.AddBatch(0, data) != nil {
+			return false
+		}
+		// Query one of the stored vectors: it must be its own best hit
+		// with distance 0.
+		probe := rng.Intn(n)
+		res := ix.Search(data.Row(probe), 1, ix.NList())
+		return len(res) == 1 && res[0].ID == int64(probe) && res[0].Score == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removal is exact — after removing a random subset, no removed ID
+// ever appears in any search, and all survivors remain findable by self-query
+// under a full probe.
+func TestRemoveSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 30
+		data := gaussianData(n, 6, seed+4)
+		ix, err := New(Config{Dim: 6, NList: 5, Seed: seed})
+		if err != nil || ix.Train(data) != nil || ix.AddBatch(0, data) != nil {
+			return false
+		}
+		removed := map[int64]bool{}
+		for i := 0; i < n/3; i++ {
+			id := int64(rng.Intn(n))
+			if !removed[id] {
+				if !ix.Remove(id) {
+					return false
+				}
+				removed[id] = true
+			}
+		}
+		if rng.Intn(2) == 0 {
+			ix.Compact()
+		}
+		for i := 0; i < n; i++ {
+			res := ix.Search(data.Row(i), 3, ix.NList())
+			for _, r := range res {
+				if removed[r.ID] {
+					return false
+				}
+			}
+			if !removed[int64(i)] {
+				if len(res) == 0 || res[0].ID != int64(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

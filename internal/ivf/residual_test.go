@@ -1,0 +1,115 @@
+package ivf
+
+import (
+	"testing"
+
+	"repro/internal/flatindex"
+	"repro/internal/metrics"
+	"repro/internal/quant"
+)
+
+func TestResidualEncodingImprovesCoarseQuantizers(t *testing.T) {
+	// Residual encoding should lift recall for aggressive quantizers
+	// (SQ4, PQ): residuals are small, so the same bit budget covers them
+	// with finer resolution.
+	data := gaussianData(3000, 16, 40)
+	queries := gaussianData(64, 16, 41)
+	ref := flatindex.New(16)
+	ref.AddBatch(0, data)
+	truth := ref.GroundTruth(queries, 10)
+
+	eval := func(byResidual bool, mk func() quant.Quantizer) float64 {
+		ix, err := New(Config{Dim: 16, NList: 30, Quantizer: mk(), Seed: 1, ByResidual: byResidual})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Train(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.AddBatch(0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]int64, queries.Len())
+		for i := 0; i < queries.Len(); i++ {
+			for _, n := range ix.Search(queries.Row(i), 10, 8) {
+				got[i] = append(got[i], n.ID)
+			}
+		}
+		return metrics.MeanRecall(got, truth, 10)
+	}
+
+	mkSQ4 := func() quant.Quantizer { return quant.NewSQ(16, 4) }
+	plain := eval(false, mkSQ4)
+	residual := eval(true, mkSQ4)
+	if residual < plain-0.02 {
+		t.Fatalf("SQ4 residual recall %v should be >= plain %v", residual, plain)
+	}
+
+	mkPQ := func() quant.Quantizer {
+		pq, err := quant.NewPQ(16, 4, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pq
+	}
+	plainPQ := eval(false, mkPQ)
+	residualPQ := eval(true, mkPQ)
+	if residualPQ < plainPQ {
+		t.Fatalf("PQ residual recall %v should be >= plain %v", residualPQ, plainPQ)
+	}
+	// For PQ the improvement should be material on Gaussian data.
+	if residualPQ-plainPQ < 0.01 && plainPQ < 0.98 {
+		t.Logf("PQ residual gain small: %v -> %v", plainPQ, residualPQ)
+	}
+}
+
+func TestResidualFlatIsExactPerCell(t *testing.T) {
+	// With a Flat quantizer, residual encoding must not change results at
+	// all: ||(q-c) - (v-c)|| == ||q-v||.
+	data := gaussianData(500, 8, 42)
+	plain := buildIndex(t, data, Config{Dim: 8, NList: 10, Seed: 3})
+	ix, err := New(Config{Dim: 8, NList: 10, Seed: 3, ByResidual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AddBatch(0, data); err != nil {
+		t.Fatal(err)
+	}
+	queries := gaussianData(20, 8, 43)
+	for i := 0; i < queries.Len(); i++ {
+		a := plain.Search(queries.Row(i), 5, 5)
+		b := ix.Search(queries.Row(i), 5, 5)
+		for j := range a {
+			if a[j].ID != b[j].ID {
+				t.Fatalf("query %d pos %d: plain %d != residual %d", i, j, a[j].ID, b[j].ID)
+			}
+		}
+	}
+}
+
+func TestResidualMutationRoundTrip(t *testing.T) {
+	data := gaussianData(300, 8, 44)
+	ix, err := New(Config{Dim: 8, NList: 8, Seed: 4, ByResidual: true, Quantizer: quant.NewSQ(8, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AddBatch(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Remove(5) {
+		t.Fatal("remove failed")
+	}
+	if err := ix.Add(5, data.Row(5)); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Search(data.Row(5), 1, ix.NList())
+	if len(res) == 0 || res[0].ID != 5 {
+		t.Fatalf("re-added residual vector not found: %+v", res)
+	}
+}

@@ -1,0 +1,94 @@
+package ivf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/quant"
+	"repro/internal/vec"
+)
+
+// wireIndex is the gob-encoded form of an Index. Only SQ8 and Flat
+// quantizers round-trip (the configurations the paper deploys); PQ/OPQ
+// indexes are research artifacts rebuilt from data.
+type wireIndex struct {
+	Dim       int
+	NList     int
+	Seed      int64
+	Quant     string // "Flat", "SQ8", "SQ4"
+	QuantBlob []byte
+	Centroids []float32
+	ListIDs   [][]int64
+	ListCodes [][]byte
+	Count     int
+}
+
+// Save serializes the index in gob format.
+func (ix *Index) Save(w io.Writer) error {
+	if !ix.trained {
+		return fmt.Errorf("ivf: cannot serialize untrained index")
+	}
+	wi := wireIndex{
+		Dim:       ix.cfg.Dim,
+		NList:     ix.cfg.NList,
+		Seed:      ix.cfg.Seed,
+		Quant:     ix.cfg.Quantizer.Name(),
+		Centroids: append([]float32(nil), ix.centroids.Data()...),
+		Count:     ix.count,
+	}
+	switch q := ix.cfg.Quantizer.(type) {
+	case *quant.Flat:
+		// no parameters
+	case *quant.SQ:
+		blob, err := q.MarshalParams()
+		if err != nil {
+			return fmt.Errorf("ivf: serialize quantizer: %w", err)
+		}
+		wi.QuantBlob = blob
+	default:
+		return fmt.Errorf("ivf: quantizer %s is not serializable", ix.cfg.Quantizer.Name())
+	}
+	wi.ListIDs = make([][]int64, len(ix.lists))
+	wi.ListCodes = make([][]byte, len(ix.lists))
+	for i := range ix.lists {
+		wi.ListIDs[i] = ix.lists[i].ids
+		wi.ListCodes[i] = ix.lists[i].codes
+	}
+	return gob.NewEncoder(w).Encode(&wi)
+}
+
+// ReadFrom deserializes an index written by Save.
+func ReadFrom(r io.Reader) (*Index, error) {
+	var wi wireIndex
+	if err := gob.NewDecoder(r).Decode(&wi); err != nil {
+		return nil, fmt.Errorf("ivf: decode: %w", err)
+	}
+	var qz quant.Quantizer
+	switch wi.Quant {
+	case "Flat":
+		qz = quant.NewFlat(wi.Dim)
+	case "SQ8", "SQ4":
+		sq, err := quant.SQFromParams(wi.Dim, wi.QuantBlob)
+		if err != nil {
+			return nil, fmt.Errorf("ivf: restore quantizer: %w", err)
+		}
+		qz = sq
+	default:
+		return nil, fmt.Errorf("ivf: unknown serialized quantizer %q", wi.Quant)
+	}
+	ix, err := New(Config{Dim: wi.Dim, NList: wi.NList, Quantizer: qz, Seed: wi.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ix.centroids = vec.NewMatrix(wi.NList, wi.Dim)
+	copy(ix.centroids.Data(), wi.Centroids)
+	ix.lists = make([]invList, wi.NList)
+	for i := range ix.lists {
+		ix.lists[i].ids = wi.ListIDs[i]
+		ix.lists[i].codes = wi.ListCodes[i]
+	}
+	ix.count = wi.Count
+	ix.trained = true
+	return ix, nil
+}

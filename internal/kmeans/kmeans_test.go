@@ -1,0 +1,229 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+// blobs generates n points around k well-separated centers in dim dims.
+func blobs(n, k, dim int, seed int64) (*vec.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := vec.NewMatrix(k, dim)
+	for c := 0; c < k; c++ {
+		for d := 0; d < dim; d++ {
+			centers.Row(c)[d] = float32(c*10) + rng.Float32()
+		}
+	}
+	data := vec.NewMatrix(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		labels[i] = c
+		for d := 0; d < dim; d++ {
+			data.Row(i)[d] = centers.Row(c)[d] + float32(rng.NormFloat64())*0.1
+		}
+	}
+	return data, labels
+}
+
+func TestTrainRecoversBlobs(t *testing.T) {
+	data, labels := blobs(300, 3, 4, 1)
+	res, err := Train(data, Config{K: 3, Seed: 7, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same true label must share an assigned cluster.
+	clusterOf := map[int]int{}
+	for i, a := range res.Assign {
+		want, seen := clusterOf[labels[i]]
+		if !seen {
+			clusterOf[labels[i]] = a
+		} else if want != a {
+			t.Fatalf("point %d (label %d) assigned %d, cluster label maps to %d", i, labels[i], a, want)
+		}
+	}
+	if len(clusterOf) != 3 {
+		t.Fatalf("found %d clusters, want 3", len(clusterOf))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	data, _ := blobs(10, 2, 3, 1)
+	if _, err := Train(data, Config{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Train(data, Config{K: 11}); err == nil {
+		t.Fatal("K>n should error")
+	}
+	if _, err := Train(data, Config{K: 5, SampleSize: 3}); err == nil {
+		t.Fatal("SampleSize<K should error")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	data, _ := blobs(200, 4, 6, 2)
+	a, err := Train(data, Config{K: 4, Seed: 42, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, Config{K: 4, Seed: 42, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("same seed, different inertia: %v vs %v", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed, different assignment at %d", i)
+		}
+	}
+}
+
+func TestSizesSumToN(t *testing.T) {
+	f := func(seed int64) bool {
+		data, _ := blobs(120, 4, 3, seed)
+		res, err := Train(data, Config{K: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range res.Sizes {
+			total += s
+		}
+		return total == 120 && len(res.Assign) == 120
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every assignment really is the nearest centroid.
+func TestAssignmentsAreNearest(t *testing.T) {
+	data, _ := blobs(150, 3, 5, 3)
+	res, err := Train(data, Config{K: 3, Seed: 1, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Len(); i++ {
+		nearest, _ := res.Centroids.ArgMinL2(data.Row(i))
+		if res.Assign[i] != nearest {
+			t.Fatalf("row %d assigned %d but nearest is %d", i, res.Assign[i], nearest)
+		}
+	}
+}
+
+func TestSubsetTrainingTracksFull(t *testing.T) {
+	// The paper's claim: clustering on 1-2% of documents tracks the full
+	// clustering. With clean blobs, subset centroids must classify the
+	// full data identically to full-data centroids.
+	data, labels := blobs(2000, 4, 8, 5)
+	sub, err := Train(data, Config{K: 4, Seed: 9, PlusPlus: true, SampleSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := AssignAll(data, sub.Centroids)
+	clusterOf := map[int]int{}
+	for i, a := range assign {
+		want, seen := clusterOf[labels[i]]
+		if !seen {
+			clusterOf[labels[i]] = a
+		} else if want != a {
+			t.Fatalf("subset-trained centroids split true cluster %d", labels[i])
+		}
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if r := ImbalanceRatio([]int{10, 20, 5}); r != 4 {
+		t.Fatalf("imbalance = %v, want 4", r)
+	}
+	if r := ImbalanceRatio([]int{3, 3, 3}); r != 1 {
+		t.Fatalf("balanced imbalance = %v, want 1", r)
+	}
+	if !math.IsInf(ImbalanceRatio([]int{0, 5}), 1) {
+		t.Fatal("zero-size cluster should be +Inf")
+	}
+	if !math.IsInf(ImbalanceRatio(nil), 1) {
+		t.Fatal("empty sizes should be +Inf")
+	}
+}
+
+func TestBestSeedPicksLowestImbalance(t *testing.T) {
+	data, _ := blobs(400, 4, 6, 11)
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	best, seed, err := BestSeed(data, Config{K: 4, PlusPlus: true}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify no other seed does better.
+	for _, s := range seeds {
+		r, err := Train(data, Config{K: 4, PlusPlus: true, Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Imbalance() < best.Imbalance() {
+			t.Fatalf("seed %d imbalance %v beats chosen seed %d (%v)", s, r.Imbalance(), seed, best.Imbalance())
+		}
+	}
+}
+
+func TestBestSeedNoSeeds(t *testing.T) {
+	data, _ := blobs(40, 2, 3, 1)
+	if _, _, err := BestSeed(data, Config{K: 2}, nil); err == nil {
+		t.Fatal("BestSeed with no seeds should error")
+	}
+}
+
+func TestAssignAll(t *testing.T) {
+	centroids := vec.MatrixFromRows([][]float32{{0, 0}, {10, 10}})
+	data := vec.MatrixFromRows([][]float32{{1, 1}, {9, 9}, {0.5, 0}})
+	assign := AssignAll(data, centroids)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("assign[%d] = %d, want %d", i, assign[i], want[i])
+		}
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	data, _ := blobs(500, 5, 4, 21)
+	r2, err := Train(data, Config{K: 2, Seed: 1, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := Train(data, Config{K: 5, Seed: 1, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Inertia >= r2.Inertia {
+		t.Fatalf("K=5 inertia %v should be < K=2 inertia %v", r5.Inertia, r2.Inertia)
+	}
+}
+
+func TestK1(t *testing.T) {
+	data, _ := blobs(50, 2, 3, 4)
+	res, err := Train(data, Config{K: 1, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes[0] != 50 {
+		t.Fatalf("K=1 size = %d", res.Sizes[0])
+	}
+	// Centroid must be the mean.
+	mean := make([]float32, 3)
+	for i := 0; i < 50; i++ {
+		vec.Add(mean, data.Row(i))
+	}
+	vec.Scale(mean, 1.0/50)
+	for d := 0; d < 3; d++ {
+		if math.Abs(float64(res.Centroids.Row(0)[d]-mean[d])) > 1e-4 {
+			t.Fatalf("K=1 centroid[%d] = %v, want mean %v", d, res.Centroids.Row(0)[d], mean[d])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t testing.TB, capacity int64) *Cache {
+	t.Helper()
+	c, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustNew(t, 1000)
+	if c.Lookup(1, 100) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Lookup(1, 100) {
+		t.Fatal("second access should hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.UsedBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 300)
+	c.Lookup(1, 100)
+	c.Lookup(2, 100)
+	c.Lookup(3, 100)
+	// Touch 1 so 2 becomes the LRU victim.
+	if !c.Lookup(1, 100) {
+		t.Fatal("1 should hit")
+	}
+	c.Lookup(4, 100) // evicts 2
+	if c.Contains(2) {
+		t.Fatal("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("wrong eviction victim")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestOversizeNeverAdmitted(t *testing.T) {
+	c := mustNew(t, 100)
+	if c.Lookup(1, 200) {
+		t.Fatal("oversize lookup should miss")
+	}
+	if c.Contains(1) || c.Stats().UsedBytes != 0 {
+		t.Fatal("oversize document must not be admitted")
+	}
+	// Non-positive sizes are rejected too.
+	c.Lookup(2, 0)
+	if c.Contains(2) {
+		t.Fatal("zero-size document must not be admitted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustNew(t, 100)
+	c.Lookup(1, 50)
+	if !c.Invalidate(1) {
+		t.Fatal("invalidate of cached doc should succeed")
+	}
+	if c.Contains(1) || c.Stats().UsedBytes != 0 {
+		t.Fatal("invalidated doc still resident")
+	}
+	if c.Invalidate(1) {
+		t.Fatal("double invalidate should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, 100)
+	c.Lookup(1, 50)
+	c.Lookup(1, 50)
+	c.Reset()
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("reset stats = %+v", st)
+	}
+}
+
+func TestKVBytes(t *testing.T) {
+	// 64-token chunk with 602,112 B/token (Gemma2-9B class) ~ 38.5 MB.
+	if got := KVBytes(64, 602112); got != 64*602112 {
+		t.Fatalf("KVBytes = %d", got)
+	}
+}
+
+// Property: used bytes never exceed capacity, and entry count matches the
+// live map, across random access streams.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := New(1000)
+		for i := 0; i < 300; i++ {
+			id := int64(rng.Intn(40))
+			size := int64(rng.Intn(400) + 1)
+			c.Lookup(id, size)
+			st := c.Stats()
+			if st.UsedBytes > st.CapacityBytes || st.UsedBytes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zipf-skewed document popularity (the RAG regime RAGCache exploits) must
+// yield a far higher hit rate than uniform access at equal cache size.
+func TestSkewBeatsUniform(t *testing.T) {
+	run := func(zipf bool) float64 {
+		rng := rand.New(rand.NewSource(7))
+		var z *rand.Zipf
+		if zipf {
+			z = rand.NewZipf(rng, 1.3, 1, 9999)
+		}
+		c, _ := New(100 * 100) // room for ~100 docs of size 100
+		for i := 0; i < 20000; i++ {
+			var id int64
+			if zipf {
+				id = int64(z.Uint64())
+			} else {
+				id = int64(rng.Intn(10000))
+			}
+			c.Lookup(id, 100)
+		}
+		return c.Stats().HitRate()
+	}
+	skewed, uniform := run(true), run(false)
+	if skewed < 3*uniform {
+		t.Fatalf("Zipf hit rate %v should dwarf uniform %v", skewed, uniform)
+	}
+	if skewed < 0.5 {
+		t.Fatalf("Zipf hit rate %v implausibly low", skewed)
+	}
+}

@@ -1,0 +1,183 @@
+// Package llm provides an analytical transformer-inference model for the
+// generation side of the RAG pipeline. The paper runs Phi-1.5 (1.3B),
+// Gemma2-9B, and OPT-30B under vLLM on NVIDIA A6000 Ada and L4 GPUs; here
+// each combination is a roofline model: the prefill phase is compute-bound
+// (2*P FLOPs per token against peak TFLOPS), the decode phase is memory-
+// bandwidth-bound (every generated token streams the full weight set plus the
+// KV cache from HBM). Tensor parallelism divides both but adds a
+// communication tax and multiplies power.
+//
+// The model only has to be right about what the paper uses inference for:
+// the relative magnitudes of prefill vs decode vs retrieval latency and the
+// energy of GPU seconds, which drive Figures 5, 6, 8, 14, 16, 17, and 19.
+package llm
+
+import (
+	"fmt"
+	"time"
+)
+
+// GPUSpec is a parametric accelerator model.
+type GPUSpec struct {
+	Name string
+	// TFLOPS is peak FP16 tensor-core throughput.
+	TFLOPS float64
+	// HBMGBps is memory bandwidth in GB/s.
+	HBMGBps float64
+	// MemGB is device memory capacity.
+	MemGB float64
+	// TDPWatts is board power at full load; IdleWatts when parked.
+	TDPWatts, IdleWatts float64
+	// MFU is the achieved fraction of peak compute during prefill;
+	// MBU the achieved fraction of peak bandwidth during decode.
+	MFU, MBU float64
+}
+
+// ModelSpec describes a served LLM.
+type ModelSpec struct {
+	Name string
+	// Params is the parameter count.
+	Params float64
+	// Layers and Hidden size the KV cache: per token per layer the cache
+	// holds 2 (K and V) * Hidden * bytes/elem.
+	Layers, Hidden int
+	// BytesPerParam is 2 under FP16.
+	BytesPerParam float64
+}
+
+// WeightBytes returns the model's weight footprint in bytes.
+func (m ModelSpec) WeightBytes() float64 { return m.Params * m.BytesPerParam }
+
+// KVBytesPerToken returns KV-cache bytes per sequence token.
+func (m ModelSpec) KVBytesPerToken() float64 {
+	return 2 * float64(m.Layers) * float64(m.Hidden) * m.BytesPerParam
+}
+
+// Paper models.
+var (
+	Phi15 = ModelSpec{Name: "Phi-1.5 (1.3B)", Params: 1.3e9, Layers: 24, Hidden: 2048, BytesPerParam: 2}
+	// Gemma2 9B (42 layers, d_model 3584).
+	Gemma2_9B = ModelSpec{Name: "Gemma2 (9B)", Params: 9.2e9, Layers: 42, Hidden: 3584, BytesPerParam: 2}
+	OPT30B    = ModelSpec{Name: "OPT (30B)", Params: 30e9, Layers: 48, Hidden: 7168, BytesPerParam: 2}
+)
+
+// Paper GPUs. The paper quotes shader FP32 peaks (A6000 Ada: 91 TFLOPS /
+// 300 W; L4: 31 TFLOPS / 140 W); inference runs on tensor cores in FP16, so
+// the model uses the FP16 tensor peaks (362.6 and 121 TFLOPS respectively),
+// which preserve the paper's ~3x performance and ~2x power gap between the
+// two parts. Idle watts are modeled.
+var (
+	A6000Ada = GPUSpec{Name: "NVIDIA A6000 Ada", TFLOPS: 362.6, HBMGBps: 960, MemGB: 48, TDPWatts: 300, IdleWatts: 25, MFU: 0.55, MBU: 0.70}
+	L4       = GPUSpec{Name: "NVIDIA L4", TFLOPS: 121, HBMGBps: 300, MemGB: 24, TDPWatts: 140, IdleWatts: 12, MFU: 0.50, MBU: 0.65}
+)
+
+// Models lists the paper's inference models.
+func Models() []ModelSpec { return []ModelSpec{Phi15, Gemma2_9B, OPT30B} }
+
+// GPUs lists the paper's accelerator platforms.
+func GPUs() []GPUSpec { return []GPUSpec{A6000Ada, L4} }
+
+// Engine is a deployed (model, GPU, tensor-parallel degree) combination.
+type Engine struct {
+	Model ModelSpec
+	GPU   GPUSpec
+	// TP is the tensor-parallel degree (number of GPUs).
+	TP int
+	// CommOverhead is the fractional latency tax per additional TP rank
+	// (all-reduce cost); default 0.15.
+	CommOverhead float64
+}
+
+// NewEngine validates and builds an engine. It errors if the model's weights
+// (plus a margin for activations/KV) do not fit the aggregate GPU memory,
+// reproducing the paper's deployment constraints (OPT-30B needs 2x A6000;
+// Gemma2-9B needs 2x L4).
+func NewEngine(model ModelSpec, gpu GPUSpec, tp int) (*Engine, error) {
+	if tp <= 0 {
+		tp = 1
+	}
+	e := &Engine{Model: model, GPU: gpu, TP: tp, CommOverhead: 0.15}
+	if !e.Fits() {
+		return nil, fmt.Errorf("llm: %s does not fit on %dx %s (%.0f GB weights vs %.0f GB usable)",
+			model.Name, tp, gpu.Name, model.WeightBytes()/1e9, e.usableMemBytes()/1e9)
+	}
+	return e, nil
+}
+
+// usableMemBytes leaves a 25% margin for activations, KV cache, and runtime.
+func (e *Engine) usableMemBytes() float64 {
+	return e.GPU.MemGB * 1e9 * float64(e.TP) * 0.75
+}
+
+// Fits reports whether the model's weights fit the engine's memory budget.
+func (e *Engine) Fits() bool {
+	return e.Model.WeightBytes() <= e.usableMemBytes()
+}
+
+// MinTP returns the smallest tensor-parallel degree at which the model fits
+// on the given GPU.
+func MinTP(model ModelSpec, gpu GPUSpec) int {
+	for tp := 1; tp <= 16; tp++ {
+		e := Engine{Model: model, GPU: gpu, TP: tp}
+		if e.Fits() {
+			return tp
+		}
+	}
+	return 16
+}
+
+func (e *Engine) commFactor() float64 {
+	return 1 + e.CommOverhead*float64(e.TP-1)
+}
+
+// PrefillLatency models processing inputTokens prompt tokens for a batch of
+// queries: compute-bound at MFU-derated TFLOPS, divided across TP ranks,
+// taxed by communication.
+func (e *Engine) PrefillLatency(batch, inputTokens int) time.Duration {
+	if batch <= 0 || inputTokens <= 0 {
+		return 0
+	}
+	flops := 2 * e.Model.Params * float64(batch) * float64(inputTokens)
+	sec := flops / (e.GPU.TFLOPS * 1e12 * e.GPU.MFU * float64(e.TP)) * e.commFactor()
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DecodeLatency models generating outTokens tokens for a batch: each step
+// streams the weights once (shared across the batch under vLLM-style
+// continuous batching) plus every sequence's KV cache at the current context
+// length.
+func (e *Engine) DecodeLatency(batch, contextTokens, outTokens int) time.Duration {
+	if batch <= 0 || outTokens <= 0 {
+		return 0
+	}
+	bw := e.GPU.HBMGBps * 1e9 * e.GPU.MBU * float64(e.TP)
+	var sec float64
+	for s := 0; s < outTokens; s++ {
+		ctx := float64(contextTokens + s)
+		bytes := e.Model.WeightBytes() + float64(batch)*ctx*e.Model.KVBytesPerToken()
+		sec += bytes / bw
+	}
+	return time.Duration(sec * e.commFactor() * float64(time.Second))
+}
+
+// Power returns the engine's active power draw (all TP ranks at TDP-scale
+// utilization).
+func (e *Engine) Power() float64 { return e.GPU.TDPWatts * 0.9 * float64(e.TP) }
+
+// IdlePower returns the engine's parked power.
+func (e *Engine) IdlePower() float64 { return e.GPU.IdleWatts * float64(e.TP) }
+
+// PrefillEnergy returns Joules for one batch prefill.
+func (e *Engine) PrefillEnergy(batch, inputTokens int) float64 {
+	return e.Power() * e.PrefillLatency(batch, inputTokens).Seconds()
+}
+
+// DecodeEnergy returns Joules for one batch decode phase.
+func (e *Engine) DecodeEnergy(batch, contextTokens, outTokens int) float64 {
+	return e.Power() * e.DecodeLatency(batch, contextTokens, outTokens).Seconds()
+}
+
+// String renders the engine configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("%s on %dx %s", e.Model.Name, e.TP, e.GPU.Name)
+}

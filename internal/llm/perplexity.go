@@ -1,0 +1,63 @@
+package llm
+
+import "math"
+
+// Perplexity modeling for Figure 5. The paper cites prior work (RETRO,
+// in-context RALM) showing that retrieving fresh context more often lets a
+// model with half the parameters match a larger model's perplexity: quality
+// improves as stride shrinks, saturating at very small strides.
+//
+// The proxy model combines two standard empirical laws:
+//   - parameter scaling: base perplexity falls as a power law in parameters
+//     (Kaplan et al.),
+//   - retrieval benefit: fresher context multiplies perplexity by a factor
+//     that decays with retrieval frequency 1/stride and with datastore
+//     coverage.
+//
+// The constants are fit to Figure 5's anchor points: GPT-2 762M ≈ 30 PPL
+// without frequent retrieval, GPT-2 1.5B ≈ 25, and RETRO 578M crossing below
+// the 1.5B line at stride ≈ 4-16.
+
+// PerplexityModel parameterizes the proxy.
+type PerplexityModel struct {
+	// BasePPL is the no-retrieval perplexity of a reference model with
+	// RefParams parameters.
+	BasePPL   float64
+	RefParams float64
+	// ScalingAlpha is the parameter power-law exponent (~0.095).
+	ScalingAlpha float64
+	// RetrievalGain is the maximum fractional perplexity reduction
+	// retrieval can deliver (at stride -> 1).
+	RetrievalGain float64
+	// StrideDecay shapes how quickly benefit degrades as stride grows.
+	StrideDecay float64
+}
+
+// DefaultPerplexityModel is fit to Figure 5's anchors.
+var DefaultPerplexityModel = PerplexityModel{
+	BasePPL:       30.0,
+	RefParams:     762e6,
+	ScalingAlpha:  0.28,
+	RetrievalGain: 0.40,
+	StrideDecay:   0.35,
+}
+
+// BasePerplexity returns the no-retrieval perplexity of a model with the
+// given parameter count under the power law.
+func (m PerplexityModel) BasePerplexity(params float64) float64 {
+	return m.BasePPL * math.Pow(m.RefParams/params, m.ScalingAlpha)
+}
+
+// WithRetrieval returns the perplexity of a model of the given size when it
+// retrieves fresh context every stride tokens. stride <= 0 means no
+// retrieval.
+func (m PerplexityModel) WithRetrieval(params float64, stride int) float64 {
+	base := m.BasePerplexity(params)
+	if stride <= 0 {
+		return base
+	}
+	// Benefit decays with stride: full RetrievalGain at stride 1,
+	// approaching zero as stride grows.
+	benefit := m.RetrievalGain * math.Pow(1/float64(stride), m.StrideDecay)
+	return base * (1 - benefit)
+}

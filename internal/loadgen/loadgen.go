@@ -1,0 +1,127 @@
+// Package loadgen is an open-loop load generator for the retrieval serving
+// path: queries arrive on a Poisson process at a target rate regardless of
+// how fast the system drains them (the standard methodology for measuring
+// serving latency under load, matching the paper's "Load Generator → Query
+// Trace" box in Figure 15). Reported latency is sojourn time — queueing
+// plus service — so saturation shows up as exploding tails rather than
+// flattering closed-loop numbers.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SearchFunc executes one query by index; the load generator measures it.
+type SearchFunc func(queryIdx int) error
+
+// Config drives a run.
+type Config struct {
+	// TargetQPS is the offered arrival rate.
+	TargetQPS float64
+	// Queries is the number of arrivals to generate.
+	Queries int
+	// Concurrency bounds in-flight searches (service stations). Default 1
+	// (a single node executing one batch wave at a time models one core
+	// group; raise it for multi-node tiers).
+	Concurrency int
+	// Seed drives the Poisson arrival process.
+	Seed int64
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// Offered is the number of generated arrivals; Completed those that
+	// finished successfully; Failed those whose SearchFunc errored.
+	Offered, Completed, Failed int
+	// Wall is the time from first arrival to last completion.
+	Wall time.Duration
+	// AchievedQPS is Completed / Wall.
+	AchievedQPS float64
+	// Sojourn summarizes per-query queue+service latency.
+	Sojourn metrics.LatencySummary
+	// Service summarizes per-query service-only latency.
+	Service metrics.LatencySummary
+}
+
+// Run generates cfg.Queries Poisson arrivals at cfg.TargetQPS and executes
+// them through fn with bounded concurrency.
+func Run(cfg Config, fn SearchFunc) (*Report, error) {
+	if cfg.TargetQPS <= 0 {
+		return nil, fmt.Errorf("loadgen: TargetQPS must be positive")
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("loadgen: Queries must be positive")
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("loadgen: SearchFunc is required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type job struct {
+		idx     int
+		arrival time.Time
+	}
+	jobs := make(chan job, cfg.Queries)
+
+	var mu sync.Mutex
+	sojourns := make([]time.Duration, 0, cfg.Queries)
+	services := make([]time.Duration, 0, cfg.Queries)
+	failed := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				serviceStart := time.Now()
+				err := fn(j.idx)
+				done := time.Now()
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else {
+					sojourns = append(sojourns, done.Sub(j.arrival))
+					services = append(services, done.Sub(serviceStart))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	next := start
+	for i := 0; i < cfg.Queries; i++ {
+		// Exponential inter-arrival times define the Poisson process.
+		gap := time.Duration(rng.ExpFloat64() / cfg.TargetQPS * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{idx: i, arrival: time.Now()}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Offered:   cfg.Queries,
+		Completed: len(sojourns),
+		Failed:    failed,
+		Wall:      wall,
+		Sojourn:   metrics.Summarize(sojourns),
+		Service:   metrics.Summarize(services),
+	}
+	if wall > 0 {
+		rep.AchievedQPS = float64(rep.Completed) / wall.Seconds()
+	}
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	ok := func(int) error { return nil }
+	if _, err := Run(Config{TargetQPS: 0, Queries: 1}, ok); err == nil {
+		t.Fatal("zero QPS should error")
+	}
+	if _, err := Run(Config{TargetQPS: 10, Queries: 0}, ok); err == nil {
+		t.Fatal("zero queries should error")
+	}
+	if _, err := Run(Config{TargetQPS: 10, Queries: 1}, nil); err == nil {
+		t.Fatal("nil fn should error")
+	}
+}
+
+func TestAllQueriesExecuted(t *testing.T) {
+	var count int64
+	rep, err := Run(Config{TargetQPS: 2000, Queries: 50, Concurrency: 4, Seed: 1},
+		func(i int) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 || rep.Completed != 50 || rep.Offered != 50 {
+		t.Fatalf("executed %d, report %+v", count, rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed = %d", rep.Failed)
+	}
+	if rep.Sojourn.Count != 50 || rep.Service.Count != 50 {
+		t.Fatal("latency summaries incomplete")
+	}
+}
+
+func TestFailuresCounted(t *testing.T) {
+	rep, err := Run(Config{TargetQPS: 5000, Queries: 20, Seed: 2},
+		func(i int) error {
+			if i%2 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 10 || rep.Completed != 10 {
+		t.Fatalf("failed=%d completed=%d", rep.Failed, rep.Completed)
+	}
+}
+
+func TestAchievedQPSTracksTarget(t *testing.T) {
+	// Fast service, moderate rate: achieved ~ offered.
+	rep, err := Run(Config{TargetQPS: 500, Queries: 100, Concurrency: 8, Seed: 3},
+		func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AchievedQPS < 200 || rep.AchievedQPS > 1500 {
+		t.Fatalf("achieved QPS %v far from target 500", rep.AchievedQPS)
+	}
+}
+
+func TestSaturationInflatesSojourn(t *testing.T) {
+	// Service takes 5 ms but arrivals come every 1 ms with concurrency 1:
+	// the queue builds and sojourn must exceed service substantially.
+	service := 5 * time.Millisecond
+	rep, err := Run(Config{TargetQPS: 1000, Queries: 30, Concurrency: 1, Seed: 4},
+		func(int) error {
+			time.Sleep(service)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sojourn.Mean < 2*rep.Service.Mean {
+		t.Fatalf("saturated sojourn %v should dwarf service %v", rep.Sojourn.Mean, rep.Service.Mean)
+	}
+	// Achieved throughput is capped by the service rate (~200 QPS), far
+	// below the offered 1000.
+	if rep.AchievedQPS > 400 {
+		t.Fatalf("achieved QPS %v exceeds service capacity", rep.AchievedQPS)
+	}
+}
+
+func TestConcurrencyRelievesSaturation(t *testing.T) {
+	service := 4 * time.Millisecond
+	slow, err := Run(Config{TargetQPS: 800, Queries: 40, Concurrency: 1, Seed: 5},
+		func(int) error { time.Sleep(service); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(Config{TargetQPS: 800, Queries: 40, Concurrency: 8, Seed: 5},
+		func(int) error { time.Sleep(service); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Sojourn.Mean >= slow.Sojourn.Mean {
+		t.Fatalf("concurrency 8 sojourn %v should beat concurrency 1 %v",
+			fast.Sojourn.Mean, slow.Sojourn.Mean)
+	}
+}

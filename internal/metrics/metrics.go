@@ -1,0 +1,259 @@
+// Package metrics implements the evaluation metrics used throughout the
+// paper: NDCG (normalized discounted cumulative gain) against exhaustive
+// ground truth, recall@k, latency percentile summaries, throughput, and an
+// energy ledger that converts modeled power and time into Joules.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// RecallAtK returns |retrieved ∩ truth| / min(k, |truth|) considering only
+// the first k entries of each list. It is the fraction of true nearest
+// neighbors recovered by the approximate search.
+func RecallAtK(retrieved, truth []int64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	if len(truth) > k {
+		truth = truth[:k]
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[int64]struct{}, len(truth))
+	for _, id := range truth {
+		set[id] = struct{}{}
+	}
+	hit := 0
+	for _, id := range retrieved {
+		if _, ok := set[id]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// NDCGAtK scores a ranked retrieval list against a ranked ground-truth list
+// (both best-first). Relevance of the i-th ground-truth document is graded
+// len(truth)-i, the standard graded-relevance assignment when ground truth is
+// an exhaustive nearest-neighbor ordering, as in the paper (brute-force
+// search provides the ideal ranking). Documents outside the truth list have
+// zero gain. The result is DCG/IDCG in [0,1].
+func NDCGAtK(retrieved, truth []int64, k int) float64 {
+	if k <= 0 || len(truth) == 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	if len(truth) > k {
+		truth = truth[:k]
+	}
+	rel := make(map[int64]float64, len(truth))
+	for i, id := range truth {
+		rel[id] = float64(len(truth) - i)
+	}
+	var dcg float64
+	for i, id := range retrieved {
+		if g, ok := rel[id]; ok {
+			dcg += (math.Pow(2, g) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	var idcg float64
+	for i := range truth {
+		g := float64(len(truth) - i)
+		idcg += (math.Pow(2, g) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// MeanNDCG averages NDCGAtK over query result/truth pairs. The two slices
+// must be the same length.
+func MeanNDCG(retrieved, truth [][]int64, k int) float64 {
+	if len(retrieved) != len(truth) {
+		panic(fmt.Sprintf("metrics: MeanNDCG length mismatch %d != %d", len(retrieved), len(truth)))
+	}
+	if len(retrieved) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range retrieved {
+		sum += NDCGAtK(retrieved[i], truth[i], k)
+	}
+	return sum / float64(len(retrieved))
+}
+
+// MeanRecall averages RecallAtK over query result/truth pairs.
+func MeanRecall(retrieved, truth [][]int64, k int) float64 {
+	if len(retrieved) != len(truth) {
+		panic(fmt.Sprintf("metrics: MeanRecall length mismatch %d != %d", len(retrieved), len(truth)))
+	}
+	if len(retrieved) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range retrieved {
+		sum += RecallAtK(retrieved[i], truth[i], k)
+	}
+	return sum / float64(len(retrieved))
+}
+
+// LatencySummary condenses a set of per-query or per-batch latencies.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a LatencySummary. An empty input yields a zero summary.
+func Summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// QPS converts a query count and elapsed wall time into queries per second.
+func QPS(queries int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(queries) / elapsed.Seconds()
+}
+
+// Energy accumulates Joules attributed to named stages (encode, retrieve,
+// prefill, decode, ...). The zero value is ready to use.
+type Energy struct {
+	stages map[string]float64
+}
+
+// AddJoules credits j Joules to stage.
+func (e *Energy) AddJoules(stage string, j float64) {
+	if e.stages == nil {
+		e.stages = make(map[string]float64)
+	}
+	e.stages[stage] += j
+}
+
+// AddPower credits power (Watts) sustained for d to stage.
+func (e *Energy) AddPower(stage string, watts float64, d time.Duration) {
+	e.AddJoules(stage, watts*d.Seconds())
+}
+
+// Stage returns the Joules attributed to stage.
+func (e *Energy) Stage(stage string) float64 { return e.stages[stage] }
+
+// Total returns the total Joules across all stages.
+func (e *Energy) Total() float64 {
+	var t float64
+	for _, j := range e.stages {
+		t += j
+	}
+	return t
+}
+
+// Stages returns the stage names in sorted order.
+func (e *Energy) Stages() []string {
+	out := make([]string, 0, len(e.stages))
+	for s := range e.stages {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds every stage of other into e.
+func (e *Energy) Merge(other *Energy) {
+	for s, j := range other.stages {
+		e.AddJoules(s, j)
+	}
+}
+
+// String renders the ledger as "stage=XJ ... total=YJ".
+func (e *Energy) String() string {
+	s := ""
+	for _, name := range e.Stages() {
+		s += fmt.Sprintf("%s=%.2fJ ", name, e.stages[name])
+	}
+	return s + fmt.Sprintf("total=%.2fJ", e.Total())
+}
+
+// MRRAtK returns the reciprocal rank of the first relevant document within
+// the top k retrieved (1 for a hit at rank 1, 1/2 at rank 2, ...), treating
+// membership in the truth list as relevance.
+func MRRAtK(retrieved, truth []int64, k int) float64 {
+	if k <= 0 || len(truth) == 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	rel := make(map[int64]struct{}, len(truth))
+	for _, id := range truth {
+		rel[id] = struct{}{}
+	}
+	for i, id := range retrieved {
+		if _, ok := rel[id]; ok {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// PrecisionAtK is |retrieved[:k] ∩ truth| / k — unlike recall it penalizes
+// padding the result list with irrelevant documents.
+func PrecisionAtK(retrieved, truth []int64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(retrieved) > k {
+		retrieved = retrieved[:k]
+	}
+	rel := make(map[int64]struct{}, len(truth))
+	for _, id := range truth {
+		rel[id] = struct{}{}
+	}
+	hit := 0
+	for _, id := range retrieved {
+		if _, ok := rel[id]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}

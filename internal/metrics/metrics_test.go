@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecallPerfect(t *testing.T) {
+	truth := []int64{1, 2, 3, 4, 5}
+	if r := RecallAtK(truth, truth, 5); r != 1 {
+		t.Fatalf("perfect recall = %v", r)
+	}
+}
+
+func TestRecallPartial(t *testing.T) {
+	if r := RecallAtK([]int64{1, 2, 9, 8, 7}, []int64{1, 2, 3, 4, 5}, 5); r != 0.4 {
+		t.Fatalf("partial recall = %v, want 0.4", r)
+	}
+}
+
+func TestRecallEmptyTruth(t *testing.T) {
+	if r := RecallAtK([]int64{1}, nil, 5); r != 0 {
+		t.Fatalf("recall with empty truth = %v", r)
+	}
+}
+
+func TestRecallTruncatesToK(t *testing.T) {
+	// Only the first 2 of each list should count.
+	r := RecallAtK([]int64{1, 9, 2}, []int64{1, 2, 3}, 2)
+	if r != 0.5 {
+		t.Fatalf("recall@2 = %v, want 0.5", r)
+	}
+}
+
+func TestNDCGPerfect(t *testing.T) {
+	truth := []int64{10, 20, 30}
+	if n := NDCGAtK(truth, truth, 3); n != 1 {
+		t.Fatalf("perfect NDCG = %v", n)
+	}
+}
+
+func TestNDCGEmpty(t *testing.T) {
+	if n := NDCGAtK(nil, nil, 5); n != 0 {
+		t.Fatalf("empty NDCG = %v", n)
+	}
+	if n := NDCGAtK([]int64{1}, []int64{2}, 0); n != 0 {
+		t.Fatalf("k=0 NDCG = %v", n)
+	}
+}
+
+func TestNDCGOrderMatters(t *testing.T) {
+	truth := []int64{1, 2, 3, 4, 5}
+	reversed := []int64{5, 4, 3, 2, 1}
+	good := NDCGAtK(truth, truth, 5)
+	bad := NDCGAtK(reversed, truth, 5)
+	if bad >= good {
+		t.Fatalf("reversed ranking NDCG %v should be < perfect %v", bad, good)
+	}
+	if bad <= 0 {
+		t.Fatalf("reversed ranking should still have positive NDCG, got %v", bad)
+	}
+}
+
+func TestNDCGDisjointIsZero(t *testing.T) {
+	if n := NDCGAtK([]int64{7, 8, 9}, []int64{1, 2, 3}, 3); n != 0 {
+		t.Fatalf("disjoint NDCG = %v", n)
+	}
+}
+
+// Property: NDCG is always within [0,1] for random permutations.
+func TestNDCGBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		truth := make([]int64, n)
+		for i := range truth {
+			truth[i] = int64(i)
+		}
+		retrieved := append([]int64(nil), truth...)
+		rng.Shuffle(len(retrieved), func(i, j int) {
+			retrieved[i], retrieved[j] = retrieved[j], retrieved[i]
+		})
+		v := NDCGAtK(retrieved, truth, n)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swapping two adjacent retrieved items so a more relevant one
+// moves earlier never decreases NDCG.
+func TestNDCGMonotoneSwap(t *testing.T) {
+	truth := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	retrieved := []int64{3, 0, 5, 1, 7, 2, 6, 4}
+	base := NDCGAtK(retrieved, truth, 8)
+	// Move item 0 (relevance high) to the front.
+	swapped := append([]int64(nil), retrieved...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if NDCGAtK(swapped, truth, 8) <= base {
+		t.Fatal("promoting a more relevant item should raise NDCG")
+	}
+}
+
+func TestMeanNDCGAndRecall(t *testing.T) {
+	retrieved := [][]int64{{1, 2}, {9, 8}}
+	truth := [][]int64{{1, 2}, {1, 2}}
+	if m := MeanNDCG(retrieved, truth, 2); m != 0.5 {
+		t.Fatalf("MeanNDCG = %v, want 0.5", m)
+	}
+	if m := MeanRecall(retrieved, truth, 2); m != 0.5 {
+		t.Fatalf("MeanRecall = %v, want 0.5", m)
+	}
+}
+
+func TestMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanNDCG([][]int64{{1}}, nil, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	lats := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	s := Summarize(lats)
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 2500*time.Microsecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 2*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.Max != 4*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	lats := []time.Duration{3, 1, 2}
+	Summarize(lats)
+	if lats[0] != 3 || lats[1] != 1 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQPS(t *testing.T) {
+	if q := QPS(100, time.Second); q != 100 {
+		t.Fatalf("QPS = %v", q)
+	}
+	if q := QPS(100, 0); q != 0 {
+		t.Fatalf("QPS with zero elapsed = %v", q)
+	}
+}
+
+func TestEnergyLedger(t *testing.T) {
+	var e Energy
+	e.AddJoules("retrieve", 10)
+	e.AddPower("decode", 300, 2*time.Second)
+	if e.Stage("retrieve") != 10 {
+		t.Fatalf("retrieve = %v", e.Stage("retrieve"))
+	}
+	if e.Stage("decode") != 600 {
+		t.Fatalf("decode = %v", e.Stage("decode"))
+	}
+	if e.Total() != 610 {
+		t.Fatalf("total = %v", e.Total())
+	}
+	stages := e.Stages()
+	if len(stages) != 2 || stages[0] != "decode" {
+		t.Fatalf("stages = %v", stages)
+	}
+}
+
+func TestEnergyMerge(t *testing.T) {
+	var a, b Energy
+	a.AddJoules("x", 1)
+	b.AddJoules("x", 2)
+	b.AddJoules("y", 3)
+	a.Merge(&b)
+	if a.Stage("x") != 3 || a.Stage("y") != 3 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+}
+
+func TestMRRAtK(t *testing.T) {
+	truth := []int64{1, 2, 3}
+	if m := MRRAtK([]int64{1, 9, 9}, truth, 3); m != 1 {
+		t.Fatalf("rank-1 MRR = %v", m)
+	}
+	if m := MRRAtK([]int64{9, 2, 9}, truth, 3); m != 0.5 {
+		t.Fatalf("rank-2 MRR = %v", m)
+	}
+	if m := MRRAtK([]int64{9, 8, 7}, truth, 3); m != 0 {
+		t.Fatalf("miss MRR = %v", m)
+	}
+	// Hit beyond k does not count.
+	if m := MRRAtK([]int64{9, 8, 1}, truth, 2); m != 0 {
+		t.Fatalf("beyond-k MRR = %v", m)
+	}
+	if MRRAtK([]int64{1}, nil, 3) != 0 || MRRAtK([]int64{1}, truth, 0) != 0 {
+		t.Fatal("degenerate MRR should be 0")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	truth := []int64{1, 2, 3}
+	if p := PrecisionAtK([]int64{1, 2, 9, 8}, truth, 4); p != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", p)
+	}
+	// Short result lists are penalized (divisor stays k).
+	if p := PrecisionAtK([]int64{1}, truth, 4); p != 0.25 {
+		t.Fatalf("short-list precision = %v, want 0.25", p)
+	}
+	if PrecisionAtK(nil, truth, 0) != 0 {
+		t.Fatal("k=0 precision should be 0")
+	}
+}
+
+// Property: precision*k <= recall*|truth| identity sanity on random lists.
+func TestPrecisionRecallConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10) + 1
+		truth := make([]int64, rng.Intn(10)+1)
+		for i := range truth {
+			truth[i] = int64(rng.Intn(20))
+		}
+		retrieved := make([]int64, rng.Intn(15))
+		for i := range retrieved {
+			retrieved[i] = int64(rng.Intn(20))
+		}
+		p := PrecisionAtK(retrieved, truth, k)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

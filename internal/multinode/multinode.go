@@ -1,0 +1,310 @@
+// Package multinode reimplements the paper's multi-node analysis tool
+// (Figure 15): it combines per-node hardware models with a trace of which
+// shards each query's deep search touches, and aggregates them into
+// end-to-end batch latency, throughput, and energy for a distributed
+// retrieval tier. All of Figures 14, 16, 17, 18, 20, and 21 are computed
+// through this package.
+//
+// Three retrieval organizations are modeled:
+//
+//   - Monolithic: one node holds the whole datastore.
+//   - SplitAll: the datastore is sharded over N nodes and every node
+//     searches every query (naive distribution).
+//   - Hermes: every node runs the cheap sample phase for every query, then
+//     only the trace-selected nodes run the deep phase for their share of
+//     the batch.
+//
+// DVFS policies from Section 4.2 / Figure 21 apply to the deep phase:
+// DVFSNone runs everything at base frequency; DVFSBaseline slows each node
+// so it finishes no earlier than the slowest deep node; DVFSEnhanced slows
+// nodes to the pipeline window (inference latency), the paper's "enhanced"
+// variant.
+package multinode
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/hwmodel"
+)
+
+// DVFSPolicy selects the deep-phase frequency assignment.
+type DVFSPolicy int
+
+const (
+	// DVFSNone runs all nodes at base frequency.
+	DVFSNone DVFSPolicy = iota
+	// DVFSBaseline slows lightly-loaded nodes to the completion time of
+	// the slowest deep node in the batch.
+	DVFSBaseline
+	// DVFSEnhanced slows nodes further, to the pipeline window set by LLM
+	// inference (valid when retrieval is overlapped with inference).
+	DVFSEnhanced
+)
+
+func (p DVFSPolicy) String() string {
+	switch p {
+	case DVFSNone:
+		return "none"
+	case DVFSBaseline:
+		return "baseline"
+	case DVFSEnhanced:
+		return "enhanced"
+	default:
+		return fmt.Sprintf("DVFSPolicy(%d)", int(p))
+	}
+}
+
+// Cluster is a homogeneous retrieval tier: one CPU node per shard.
+type Cluster struct {
+	CPU hwmodel.CPUSpec
+	// ShardTokens is the datastore slice held by each node.
+	ShardTokens []int64
+}
+
+// NewCluster builds a cluster of len(shardTokens) nodes.
+func NewCluster(cpu hwmodel.CPUSpec, shardTokens []int64) (*Cluster, error) {
+	if err := cpu.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shardTokens) == 0 {
+		return nil, fmt.Errorf("multinode: cluster needs at least one shard")
+	}
+	for i, tok := range shardTokens {
+		if tok <= 0 {
+			return nil, fmt.Errorf("multinode: shard %d has %d tokens", i, tok)
+		}
+	}
+	return &Cluster{CPU: cpu, ShardTokens: shardTokens}, nil
+}
+
+// EvenCluster builds a cluster of n equal shards splitting totalTokens.
+func EvenCluster(cpu hwmodel.CPUSpec, totalTokens int64, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("multinode: node count must be positive")
+	}
+	shards := make([]int64, n)
+	for i := range shards {
+		shards[i] = totalTokens / int64(n)
+	}
+	return NewCluster(cpu, shards)
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.ShardTokens) }
+
+// TotalTokens sums the shard sizes.
+func (c *Cluster) TotalTokens() int64 {
+	var t int64
+	for _, s := range c.ShardTokens {
+		t += s
+	}
+	return t
+}
+
+// BatchCost is the modeled cost of serving one batch of queries.
+type BatchCost struct {
+	Latency time.Duration
+	EnergyJ float64
+	// NodesBusy is the number of nodes that did deep work.
+	NodesBusy int
+}
+
+// Throughput converts a batch cost into queries/second.
+func (b BatchCost) Throughput(batch int) float64 {
+	if b.Latency <= 0 {
+		return 0
+	}
+	return float64(batch) / b.Latency.Seconds()
+}
+
+// Monolithic models a single node holding totalTokens serving the batch.
+func Monolithic(cpu hwmodel.CPUSpec, totalTokens int64, batch int) BatchCost {
+	lat := cpu.RetrievalLatency(totalTokens, batch, 0)
+	return BatchCost{
+		Latency:   lat,
+		EnergyJ:   cpu.RetrievalEnergy(totalTokens, batch, 0),
+		NodesBusy: 1,
+	}
+}
+
+// SplitAll models the naive distributed baseline: all nodes search the whole
+// batch concurrently; the batch completes when the slowest (largest) shard
+// finishes, and every node burns active power for its busy time plus idle
+// power while waiting.
+func (c *Cluster) SplitAll(batch int) BatchCost {
+	var window time.Duration
+	for _, tok := range c.ShardTokens {
+		if l := c.CPU.RetrievalLatency(tok, batch, 0); l > window {
+			window = l
+		}
+	}
+	var energy float64
+	for _, tok := range c.ShardTokens {
+		energy += c.CPU.EnergyInWindow(tok, batch, c.CPU.BaseGHz, window)
+	}
+	return BatchCost{Latency: window, EnergyJ: energy, NodesBusy: c.Nodes()}
+}
+
+// HermesConfig parameterizes the hierarchical search cost model.
+type HermesConfig struct {
+	// Batch is the query batch size.
+	Batch int
+	// DeepLoads[s] is the number of the batch's queries whose deep search
+	// hit shard s (from a trace.BatchLoads entry, or synthetic).
+	DeepLoads []int
+	// SampleFraction is the cost of the sample phase relative to a deep
+	// search of the same shard (≈ SampleNProbe/DeepNProbe; paper default
+	// 8/128).
+	SampleFraction float64
+	// Policy selects the DVFS behaviour for the deep phase.
+	Policy DVFSPolicy
+	// PipelineWindow, when positive, is the wall-clock horizon the
+	// retrieval tier lives inside (the pipelined LLM inference latency).
+	// Energy is accounted over max(deep window, PipelineWindow) for every
+	// policy — nodes idle until the pipeline closes either way — and
+	// DVFSEnhanced additionally stretches node frequencies into it.
+	PipelineWindow time.Duration
+}
+
+// Hermes models one batch under hierarchical search. Phase 1 (sampling) runs
+// the full batch on every node at SampleFraction of deep cost; phase 2 (deep)
+// runs each node's DeepLoads share. The batch latency is the sample window
+// plus the deep window; energy charges each node its busy time at its chosen
+// frequency plus idle for the remainder of the deep window.
+func (c *Cluster) Hermes(cfg HermesConfig) (BatchCost, error) {
+	if cfg.Batch <= 0 {
+		return BatchCost{}, fmt.Errorf("multinode: batch must be positive")
+	}
+	if len(cfg.DeepLoads) != c.Nodes() {
+		return BatchCost{}, fmt.Errorf("multinode: DeepLoads has %d entries for %d nodes", len(cfg.DeepLoads), c.Nodes())
+	}
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		return BatchCost{}, fmt.Errorf("multinode: SampleFraction %v out of (0,1]", cfg.SampleFraction)
+	}
+
+	// Phase 1 — sampling on every node, full batch, base frequency.
+	var sampleWindow time.Duration
+	sampleBusy := make([]time.Duration, c.Nodes())
+	for s, tok := range c.ShardTokens {
+		busy := time.Duration(float64(c.CPU.RetrievalLatency(tok, cfg.Batch, 0)) * cfg.SampleFraction)
+		sampleBusy[s] = busy
+		if busy > sampleWindow {
+			sampleWindow = busy
+		}
+	}
+	var energy float64
+	samplePower := c.CPU.IdleWatts + (c.CPU.Power(c.CPU.BaseGHz)-c.CPU.IdleWatts)*c.CPU.Utilization(cfg.Batch)
+	for s := range c.ShardTokens {
+		busy := sampleBusy[s].Seconds()
+		idle := sampleWindow.Seconds() - busy
+		energy += samplePower*busy + c.CPU.IdleWatts*idle
+	}
+
+	// Phase 2 — deep search on loaded nodes.
+	deepBase := make([]time.Duration, c.Nodes())
+	var deepWindow time.Duration
+	busyNodes := 0
+	for s, tok := range c.ShardTokens {
+		if cfg.DeepLoads[s] <= 0 {
+			continue
+		}
+		busyNodes++
+		deepBase[s] = c.CPU.RetrievalLatency(tok, cfg.DeepLoads[s], 0)
+		if deepBase[s] > deepWindow {
+			deepWindow = deepBase[s]
+		}
+	}
+	// Energy horizon: all policies account idle time until the pipeline
+	// window closes (when one is given); the policies differ only in how
+	// fast nodes run inside it.
+	horizon := deepWindow
+	if cfg.PipelineWindow > horizon {
+		horizon = cfg.PipelineWindow
+	}
+	for s, tok := range c.ShardTokens {
+		if cfg.DeepLoads[s] <= 0 {
+			energy += c.CPU.IdleWatts * horizon.Seconds()
+			continue
+		}
+		freq := c.CPU.BaseGHz
+		switch cfg.Policy {
+		case DVFSBaseline:
+			freq = c.CPU.FrequencyForLatency(tok, cfg.DeepLoads[s], deepWindow)
+		case DVFSEnhanced:
+			freq = c.CPU.FrequencyForLatency(tok, cfg.DeepLoads[s], horizon)
+		}
+		energy += c.CPU.EnergyInWindow(tok, cfg.DeepLoads[s], freq, horizon)
+	}
+
+	// Reported retrieval latency: sample + deep windows. DVFSEnhanced may
+	// stretch the deep phase to the pipeline horizon, but that time is
+	// hidden behind inference by construction.
+	latency := sampleWindow + deepWindow
+	if cfg.Policy == DVFSEnhanced && horizon > deepWindow {
+		latency = sampleWindow + horizon
+	}
+	return BatchCost{Latency: latency, EnergyJ: energy, NodesBusy: busyNodes}, nil
+}
+
+// SkewedLoads builds a DeepLoads vector with Zipf-skewed shard popularity:
+// each query picks deepClusters distinct shards with probability proportional
+// to 1/rank^s over a seeded random shard ordering — the Figure 13 access
+// pattern. Higher s concentrates load and widens the DVFS opportunity.
+func SkewedLoads(nodes, batch, deepClusters int, s float64, seed int64) []int {
+	if deepClusters > nodes {
+		deepClusters = nodes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, nodes)
+	var sum float64
+	perm := rng.Perm(nodes)
+	for rank, node := range perm {
+		w := 1.0
+		if s > 0 {
+			w = 1 / math.Pow(float64(rank+1), s)
+		}
+		weights[node] = w
+		sum += w
+	}
+	loads := make([]int, nodes)
+	for q := 0; q < batch; q++ {
+		chosen := make(map[int]bool, deepClusters)
+		for len(chosen) < deepClusters {
+			x := rng.Float64() * sum
+			var cum float64
+			pick := nodes - 1
+			for node, w := range weights {
+				cum += w
+				if x <= cum {
+					pick = node
+					break
+				}
+			}
+			if !chosen[pick] {
+				chosen[pick] = true
+				loads[pick]++
+			}
+		}
+	}
+	return loads
+}
+
+// SpreadLoads builds a DeepLoads vector for the idealized balanced case:
+// each query's deep search touches deepClusters distinct shards and the
+// choices rotate across the whole cluster, so every node carries
+// batch*deepClusters/nodes of the deep work. This is where Hermes' batch
+// throughput gain comes from — each node sees only a slice of the batch
+// instead of all of it.
+func SpreadLoads(nodes, batch, deepClusters int) []int {
+	loads := make([]int, nodes)
+	if deepClusters > nodes {
+		deepClusters = nodes
+	}
+	for u := 0; u < batch*deepClusters; u++ {
+		loads[u%nodes]++
+	}
+	return loads
+}

@@ -1,0 +1,262 @@
+package multinode
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hwmodel"
+)
+
+func evenCluster(t testing.TB, tokens int64, n int) *Cluster {
+	t.Helper()
+	c, err := EvenCluster(hwmodel.XeonGold6448Y, tokens, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(hwmodel.XeonGold6448Y, nil); err == nil {
+		t.Fatal("empty cluster should error")
+	}
+	if _, err := NewCluster(hwmodel.XeonGold6448Y, []int64{0}); err == nil {
+		t.Fatal("zero-token shard should error")
+	}
+	if _, err := EvenCluster(hwmodel.XeonGold6448Y, 100e9, 0); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	bad := hwmodel.CPUSpec{Name: "bad"}
+	if _, err := NewCluster(bad, []int64{1}); err == nil {
+		t.Fatal("invalid CPU should error")
+	}
+}
+
+func TestEvenClusterShape(t *testing.T) {
+	c := evenCluster(t, 100e9, 10)
+	if c.Nodes() != 10 {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+	if c.TotalTokens() != 100e9 {
+		t.Fatalf("total = %d", c.TotalTokens())
+	}
+}
+
+// Distribution's core benefit: splitting over 10 nodes cuts batch latency
+// ~10x vs the monolithic node (Fig. 14's distributed-splitting gain).
+func TestSplitAllLatencySpeedup(t *testing.T) {
+	mono := Monolithic(hwmodel.XeonGold6448Y, 100e9, 32)
+	c := evenCluster(t, 100e9, 10)
+	split := c.SplitAll(32)
+	speedup := mono.Latency.Seconds() / split.Latency.Seconds()
+	if speedup < 9.9 || speedup > 10.1 {
+		t.Fatalf("split speedup = %v, want ~10", speedup)
+	}
+}
+
+// The paper's Section 4.1 warning: naive distribution costs MORE energy than
+// the monolithic search (all nodes burn power for every query).
+func TestSplitAllEnergyExceedsMonolithic(t *testing.T) {
+	mono := Monolithic(hwmodel.XeonGold6448Y, 100e9, 32)
+	c := evenCluster(t, 100e9, 10)
+	split := c.SplitAll(32)
+	if split.EnergyJ <= mono.EnergyJ {
+		t.Fatalf("naive split energy %v should exceed monolithic %v", split.EnergyJ, mono.EnergyJ)
+	}
+	// Imbalanced shards (the realistic k-means outcome) widen the gap:
+	// light nodes idle while the largest shard finishes.
+	shards := []int64{14e9, 10e9, 8e9, 8e9, 6e9, 14e9, 10e9, 10e9, 12e9, 8e9}
+	imb, err := NewCluster(hwmodel.XeonGold6448Y, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbSplit := imb.SplitAll(32)
+	if imbSplit.EnergyJ <= split.EnergyJ {
+		t.Fatalf("imbalanced split energy %v should exceed balanced %v", imbSplit.EnergyJ, split.EnergyJ)
+	}
+}
+
+func hermesCfg(batch, nodes, deep int) HermesConfig {
+	return HermesConfig{
+		Batch:          batch,
+		DeepLoads:      SpreadLoads(nodes, batch, deep),
+		SampleFraction: 8.0 / 128.0,
+		Policy:         DVFSNone,
+	}
+}
+
+func TestHermesValidation(t *testing.T) {
+	c := evenCluster(t, 100e9, 10)
+	if _, err := c.Hermes(HermesConfig{Batch: 0, DeepLoads: make([]int, 10), SampleFraction: 0.1}); err == nil {
+		t.Fatal("zero batch should error")
+	}
+	if _, err := c.Hermes(HermesConfig{Batch: 32, DeepLoads: make([]int, 3), SampleFraction: 0.1}); err == nil {
+		t.Fatal("mismatched DeepLoads should error")
+	}
+	if _, err := c.Hermes(HermesConfig{Batch: 32, DeepLoads: make([]int, 10), SampleFraction: 0}); err == nil {
+		t.Fatal("zero SampleFraction should error")
+	}
+}
+
+// Hermes at 3 deep clusters must beat the naive all-node search on both
+// throughput and energy (Takeaway 4 / Fig. 18: 1.81x QPS, 1.77x energy at 3
+// of 10 clusters).
+func TestHermesBeatsSplitAll(t *testing.T) {
+	c := evenCluster(t, 100e9, 10)
+	split := c.SplitAll(128)
+	hermes, err := c.Hermes(hermesCfg(128, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpsRatio := hermes.Throughput(128) / split.Throughput(128)
+	energyRatio := split.EnergyJ / hermes.EnergyJ
+	// Paper: 1.81x QPS and 1.77x energy; require the same ballpark.
+	if qpsRatio < 1.4 || qpsRatio > 2.6 {
+		t.Fatalf("Hermes QPS ratio %v, want ~1.8", qpsRatio)
+	}
+	if energyRatio < 1.4 || energyRatio > 2.6 {
+		t.Fatalf("Hermes energy ratio %v, want ~1.77", energyRatio)
+	}
+	if hermes.NodesBusy != 10 {
+		t.Fatalf("deep nodes busy = %d, want 10 (spread loads)", hermes.NodesBusy)
+	}
+}
+
+// Fig. 18 shape: energy grows and throughput falls as more clusters are
+// deep-searched.
+func TestHermesClustersSearchedMonotone(t *testing.T) {
+	c := evenCluster(t, 100e9, 10)
+	var prevEnergy float64
+	var prevQPS float64
+	for deep := 1; deep <= 10; deep++ {
+		cost, err := c.Hermes(hermesCfg(128, 10, deep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deep > 1 {
+			if cost.EnergyJ <= prevEnergy {
+				t.Fatalf("energy should grow with deep clusters: %v <= %v at %d", cost.EnergyJ, prevEnergy, deep)
+			}
+			if cost.Throughput(128) > prevQPS {
+				t.Fatalf("throughput should not grow with deep clusters at %d", deep)
+			}
+		}
+		prevEnergy = cost.EnergyJ
+		prevQPS = cost.Throughput(128)
+	}
+}
+
+// Hermes searching ALL clusters costs more than SplitAll by the sampling
+// overhead — sampling only pays off because it lets the deep phase shrink.
+func TestHermesAllClustersCostsSamplingOverhead(t *testing.T) {
+	c := evenCluster(t, 100e9, 10)
+	split := c.SplitAll(128)
+	all, err := c.Hermes(hermesCfg(128, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Latency <= split.Latency {
+		t.Fatal("Hermes deep=10 should not be faster than SplitAll")
+	}
+}
+
+func TestDVFSBaselineSavesEnergy(t *testing.T) {
+	// Uneven shards: light nodes can slow down to the slowest node's
+	// latency and save energy without hurting the batch window.
+	shards := []int64{14e9, 10e9, 8e9, 8e9, 6e9, 14e9, 10e9, 10e9, 12e9, 8e9}
+	c, err := NewCluster(hwmodel.XeonGold6448Y, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hermesCfg(128, 10, 4)
+	none, err := c.Hermes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = DVFSBaseline
+	baseline, err := c.Hermes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.EnergyJ >= none.EnergyJ {
+		t.Fatalf("baseline DVFS energy %v should be < none %v", baseline.EnergyJ, none.EnergyJ)
+	}
+	if baseline.Latency > none.Latency+time.Millisecond {
+		t.Fatalf("baseline DVFS must not extend the batch window: %v vs %v", baseline.Latency, none.Latency)
+	}
+}
+
+func TestDVFSEnhancedSavesMore(t *testing.T) {
+	shards := []int64{14e9, 10e9, 8e9, 8e9, 6e9, 14e9, 10e9, 10e9, 12e9, 8e9}
+	c, err := NewCluster(hwmodel.XeonGold6448Y, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hermesCfg(128, 10, 4)
+	// Retrieval is pipelined with an inference stage 3x slower; both
+	// policies live inside (and are charged for) the same window.
+	base, err := c.Hermes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PipelineWindow = base.Latency * 3
+	cfg.Policy = DVFSBaseline
+	baseline, err := c.Hermes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = DVFSEnhanced
+	enhanced, err := c.Hermes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enhanced.EnergyJ >= baseline.EnergyJ {
+		t.Fatalf("enhanced DVFS energy %v should be < baseline %v", enhanced.EnergyJ, baseline.EnergyJ)
+	}
+}
+
+func TestSpreadLoads(t *testing.T) {
+	loads := SpreadLoads(10, 128, 3)
+	if len(loads) != 10 {
+		t.Fatalf("loads len %d", len(loads))
+	}
+	total := 0
+	for _, l := range loads {
+		total += l
+		// Even spread: every node within 1 of the mean 38.4.
+		if l < 38 || l > 39 {
+			t.Fatalf("load %d outside even spread", l)
+		}
+	}
+	if total != 128*3 {
+		t.Fatalf("total deep searches %d, want 384", total)
+	}
+	// Clamp when deepClusters > nodes.
+	over := SpreadLoads(2, 10, 5)
+	if len(over) != 2 {
+		t.Fatal("clamped loads wrong length")
+	}
+	sum := over[0] + over[1]
+	if sum != 10*2 {
+		t.Fatalf("clamped total = %d, want 20", sum)
+	}
+}
+
+func TestBatchCostThroughput(t *testing.T) {
+	b := BatchCost{Latency: 2 * time.Second}
+	if b.Throughput(128) != 64 {
+		t.Fatalf("throughput = %v", b.Throughput(128))
+	}
+	if (BatchCost{}).Throughput(10) != 0 {
+		t.Fatal("zero latency throughput should be 0")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if DVFSNone.String() != "none" || DVFSBaseline.String() != "baseline" || DVFSEnhanced.String() != "enhanced" {
+		t.Fatal("policy names wrong")
+	}
+	if DVFSPolicy(9).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}

@@ -1,0 +1,66 @@
+package multinode
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ReplaySummary aggregates a trace-driven replay: the paper's multi-node
+// analysis pairs per-node measurements "with a trace of the top clusters
+// accessed during the deep search" — ReplayTrace is that pairing.
+type ReplaySummary struct {
+	// Batches is the number of batch windows replayed.
+	Batches int
+	// TotalLatency sums the batch windows; TotalEnergyJ the Joules.
+	TotalLatency time.Duration
+	TotalEnergyJ float64
+	// MeanQPS is total queries / total latency.
+	MeanQPS float64
+	// PerBatch holds the individual window costs.
+	PerBatch []BatchCost
+}
+
+// ReplayTrace evaluates the cluster cost model over a real shard-access
+// trace collected from the hierarchical search (trace.Collect), splitting it
+// into windows of batchSize queries. The base config supplies
+// SampleFraction, Policy, and PipelineWindow; Batch and DeepLoads are filled
+// per window from the trace.
+func (c *Cluster) ReplayTrace(tr *trace.Trace, batchSize int, base HermesConfig) (*ReplaySummary, error) {
+	if tr == nil || len(tr.Entries) == 0 {
+		return nil, fmt.Errorf("multinode: ReplayTrace requires a non-empty trace")
+	}
+	if tr.NumShards != c.Nodes() {
+		return nil, fmt.Errorf("multinode: trace has %d shards, cluster %d nodes", tr.NumShards, c.Nodes())
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("multinode: batchSize must be positive")
+	}
+	loads := tr.BatchLoads(batchSize)
+	sum := &ReplaySummary{}
+	queries := 0
+	for i, load := range loads {
+		cfg := base
+		// The trailing window may be partial.
+		remaining := len(tr.Entries) - i*batchSize
+		if remaining > batchSize {
+			remaining = batchSize
+		}
+		cfg.Batch = remaining
+		cfg.DeepLoads = load.ShardBatch
+		cost, err := c.Hermes(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sum.PerBatch = append(sum.PerBatch, cost)
+		sum.TotalLatency += cost.Latency
+		sum.TotalEnergyJ += cost.EnergyJ
+		queries += remaining
+	}
+	sum.Batches = len(loads)
+	if sum.TotalLatency > 0 {
+		sum.MeanQPS = float64(queries) / sum.TotalLatency.Seconds()
+	}
+	return sum, nil
+}

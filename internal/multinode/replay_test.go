@@ -1,0 +1,124 @@
+package multinode
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/hwmodel"
+	"repro/internal/trace"
+)
+
+func collectTrace(t *testing.T, shards, queries int) *trace.Trace {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 1200, Dim: 16, NumTopics: shards, Seed: 3, ZipfS: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(st, c.Queries(queries, 5), hermes.DefaultParams())
+}
+
+func TestReplayTraceValidation(t *testing.T) {
+	cl := evenCluster(t, 10e9, 10)
+	base := HermesConfig{SampleFraction: 8.0 / 128.0}
+	if _, err := cl.ReplayTrace(nil, 32, base); err == nil {
+		t.Fatal("nil trace should error")
+	}
+	tr := &trace.Trace{NumShards: 3, Entries: []trace.Entry{{QueryID: 0, DeepShards: []int{0}}}}
+	if _, err := cl.ReplayTrace(tr, 32, base); err == nil {
+		t.Fatal("shard-count mismatch should error")
+	}
+	tr10 := &trace.Trace{NumShards: 10, Entries: []trace.Entry{{QueryID: 0, DeepShards: []int{0}}}}
+	if _, err := cl.ReplayTrace(tr10, 0, base); err == nil {
+		t.Fatal("zero batch should error")
+	}
+}
+
+func TestReplayTraceAggregation(t *testing.T) {
+	tr := collectTrace(t, 10, 100)
+	cl := evenCluster(t, 10e9, 10)
+	base := HermesConfig{SampleFraction: 8.0 / 128.0}
+	sum, err := cl.ReplayTrace(tr, 32, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 queries at batch 32 -> 4 windows (32+32+32+4).
+	if sum.Batches != 4 || len(sum.PerBatch) != 4 {
+		t.Fatalf("batches = %d", sum.Batches)
+	}
+	if sum.TotalLatency <= 0 || sum.TotalEnergyJ <= 0 || sum.MeanQPS <= 0 {
+		t.Fatalf("degenerate summary %+v", sum)
+	}
+	var lat, en float64
+	for _, b := range sum.PerBatch {
+		lat += b.Latency.Seconds()
+		en += b.EnergyJ
+	}
+	if diff := lat - sum.TotalLatency.Seconds(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatal("TotalLatency does not sum PerBatch")
+	}
+	if diff := en - sum.TotalEnergyJ; diff > 1e-6 || diff < -1e-6 {
+		t.Fatal("TotalEnergyJ does not sum PerBatch")
+	}
+}
+
+// Replaying a skewed real trace must cost no less than the idealized even
+// spread (imbalance can only hurt the batch window), and DVFS must help.
+func TestReplayTraceVsIdealSpread(t *testing.T) {
+	tr := collectTrace(t, 10, 96)
+	cl := evenCluster(t, 10e9, 10)
+	base := HermesConfig{SampleFraction: 8.0 / 128.0}
+	replay, err := cl.ReplayTrace(tr, 32, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idealCfg := base
+	idealCfg.Batch = 32
+	idealCfg.DeepLoads = SpreadLoads(10, 32, 3)
+	ideal, err := cl.Hermes(idealCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBatch := replay.TotalLatency / 3 // first three full windows dominate
+	if perBatch < ideal.Latency {
+		t.Fatalf("skewed replay window %v should be >= ideal spread %v", perBatch, ideal.Latency)
+	}
+
+	dvfs := base
+	dvfs.Policy = DVFSBaseline
+	saved, err := cl.ReplayTrace(tr, 32, dvfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.TotalEnergyJ > replay.TotalEnergyJ {
+		t.Fatalf("DVFS replay energy %v should not exceed no-DVFS %v", saved.TotalEnergyJ, replay.TotalEnergyJ)
+	}
+}
+
+func TestReplayTraceUsesCPU(t *testing.T) {
+	tr := collectTrace(t, 10, 64)
+	gold, err := EvenCluster(hwmodel.XeonGold6448Y, 10e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := EvenCluster(hwmodel.XeonPlatinum8380, 10e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := HermesConfig{SampleFraction: 8.0 / 128.0}
+	sGold, err := gold.ReplayTrace(tr, 32, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPlat, err := plat.ReplayTrace(tr, 32, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPlat.TotalLatency >= sGold.TotalLatency {
+		t.Fatal("Platinum replay should be faster than Gold")
+	}
+}

@@ -1,0 +1,385 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func randomData(n, dim int, seed int64) *vec.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			m.Row(i)[d] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func reconstructionMSE(q Quantizer, data *vec.Matrix) float64 {
+	code := make([]byte, q.CodeSize())
+	out := make([]float32, q.Dim())
+	var sum float64
+	for i := 0; i < data.Len(); i++ {
+		q.Encode(data.Row(i), code)
+		q.Decode(code, out)
+		sum += float64(vec.L2Squared(data.Row(i), out))
+	}
+	return sum / float64(data.Len())
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	f := NewFlat(8)
+	if err := f.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	v := []float32{1, -2, 3.5, 0, 1e-7, 1e7, -0.5, 42}
+	code := make([]byte, f.CodeSize())
+	out := make([]float32, 8)
+	f.Encode(v, code)
+	f.Decode(code, out)
+	for i := range v {
+		if v[i] != out[i] {
+			t.Fatalf("Flat round trip changed element %d: %v -> %v", i, v[i], out[i])
+		}
+	}
+}
+
+func TestFlatDistancerExact(t *testing.T) {
+	f := NewFlat(4)
+	v := []float32{1, 2, 3, 4}
+	q := []float32{0, 0, 0, 0}
+	code := make([]byte, f.CodeSize())
+	f.Encode(v, code)
+	d := f.NewDistancer(q)
+	if got, want := d(code), vec.L2Squared(q, v); got != want {
+		t.Fatalf("Flat distance = %v, want %v", got, want)
+	}
+}
+
+func TestFlatCodeSize(t *testing.T) {
+	if NewFlat(768).CodeSize() != 3072 {
+		t.Fatal("Flat dim=768 should be 3072 bytes (Table 1)")
+	}
+}
+
+func TestSQ8CodeSize(t *testing.T) {
+	if NewSQ(768, 8).CodeSize() != 768 {
+		t.Fatal("SQ8 dim=768 should be 768 bytes (Table 1)")
+	}
+}
+
+func TestSQ4CodeSize(t *testing.T) {
+	if NewSQ(768, 4).CodeSize() != 384 {
+		t.Fatal("SQ4 dim=768 should be 384 bytes (Table 1)")
+	}
+	if NewSQ(7, 4).CodeSize() != 4 {
+		t.Fatal("SQ4 odd dim should round up")
+	}
+}
+
+func TestSQUntrainedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for untrained SQ")
+		}
+	}()
+	s := NewSQ(4, 8)
+	s.Encode([]float32{1, 2, 3, 4}, make([]byte, 4))
+}
+
+func TestSQ8ReconstructionError(t *testing.T) {
+	data := randomData(500, 16, 1)
+	s := NewSQ(16, 8)
+	if err := s.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	mse := reconstructionMSE(s, data)
+	// 8-bit quantization of ~N(0,1) over an observed range of roughly
+	// [-4,4]: step ~ 8/255, MSE per dim ~ step^2/12 ~ 8e-5. Whole-vector
+	// budget with slack:
+	if mse > 0.01 {
+		t.Fatalf("SQ8 MSE too high: %v", mse)
+	}
+}
+
+func TestSQ4WorseThanSQ8(t *testing.T) {
+	data := randomData(500, 16, 2)
+	s8 := NewSQ(16, 8)
+	s4 := NewSQ(16, 4)
+	if err := s8.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if reconstructionMSE(s4, data) <= reconstructionMSE(s8, data) {
+		t.Fatal("SQ4 should reconstruct worse than SQ8")
+	}
+}
+
+func TestSQTrainingErrors(t *testing.T) {
+	s := NewSQ(4, 8)
+	if err := s.Train(nil); err == nil {
+		t.Fatal("nil data should error")
+	}
+	if err := s.Train(vec.NewMatrix(0, 4)); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if err := s.Train(randomData(10, 5, 1)); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestSQConstantDimension(t *testing.T) {
+	// A dimension with zero range must encode/decode without NaN.
+	data := vec.MatrixFromRows([][]float32{{1, 5}, {2, 5}, {3, 5}})
+	s := NewSQ(2, 8)
+	if err := s.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	code := make([]byte, s.CodeSize())
+	out := make([]float32, 2)
+	s.Encode([]float32{2, 5}, code)
+	s.Decode(code, out)
+	if math.IsNaN(float64(out[0])) || out[1] != 5 {
+		t.Fatalf("constant dim decode = %v", out)
+	}
+}
+
+// Property: SQ distancer agrees with decode-then-L2 exactly.
+func TestSQDistancerMatchesDecode(t *testing.T) {
+	for _, bits := range []int{4, 8} {
+		data := randomData(200, 12, 3)
+		s := NewSQ(12, bits)
+		if err := s.Train(data); err != nil {
+			t.Fatal(err)
+		}
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			v := make([]float32, 12)
+			q := make([]float32, 12)
+			for i := range v {
+				v[i] = float32(rng.NormFloat64())
+				q[i] = float32(rng.NormFloat64())
+			}
+			code := make([]byte, s.CodeSize())
+			s.Encode(v, code)
+			out := make([]float32, 12)
+			s.Decode(code, out)
+			want := float64(vec.L2Squared(q, out))
+			got := float64(s.NewDistancer(q)(code))
+			return math.Abs(want-got) <= 1e-3*math.Max(1, want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+	}
+}
+
+func TestPQInvalidConfigs(t *testing.T) {
+	if _, err := NewPQ(10, 3, 8, 0); err == nil {
+		t.Fatal("dim not divisible by m should error")
+	}
+	if _, err := NewPQ(8, 4, 7, 0); err == nil {
+		t.Fatal("nbits != 8 should error")
+	}
+	if _, err := NewPQ(0, 1, 8, 0); err == nil {
+		t.Fatal("zero dim should error")
+	}
+}
+
+func TestPQRoundTripApproximate(t *testing.T) {
+	data := randomData(600, 16, 4)
+	p, err := NewPQ(16, 4, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	mse := reconstructionMSE(p, data)
+	// PQ is lossy but should capture most of the variance (16 dims, 4
+	// codebooks of up to 256 entries over 600 points).
+	if mse > 8 {
+		t.Fatalf("PQ MSE unreasonably high: %v", mse)
+	}
+	if p.CodeSize() != 4 {
+		t.Fatalf("PQ code size = %d", p.CodeSize())
+	}
+}
+
+func TestPQDistancerMatchesDecode(t *testing.T) {
+	data := randomData(400, 8, 5)
+	p, err := NewPQ(8, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		v := make([]float32, 8)
+		q := make([]float32, 8)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+			q[i] = float32(rng.NormFloat64())
+		}
+		code := make([]byte, p.CodeSize())
+		p.Encode(v, code)
+		out := make([]float32, 8)
+		p.Decode(code, out)
+		want := float64(vec.L2Squared(q, out))
+		got := float64(p.NewDistancer(q)(code))
+		if math.Abs(want-got) > 1e-3*math.Max(1, want) {
+			t.Fatalf("PQ ADC %v != decode distance %v", got, want)
+		}
+	}
+}
+
+func TestOPQRotationIsIsometry(t *testing.T) {
+	o, err := NewOPQ(12, 3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float32, 12)
+	b := make([]float32, 12)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		b[i] = float32(rng.NormFloat64())
+	}
+	ra := make([]float32, 12)
+	rb := make([]float32, 12)
+	o.rotate(a, ra)
+	o.rotate(b, rb)
+	d0 := float64(vec.L2Squared(a, b))
+	d1 := float64(vec.L2Squared(ra, rb))
+	if math.Abs(d0-d1) > 1e-3*math.Max(1, d0) {
+		t.Fatalf("rotation not isometric: %v vs %v", d0, d1)
+	}
+}
+
+func TestOPQUnrotateInverts(t *testing.T) {
+	o, err := NewOPQ(10, 2, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float32, 10)
+	for i := range v {
+		v[i] = float32(i) - 4.5
+	}
+	r := make([]float32, 10)
+	back := make([]float32, 10)
+	o.rotate(v, r)
+	o.unrotate(r, back)
+	for i := range v {
+		if math.Abs(float64(v[i]-back[i])) > 1e-4 {
+			t.Fatalf("unrotate(rotate(v))[%d] = %v, want %v", i, back[i], v[i])
+		}
+	}
+}
+
+func TestOPQTrainEncodeDecode(t *testing.T) {
+	data := randomData(500, 8, 6)
+	o, err := NewOPQ(8, 2, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if mse := reconstructionMSE(o, data); mse > 8 {
+		t.Fatalf("OPQ MSE unreasonably high: %v", mse)
+	}
+}
+
+// Property shared by all quantizers: encoding a decoded vector is a fixed
+// point (quantization is idempotent).
+func TestQuantizationIdempotent(t *testing.T) {
+	data := randomData(300, 8, 8)
+	pq, _ := NewPQ(8, 2, 8, 11)
+	opq, _ := NewOPQ(8, 2, 8, 11)
+	quantizers := []Quantizer{NewFlat(8), NewSQ(8, 8), NewSQ(8, 4), pq, opq}
+	for _, q := range quantizers {
+		if err := q.Train(data); err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		code := make([]byte, q.CodeSize())
+		code2 := make([]byte, q.CodeSize())
+		out := make([]float32, 8)
+		for i := 0; i < 25; i++ {
+			q.Encode(data.Row(i), code)
+			q.Decode(code, out)
+			q.Encode(out, code2)
+			for b := range code {
+				if code[b] != code2[b] {
+					t.Fatalf("%s: re-encoding decoded vector changed code byte %d", q.Name(), b)
+				}
+			}
+		}
+	}
+}
+
+// Table 1 ordering property: more aggressive compression reconstructs worse.
+func TestCompressionFidelityOrdering(t *testing.T) {
+	data := randomData(800, 16, 10)
+	flat := NewFlat(16)
+	sq8 := NewSQ(16, 8)
+	sq4 := NewSQ(16, 4)
+	for _, q := range []Quantizer{flat, sq8, sq4} {
+		if err := q.Train(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mFlat := reconstructionMSE(flat, data)
+	mSQ8 := reconstructionMSE(sq8, data)
+	mSQ4 := reconstructionMSE(sq4, data)
+	if !(mFlat <= mSQ8 && mSQ8 < mSQ4) {
+		t.Fatalf("fidelity ordering violated: flat=%v sq8=%v sq4=%v", mFlat, mSQ8, mSQ4)
+	}
+}
+
+func BenchmarkSQ8Distancer(b *testing.B) {
+	data := randomData(1000, 128, 1)
+	s := NewSQ(128, 8)
+	if err := s.Train(data); err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, data.Len())
+	for i := range codes {
+		codes[i] = make([]byte, s.CodeSize())
+		s.Encode(data.Row(i), codes[i])
+	}
+	d := s.NewDistancer(data.Row(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d(codes[i%len(codes)])
+	}
+}
+
+func BenchmarkPQDistancer(b *testing.B) {
+	data := randomData(1000, 128, 1)
+	p, err := NewPQ(128, 16, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Train(data); err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, data.Len())
+	for i := range codes {
+		codes[i] = make([]byte, p.CodeSize())
+		p.Encode(data.Row(i), codes[i])
+	}
+	d := p.NewDistancer(data.Row(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d(codes[i%len(codes)])
+	}
+}

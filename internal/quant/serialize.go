@@ -1,0 +1,42 @@
+package quant
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// sqWire is the serialized form of a trained SQ quantizer.
+type sqWire struct {
+	Bits  int
+	Min   []float32
+	Scale []float32
+}
+
+// MarshalParams serializes a trained SQ quantizer's learned parameters.
+func (s *SQ) MarshalParams() ([]byte, error) {
+	if !s.trained {
+		return nil, fmt.Errorf("quant: cannot marshal untrained SQ")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sqWire{Bits: s.bits, Min: s.min, Scale: s.scale}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SQFromParams reconstructs a trained SQ quantizer from MarshalParams output.
+func SQFromParams(dim int, blob []byte) (*SQ, error) {
+	var w sqWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("quant: decode SQ params: %w", err)
+	}
+	if len(w.Min) != dim || len(w.Scale) != dim {
+		return nil, fmt.Errorf("quant: SQ params dim %d != %d", len(w.Min), dim)
+	}
+	s := NewSQ(dim, w.Bits)
+	s.min = w.Min
+	s.scale = w.Scale
+	s.trained = true
+	return s, nil
+}

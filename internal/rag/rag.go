@@ -1,0 +1,239 @@
+// Package rag models the end-to-end retrieval-augmented generation pipeline
+// of Figure 3 — encode → retrieve → augment → prefill → decode with
+// retrieval striding — and the serving strategies the paper evaluates:
+//
+//   - Baseline: every stride performs retrieval, then re-prefills the
+//     changed context, then decodes stride tokens, all sequentially.
+//   - RAGCache: key-value prefill states for retrieved documents are cached
+//     (the paper assumes an ideal 100% hit rate), removing re-prefill from
+//     strides after the first.
+//   - PipeRAG: retrieval for the next stride overlaps with the current
+//     stride's inference, hiding min(retrieval, inference) per stride at the
+//     cost of one-stride-stale documents.
+//   - Combinations (PipeRAG+RAGCache), each over any retrieval organization
+//     (monolithic, naive split, Hermes).
+//
+// The pipeline is an analytic composition of the encoder, retrieval-tier
+// (multinode) and LLM (llm) models; its outputs — TTFT, end-to-end latency,
+// and a per-stage energy ledger — are the series behind Figures 5, 6, 8, 14,
+// 16, 17, and 19.
+package rag
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/encoder"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/multinode"
+)
+
+// Retriever abstracts a retrieval tier: the modeled cost of one batched
+// retrieval round.
+type Retriever interface {
+	// Name identifies the organization ("monolithic", "hermes", ...).
+	Name() string
+	// RetrieveBatch returns the latency and energy of one retrieval round
+	// for the pipeline's batch.
+	RetrieveBatch() (time.Duration, float64)
+}
+
+// MonolithicRetriever is the single-node baseline tier.
+type MonolithicRetriever struct {
+	CPU    multinode.Cluster // single-shard cluster
+	Tokens int64
+	Batch  int
+}
+
+// NewMonolithicRetriever models one node holding the full datastore.
+func NewMonolithicRetriever(cluster *multinode.Cluster, batch int) (*MonolithicRetriever, error) {
+	if cluster.Nodes() != 1 {
+		return nil, fmt.Errorf("rag: monolithic retriever needs a 1-node cluster, got %d", cluster.Nodes())
+	}
+	return &MonolithicRetriever{CPU: *cluster, Tokens: cluster.TotalTokens(), Batch: batch}, nil
+}
+
+func (r *MonolithicRetriever) Name() string { return "monolithic" }
+
+func (r *MonolithicRetriever) RetrieveBatch() (time.Duration, float64) {
+	cost := multinode.Monolithic(r.CPU.CPU, r.Tokens, r.Batch)
+	return cost.Latency, cost.EnergyJ
+}
+
+// SplitAllRetriever is the naive distributed tier.
+type SplitAllRetriever struct {
+	Cluster *multinode.Cluster
+	Batch   int
+}
+
+func (r *SplitAllRetriever) Name() string { return "split-all" }
+
+func (r *SplitAllRetriever) RetrieveBatch() (time.Duration, float64) {
+	cost := r.Cluster.SplitAll(r.Batch)
+	return cost.Latency, cost.EnergyJ
+}
+
+// HermesRetriever is the hierarchical-search tier.
+type HermesRetriever struct {
+	Cluster *multinode.Cluster
+	Config  multinode.HermesConfig
+}
+
+func (r *HermesRetriever) Name() string { return "hermes" }
+
+func (r *HermesRetriever) RetrieveBatch() (time.Duration, float64) {
+	cost, err := r.Cluster.Hermes(r.Config)
+	if err != nil {
+		// Configuration errors are programming errors at pipeline level.
+		panic(fmt.Sprintf("rag: hermes retriever misconfigured: %v", err))
+	}
+	return cost.Latency, cost.EnergyJ
+}
+
+// PipelineConfig describes one serving scenario.
+type PipelineConfig struct {
+	Batch        int
+	InputTokens  int
+	OutputTokens int
+	// Stride is the retrieval stride length in tokens (paper default 16).
+	Stride int
+	// Engine is the LLM deployment.
+	Engine *llm.Engine
+	// Encoder is the query-encoder cost model.
+	Encoder encoder.LatencyModel
+	// Retriever is the retrieval tier.
+	Retriever Retriever
+	// Pipelined enables PipeRAG-style retrieval/inference overlap.
+	Pipelined bool
+	// PrefixCache enables RAGCache-style KV reuse. The paper assumes an
+	// ideal 100% hit rate; CacheHitRate below can weaken that.
+	PrefixCache bool
+	// CacheHitRate is the fraction of re-prefill work the KV cache
+	// absorbs when PrefixCache is on: 0 (or unset) means the paper's
+	// ideal 1.0; measured values come from a real internal/kvcache run
+	// (see the ablation-cachehit experiment). Ignored when PrefixCache is
+	// false.
+	CacheHitRate float64
+}
+
+func (c PipelineConfig) validate() error {
+	if c.Batch <= 0 || c.InputTokens <= 0 || c.OutputTokens <= 0 {
+		return fmt.Errorf("rag: batch/input/output must be positive")
+	}
+	if c.Stride <= 0 {
+		return fmt.Errorf("rag: stride must be positive")
+	}
+	if c.Engine == nil || c.Retriever == nil {
+		return fmt.Errorf("rag: engine and retriever are required")
+	}
+	if c.CacheHitRate < 0 || c.CacheHitRate > 1 {
+		return fmt.Errorf("rag: CacheHitRate %v outside [0,1]", c.CacheHitRate)
+	}
+	return nil
+}
+
+// effectiveHitRate resolves the configured hit rate: PrefixCache with an
+// unset rate means the paper's ideal 100%.
+func (c PipelineConfig) effectiveHitRate() float64 {
+	if !c.PrefixCache {
+		return 0
+	}
+	if c.CacheHitRate == 0 {
+		return 1
+	}
+	return c.CacheHitRate
+}
+
+// Strides returns the number of retrieval rounds for the configuration.
+func (c PipelineConfig) Strides() int {
+	return (c.OutputTokens + c.Stride - 1) / c.Stride
+}
+
+// Report is the modeled outcome of serving one batch end to end.
+type Report struct {
+	// TTFT is time-to-first-token: encode + first retrieval + prefill.
+	TTFT time.Duration
+	// E2E is the full batch completion latency.
+	E2E time.Duration
+	// Strides is the number of retrieval rounds performed.
+	Strides int
+	// Energy is the per-stage ledger (encode/retrieve/prefill/decode).
+	Energy metrics.Energy
+}
+
+// TotalJoules is the summed energy.
+func (r *Report) TotalJoules() float64 { return r.Energy.Total() }
+
+// Run evaluates the pipeline configuration.
+func Run(cfg PipelineConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Strides: cfg.Strides()}
+
+	encodeLat := cfg.Encoder.BatchLatency(cfg.Batch)
+	rep.Energy.AddJoules("encode", cfg.Encoder.BatchEnergy(cfg.Batch))
+
+	retrieveLat, retrieveJ := cfg.Retriever.RetrieveBatch()
+	prefillLat := cfg.Engine.PrefillLatency(cfg.Batch, cfg.InputTokens)
+	prefillJ := cfg.Engine.PrefillEnergy(cfg.Batch, cfg.InputTokens)
+
+	// TTFT: no strategy hides the first retrieval (PipeRAG and RAGCache
+	// both depend on state from prior strides — Takeaway 2).
+	rep.TTFT = encodeLat + retrieveLat + prefillLat
+
+	// First stride: encode + retrieve + prefill + decode(stride tokens).
+	decodeLat := func(strideIdx int) time.Duration {
+		ctx := cfg.InputTokens + strideIdx*cfg.Stride
+		return cfg.Engine.DecodeLatency(cfg.Batch, ctx, cfg.Stride)
+	}
+	decodeJ := func(strideIdx int) float64 {
+		ctx := cfg.InputTokens + strideIdx*cfg.Stride
+		return cfg.Engine.DecodeEnergy(cfg.Batch, ctx, cfg.Stride)
+	}
+
+	e2e := rep.TTFT + decodeLat(0)
+	rep.Energy.AddJoules("retrieve", retrieveJ)
+	rep.Energy.AddJoules("prefill", prefillJ)
+	rep.Energy.AddJoules("decode", decodeJ(0))
+
+	// Subsequent strides: inference re-prefills the changed context unless
+	// RAGCache serves it from the KV cache; PipeRAG overlaps the stride's
+	// retrieval with its inference, so the stride costs the longer of the
+	// two instead of their sum.
+	hitRate := cfg.effectiveHitRate()
+	for s := 1; s < rep.Strides; s++ {
+		inferLat := decodeLat(s)
+		if miss := 1 - hitRate; miss > 0 {
+			inferLat += time.Duration(float64(prefillLat) * miss)
+			rep.Energy.AddJoules("prefill", prefillJ*miss)
+		}
+		rep.Energy.AddJoules("decode", decodeJ(s))
+		rep.Energy.AddJoules("retrieve", retrieveJ)
+		switch {
+		case cfg.Pipelined && retrieveLat > inferLat:
+			e2e += retrieveLat
+		case cfg.Pipelined:
+			e2e += inferLat
+		default:
+			e2e += retrieveLat + inferLat
+		}
+	}
+	rep.E2E = e2e
+	return rep, nil
+}
+
+// StrategyName renders the optimization combination for reports.
+func StrategyName(pipelined, prefixCache bool) string {
+	switch {
+	case pipelined && prefixCache:
+		return "PipeRAG+RAGCache"
+	case pipelined:
+		return "PipeRAG"
+	case prefixCache:
+		return "RAGCache"
+	default:
+		return "Baseline"
+	}
+}

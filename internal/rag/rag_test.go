@@ -1,0 +1,316 @@
+package rag
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/encoder"
+	"repro/internal/hwmodel"
+	"repro/internal/llm"
+	"repro/internal/multinode"
+)
+
+func monoRetriever(t testing.TB, tokens int64, batch int) Retriever {
+	t.Helper()
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewMonolithicRetriever(cl, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func hermesRetriever(t testing.TB, tokens int64, nodes, batch, deep int) Retriever {
+	t.Helper()
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, tokens, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &HermesRetriever{
+		Cluster: cl,
+		Config: multinode.HermesConfig{
+			Batch:          batch,
+			DeepLoads:      multinode.SpreadLoads(nodes, batch, deep),
+			SampleFraction: 8.0 / 128.0,
+		},
+	}
+}
+
+func gemmaEngine(t testing.TB) *llm.Engine {
+	t.Helper()
+	e, err := llm.NewEngine(llm.Gemma2_9B, llm.A6000Ada, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func baseCfg(t testing.TB, r Retriever) PipelineConfig {
+	return PipelineConfig{
+		Batch:        32,
+		InputTokens:  512,
+		OutputTokens: 256,
+		Stride:       16,
+		Engine:       gemmaEngine(t),
+		Encoder:      encoder.DefaultLatencyModel,
+		Retriever:    r,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := baseCfg(t, monoRetriever(t, 10e9, 32))
+	cfg.Batch = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero batch should error")
+	}
+	cfg = baseCfg(t, monoRetriever(t, 10e9, 32))
+	cfg.Stride = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero stride should error")
+	}
+	cfg = baseCfg(t, nil)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("nil retriever should error")
+	}
+}
+
+func TestStrides(t *testing.T) {
+	cfg := baseCfg(t, monoRetriever(t, 10e9, 32))
+	if cfg.Strides() != 16 {
+		t.Fatalf("256/16 = %d strides, want 16", cfg.Strides())
+	}
+	cfg.OutputTokens = 250
+	if cfg.Strides() != 16 {
+		t.Fatalf("250/16 rounds up to %d, want 16", cfg.Strides())
+	}
+}
+
+func TestMonolithicRetrieverNeedsOneNode(t *testing.T) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, 10e9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonolithicRetriever(cl, 32); err == nil {
+		t.Fatal("2-node monolithic retriever should error")
+	}
+}
+
+func TestTTFTComposition(t *testing.T) {
+	r := monoRetriever(t, 10e9, 32)
+	cfg := baseCfg(t, r)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrieveLat, _ := r.RetrieveBatch()
+	want := cfg.Encoder.BatchLatency(32) + retrieveLat + cfg.Engine.PrefillLatency(32, 512)
+	if rep.TTFT != want {
+		t.Fatalf("TTFT = %v, want %v", rep.TTFT, want)
+	}
+	// At 10B tokens retrieval dominates TTFT (paper: ~61% at 10B).
+	if frac := retrieveLat.Seconds() / rep.TTFT.Seconds(); frac < 0.5 {
+		t.Fatalf("retrieval fraction of TTFT = %v, want > 0.5", frac)
+	}
+}
+
+func TestE2EGrowsWithDatastore(t *testing.T) {
+	small, err := Run(baseCfg(t, monoRetriever(t, 1e9, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(baseCfg(t, monoRetriever(t, 100e9, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.E2E <= small.E2E*10 {
+		t.Fatalf("100x datastore should dominate E2E: %v vs %v", large.E2E, small.E2E)
+	}
+}
+
+func TestSmallerStrideCostsMore(t *testing.T) {
+	// Fig. 5 right panel: stride 4 is far more expensive than stride 64.
+	cfg4 := baseCfg(t, monoRetriever(t, 100e9, 32))
+	cfg4.Stride = 4
+	cfg64 := baseCfg(t, monoRetriever(t, 100e9, 32))
+	cfg64.Stride = 64
+	r4, err := Run(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := Run(cfg64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r4.E2E.Seconds() / r64.E2E.Seconds()
+	// Paper reports 12.12x for stride 4 vs 64 at 100B tokens.
+	if ratio < 8 || ratio > 17 {
+		t.Fatalf("stride 4 vs 64 E2E ratio = %v, want ~12", ratio)
+	}
+}
+
+func TestRAGCacheRemovesRePrefill(t *testing.T) {
+	base := baseCfg(t, monoRetriever(t, 10e9, 32))
+	cached := base
+	cached.PrefixCache = true
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.E2E >= rb.E2E {
+		t.Fatalf("RAGCache E2E %v should beat baseline %v", rc.E2E, rb.E2E)
+	}
+	// Exactly (strides-1) prefills are saved.
+	saved := rb.E2E - rc.E2E
+	want := time.Duration(rb.Strides-1) * base.Engine.PrefillLatency(32, 512)
+	if diff := (saved - want).Seconds(); diff > 0.01 || diff < -0.01 {
+		t.Fatalf("prefill savings %v, want %v", saved, want)
+	}
+	// Prefill energy shrinks accordingly.
+	if rc.Energy.Stage("prefill") >= rb.Energy.Stage("prefill") {
+		t.Fatal("cached prefill energy should shrink")
+	}
+}
+
+func TestPipeRAGHidesRetrievalWhenInferenceDominates(t *testing.T) {
+	// Small datastore: retrieval < inference, pipelining hides it fully.
+	base := baseCfg(t, monoRetriever(t, 1e9, 32))
+	piped := base
+	piped.Pipelined = true
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(piped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.E2E >= rb.E2E {
+		t.Fatalf("PipeRAG %v should beat baseline %v", rp.E2E, rb.E2E)
+	}
+	// Fig. 8: pipelining saves up to ~1.62x on small datastores.
+	speedup := rb.E2E.Seconds() / rp.E2E.Seconds()
+	if speedup < 1.1 || speedup > 2.5 {
+		t.Fatalf("small-datastore pipelining speedup %v, want ~1.6", speedup)
+	}
+}
+
+// Fig. 8 right panel: prior-work speedups shrink as the datastore grows.
+func TestPriorWorkBenefitShrinksAtScale(t *testing.T) {
+	speedupAt := func(tokens int64, pipelined, cached bool) float64 {
+		base := baseCfg(t, monoRetriever(t, tokens, 32))
+		opt := base
+		opt.Pipelined = pipelined
+		opt.PrefixCache = cached
+		rb, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rb.E2E.Seconds() / ro.E2E.Seconds()
+	}
+	pipeSmall := speedupAt(1e9, true, false)
+	pipeLarge := speedupAt(100e9, true, false)
+	if pipeLarge >= pipeSmall {
+		t.Fatalf("PipeRAG speedup should shrink with scale: %v -> %v", pipeSmall, pipeLarge)
+	}
+	cacheSmall := speedupAt(1e9, false, true)
+	cacheLarge := speedupAt(100e9, false, true)
+	if cacheLarge >= cacheSmall {
+		t.Fatalf("RAGCache speedup should shrink with scale: %v -> %v", cacheSmall, cacheLarge)
+	}
+	// At 100B tokens retrieval dwarfs inference; both optimizations give
+	// almost nothing (< 15% residual benefit).
+	if pipeLarge > 1.15 || cacheLarge > 1.15 {
+		t.Fatalf("at 100B tokens speedups should collapse: pipe=%v cache=%v", pipeLarge, cacheLarge)
+	}
+}
+
+// The headline comparison: Hermes vs monolithic at scale, on its own and
+// with prior optimizations stacked.
+func TestHermesEndToEndSpeedup(t *testing.T) {
+	tokens := int64(100e9)
+	baseline, err := Run(baseCfg(t, monoRetriever(t, tokens, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hermesCfg := baseCfg(t, hermesRetriever(t, tokens, 10, 32, 3))
+	hermes, err := Run(hermesCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := baseline.E2E.Seconds() / hermes.E2E.Seconds()
+	if speedup < 3 {
+		t.Fatalf("Hermes E2E speedup %v at 100B tokens, want > 3", speedup)
+	}
+	// TTFT speedup too (Takeaway 2).
+	ttftSpeedup := baseline.TTFT.Seconds() / hermes.TTFT.Seconds()
+	if ttftSpeedup < 3 {
+		t.Fatalf("Hermes TTFT speedup %v, want > 3", ttftSpeedup)
+	}
+	// Energy should also improve (fewer node-seconds of deep search than
+	// one giant scan, despite sampling overhead).
+	if hermes.TotalJoules() >= baseline.TotalJoules() {
+		t.Fatalf("Hermes energy %v should beat monolithic %v", hermes.TotalJoules(), baseline.TotalJoules())
+	}
+
+	// Stacking PipeRAG+RAGCache on Hermes improves it further.
+	stacked := hermesCfg
+	stacked.Pipelined = true
+	stacked.PrefixCache = true
+	rs, err := Run(stacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.E2E >= hermes.E2E {
+		t.Fatalf("Hermes+prior %v should beat Hermes alone %v", rs.E2E, hermes.E2E)
+	}
+}
+
+func TestEnergyLedgerStages(t *testing.T) {
+	rep, err := Run(baseCfg(t, monoRetriever(t, 10e9, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"encode", "retrieve", "prefill", "decode"} {
+		if rep.Energy.Stage(stage) <= 0 {
+			t.Fatalf("stage %s has no energy", stage)
+		}
+	}
+	if rep.TotalJoules() <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+}
+
+func TestStrategyName(t *testing.T) {
+	if StrategyName(false, false) != "Baseline" ||
+		StrategyName(true, false) != "PipeRAG" ||
+		StrategyName(false, true) != "RAGCache" ||
+		StrategyName(true, true) != "PipeRAG+RAGCache" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestSplitAllRetriever(t *testing.T) {
+	cl, err := multinode.EvenCluster(hwmodel.XeonGold6448Y, 100e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &SplitAllRetriever{Cluster: cl, Batch: 32}
+	lat, j := r.RetrieveBatch()
+	if lat <= 0 || j <= 0 {
+		t.Fatalf("split-all cost degenerate: %v %v", lat, j)
+	}
+	if r.Name() != "split-all" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,110 @@
+// Package rerank implements the re-ranking stage of the RAG pipeline
+// (Section 2.2 / Section 5 of the paper): after the index returns candidate
+// document IDs scored by compressed-domain distances, candidates are
+// re-scored against full-precision vectors — the paper re-ranks its five
+// retrieved chunks by inner-product distance with the query and prepends
+// the best one to the prompt.
+package rerank
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Metric selects the re-scoring function.
+type Metric int
+
+const (
+	// InnerProduct ranks by descending query·doc (the paper's choice).
+	InnerProduct Metric = iota
+	// L2 ranks by ascending squared Euclidean distance.
+	L2
+	// Cosine ranks by descending cosine similarity.
+	Cosine
+)
+
+func (m Metric) String() string {
+	switch m {
+	case InnerProduct:
+		return "inner-product"
+	case L2:
+		return "l2"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Reranker re-scores candidates against a full-precision vector source.
+type Reranker struct {
+	metric Metric
+	// lookup maps a document ID to its full-precision vector; returning
+	// false drops the candidate (e.g. a stale ID).
+	lookup func(id int64) ([]float32, bool)
+}
+
+// New builds a reranker over an arbitrary vector source.
+func New(metric Metric, lookup func(id int64) ([]float32, bool)) *Reranker {
+	if lookup == nil {
+		panic("rerank: lookup must not be nil")
+	}
+	return &Reranker{metric: metric, lookup: lookup}
+}
+
+// NewFromMatrix builds a reranker whose IDs index rows of m (the usual case:
+// chunk ID i is row i of the corpus matrix).
+func NewFromMatrix(metric Metric, m *vec.Matrix) *Reranker {
+	return New(metric, func(id int64) ([]float32, bool) {
+		if id < 0 || id >= int64(m.Len()) {
+			return nil, false
+		}
+		return m.Row(int(id)), true
+	})
+}
+
+// Metric reports the configured metric.
+func (r *Reranker) Metric() Metric { return r.metric }
+
+// score returns a value where larger is better, regardless of metric.
+func (r *Reranker) score(q, d []float32) float32 {
+	switch r.metric {
+	case InnerProduct:
+		return vec.Dot(q, d)
+	case L2:
+		return -vec.L2Squared(q, d)
+	case Cosine:
+		return vec.Cosine(q, d)
+	default:
+		panic(fmt.Sprintf("rerank: unknown metric %d", r.metric))
+	}
+}
+
+// Rerank re-scores the candidates against q and returns them best-first.
+// Candidates whose vectors cannot be resolved are dropped. The returned
+// Neighbor scores are the re-ranker's scores (larger = better), replacing
+// the index's compressed-domain distances.
+func (r *Reranker) Rerank(q []float32, candidates []vec.Neighbor) []vec.Neighbor {
+	out := make([]vec.Neighbor, 0, len(candidates))
+	for _, c := range candidates {
+		d, ok := r.lookup(c.ID)
+		if !ok {
+			continue
+		}
+		out = append(out, vec.Neighbor{ID: c.ID, Score: r.score(q, d)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Best returns the single highest-scoring candidate (the chunk the paper
+// prepends to the prompt) or false if none resolves.
+func (r *Reranker) Best(q []float32, candidates []vec.Neighbor) (vec.Neighbor, bool) {
+	ranked := r.Rerank(q, candidates)
+	if len(ranked) == 0 {
+		return vec.Neighbor{}, false
+	}
+	return ranked[0], true
+}

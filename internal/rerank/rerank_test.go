@@ -1,0 +1,138 @@
+package rerank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func candidates(ids ...int64) []vec.Neighbor {
+	out := make([]vec.Neighbor, len(ids))
+	for i, id := range ids {
+		out[i] = vec.Neighbor{ID: id, Score: float32(i)}
+	}
+	return out
+}
+
+func TestL2RerankOrdersbyDistance(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0, 0}, {1, 0}, {5, 5}})
+	r := NewFromMatrix(L2, m)
+	q := []float32{0.9, 0}
+	ranked := r.Rerank(q, candidates(0, 1, 2))
+	if ranked[0].ID != 1 || ranked[1].ID != 0 || ranked[2].ID != 2 {
+		t.Fatalf("L2 order wrong: %+v", ranked)
+	}
+}
+
+func TestInnerProductRerank(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{1, 0}, {0, 1}, {2, 0}})
+	r := NewFromMatrix(InnerProduct, m)
+	q := []float32{1, 0}
+	ranked := r.Rerank(q, candidates(0, 1, 2))
+	// IP with q=(1,0): row2=2, row0=1, row1=0.
+	if ranked[0].ID != 2 || ranked[1].ID != 0 || ranked[2].ID != 1 {
+		t.Fatalf("IP order wrong: %+v", ranked)
+	}
+	if ranked[0].Score != 2 {
+		t.Fatalf("IP score = %v", ranked[0].Score)
+	}
+}
+
+func TestCosineRerankIgnoresMagnitude(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{10, 0}, {0.1, 0.0999}})
+	r := NewFromMatrix(Cosine, m)
+	q := []float32{1, 1}
+	ranked := r.Rerank(q, candidates(0, 1))
+	// Row 1 points along (1,1); row 0 along (1,0). Cosine prefers row 1
+	// despite its tiny magnitude.
+	if ranked[0].ID != 1 {
+		t.Fatalf("cosine order wrong: %+v", ranked)
+	}
+}
+
+func TestRerankDropsUnresolvableIDs(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{1, 1}})
+	r := NewFromMatrix(L2, m)
+	ranked := r.Rerank([]float32{0, 0}, candidates(0, 5, -1))
+	if len(ranked) != 1 || ranked[0].ID != 0 {
+		t.Fatalf("unresolvable IDs not dropped: %+v", ranked)
+	}
+}
+
+func TestBest(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0, 0}, {3, 3}})
+	r := NewFromMatrix(L2, m)
+	best, ok := r.Best([]float32{3, 3.1}, candidates(0, 1))
+	if !ok || best.ID != 1 {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+	if _, ok := r.Best([]float32{0, 0}, candidates(99)); ok {
+		t.Fatal("Best with no resolvable candidates should report false")
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0}})
+	r := NewFromMatrix(L2, m)
+	if out := r.Rerank([]float32{0}, nil); len(out) != 0 {
+		t.Fatalf("empty candidates produced %v", out)
+	}
+}
+
+func TestNilLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(L2, nil)
+}
+
+func TestMetricString(t *testing.T) {
+	if InnerProduct.String() != "inner-product" || L2.String() != "l2" || Cosine.String() != "cosine" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(9).String() == "" {
+		t.Fatal("unknown metric should render")
+	}
+}
+
+// Property: reranking with L2 against full-precision vectors never produces
+// a worse top-1 true distance than the compressed-domain ordering it is
+// given.
+func TestRerankImprovesTop1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := vec.NewMatrix(50, 8)
+	for i := 0; i < 50; i++ {
+		for d := 0; d < 8; d++ {
+			m.Row(i)[d] = float32(rng.NormFloat64())
+		}
+	}
+	r := NewFromMatrix(L2, m)
+	for trial := 0; trial < 25; trial++ {
+		q := make([]float32, 8)
+		for d := range q {
+			q[d] = float32(rng.NormFloat64())
+		}
+		// Candidate list in random order (a noisy index ordering).
+		cand := candidates(int64(rng.Intn(50)), int64(rng.Intn(50)), int64(rng.Intn(50)), int64(rng.Intn(50)))
+		ranked := r.Rerank(q, cand)
+		top := ranked[0]
+		for _, c := range cand {
+			if vec.L2Squared(q, m.Row(int(c.ID))) < vec.L2Squared(q, m.Row(int(top.ID)))-1e-6 {
+				t.Fatalf("rerank top-1 %d is not the closest candidate", top.ID)
+			}
+		}
+	}
+}
+
+// Stability: equal-scored candidates keep their input order.
+func TestRerankStable(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{1, 0}, {1, 0}})
+	r := NewFromMatrix(InnerProduct, m)
+	ranked := r.Rerank([]float32{1, 0}, candidates(1, 0))
+	if ranked[0].ID != 1 || ranked[1].ID != 0 {
+		t.Fatalf("equal scores should preserve order: %+v", ranked)
+	}
+}

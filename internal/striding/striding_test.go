@@ -1,0 +1,193 @@
+package striding
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+)
+
+func textStore(t testing.TB, chunks, topics int) (*TextStore, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{
+		NumChunks: chunks, Dim: 16, NumTopics: topics, Seed: 21, TokensPerChunk: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := BuildTextStore(c, 32, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, c
+}
+
+func TestBuildTextStoreShapes(t *testing.T) {
+	ts, _ := textStore(t, 600, 4)
+	if ts.Store.NumShards() != 4 {
+		t.Fatalf("shards = %d", ts.Store.NumShards())
+	}
+	if ts.Chunks.Len() != 600 {
+		t.Fatalf("chunks = %d", ts.Chunks.Len())
+	}
+}
+
+// The core end-to-end property: a text query about topic T retrieves chunks
+// of topic T through the full text → embedding → hierarchical-search path.
+func TestTextQueriesRetrieveTopically(t *testing.T) {
+	ts, _ := textStore(t, 1000, 5)
+	hits, total := 0, 0
+	for topic := 0; topic < 5; topic++ {
+		for trial := 0; trial < 4; trial++ {
+			q := corpus.QueryText(topic, 8, int64(trial))
+			qv := ts.Encoder.Encode(q)
+			res, _ := ts.Store.Search(qv, hermes.DefaultParams())
+			if len(res) == 0 {
+				t.Fatalf("no results for topic %d", topic)
+			}
+			for _, n := range res {
+				got, err := ts.Chunks.Topic(n.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total++
+				if got == topic {
+					hits++
+				}
+			}
+		}
+	}
+	if frac := float64(hits) / float64(total); frac < 0.8 {
+		t.Fatalf("topical retrieval precision %v, want >= 0.8", frac)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	ts, _ := textStore(t, 200, 2)
+	if _, err := NewSession(Config{Text: nil, Stride: 4}); err == nil {
+		t.Fatal("nil TextStore should error")
+	}
+	if _, err := NewSession(Config{Text: ts, Stride: 0}); err == nil {
+		t.Fatal("zero stride should error")
+	}
+	s, err := NewSession(Config{Text: ts, Stride: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate("q", 0); err == nil {
+		t.Fatal("zero outTokens should error")
+	}
+}
+
+func TestGenerateStrideStructure(t *testing.T) {
+	ts, _ := textStore(t, 600, 3)
+	s, err := NewSession(Config{Text: ts, Stride: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Generate(corpus.QueryText(1, 6, 3), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 tokens at stride 8 -> 4 rounds (8+8+8+6).
+	if len(res.Strides) != 4 {
+		t.Fatalf("strides = %d, want 4", len(res.Strides))
+	}
+	tokens := strings.Fields(res.Output)
+	if len(tokens) != 30 {
+		t.Fatalf("output tokens = %d, want 30", len(tokens))
+	}
+	for i, rec := range res.Strides {
+		want := 8
+		if i == 3 {
+			want = 6
+		}
+		if len(rec.Generated) != want {
+			t.Fatalf("stride %d generated %d tokens, want %d", i, len(rec.Generated), want)
+		}
+		if len(rec.Retrieved) == 0 {
+			t.Fatalf("stride %d retrieved nothing", i)
+		}
+		if rec.Stats.SampledShards != 3 {
+			t.Fatalf("stride %d sampled %d shards", i, rec.Stats.SampledShards)
+		}
+	}
+}
+
+func TestGenerationGroundedInTopic(t *testing.T) {
+	ts, _ := textStore(t, 800, 4)
+	s, err := NewSession(Config{Text: ts, Stride: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := 2
+	res, err := s.Generate(corpus.QueryText(topic, 8, 5), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retrieved context chunks should predominantly be the query's topic,
+	// and generated tokens should include the topic's vocabulary.
+	topical := 0
+	for _, rec := range res.Strides {
+		got, err := ts.Chunks.Topic(rec.ContextChunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == topic {
+			topical++
+		}
+	}
+	if topical < 2 {
+		t.Fatalf("only %d/%d strides used topic-%d context", topical, len(res.Strides), topic)
+	}
+	prefix := "t2w"
+	if !strings.Contains(res.Output, prefix) {
+		t.Fatalf("output carries no topic-%d vocabulary: %q", topic, res.Output)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ts, _ := textStore(t, 400, 2)
+	mk := func() string {
+		s, err := NewSession(Config{Text: ts, Stride: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Generate("t0w01 t0w02 index", 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output
+	}
+	if mk() != mk() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+// The defining behaviour of striding: as output accumulates, the prompt
+// embedding drifts and retrieval refreshes — across a multi-stride run the
+// retrieved set must not be frozen to the first stride's.
+func TestContextRefreshAcrossStrides(t *testing.T) {
+	ts, _ := textStore(t, 1000, 5)
+	s, err := NewSession(Config{Text: ts, Stride: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Generate(corpus.QueryText(0, 6, 13), 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fmt.Sprint(res.Strides[0].Retrieved)
+	changed := false
+	for _, rec := range res.Strides[1:] {
+		if fmt.Sprint(rec.Retrieved) != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("retrieved set never refreshed across strides")
+	}
+}

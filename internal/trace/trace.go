@@ -1,0 +1,123 @@
+// Package trace generates and analyzes query traces. The paper derives its
+// cluster-access statistics (Figure 13) and its multi-node aggregation
+// inputs (Figure 15) from a trace of which shards each query's deep search
+// touches, using Natural Questions queries; here traces are produced by
+// running the actual hierarchical search over the synthetic query stream.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+)
+
+// Entry records one query's shard usage.
+type Entry struct {
+	// QueryID indexes into the originating query set.
+	QueryID int
+	// DeepShards lists the shards deep-searched for this query, ranked.
+	DeepShards []int
+}
+
+// Trace is an ordered set of per-query shard access records.
+type Trace struct {
+	NumShards int
+	Entries   []Entry
+}
+
+// Collect runs the Hermes hierarchical search for every query and records
+// the deep-search shard choices.
+func Collect(st *hermes.Store, qs *corpus.QuerySet, p hermes.Params) *Trace {
+	tr := &Trace{NumShards: st.NumShards()}
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		_, stats := st.Search(qs.Vectors.Row(i), p)
+		shards := append([]int(nil), stats.DeepShards...)
+		tr.Entries = append(tr.Entries, Entry{QueryID: i, DeepShards: shards})
+	}
+	return tr
+}
+
+// AccessCounts returns how many deep searches each shard received — the
+// Figure 13 access-frequency histogram.
+func (tr *Trace) AccessCounts() []int {
+	counts := make([]int, tr.NumShards)
+	for _, e := range tr.Entries {
+		for _, s := range e.DeepShards {
+			if s >= 0 && s < tr.NumShards {
+				counts[s]++
+			}
+		}
+	}
+	return counts
+}
+
+// AccessImbalance returns max/min over shard access counts; +Inf is avoided
+// by treating zero-access shards as the minimum of 1 access would —
+// returning the ratio against the smallest non-zero count and flagging
+// unvisited shards in the second return.
+func (tr *Trace) AccessImbalance() (ratio float64, unvisited int) {
+	counts := tr.AccessCounts()
+	minC, maxC := -1, 0
+	for _, c := range counts {
+		if c == 0 {
+			unvisited++
+			continue
+		}
+		if minC < 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC <= 0 {
+		return 0, unvisited
+	}
+	return float64(maxC) / float64(minC), unvisited
+}
+
+// PerQueryLoad maps the trace onto per-shard batch sizes: for each batch of
+// queries, how many of the batch's deep searches landed on each shard. The
+// multi-node model uses this to size each node's work per batch window.
+type PerQueryLoad struct {
+	// ShardBatch[s] is the number of queries in the batch whose deep
+	// search touched shard s.
+	ShardBatch []int
+}
+
+// BatchLoads splits the trace into consecutive batches of the given size and
+// computes each batch's per-shard load. A trailing partial batch is
+// included.
+func (tr *Trace) BatchLoads(batchSize int) []PerQueryLoad {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("trace: batchSize must be positive, got %d", batchSize))
+	}
+	var out []PerQueryLoad
+	for start := 0; start < len(tr.Entries); start += batchSize {
+		end := start + batchSize
+		if end > len(tr.Entries) {
+			end = len(tr.Entries)
+		}
+		load := PerQueryLoad{ShardBatch: make([]int, tr.NumShards)}
+		for _, e := range tr.Entries[start:end] {
+			for _, s := range e.DeepShards {
+				load.ShardBatch[s]++
+			}
+		}
+		out = append(out, load)
+	}
+	return out
+}
+
+// TopShards returns shard indices ordered by descending access count.
+func (tr *Trace) TopShards() []int {
+	counts := tr.AccessCounts()
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	return order
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+)
+
+func fixtures(t testing.TB) (*hermes.Store, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 1500, Dim: 16, NumTopics: 10, Seed: 3, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, c
+}
+
+func TestCollectShape(t *testing.T) {
+	st, c := fixtures(t)
+	qs := c.Queries(50, 5)
+	tr := Collect(st, qs, hermes.DefaultParams())
+	if tr.NumShards != 10 {
+		t.Fatalf("NumShards = %d", tr.NumShards)
+	}
+	if len(tr.Entries) != 50 {
+		t.Fatalf("entries = %d", len(tr.Entries))
+	}
+	for _, e := range tr.Entries {
+		if len(e.DeepShards) != 3 {
+			t.Fatalf("query %d deep shards = %d, want 3", e.QueryID, len(e.DeepShards))
+		}
+	}
+}
+
+func TestAccessCountsSum(t *testing.T) {
+	st, c := fixtures(t)
+	qs := c.Queries(40, 7)
+	tr := Collect(st, qs, hermes.DefaultParams())
+	counts := tr.AccessCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 40*3 {
+		t.Fatalf("access total %d, want 120", total)
+	}
+}
+
+// Figure 13's claim: with skewed query popularity, some shards are accessed
+// far more than others (>= 2x in the paper).
+func TestAccessFrequencyImbalance(t *testing.T) {
+	st, c := fixtures(t)
+	qs := c.Queries(300, 11)
+	tr := Collect(st, qs, hermes.DefaultParams())
+	ratio, _ := tr.AccessImbalance()
+	if ratio < 2 {
+		t.Fatalf("access imbalance %v, want >= 2 under Zipf query skew", ratio)
+	}
+}
+
+func TestAccessImbalanceAllUnvisited(t *testing.T) {
+	tr := &Trace{NumShards: 3}
+	ratio, unvisited := tr.AccessImbalance()
+	if ratio != 0 || unvisited != 3 {
+		t.Fatalf("empty trace imbalance = %v/%d", ratio, unvisited)
+	}
+}
+
+func TestBatchLoads(t *testing.T) {
+	tr := &Trace{
+		NumShards: 4,
+		Entries: []Entry{
+			{0, []int{0, 1}},
+			{1, []int{0, 2}},
+			{2, []int{3, 1}},
+		},
+	}
+	loads := tr.BatchLoads(2)
+	if len(loads) != 2 {
+		t.Fatalf("got %d batches", len(loads))
+	}
+	want0 := []int{2, 1, 1, 0}
+	for s, n := range want0 {
+		if loads[0].ShardBatch[s] != n {
+			t.Fatalf("batch 0 shard %d = %d, want %d", s, loads[0].ShardBatch[s], n)
+		}
+	}
+	// Trailing partial batch.
+	if loads[1].ShardBatch[3] != 1 || loads[1].ShardBatch[1] != 1 {
+		t.Fatalf("partial batch wrong: %v", loads[1].ShardBatch)
+	}
+}
+
+func TestBatchLoadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Trace{NumShards: 1}).BatchLoads(0)
+}
+
+func TestTopShardsOrdered(t *testing.T) {
+	tr := &Trace{
+		NumShards: 3,
+		Entries: []Entry{
+			{0, []int{1}}, {1, []int{1}}, {2, []int{0}},
+		},
+	}
+	top := tr.TopShards()
+	if top[0] != 1 {
+		t.Fatalf("top shard = %d, want 1", top[0])
+	}
+	counts := tr.AccessCounts()
+	for i := 1; i < len(top); i++ {
+		if counts[top[i-1]] < counts[top[i]] {
+			t.Fatal("TopShards not sorted descending")
+		}
+	}
+}

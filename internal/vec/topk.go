@@ -1,0 +1,98 @@
+package vec
+
+// Neighbor is a scored retrieval candidate. Depending on context Score is a
+// distance (smaller is better) or a similarity (larger is better); the
+// selection helpers below are explicit about direction.
+type Neighbor struct {
+	ID    int64
+	Score float32
+}
+
+// TopK maintains the k best candidates seen so far. It is a bounded
+// max-heap on distance: the root is the current worst retained candidate, so
+// a new candidate replaces the root when it beats it. Use one instance per
+// query; the zero value is not usable — call NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap by Score (distance)
+}
+
+// NewTopK returns a selector retaining the k smallest-scored neighbors.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vec: NewTopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Push offers a candidate; it is retained if fewer than k candidates are held
+// or its score beats the current worst.
+func (t *TopK) Push(id int64, score float32) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{ID: id, Score: score})
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if score >= t.heap[0].Score {
+		return
+	}
+	t.heap[0] = Neighbor{ID: id, Score: score}
+	t.siftDown(0)
+}
+
+// WorstScore returns the score of the worst retained candidate, or +Inf-like
+// behaviour via (ok=false) when fewer than k candidates are held. Callers use
+// it to prune scans early.
+func (t *TopK) WorstScore() (float32, bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Score, true
+}
+
+// Len returns the number of retained candidates.
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Results destructively extracts the retained neighbors ordered best
+// (smallest score) first.
+func (t *TopK) Results() []Neighbor {
+	out := make([]Neighbor, len(t.heap))
+	for i := len(t.heap) - 1; i >= 0; i-- {
+		out[i] = t.heap[0]
+		last := len(t.heap) - 1
+		t.heap[0] = t.heap[last]
+		t.heap = t.heap[:last]
+		t.siftDown(0)
+	}
+	return out
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Score >= t.heap[i].Score {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Score > t.heap[largest].Score {
+			largest = l
+		}
+		if r < n && t.heap[r].Score > t.heap[largest].Score {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}

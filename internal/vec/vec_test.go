@@ -1,0 +1,300 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDotBasic(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Dot(a, b); got != 35 {
+		t.Fatalf("Dot = %v, want 35", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestL2SquaredBasic(t *testing.T) {
+	a := []float32{0, 0, 0}
+	b := []float32{1, 2, 2}
+	if got := L2Squared(a, b); got != 9 {
+		t.Fatalf("L2Squared = %v, want 9", got)
+	}
+}
+
+func TestL2SquaredSymmetric(t *testing.T) {
+	f := func(n uint8) bool {
+		rng := rand.New(rand.NewSource(int64(n)))
+		dim := int(n%17) + 1
+		a := make([]float32, dim)
+		b := make([]float32, dim)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		return almostEqual(float64(L2Squared(a, b)), float64(L2Squared(b, a)), 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2SquaredSelfIsZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, 33)
+		for i := range a {
+			a[i] = rng.Float32()
+		}
+		return L2Squared(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The polarization identity ties Dot and L2Squared together:
+// ||a-b||^2 = ||a||^2 + ||b||^2 - 2<a,b>.
+func TestPolarizationIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(64) + 1
+		a := make([]float32, dim)
+		b := make([]float32, dim)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		lhs := float64(L2Squared(a, b))
+		rhs := float64(Dot(a, a)) + float64(Dot(b, b)) - 2*float64(Dot(a, b))
+		return almostEqual(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := []float32{3, 4}
+	n := Normalize(a)
+	if n != 5 {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(float64(Norm(a)), 1, 1e-6) {
+		t.Fatalf("norm after Normalize = %v, want 1", Norm(a))
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	a := []float32{0, 0, 0}
+	if n := Normalize(a); n != 0 {
+		t.Fatalf("Normalize(zero) = %v, want 0", n)
+	}
+	for _, v := range a {
+		if v != 0 {
+			t.Fatal("zero vector was modified")
+		}
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, 16)
+		b := make([]float32, 16)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		c := float64(Cosine(a, b))
+		return c >= -1-1e-5 && c <= 1+1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineZero(t *testing.T) {
+	if got := Cosine([]float32{0, 0}, []float32{1, 1}); got != 0 {
+		t.Fatalf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestAddScaleAxpy(t *testing.T) {
+	a := []float32{1, 2}
+	Add(a, []float32{3, 4})
+	if a[0] != 4 || a[1] != 6 {
+		t.Fatalf("Add result %v", a)
+	}
+	Scale(a, 0.5)
+	if a[0] != 2 || a[1] != 3 {
+		t.Fatalf("Scale result %v", a)
+	}
+	Axpy(a, 2, []float32{1, 1})
+	if a[0] != 4 || a[1] != 5 {
+		t.Fatalf("Axpy result %v", a)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Len() != 3 || m.Dim != 4 {
+		t.Fatalf("shape %dx%d", m.Len(), m.Dim)
+	}
+	copy(m.Row(1), []float32{1, 2, 3, 4})
+	if m.Row(1)[2] != 3 {
+		t.Fatal("Row write/read failed")
+	}
+	if m.Row(0)[0] != 0 || m.Row(2)[3] != 0 {
+		t.Fatal("neighboring rows disturbed")
+	}
+	if m.Bytes() != 3*4*4 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestMatrixAppendRow(t *testing.T) {
+	m := NewMatrix(0, 2)
+	m.AppendRow([]float32{1, 2})
+	m.AppendRow([]float32{3, 4})
+	if m.Len() != 2 || m.Row(1)[1] != 4 {
+		t.Fatalf("AppendRow failed: len=%d", m.Len())
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m := MatrixFromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.Len() != 3 || m.Row(2)[0] != 5 {
+		t.Fatal("MatrixFromRows mismatch")
+	}
+}
+
+func TestArgMinL2(t *testing.T) {
+	m := MatrixFromRows([][]float32{{0, 0}, {5, 5}, {1, 1}})
+	idx, d := m.ArgMinL2([]float32{1.1, 1.1})
+	if idx != 2 {
+		t.Fatalf("ArgMinL2 idx = %d, want 2 (dist %v)", idx, d)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	tk := NewTopK(3)
+	for i, s := range []float32{5, 1, 4, 2, 3} {
+		tk.Push(int64(i), s)
+	}
+	res := tk.Results()
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	want := []float32{1, 2, 3}
+	for i, n := range res {
+		if n.Score != want[i] {
+			t.Fatalf("result[%d].Score = %v, want %v", i, n.Score, want[i])
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Push(1, 2.0)
+	tk.Push(2, 1.0)
+	res := tk.Results()
+	if len(res) != 2 || res[0].ID != 2 {
+		t.Fatalf("partial results wrong: %+v", res)
+	}
+}
+
+func TestTopKWorstScore(t *testing.T) {
+	tk := NewTopK(2)
+	if _, ok := tk.WorstScore(); ok {
+		t.Fatal("WorstScore should report not-full")
+	}
+	tk.Push(1, 1)
+	tk.Push(2, 9)
+	if w, ok := tk.WorstScore(); !ok || w != 9 {
+		t.Fatalf("WorstScore = %v,%v", w, ok)
+	}
+	tk.Push(3, 5)
+	if w, _ := tk.WorstScore(); w != 5 {
+		t.Fatalf("WorstScore after replace = %v", w)
+	}
+}
+
+// Property: TopK selects exactly the k smallest scores of any input stream.
+func TestTopKMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		k := rng.Intn(20) + 1
+		scores := make([]float32, n)
+		tk := NewTopK(k)
+		for i := range scores {
+			scores[i] = rng.Float32()
+			tk.Push(int64(i), scores[i])
+		}
+		sorted := append([]float32(nil), scores...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res := tk.Results()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(res) != want {
+			return false
+		}
+		for i, r := range res {
+			if r.Score != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDot768(b *testing.B) {
+	x := make([]float32, 768)
+	y := make([]float32, 768)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(768 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkL2Squared768(b *testing.B) {
+	x := make([]float32, 768)
+	y := make([]float32, 768)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(768 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = L2Squared(x, y)
+	}
+}

@@ -1,0 +1,96 @@
+// Package indexfile defines the on-disk layout shared by the hermes-build,
+// hermes-search, and hermes-node commands: an index directory containing
+// meta.json plus one gob-encoded IVF index per shard.
+package indexfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/ivf"
+)
+
+// Meta is the index directory manifest.
+type Meta struct {
+	// Type is "hermes", "split", or "monolithic".
+	Type string
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Shards is the shard-file count.
+	Shards int
+	// Embedding records how chunk vectors were produced: "topic" (the
+	// corpus' latent Gaussian embeddings, default) or "text" (hash
+	// embeddings of the chunk text, searchable with free-text queries).
+	Embedding string
+	// EmbedDim is the embedding dimensionality for "text" indexes (may
+	// differ from the corpus' latent Dim).
+	EmbedDim int
+	// Corpus is the generation spec, kept so queries and chunk text can be
+	// regenerated deterministically at serving time.
+	Corpus corpus.Spec
+}
+
+// ShardFile names shard i's index file.
+func ShardFile(i int) string { return fmt.Sprintf("shard-%03d.ivf", i) }
+
+// WriteIndex serializes one IVF index to path.
+func WriteIndex(path string, ix *ivf.Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIndex loads one IVF index from path.
+func ReadIndex(path string) (*ivf.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ivf.ReadFrom(f)
+}
+
+// ReadMeta loads the manifest of an index directory.
+func ReadMeta(dir string) (*Meta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("indexfile: parse meta.json: %w", err)
+	}
+	if m.Shards <= 0 || m.Dim <= 0 {
+		return nil, fmt.Errorf("indexfile: meta.json has invalid shape (%d shards, dim %d)", m.Shards, m.Dim)
+	}
+	return &m, nil
+}
+
+// ReadAll loads the manifest and every shard index of a directory.
+func ReadAll(dir string) (*Meta, []*ivf.Index, error) {
+	meta, err := ReadMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	indexes := make([]*ivf.Index, meta.Shards)
+	for i := range indexes {
+		ix, err := ReadIndex(filepath.Join(dir, ShardFile(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if ix.Dim() != meta.Dim {
+			return nil, nil, fmt.Errorf("indexfile: shard %d dim %d != meta dim %d", i, ix.Dim(), meta.Dim)
+		}
+		indexes[i] = ix
+	}
+	return meta, indexes, nil
+}

@@ -1,0 +1,117 @@
+package indexfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+)
+
+func buildDir(t *testing.T) (string, *corpus.Corpus, *hermes.Store) {
+	t.Helper()
+	dir := t.TempDir()
+	spec := corpus.Spec{NumChunks: 600, Dim: 8, NumTopics: 3, Seed: 9}
+	c, err := corpus.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range st.Shards {
+		if err := WriteIndex(filepath.Join(dir, ShardFile(i)), sh.Index); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := Meta{Type: "hermes", Dim: 8, Shards: 3, Corpus: spec}
+	raw := []byte(`{"Type":"hermes","Dim":8,"Shards":3,"Corpus":{"NumChunks":600,"Dim":8,"NumTopics":3,"TopicSpread":0.25,"ZipfS":1.3,"TokensPerChunk":64,"Seed":9}}`)
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = meta
+	return dir, c, st
+}
+
+func TestShardFileNaming(t *testing.T) {
+	if ShardFile(0) != "shard-000.ivf" || ShardFile(42) != "shard-042.ivf" {
+		t.Fatalf("shard names: %s %s", ShardFile(0), ShardFile(42))
+	}
+}
+
+func TestReadAllRoundTrip(t *testing.T) {
+	dir, c, st := buildDir(t)
+	meta, indexes, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Type != "hermes" || meta.Shards != 3 || meta.Dim != 8 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.Corpus.NumChunks != 600 || meta.Corpus.Seed != 9 {
+		t.Fatalf("corpus spec = %+v", meta.Corpus)
+	}
+	// Loaded indexes answer identically to the originals.
+	q := c.Vectors.Row(5)
+	for i, ix := range indexes {
+		want := st.Shards[i].Index.Search(q, 3, 8)
+		got := ix.Search(q, 3, 8)
+		if len(want) != len(got) {
+			t.Fatalf("shard %d result count differs", i)
+		}
+		for j := range want {
+			if want[j].ID != got[j].ID {
+				t.Fatalf("shard %d pos %d differs", i, j)
+			}
+		}
+	}
+	// The loaded indexes reassemble into a searchable store.
+	restored, err := hermes.FromIndexes(indexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := restored.Search(q, hermes.DefaultParams())
+	if len(res) == 0 {
+		t.Fatal("restored store returned nothing")
+	}
+}
+
+func TestReadMetaErrors(t *testing.T) {
+	if _, err := ReadMeta(t.TempDir()); err == nil {
+		t.Fatal("missing meta.json should error")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "meta.json"), []byte("not json"), 0o644)
+	if _, err := ReadMeta(dir); err == nil {
+		t.Fatal("invalid json should error")
+	}
+	os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"Type":"x","Dim":0,"Shards":0}`), 0o644)
+	if _, err := ReadMeta(dir); err == nil {
+		t.Fatal("invalid shape should error")
+	}
+}
+
+func TestReadAllMissingShard(t *testing.T) {
+	dir, _, _ := buildDir(t)
+	os.Remove(filepath.Join(dir, ShardFile(1)))
+	if _, _, err := ReadAll(dir); err == nil {
+		t.Fatal("missing shard file should error")
+	}
+}
+
+func TestReadAllDimMismatch(t *testing.T) {
+	dir, _, _ := buildDir(t)
+	raw := []byte(`{"Type":"hermes","Dim":16,"Shards":3,"Corpus":{"NumChunks":600,"Dim":16,"NumTopics":3,"Seed":9}}`)
+	os.WriteFile(filepath.Join(dir, "meta.json"), raw, 0o644)
+	if _, _, err := ReadAll(dir); err == nil {
+		t.Fatal("shard/meta dim mismatch should error")
+	}
+}
+
+func TestReadIndexMissingFile(t *testing.T) {
+	if _, err := ReadIndex("/nonexistent/file.ivf"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
