@@ -79,10 +79,14 @@ func main() {
 					fatalf("%s: %v", id, err)
 				}
 				if err := t.WriteCSV(f); err != nil {
+					//lint:ignore errdrop the CSV write already failed; Close is best-effort cleanup
 					f.Close()
 					fatalf("%s: write csv: %v", id, err)
 				}
-				f.Close()
+				// A dropped Close here could truncate the CSV silently.
+				if err := f.Close(); err != nil {
+					fatalf("%s: close csv: %v", id, err)
+				}
 			}
 		}
 		for _, t := range tabs {

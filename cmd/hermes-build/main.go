@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,107 +28,129 @@ import (
 	"repro/pkg/indexfile"
 )
 
-func main() {
-	var (
-		out    = flag.String("out", "hermes-index", "output directory")
-		typ    = flag.String("type", "hermes", "index type: hermes, split, or monolithic")
-		chunks = flag.Int("chunks", 20000, "corpus size in chunks (1 chunk = 64 tokens)")
-		dim    = flag.Int("dim", 64, "embedding dimensionality")
-		topics = flag.Int("topics", 10, "latent topics in the synthetic corpus")
-		shards = flag.Int("shards", 10, "shard count for hermes/split indexes")
-		seed   = flag.Int64("seed", 42, "generation seed")
-		quant  = flag.Int("quant", 8, "quantization bits: 0 (flat), 4, or 8")
-		embed  = flag.String("embed", "topic", "embedding source: topic (latent vectors) or text (hash-embedded chunk text; enables free-text search)")
-		edim   = flag.Int("embed-dim", 48, "embedding dim for -embed text")
-	)
-	flag.Parse()
+// options holds everything main parses from flags; run is kept separate so
+// the reproducibility regression test can invoke the full build pipeline
+// in-process.
+type options struct {
+	Out      string
+	Type     string
+	Chunks   int
+	Dim      int
+	Topics   int
+	Shards   int
+	Seed     int64
+	Quant    int
+	Embed    string
+	EmbedDim int
+	Log      io.Writer
+}
 
-	spec := corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *topics, Seed: *seed}
-	fmt.Fprintf(os.Stderr, "generating corpus: %d chunks, dim %d, %d topics...\n", *chunks, *dim, *topics)
+func main() {
+	var o options
+	flag.StringVar(&o.Out, "out", "hermes-index", "output directory")
+	flag.StringVar(&o.Type, "type", "hermes", "index type: hermes, split, or monolithic")
+	flag.IntVar(&o.Chunks, "chunks", 20000, "corpus size in chunks (1 chunk = 64 tokens)")
+	flag.IntVar(&o.Dim, "dim", 64, "embedding dimensionality")
+	flag.IntVar(&o.Topics, "topics", 10, "latent topics in the synthetic corpus")
+	flag.IntVar(&o.Shards, "shards", 10, "shard count for hermes/split indexes")
+	flag.Int64Var(&o.Seed, "seed", 42, "generation seed")
+	flag.IntVar(&o.Quant, "quant", 8, "quantization bits: 0 (flat), 4, or 8")
+	flag.StringVar(&o.Embed, "embed", "topic", "embedding source: topic (latent vectors) or text (hash-embedded chunk text; enables free-text search)")
+	flag.IntVar(&o.EmbedDim, "embed-dim", 48, "embedding dim for -embed text")
+	flag.Parse()
+	o.Log = os.Stderr
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-build:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	spec := corpus.Spec{NumChunks: o.Chunks, Dim: o.Dim, NumTopics: o.Topics, Seed: o.Seed}
+	fmt.Fprintf(o.Log, "generating corpus: %d chunks, dim %d, %d topics...\n", o.Chunks, o.Dim, o.Topics)
 	c, err := corpus.Generate(spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	meta := indexfile.Meta{Type: *typ, Dim: *dim, Embedding: *embed, Corpus: spec}
+	meta := indexfile.Meta{Type: o.Type, Dim: o.Dim, Embedding: o.Embed, Corpus: spec}
 	var indexes []*ivf.Index
-	if *embed == "text" {
-		if *typ != "hermes" {
-			fatal(fmt.Errorf("-embed text requires -type hermes"))
+	if o.Embed == "text" {
+		if o.Type != "hermes" {
+			return fmt.Errorf("-embed text requires -type hermes")
 		}
-		fmt.Fprintf(os.Stderr, "hash-embedding %d chunk texts at dim %d...\n", *chunks, *edim)
-		ts, err := striding.BuildTextStore(c, *edim, *shards)
+		fmt.Fprintf(o.Log, "hash-embedding %d chunk texts at dim %d...\n", o.Chunks, o.EmbedDim)
+		ts, err := striding.BuildTextStore(c, o.EmbedDim, o.Shards)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		meta.Dim = *edim
-		meta.EmbedDim = *edim
+		meta.Dim = o.EmbedDim
+		meta.EmbedDim = o.EmbedDim
 		for _, sh := range ts.Store.Shards {
 			indexes = append(indexes, sh.Index)
 		}
 		meta.Shards = len(indexes)
-		writeOut(*out, meta, indexes)
-		return
-	} else if *embed != "topic" {
-		fatal(fmt.Errorf("unknown -embed %q", *embed))
+		return writeOut(o, meta, indexes)
+	} else if o.Embed != "topic" {
+		return fmt.Errorf("unknown -embed %q", o.Embed)
 	}
-	switch *typ {
+	switch o.Type {
 	case "hermes":
-		fmt.Fprintf(os.Stderr, "clustering into %d shards (multi-seed imbalance minimization)...\n", *shards)
-		st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: *shards, QuantBits: *quant})
+		fmt.Fprintf(o.Log, "clustering into %d shards (multi-seed imbalance minimization)...\n", o.Shards)
+		st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: o.Shards, QuantBits: o.Quant})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "chosen seed %d, shard imbalance %.2f\n", st.SeedUsed, st.Imbalance)
+		fmt.Fprintf(o.Log, "chosen seed %d, shard imbalance %.2f\n", st.SeedUsed, st.Imbalance)
 		for _, sh := range st.Shards {
 			indexes = append(indexes, sh.Index)
 		}
 		meta.Shards = len(indexes)
 	case "split":
-		st, err := hermes.BuildNaiveSplit(c.Vectors, *shards, *quant)
+		st, err := hermes.BuildNaiveSplit(c.Vectors, o.Shards, o.Quant)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, sh := range st.Shards {
 			indexes = append(indexes, sh.Index)
 		}
 		meta.Shards = len(indexes)
 	case "monolithic":
-		ix, err := hermes.BuildMonolithic(c.Vectors, *quant, 0, *seed)
+		ix, err := hermes.BuildMonolithic(c.Vectors, o.Quant, 0, o.Seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		indexes = append(indexes, ix)
 		meta.Shards = 1
 	default:
-		fatal(fmt.Errorf("unknown index type %q", *typ))
+		return fmt.Errorf("unknown index type %q", o.Type)
 	}
 
-	writeOut(*out, meta, indexes)
+	return writeOut(o, meta, indexes)
 }
 
-func writeOut(out string, meta indexfile.Meta, indexes []*ivf.Index) {
-	if err := os.MkdirAll(out, 0o755); err != nil {
-		fatal(err)
+func writeOut(o options, meta indexfile.Meta, indexes []*ivf.Index) error {
+	if err := os.MkdirAll(o.Out, 0o755); err != nil {
+		return err
 	}
 	for i, ix := range indexes {
-		path := filepath.Join(out, indexfile.ShardFile(i))
+		path := filepath.Join(o.Out, indexfile.ShardFile(i))
 		if err := indexfile.WriteIndex(path, ix); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d vectors, %s)\n", path, ix.Len(), ix.QuantizerName())
+		fmt.Fprintf(o.Log, "wrote %s (%d vectors, %s)\n", path, ix.Len(), ix.QuantizerName())
 	}
 	metaBytes, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := os.WriteFile(filepath.Join(out, "meta.json"), metaBytes, 0o644); err != nil {
-		fatal(err)
+	if err := os.WriteFile(filepath.Join(o.Out, "meta.json"), metaBytes, 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, "meta.json"))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hermes-build:", err)
-	os.Exit(1)
+	fmt.Fprintf(o.Log, "wrote %s\n", filepath.Join(o.Out, "meta.json"))
+	return nil
 }

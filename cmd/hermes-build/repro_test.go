@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBuildByteIdenticalAcrossRuns is the reproducibility regression test:
+// two full build invocations with the same seed must produce byte-identical
+// index artifacts (every shard-NNN.ivf and meta.json). Any nondeterminism —
+// map-order iteration, package-level RNG, wall-clock leakage — in the
+// corpus/kmeans/hermes/ivf/indexfile pipeline breaks this.
+func TestBuildByteIdenticalAcrossRuns(t *testing.T) {
+	for _, typ := range []string{"hermes", "split", "monolithic"} {
+		t.Run(typ, func(t *testing.T) {
+			dirs := [2]string{t.TempDir(), t.TempDir()}
+			for _, dir := range dirs {
+				o := options{
+					Out:    dir,
+					Type:   typ,
+					Chunks: 2000,
+					Dim:    16,
+					Topics: 5,
+					Shards: 4,
+					Seed:   42,
+					Quant:  8,
+					Embed:  "topic",
+				}
+				if err := run(o); err != nil {
+					t.Fatalf("run(%s): %v", typ, err)
+				}
+			}
+			compareDirs(t, dirs[0], dirs[1])
+		})
+	}
+}
+
+func compareDirs(t *testing.T, a, b string) {
+	t.Helper()
+	aFiles := listFiles(t, a)
+	bFiles := listFiles(t, b)
+	if len(aFiles) != len(bFiles) {
+		t.Fatalf("file counts differ: %v vs %v", aFiles, bFiles)
+	}
+	if len(aFiles) < 2 {
+		t.Fatalf("expected meta.json plus at least one shard, got %v", aFiles)
+	}
+	for i, name := range aFiles {
+		if bFiles[i] != name {
+			t.Fatalf("file lists differ: %v vs %v", aFiles, bFiles)
+		}
+		ab, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s differs between identical runs (%d vs %d bytes)", name, len(ab), len(bb))
+		}
+	}
+}
+
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}

@@ -1,0 +1,68 @@
+package batcher
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// TestConcurrentSubmittersAndClose races many submitters against a
+// concurrent Close. The contract under test: every Search returns either a
+// real result or the "batcher: closed" rejection — never a hang, never a
+// lost request — and queries accepted before Close are all processed.
+func TestConcurrentSubmittersAndClose(t *testing.T) {
+	var processed int64
+	b, err := New(Config{
+		MaxBatch: 8,
+		MaxWait:  500 * time.Microsecond,
+		Process: func(queries [][]float32) ([][]vec.Neighbor, error) {
+			atomic.AddInt64(&processed, int64(len(queries)))
+			return echoProcess(queries)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	const perWorker = 40
+	var served, rejected int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				res, err := b.Search([]float32{float32(w*perWorker + i)})
+				switch {
+				case err == nil && len(res) == 1:
+					atomic.AddInt64(&served, 1)
+				case err != nil && strings.Contains(err.Error(), "closed"):
+					atomic.AddInt64(&rejected, 1)
+				default:
+					t.Errorf("worker %d query %d: res=%v err=%v", w, i, res, err)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	// Close mid-stream, racing the submitters.
+	time.Sleep(time.Millisecond)
+	b.Close()
+	b.Close() // double-close must be safe
+	wg.Wait()
+
+	if served+rejected != workers*perWorker {
+		t.Fatalf("accounted for %d of %d queries", served+rejected, workers*perWorker)
+	}
+	if got := atomic.LoadInt64(&processed); got != served {
+		t.Fatalf("process saw %d queries, %d were served", got, served)
+	}
+	t.Logf("served %d, rejected %d after close", served, rejected)
+}

@@ -38,8 +38,13 @@ type Spec struct {
 	ZipfS float64
 	// TokensPerChunk sets the chunk granularity (default 64).
 	TokensPerChunk int
-	// Seed makes generation deterministic.
+	// Seed makes generation deterministic; default 0. Two Generate calls
+	// with equal specs yield bit-identical corpora.
 	Seed int64
+	// Rand, when non-nil, supplies the generator directly and Seed is
+	// ignored. Excluded from JSON: index manifests persist only Seed, so a
+	// corpus regenerated from meta.json always comes from the seed path.
+	Rand *rand.Rand `json:"-"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -77,7 +82,10 @@ func Generate(spec Spec) (*Corpus, error) {
 	if spec.NumTopics > spec.NumChunks {
 		return nil, fmt.Errorf("corpus: NumTopics %d > NumChunks %d", spec.NumTopics, spec.NumChunks)
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := spec.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(spec.Seed))
+	}
 
 	// Topic centers: random unit-ish directions scaled for separation.
 	centers := vec.NewMatrix(spec.NumTopics, spec.Dim)

@@ -1,0 +1,37 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInjectedRandMatchesSeedPath pins the Spec.Rand contract: injecting
+// rand.New(rand.NewSource(s)) generates the same corpus as Seed: s.
+func TestInjectedRandMatchesSeedPath(t *testing.T) {
+	base := Spec{NumChunks: 500, Dim: 8, NumTopics: 5, Seed: 11}
+	bySeed, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := base
+	injected.Seed = 999 // ignored when Rand is set
+	injected.Rand = rand.New(rand.NewSource(11))
+	byRand, err := Generate(injected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySeed.Vectors.Len() != byRand.Vectors.Len() {
+		t.Fatalf("sizes diverge: %d vs %d", bySeed.Vectors.Len(), byRand.Vectors.Len())
+	}
+	for i := 0; i < bySeed.Vectors.Len(); i++ {
+		if bySeed.Topics[i] != byRand.Topics[i] {
+			t.Fatalf("topic %d diverges", i)
+		}
+		a, b := bySeed.Vectors.Row(i), byRand.Vectors.Row(i)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("chunk %d dim %d: %v != %v", i, d, a[d], b[d])
+			}
+		}
+	}
+}

@@ -36,6 +36,7 @@ func dialNode(addr string, timeout time.Duration) (*nodeClient, error) {
 	c := &nodeClient{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	info, err := c.roundTrip(&Request{Op: OpInfo})
 	if err != nil {
+		//lint:ignore errdrop the handshake already failed; Close is best-effort cleanup
 		conn.Close()
 		return nil, err
 	}
@@ -93,13 +94,14 @@ func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	for _, addr := range addrs {
 		c, err := dialNode(addr, timeout)
 		if err != nil {
-			co.Close()
+			_ = co.Close()
 			return nil, err
 		}
 		if co.dim == 0 {
 			co.dim = c.dim
 		} else if co.dim != c.dim {
-			co.Close()
+			_ = co.Close()
+			//lint:ignore errdrop dial is failing on a dim mismatch; Close is best-effort cleanup
 			c.conn.Close()
 			return nil, fmt.Errorf("distsearch: node %s dim %d != %d", addr, c.dim, co.dim)
 		}
@@ -385,15 +387,22 @@ func (co *Coordinator) Shutdown() error {
 			firstErr = err
 		}
 	}
-	co.Close()
+	if err := co.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
 }
 
-// Close drops all connections without stopping the nodes.
-func (co *Coordinator) Close() {
+// Close drops all connections without stopping the nodes. Every connection
+// is closed regardless; the first close error is returned.
+func (co *Coordinator) Close() error {
+	var firstErr error
 	for _, n := range co.nodes {
 		if n != nil && n.conn != nil {
-			n.conn.Close()
+			if err := n.conn.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
+	return firstErr
 }

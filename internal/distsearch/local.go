@@ -22,11 +22,11 @@ func LaunchLocal(store *hermes.Store, logger *log.Logger) (*LocalCluster, error)
 	for i, shard := range store.Shards {
 		node, err := NewNode(i, shard.Index, logger)
 		if err != nil {
-			lc.Close()
+			_ = lc.Close()
 			return nil, err
 		}
 		if err := node.Listen("127.0.0.1:0"); err != nil {
-			lc.Close()
+			_ = lc.Close()
 			return nil, fmt.Errorf("distsearch: launch shard %d: %w", i, err)
 		}
 		lc.nodes = append(lc.nodes, node)
@@ -40,11 +40,16 @@ func (lc *LocalCluster) Addrs() []string {
 	return append([]string(nil), lc.addrs...)
 }
 
-// Close stops every node.
-func (lc *LocalCluster) Close() {
+// Close stops every node. All nodes are closed regardless; the first close
+// error is returned.
+func (lc *LocalCluster) Close() error {
+	var firstErr error
 	for _, n := range lc.nodes {
 		if n != nil {
-			n.Close()
+			if err := n.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
+	return firstErr
 }

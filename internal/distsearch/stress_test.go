@@ -1,0 +1,86 @@
+package distsearch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hermes"
+)
+
+// TestConcurrentSearchDuringNodeDrain hammers one coordinator with
+// concurrent Search calls while a shard node is closed mid-flight. In
+// lenient mode every query must still complete without error (recall may
+// drop — the drained shard's documents vanish — but the service stays up).
+// Run under -race this also exercises the per-connection locking in
+// nodeClient.roundTrip and the Node close path.
+func TestConcurrentSearchDuringNodeDrain(t *testing.T) {
+	_, lc, co, c := cluster(t, 1200, 6)
+	co.SetLenient(true) // set before spawning workers; lenient has no lock
+	p := hermes.DefaultParams()
+	qs := c.Queries(64, 99)
+
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				q := qs.Vectors.Row((w*perWorker + i) % qs.Vectors.Len())
+				if _, err := co.Search(q, p); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	close(start)
+
+	// Drain one node while searches are in flight.
+	time.Sleep(2 * time.Millisecond)
+	if err := lc.nodes[len(lc.nodes)-1].Close(); err != nil {
+		t.Fatalf("drain node: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("lenient search failed during drain: %v", err)
+	}
+}
+
+// TestConcurrentSearchAndBatch mixes single-query and batched searches from
+// many goroutines against one coordinator, verifying the shared nodeClient
+// connections serialize correctly (meaningful mainly under -race).
+func TestConcurrentSearchAndBatch(t *testing.T) {
+	_, _, co, c := cluster(t, 1000, 4)
+	p := hermes.DefaultParams()
+	qs := c.Queries(32, 17)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := qs.Vectors.Row((w*20 + i) % qs.Vectors.Len())
+				if w%2 == 0 {
+					if _, err := co.Search(q, p); err != nil {
+						t.Errorf("search: %v", err)
+						return
+					}
+				} else {
+					if _, err := co.SearchBatch([][]float32{q, q}, p); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

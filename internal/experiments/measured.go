@@ -15,6 +15,11 @@ import (
 	"repro/internal/vec"
 )
 
+// now is the wall-clock seam for measured-mode experiments. Modeled tables
+// must never read it (the wallclock lint check enforces that only this seam
+// touches the wall), and tests stub it to make timing deterministic.
+var now = time.Now
+
 func init() {
 	register("table1", Table1Quantization)
 	register("fig4", Fig4HNSWvsIVF)
@@ -175,24 +180,24 @@ func Fig4HNSWvsIVF(sc Scale) ([]*Table, error) {
 	}
 	for _, batch := range []int{32, 128} {
 		// IVF batch.
-		start := time.Now()
+		start := now()
 		got := make([][]int64, batch)
 		for i := 0; i < batch; i++ {
 			qi := i % f.queries.Vectors.Len()
 			got[i] = neighborIDs(ivfIx.Search(f.queries.Vectors.Row(qi), f.k, nProbe))
 		}
-		ivfLat := time.Since(start)
+		ivfLat := now().Sub(start)
 		ivfRecall := batchRecall(got, f, batch)
 		tab.AddRow("IVF-SQ8", batch, float64(ivfLat.Milliseconds()),
 			metrics.QPS(batch, ivfLat), ivfIx.MemoryBytes(), ivfRecall)
 
 		// HNSW batch.
-		start = time.Now()
+		start = now()
 		for i := 0; i < batch; i++ {
 			qi := i % f.queries.Vectors.Len()
 			got[i] = neighborIDs(hn.Search(f.queries.Vectors.Row(qi), f.k))
 		}
-		hnswLat := time.Since(start)
+		hnswLat := now().Sub(start)
 		hnswRecall := batchRecall(got, f, batch)
 		tab.AddRow("HNSW", batch, float64(hnswLat.Milliseconds()),
 			metrics.QPS(batch, hnswLat), hn.MemoryBytes(), hnswRecall)
@@ -277,13 +282,13 @@ func Fig12DSE(sc Scale) ([]*Table, error) {
 		return nil, err
 	}
 	run := func(p hermes.Params) (ndcg float64, latency time.Duration) {
-		start := time.Now()
+		start := now()
 		var sum float64
 		for i := 0; i < f.queries.Vectors.Len(); i++ {
 			res, _ := st.Search(f.queries.Vectors.Row(i), p)
 			sum += metrics.NDCGAtK(neighborIDs(res), f.truth[i], f.k)
 		}
-		elapsed := time.Since(start)
+		elapsed := now().Sub(start)
 		return sum / float64(f.queries.Vectors.Len()), elapsed / time.Duration(f.queries.Vectors.Len())
 	}
 

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"time"
-
 	"repro/internal/corpus"
 	"repro/internal/hermes"
 	"repro/internal/hwmodel"
@@ -63,18 +61,18 @@ func ValidateModel(sc Scale) ([]*Table, error) {
 
 		// Measured: scanned vectors and wall time for both strategies.
 		var hermesScan, allScan int
-		startH := time.Now()
+		startH := now()
 		for i := 0; i < qs.Vectors.Len(); i++ {
 			_, stats := st.Search(qs.Vectors.Row(i), p)
 			hermesScan += stats.SampleScanned + stats.DeepScanned
 		}
-		hermesWall := time.Since(startH)
-		startA := time.Now()
+		hermesWall := now().Sub(startH)
+		startA := now()
 		for i := 0; i < qs.Vectors.Len(); i++ {
 			_, stats := st.SearchAll(qs.Vectors.Row(i), p)
 			allScan += stats.DeepScanned
 		}
-		allWall := time.Since(startA)
+		allWall := now().Sub(startA)
 
 		// Modeled: per-batch latency under trace loads vs search-all.
 		tr := trace.Collect(st, qs, p)

@@ -25,8 +25,12 @@ type Config struct {
 	EfConstruction int
 	// EfSearch is the default search-time candidate width. Default 64.
 	EfSearch int
-	// Seed drives level sampling.
+	// Seed drives level sampling; default 0, so builds from equal configs
+	// are bit-identical.
 	Seed int64
+	// Rand, when non-nil, supplies the level-sampling generator directly
+	// and Seed is ignored.
+	Rand *rand.Rand `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -67,12 +71,16 @@ func New(cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("hnsw: Dim must be positive, got %d", cfg.Dim)
 	}
 	cfg = cfg.withDefaults()
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	return &Index{
 		cfg:       cfg,
 		data:      vec.NewMatrix(0, cfg.Dim),
 		entry:     -1,
 		levelMult: 1 / math.Log(float64(cfg.M)),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       rng,
 	}, nil
 }
 

@@ -1,0 +1,51 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestInjectedRandMatchesSeedPath pins the Config.Rand contract: an
+// injected rand.New(rand.NewSource(s)) produces the same graph (observed
+// through search results) as Seed: s.
+func TestInjectedRandMatchesSeedPath(t *testing.T) {
+	const dim, n = 8, 400
+	rng := rand.New(rand.NewSource(2))
+	data := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			data.Row(i)[d] = float32(rng.NormFloat64())
+		}
+	}
+
+	build := func(cfg Config) *Index {
+		t.Helper()
+		ix, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := ix.Add(int64(i), data.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	bySeed := build(Config{Dim: dim, Seed: 5})
+	byRand := build(Config{Dim: dim, Seed: 123 /* ignored */, Rand: rand.New(rand.NewSource(5))})
+
+	for q := 0; q < 20; q++ {
+		a := bySeed.Search(data.Row(q*17%n), 10)
+		b := byRand.Search(data.Row(q*17%n), 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Fatalf("query %d result %d: %+v != %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -20,10 +20,23 @@ import (
 type Config struct {
 	K          int   // number of clusters; must be >= 1
 	MaxIters   int   // Lloyd iterations; default 25
-	Seed       int64 // RNG seed for init and subset sampling
+	Seed       int64 // RNG seed for init and subset sampling; default 0
 	PlusPlus   bool  // k-means++ init (otherwise uniform random points)
 	SampleSize int   // if >0 and < n, train on that many sampled points
 	Tolerance  float64
+	// Rand, when non-nil, supplies the generator directly and Seed is
+	// ignored. The default is rand.New(rand.NewSource(Seed)), so two runs
+	// with equal configs are bit-identical. BestSeed ignores Rand: its
+	// whole point is sweeping Seed.
+	Rand *rand.Rand `json:"-"`
+}
+
+// rng returns the injected generator or a deterministic one from Seed.
+func (c Config) rng() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(c.Seed))
 }
 
 func (c Config) withDefaults() Config {
@@ -89,7 +102,7 @@ func Train(data *vec.Matrix, cfg Config) (*Result, error) {
 	if n < cfg.K {
 		return nil, fmt.Errorf("kmeans: %d points < K=%d", n, cfg.K)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.rng()
 
 	train := data
 	if cfg.SampleSize > 0 && cfg.SampleSize < n {
@@ -186,6 +199,7 @@ func BestSeed(data *vec.Matrix, cfg Config, seeds []int64) (*Result, int64, erro
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
+		c.Rand = nil // the sweep must re-derive the RNG from each seed
 		r, err := Train(data, c)
 		if err != nil {
 			return nil, 0, err

@@ -1,0 +1,59 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInjectedRandMatchesSeedPath pins the Config.Rand contract: injecting
+// rand.New(rand.NewSource(s)) is bit-identical to setting Seed: s, so
+// callers can thread one generator through a larger build without changing
+// results.
+func TestInjectedRandMatchesSeedPath(t *testing.T) {
+	data, _ := blobs(240, 4, 6, 3)
+	bySeed, err := Train(data, Config{K: 4, Seed: 9, PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRand, err := Train(data, Config{K: 4, Seed: 777 /* ignored */, Rand: rand.New(rand.NewSource(9)), PlusPlus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySeed.Inertia != byRand.Inertia || bySeed.Iters != byRand.Iters {
+		t.Fatalf("inertia/iters diverge: seed=(%v,%d) rand=(%v,%d)",
+			bySeed.Inertia, bySeed.Iters, byRand.Inertia, byRand.Iters)
+	}
+	for c := 0; c < 4; c++ {
+		a, b := bySeed.Centroids.Row(c), byRand.Centroids.Row(c)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("centroid %d dim %d: %v != %v", c, d, a[d], b[d])
+			}
+		}
+	}
+	for i := range bySeed.Assign {
+		if bySeed.Assign[i] != byRand.Assign[i] {
+			t.Fatalf("assignment %d diverges", i)
+		}
+	}
+}
+
+// TestBestSeedIgnoresInjectedRand: the seed sweep must re-derive the RNG
+// per seed, otherwise every candidate would share one stream and the
+// imbalance minimization would be meaningless.
+func TestBestSeedIgnoresInjectedRand(t *testing.T) {
+	data, _ := blobs(240, 4, 6, 3)
+	seeds := []int64{1, 2, 3}
+	plain, plainSeed, err := BestSeed(data, Config{K: 4, PlusPlus: true}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, injectedSeed, err := BestSeed(data, Config{K: 4, PlusPlus: true, Rand: rand.New(rand.NewSource(999))}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainSeed != injectedSeed || plain.Inertia != injected.Inertia {
+		t.Fatalf("BestSeed changed under injected Rand: (%d,%v) vs (%d,%v)",
+			plainSeed, plain.Inertia, injectedSeed, injected.Inertia)
+	}
+}

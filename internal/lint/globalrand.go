@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags calls to math/rand package-level functions in library
+// (non-main, non-test) code. Those draw from the shared global Source, so
+// k-means seeding, HNSW level sampling, and corpus generation would differ
+// run to run — invalidating any benchmark comparison between two builds.
+// Library code must thread a seeded *rand.Rand from its config instead.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand calls break run-to-run reproducibility of index builds; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed lists math/rand members that construct or feed an
+// injected generator rather than drawing from the global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(p *Pass) {
+	if p.Pkg != nil && p.Pkg.Name() == "main" {
+		// Entry points own the whole process; the reproducibility contract
+		// applies to importable library code.
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn, ok := pkgNameOf(p.Info, sel.X)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "rand.%s draws from the package-global source and is not reproducible; inject a seeded *rand.Rand (e.g. via Config.Seed or Config.Rand)", sel.Sel.Name)
+			return true
+		})
+	}
+}

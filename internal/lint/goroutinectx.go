@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCtx audits `go func` literals — the coordinator/node fan-out and
+// the batcher are exactly where a leaked or unsynchronized goroutine turns
+// into a data race or an unbounded leak under load. Two rules:
+//
+//  1. The literal must show a visible completion mechanism in its body or
+//     signature: a sync.WaitGroup, a channel operation (send, receive,
+//     range, or close), or a context.Context. Fire-and-forget goroutines
+//     with none of these cannot be drained on shutdown.
+//  2. The literal must not capture an enclosing loop variable; pass it as a
+//     parameter. (Safe under the go1.22 per-iteration semantics this module
+//     targets, but a silent time bomb if the module version is ever
+//     lowered, and harder to review either way.)
+var GoroutineCtx = &Analyzer{
+	Name: "goroutinectx",
+	Doc:  "go func literals need a visible completion mechanism and must not capture loop variables",
+	Run:  runGoroutineCtx,
+}
+
+func runGoroutineCtx(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		loopVars, loopBodies := collectLoopVars(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for _, id := range capturedLoopVars(p, lit, loopVars, loopBodies) {
+				p.Reportf(id.Pos(), "go func literal captures loop variable %s; pass it as a parameter", id.Name)
+			}
+			if !hasCompletionMechanism(p, lit) {
+				p.Reportf(g.Pos(), "goroutine has no visible completion mechanism (sync.WaitGroup, channel, or context.Context); fire-and-forget goroutines cannot be drained on shutdown")
+			}
+			return true
+		})
+	}
+}
+
+// loopSpan is the source range of one loop body.
+type loopSpan struct{ lo, hi token.Pos }
+
+// collectLoopVars gathers the objects declared by for/range clauses in the
+// file, together with the body span of the loop that declared them.
+func collectLoopVars(p *Pass, f *ast.File) (map[types.Object]loopSpan, []loopSpan) {
+	vars := make(map[types.Object]loopSpan)
+	var bodies []loopSpan
+	record := func(id *ast.Ident, body *ast.BlockStmt) {
+		if id == nil || body == nil {
+			return
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			vars[obj] = loopSpan{body.Pos(), body.End()}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			bodies = append(bodies, loopSpan{x.Body.Pos(), x.Body.End()})
+			if id, ok := x.Key.(*ast.Ident); ok {
+				record(id, x.Body)
+			}
+			if id, ok := x.Value.(*ast.Ident); ok {
+				record(id, x.Body)
+			}
+		case *ast.ForStmt:
+			bodies = append(bodies, loopSpan{x.Body.Pos(), x.Body.End()})
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, x.Body)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars, bodies
+}
+
+// capturedLoopVars returns identifier uses inside lit that resolve to a
+// loop variable of a loop enclosing the literal.
+func capturedLoopVars(p *Pass, lit *ast.FuncLit, vars map[types.Object]loopSpan, _ []loopSpan) []*ast.Ident {
+	var out []*ast.Ident
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		span, isLoopVar := vars[obj]
+		if !isLoopVar {
+			return true
+		}
+		// The literal must sit inside the declaring loop's body for this
+		// to be a capture (not, say, a later reuse of the same name).
+		if lit.Pos() < span.lo || lit.End() > span.hi {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// hasCompletionMechanism reports whether the literal's signature or body
+// shows evidence that the goroutine's lifetime is observable: a
+// sync.WaitGroup reference, any channel operation, or a context.Context.
+func hasCompletionMechanism(p *Pass, lit *ast.FuncLit) bool {
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			if t := p.TypeOf(field.Type); completionType(t) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil && completionType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// completionType reports whether t is a sync.WaitGroup (possibly behind a
+// pointer), a context.Context, or a channel.
+func completionType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+				return true
+			case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+				return true
+			}
+		}
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,267 @@
+// Package lint is a zero-dependency static-analysis engine for the Hermes
+// reproduction, built on stdlib go/parser, go/ast, and go/types.
+//
+// The paper's headline numbers (hierarchical-search latency, shard load
+// imbalance, the energy model) are only meaningful if the reproduction is
+// deterministic and data-race-free. The analyzers here encode the project
+// rules that protect those properties:
+//
+//   - globalrand:   no package-global math/rand in library code (index
+//     builds must be bit-reproducible from a config seed)
+//   - wallclock:    no wall-clock reads inside analytical-model packages
+//     (simulated time comes from the model, never from time.Now)
+//   - goroutinectx: every `go func` literal needs a visible completion
+//     mechanism, and loop variables are passed as parameters
+//   - lockcopy:     no passing/returning structs that carry sync primitives
+//     by value
+//   - errdrop:      no silently discarded errors from Close/Flush/Encode
+//     style calls
+//
+// Findings can be suppressed case-by-case with a directive comment on the
+// same line or the line above:
+//
+//	//lint:ignore CHECKID reason why this occurrence is fine
+//
+// The check ID may be a comma-separated list. A directive without a reason
+// is itself reported (check ID "lintdirective"): suppressions must be
+// auditable.
+//
+// To add a new analyzer: create a file in this package declaring a
+// *Analyzer with a Run func over *Pass, register it in All, and add a
+// fixture package under testdata/src/<name>/ with a table-driven test.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported problem.
+type Finding struct {
+	Check string
+	Pos   token.Position
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Msg, f.Check)
+}
+
+// Analyzer is a single named check.
+type Analyzer struct {
+	// Name is the check ID used in output, -only/-skip selection, and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package in pass and reports findings.
+	Run func(*Pass)
+}
+
+// All returns every registered analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop}
+}
+
+// Select filters All() by the -only / -skip comma-separated check lists.
+// Empty strings mean "no constraint". Unknown names are an error so typos
+// do not silently disable a check.
+func Select(only, skip string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if strings.TrimSpace(list) == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(checkNames(), ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func checkNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	ignores  ignoreIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an ignore directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Check: p.Analyzer.Name,
+		Pos:   position,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant p.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// findings sorted by position. Malformed //lint:ignore directives are
+// reported under the always-on check ID "lintdirective".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	ign := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			ignores:  ign,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Check < findings[j].Check
+	})
+	return findings
+}
+
+// ignoreIndex maps file -> line -> suppressed check IDs. A directive on
+// line L suppresses findings on L (trailing comment) and L+1 (comment on
+// its own line above the flagged statement).
+type ignoreIndex map[string]map[int]map[string]bool
+
+const ignorePrefix = "lint:ignore"
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, findings *[]Finding) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					*findings = append(*findings, Finding{
+						Check: "lintdirective",
+						Pos:   pos,
+						Msg:   "malformed //lint:ignore directive: need a check ID and a reason",
+					})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				checks := byLine[pos.Line]
+				if checks == nil {
+					checks = make(map[string]bool)
+					byLine[pos.Line] = checks
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					checks[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(check string, pos token.Position) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if byLine[line][check] {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves an expression to the *types.PkgName it denotes, if it
+// is a plain package qualifier (e.g. the `rand` in rand.Intn).
+func pkgNameOf(info *types.Info, e ast.Expr) (*types.PkgName, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok || info == nil {
+		return nil, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return pn, ok
+}
+
+// isTestFile reports whether the file's position is in a _test.go file.
+// The loader already excludes test files; analyzers keep the guard so they
+// stay correct if fed files from elsewhere.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package.
+type Package struct {
+	// Path is the import path (module-relative when the directory lives
+	// under the module root, else the directory base name).
+	Path string
+	// Dir is the absolute directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check problems. Analysis proceeds
+	// best-effort: go/types fills Info for everything it can resolve.
+	TypeErrors []error
+}
+
+// Loader discovers, parses, and type-checks packages of the enclosing Go
+// module without any dependency on the go tool or golang.org/x/tools:
+// module-internal imports are resolved recursively from source, and
+// standard-library imports go through go/importer's source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+	GoVersion  string
+
+	std     types.Importer
+	cache   map[string]*Package // keyed by absolute dir
+	loading map[string]bool     // cycle guard, keyed by absolute dir
+}
+
+// NewLoader locates the module enclosing startDir (by walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(startDir string) (*Loader, error) {
+	abs, err := filepath.Abs(startDir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, goVersion, err := parseGoMod(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		GoVersion:  goVersion,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+func parseGoMod(path string) (modPath, goVersion string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+		}
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = "go" + strings.TrimSpace(rest)
+		}
+	}
+	if modPath == "" {
+		return "", "", fmt.Errorf("lint: no module directive in %s", path)
+	}
+	return modPath, goVersion, nil
+}
+
+// Load resolves package patterns relative to the current directory. A
+// pattern ending in "/..." walks that directory tree (skipping testdata,
+// vendor, and hidden directories — point at a testdata package explicitly
+// to lint it); any other pattern names a single package directory.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirSet := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			absRoot, err := filepath.Abs(root)
+			if err != nil {
+				return nil, err
+			}
+			err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != absRoot && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !hasGoFiles(abs) {
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		add(abs)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps an absolute directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(dir)
+}
+
+// loadDir parses and type-checks the package in dir, caching the result.
+// Returns (nil, nil) when the directory holds no buildable non-test files.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	if pkg, ok := l.cache[dir]; ok {
+		return pkg, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); noGo {
+			l.cache[dir] = nil
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+
+	pkg := &Package{
+		Path: l.importPathFor(dir),
+		Dir:  dir,
+		Fset: l.Fset,
+	}
+	for _, name := range bp.GoFiles {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	info := &types.Info{
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l,
+		GoVersion:   l.GoVersion,
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns a usable (if incomplete) package even on error; the
+	// collected TypeErrors are surfaced by the driver as warnings.
+	tpkg, _ := conf.Check(pkg.Path, l.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.cache[dir] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths are loaded from
+// source under the module root; everything else (the standard library)
+// falls back to go/importer's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("lint: no package in %s", dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags functions whose receiver, parameters, or results pass a
+// struct by value when that struct (transitively, through embedded structs
+// and arrays) contains a sync or sync/atomic primitive. Copying a Mutex
+// forks the lock state: the copy guards nothing, and under -race the bug
+// often stays invisible until a slow production deadlock. go vet's
+// copylocks catches assignments; this check covers the signature surface
+// where the copy is part of the API contract.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "passing or returning structs that carry sync primitives by value copies the lock; use a pointer",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				obj, ok := p.Info.Defs[x.Name].(*types.Func)
+				if !ok {
+					return true
+				}
+				checkLockSig(p, obj.Type().(*types.Signature), x.Name.Name)
+			case *ast.FuncLit:
+				if t := p.TypeOf(x); t != nil {
+					if sig, ok := t.(*types.Signature); ok {
+						checkLockSig(p, sig, "func literal")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkLockSig(p *Pass, sig *types.Signature, fname string) {
+	report := func(v *types.Var, role string) {
+		lock := lockTypeIn(v.Type(), make(map[types.Type]bool))
+		if lock == "" {
+			return
+		}
+		name := v.Name()
+		if name == "" {
+			name = "_"
+		}
+		p.Reportf(v.Pos(), "%s %q of %s is passed by value but carries %s; copying it copies the lock state — use a pointer", role, name, fname, lock)
+	}
+	if v := sig.Recv(); v != nil {
+		report(v, "receiver")
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		report(sig.Params().At(i), "parameter")
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		report(sig.Results().At(i), "result")
+	}
+}
+
+// lockTypeIn returns the qualified name of the first sync/sync-atomic
+// primitive reachable from t by value (not through pointers, slices, maps,
+// channels, interfaces, or function types), or "" if none.
+func lockTypeIn(t types.Type, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch x := t.(type) {
+	case *types.Named:
+		if obj := x.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				// Every named sync/atomic type embeds noCopy.
+				return "sync/atomic." + obj.Name()
+			}
+		}
+		return lockTypeIn(x.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if s := lockTypeIn(x.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockTypeIn(x.Elem(), seen)
+	}
+	return ""
+}

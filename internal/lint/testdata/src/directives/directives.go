@@ -1,0 +1,19 @@
+// Package directives is a lint fixture for //lint:ignore handling.
+package directives
+
+import "math/rand"
+
+func malformed() int {
+	//lint:ignore globalrand
+	return rand.Int() // line 8: still flagged — the directive above has no reason
+}
+
+func wrongCheck() float32 {
+	//lint:ignore wallclock a directive for another check does not suppress this one
+	return rand.Float32() // line 13: still flagged
+}
+
+func multi() int {
+	//lint:ignore globalrand,errdrop one directive may cover several checks
+	return rand.Intn(3)
+}

@@ -1,0 +1,43 @@
+// Package errdrop is a lint fixture: silently discarded errors from
+// Close/Flush/Write/Encode-style calls.
+package errdrop
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func bad(f *os.File, c closer) {
+	f.Close()    // line 17: flagged
+	f.Sync()     // line 18: flagged
+	c.Close()    // line 19: flagged
+	f.Write(nil) // line 20: flagged
+}
+
+func badEncode(enc *gob.Encoder) {
+	enc.Encode(42) // line 24: flagged
+}
+
+func good(f *os.File) error {
+	defer f.Close() // deferred best-effort cleanup is exempt
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard is exempt
+	var b bytes.Buffer
+	b.WriteString("x") // bytes.Buffer never fails: exempt
+	var sb strings.Builder
+	sb.WriteString("y") // strings.Builder never fails: exempt
+	return nil
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore errdrop best-effort cleanup on an already-failing path
+	f.Close()
+}

@@ -1,0 +1,31 @@
+// Package globalrand is a lint fixture: library code drawing from the
+// shared math/rand global source.
+package globalrand
+
+import "math/rand"
+
+func bad() float32 {
+	return rand.Float32() // line 8: flagged
+}
+
+func badSeveral() []int {
+	n := rand.Intn(10)                 // line 12: flagged
+	rand.Shuffle(n, func(i, j int) {}) // line 13: flagged
+	return rand.Perm(4)                // line 14: flagged
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Float64()
+}
+
+func goodZipf(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, 100)
+	return z.Uint64()
+}
+
+func suppressed() int {
+	//lint:ignore globalrand fixture demonstrates an audited exception
+	return rand.Int()
+}

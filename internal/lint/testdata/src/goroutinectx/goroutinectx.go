@@ -1,0 +1,57 @@
+// Package goroutinectx is a lint fixture: goroutine launch hygiene.
+package goroutinectx
+
+import (
+	"context"
+	"sync"
+)
+
+func fireAndForget() {
+	go func() { // line 10: flagged (no completion mechanism)
+		println("leak")
+	}()
+}
+
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			println(i) // line 21: flagged (captures loop variable i)
+		}()
+	}
+	wg.Wait()
+}
+
+func goodWaitGroupParam(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			println(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func goodChannel() <-chan int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	return out
+}
+
+func goodContext(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+func suppressed() {
+	//lint:ignore goroutinectx detached telemetry flusher lives for the whole process
+	go func() { println("ok") }()
+}

@@ -1,0 +1,47 @@
+// Package lockcopy is a lint fixture: sync primitives crossing function
+// signatures by value.
+package lockcopy
+
+import "sync"
+
+// Guarded carries a mutex directly.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper carries one transitively.
+type Wrapper struct {
+	G Guarded
+}
+
+// Clean carries none.
+type Clean struct{ n int }
+
+func badParam(g Guarded) int { // line 21: flagged (parameter g)
+	return g.n
+}
+
+func badNested(w Wrapper) { // line 25: flagged (transitive through Wrapper.G)
+	_ = w
+}
+
+func badReturn() Guarded { // line 29: flagged (result)
+	return Guarded{}
+}
+
+func (g Guarded) badRecv() int { // line 33: flagged (value receiver)
+	return g.n
+}
+
+var _ = func(g Guarded) { // line 37: flagged (func literal parameter)
+	_ = g
+}
+
+func goodPtr(g *Guarded) int  { return g.n }
+func goodClean(c Clean) Clean { return c }
+func goodSlice(gs []Guarded)  { _ = gs }
+
+func suppressed(g Guarded) { //lint:ignore lockcopy fixture-audited copy of a never-locked struct
+	_ = g
+}

@@ -1,0 +1,34 @@
+// Package hwmodel (fixture): the analyzer scopes on the package *name*, so
+// this file impersonates an analytical-model package.
+package hwmodel
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // line 8: flagged
+}
+
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // line 12: flagged
+}
+
+func badUntil(t time.Time) time.Duration {
+	return time.Until(t) // line 16: flagged
+}
+
+// now is the injectable clock seam: referencing time.Now as a value is
+// allowed; only calls are wall-clock reads.
+var now = time.Now
+
+func good(t time.Time) time.Duration {
+	return now().Sub(t)
+}
+
+func goodDuration() time.Duration {
+	return 5 * time.Millisecond
+}
+
+func suppressed() time.Time {
+	//lint:ignore wallclock measured-mode validation needs real wall time
+	return time.Now()
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock reads inside the analytical-model packages.
+// Those packages compute the paper's modeled latency/energy numbers, where
+// every duration must come from the model's own simulated timeline; a stray
+// time.Now() silently couples a "modeled" result to host machine speed.
+// Measured-mode code in these packages that genuinely wants wall time must
+// go through an injectable clock seam (e.g. `var now = time.Now`), which
+// also makes it stubbable in tests.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock reads in analytical-model packages couple modeled results to host speed; inject a clock",
+	Run:  runWallClock,
+}
+
+// wallClockScope names the analytical-model packages (by package name).
+var wallClockScope = map[string]bool{
+	"hwmodel":     true,
+	"scaling":     true,
+	"multinode":   true,
+	"experiments": true,
+}
+
+// wallClockFuncs are the time package members that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallClock(p *Pass) {
+	if p.Pkg == nil || !wallClockScope[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn, ok := pkgNameOf(p.Info, sel.X)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s in analytical-model package %q; simulated time must come from the model — route wall-clock reads through an injectable clock (var now = time.Now)", sel.Sel.Name, p.Pkg.Name())
+			return true
+		})
+	}
+}

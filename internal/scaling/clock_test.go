@@ -1,0 +1,42 @@
+package scaling
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClockSeamInjectable stubs the package clock seam (the only sanctioned
+// wall-clock access; see the wallclock lint check) with a fake that ticks
+// 1ms per read, making the measured sweep fully deterministic: every
+// (start, elapsed) pair spans exactly one tick.
+func TestClockSeamInjectable(t *testing.T) {
+	saved := now
+	defer func() { now = saved }()
+	var ticks int64
+	base := time.Unix(0, 0)
+	now = func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+
+	const queries = 4
+	m, err := Calibrate(SweepConfig{
+		Dim:     8,
+		Sizes:   []int{256, 512},
+		Queries: queries,
+		Repeats: 2,
+		Seed:    1,
+	}, gaussianGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond / queries
+	for i, p := range m.Points {
+		if !p.Measured {
+			continue
+		}
+		if p.LatencyPerQuery != want {
+			t.Fatalf("point %d latency %v under fake clock, want %v", i, p.LatencyPerQuery, want)
+		}
+	}
+}

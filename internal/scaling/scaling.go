@@ -16,6 +16,11 @@ import (
 	"repro/internal/vec"
 )
 
+// now is the wall-clock seam for the measured sweep. The analytical model
+// itself never reads the wall (the wallclock lint check enforces it), and
+// tests stub this to make timing deterministic.
+var now = time.Now
+
 // Point is one measured or extrapolated observation.
 type Point struct {
 	Tokens int64
@@ -148,12 +153,12 @@ func Calibrate(cfg SweepConfig, gen func(n, dim int, seed int64) *vec.Matrix) (*
 		var best time.Duration
 		for rep := 0; rep < cfg.Repeats; rep++ {
 			scanned = 0
-			start := time.Now()
+			start := now()
 			for i := 0; i < queries.Len(); i++ {
 				_, st := ix.SearchWithStats(queries.Row(i), 10, cfg.NProbe)
 				scanned += st.VectorsScanned
 			}
-			if elapsed := time.Since(start); rep == 0 || elapsed < best {
+			if elapsed := now().Sub(start); rep == 0 || elapsed < best {
 				best = elapsed
 			}
 		}

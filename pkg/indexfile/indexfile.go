@@ -43,6 +43,7 @@ func WriteIndex(path string, ix *ivf.Index) error {
 		return err
 	}
 	if err := ix.Save(f); err != nil {
+		//lint:ignore errdrop Save already failed; Close is best-effort cleanup
 		f.Close()
 		return err
 	}

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification for this repo. Everything here must pass before a
+# change lands: build, go vet, the project's own static analyzers
+# (cmd/hermes-lint), the full test suite, and the race detector over the
+# concurrency-heavy packages (TCP serving path and the batching front-end).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go run ./cmd/hermes-lint ./...
+go test ./...
+go test -race ./internal/distsearch/ ./internal/batcher/
