@@ -7,6 +7,8 @@
 //
 //	hermes-coordinator -nodes 127.0.0.1:7001,127.0.0.1:7002 -index ./idx -queries 5
 //	hermes-coordinator -nodes ... -index ./idx -queries 5 -all   # naive search-all baseline
+//	hermes-coordinator -nodes ... -index ./idx -stats            # per-node serving table
+//	hermes-coordinator -nodes ... -index ./idx -trace -queries 3 # per-query span breakdown
 package main
 
 import (
@@ -14,11 +16,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
 	"repro/internal/hermes"
+	"repro/internal/rerank"
+	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
 )
 
@@ -32,6 +37,9 @@ func main() {
 		deep      = flag.Int("deep", 3, "clusters to deep-search")
 		all       = flag.Bool("all", false, "search every node (naive baseline)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8081)")
+		stats     = flag.Bool("stats", false, "print the per-node serving table (live Fig. 13 view) and exit")
+		trace     = flag.Bool("trace", false, "trace each query and print its per-phase span breakdown")
 	)
 	flag.Parse()
 
@@ -56,15 +64,45 @@ func main() {
 	defer co.Close()
 	fmt.Printf("connected to %d nodes, %d vectors total, dim %d\n\n", co.Nodes(), co.TotalSize(), co.Dim())
 
+	if *admin != "" {
+		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoints on http://%s/metrics\n\n", srv.Addr())
+	}
+	if *stats {
+		printStats(co)
+		return
+	}
+
+	// -trace reranks the merged candidates against the raw corpus vectors so
+	// the breakdown shows the full sample/rank/deep/rerank pipeline.
+	var reranker *rerank.Reranker
+	if *trace {
+		reranker = rerank.NewFromMatrix(rerank.InnerProduct, c.Vectors)
+	}
+
 	params := hermes.DefaultParams()
 	params.K = *k
 	params.DeepClusters = *deep
 	qs := c.Queries(*queries, *qseed)
 	for i := 0; i < qs.Vectors.Len(); i++ {
 		var res *distsearch.Result
-		if *all {
+		var tr *telemetry.Trace
+		switch {
+		case *all:
 			res, err = co.SearchAll(qs.Vectors.Row(i), params)
-		} else {
+		case *trace:
+			tr = telemetry.NewTrace()
+			res, err = co.SearchTraced(qs.Vectors.Row(i), params, tr)
+			if err == nil {
+				endRerank := tr.StartSpan("rerank")
+				res.Neighbors = reranker.Rerank(qs.Vectors.Row(i), res.Neighbors)
+				endRerank()
+			}
+		default:
 			res, err = co.Search(qs.Vectors.Row(i), params)
 		}
 		if err != nil {
@@ -72,6 +110,9 @@ func main() {
 		}
 		fmt.Printf("query %d (topic %d): sample %v, deep %v on nodes %v\n",
 			i, qs.Topics[i], res.SampleLatency, res.DeepLatency, res.DeepNodes)
+		if tr != nil {
+			fmt.Printf("  %s\n", tr.Breakdown())
+		}
 		for rank, n := range res.Neighbors {
 			txt, err := store.Get(n.ID)
 			if err != nil {
@@ -84,6 +125,35 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// printStats renders each node's serving counters and handling-time
+// quantiles — the live per-node view of the paper's Fig. 13 access imbalance.
+func printStats(co *distsearch.Coordinator) {
+	stats, err := co.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shard\tvectors\tsample\tdeep\tmutations\ttombstones\tsample_p95\tdeep_p95\ttraced")
+	for _, ns := range stats {
+		sampleP95 := nodeSeconds(ns, "sample")
+		deepP95 := nodeSeconds(ns, "deep")
+		traced := ns.Telemetry[fmt.Sprintf(`hermes_node_traced_requests_total{shard="%d"}`, ns.ShardID)]
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%.0f\n",
+			ns.ShardID, ns.Size, ns.SampleServed, ns.DeepServed, ns.MutationsServed,
+			ns.Tombstones, sampleP95, deepP95, traced)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+// nodeSeconds extracts a node's p95 handling time for op from its telemetry
+// snapshot; zero renders as 0s for nodes that have not served the op yet.
+func nodeSeconds(ns distsearch.NodeStats, op string) time.Duration {
+	key := fmt.Sprintf(`hermes_node_request_seconds{op="%s",shard="%d"}:p95`, op, ns.ShardID)
+	return time.Duration(ns.Telemetry[key] * float64(time.Second))
 }
 
 func fatal(err error) {

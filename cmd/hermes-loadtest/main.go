@@ -17,12 +17,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
 	"repro/internal/hermes"
+	"repro/internal/kvcache"
+	"repro/internal/llm"
 	"repro/internal/loadgen"
+	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
 )
 
@@ -40,9 +44,13 @@ func main() {
 		deep      = flag.Int("deep", 3, "clusters to deep-search")
 		seed      = flag.Int64("seed", 23, "generation seed")
 		allFlag   = flag.Bool("all", false, "use the naive search-all baseline")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		kvMiB     = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
+		linger    = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
 	)
 	flag.Parse()
 
+	tokensPerChunk := corpus.DefaultTokensPerChunk
 	var co *distsearch.Coordinator
 	var qset *corpus.QuerySet
 	switch {
@@ -72,6 +80,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if meta.Corpus.TokensPerChunk > 0 {
+			tokensPerChunk = meta.Corpus.TokensPerChunk
+		}
 		c, err := corpus.Generate(meta.Corpus)
 		if err != nil {
 			fatal(err)
@@ -86,6 +97,41 @@ func main() {
 	}
 	defer co.Close()
 
+	if *admin != "" {
+		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoints on http://%s/metrics\n", srv.Addr())
+	}
+
+	// The optional KV cache replays RAGCache's premise over the real
+	// retrieval stream: each retrieved document's prefill state is one
+	// entry, sized by the chunk's tokens under the Phi-1.5 spec. The cache
+	// is not concurrency-safe, so the load workers share a mutex.
+	var (
+		cache    *kvcache.Cache
+		cacheMu  sync.Mutex
+		docBytes int64
+	)
+	if *kvMiB > 0 {
+		var err error
+		cache, err = kvcache.New(*kvMiB << 20)
+		if err != nil {
+			fatal(err)
+		}
+		docBytes = kvcache.KVBytes(tokensPerChunk, llm.Phi15.KVBytesPerToken())
+		telemetry.Default.RegisterCollector(func(r *telemetry.Registry) {
+			cacheMu.Lock()
+			s := cache.Stats()
+			cacheMu.Unlock()
+			s.Collect(r)
+		})
+		fmt.Fprintf(os.Stderr, "kv cache: %d MiB capacity, %.1f KiB per document\n",
+			*kvMiB, float64(docBytes)/1024)
+	}
+
 	params := hermes.DefaultParams()
 	params.DeepClusters = *deep
 	fmt.Fprintf(os.Stderr, "offered load: %.0f QPS x %d queries, concurrency %d, deep=%d, search-all=%v\n",
@@ -98,13 +144,24 @@ func main() {
 		Seed:        *seed,
 	}, func(i int) error {
 		q := qset.Vectors.Row(i % qset.Vectors.Len())
+		var res *distsearch.Result
 		var err error
 		if *allFlag {
-			_, err = co.SearchAll(q, params)
+			res, err = co.SearchAll(q, params)
 		} else {
-			_, err = co.Search(q, params)
+			res, err = co.Search(q, params)
 		}
-		return err
+		if err != nil {
+			return err
+		}
+		if cache != nil {
+			cacheMu.Lock()
+			for _, n := range res.Neighbors {
+				cache.Lookup(n.ID, docBytes)
+			}
+			cacheMu.Unlock()
+		}
+		return nil
 	})
 	if err != nil {
 		fatal(err)
@@ -116,6 +173,17 @@ func main() {
 		rep.Sojourn.Mean, rep.Sojourn.P50, rep.Sojourn.P95, rep.Sojourn.P99, rep.Sojourn.Max)
 	fmt.Printf("service latency: mean %v  p50 %v  p95 %v\n",
 		rep.Service.Mean, rep.Service.P50, rep.Service.P95)
+	if cache != nil {
+		cacheMu.Lock()
+		s := cache.Stats()
+		cacheMu.Unlock()
+		fmt.Printf("kv cache: %.1f%% hit rate (%d hits / %d lookups, %d evictions)\n",
+			100*s.HitRate(), s.Hits, s.Hits+s.Misses, s.Evictions)
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %v for admin scrapes...\n", *linger)
+		time.Sleep(*linger)
+	}
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"repro/internal/distsearch"
+	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		dir   = flag.String("index", "hermes-index", "index directory from hermes-build")
 		shard = flag.Int("shard", 0, "shard number to serve")
 		addr  = flag.String("addr", "127.0.0.1:0", "listen address")
+		admin = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,14 @@ func main() {
 		fatal(err)
 	}
 	logger.Printf("serving shard %d (%d vectors, %s) on %s", *shard, ix.Len(), ix.QuantizerName(), node.Addr())
+	if *admin != "" {
+		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		logger.Printf("admin endpoints on http://%s/metrics", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	hermes "repro"
@@ -77,6 +78,29 @@ func main() {
 	fmt.Printf("\nNDCG@%d:   hierarchical %.4f | search-all %.4f\n", params.K, hierNDCG/n, allNDCG/n)
 	fmt.Printf("mean wire+search time: hierarchical %v | search-all %v\n",
 		hierTime/time.Duration(n), allTime/time.Duration(n))
+
+	// A traced query: its ID rides the wire to every shard node and each
+	// coordinator phase lands in one span.
+	tr := hermes.NewTrace()
+	if _, err := co.SearchTraced(queries.Vectors.Row(0), params, tr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraced query breakdown:\n  %s\n", tr.Breakdown())
+
+	// The same traffic is visible in the default metric registry, in
+	// Prometheus exposition format (cmd binaries serve this on -admin).
+	var exp strings.Builder
+	if err := hermes.DefaultTelemetry().WritePrometheus(&exp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscrape excerpt (hermes_coordinator_*):")
+	for _, line := range strings.Split(exp.String(), "\n") {
+		if strings.HasPrefix(line, "hermes_coordinator_queries_total") ||
+			strings.HasPrefix(line, "hermes_coordinator_phase_seconds_count") {
+			fmt.Println("  " + line)
+		}
+	}
+
 	fmt.Println("\n(hierarchical touches 3 of 8 nodes deeply; on real multi-host nodes")
 	fmt.Println(" that is the throughput and energy win of Figs. 18 and 21)")
 }

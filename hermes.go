@@ -35,6 +35,7 @@ import (
 	"repro/internal/rag"
 	"repro/internal/rerank"
 	"repro/internal/striding"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -154,6 +155,33 @@ func LaunchLocalCluster(store *Store, logger *log.Logger) (*Cluster, error) {
 // DialCluster connects a coordinator to shard-node addresses.
 func DialCluster(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	return distsearch.Dial(addrs, timeout)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry.
+
+// TelemetryRegistry is a concurrency-safe metric registry rendering in
+// Prometheus text exposition format.
+type TelemetryRegistry = telemetry.Registry
+
+// Trace is a request-scoped span recorder; pass it to
+// Coordinator.SearchTraced for a per-phase breakdown.
+type Trace = telemetry.Trace
+
+// DefaultTelemetry returns the process-wide registry every component
+// publishes into unless pointed elsewhere.
+func DefaultTelemetry() *TelemetryRegistry { return telemetry.Default }
+
+// NewTrace mints a trace whose ID rides the wire protocol to shard nodes.
+func NewTrace() *Trace { return telemetry.NewTrace() }
+
+// ServeTelemetry starts the admin HTTP server (/metrics, /healthz,
+// /debug/pprof) for reg on addr; pass nil to serve the default registry.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (*telemetry.AdminServer, error) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	return telemetry.ServeAdmin(addr, reg)
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -29,6 +30,9 @@ type Config struct {
 	MaxWait time.Duration
 	// Process executes flushed batches.
 	Process ProcessFunc
+	// Telemetry, when non-nil, receives the live queue-depth gauge and the
+	// batch-size histogram (hermes_batcher_*). Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // Batcher groups queries into batches. Safe for concurrent Search calls.
@@ -40,6 +44,9 @@ type Batcher struct {
 	closed  bool
 
 	flushes, queriesServed int64
+
+	queueDepth *telemetry.Gauge
+	batchSize  *telemetry.Histogram
 }
 
 type request struct {
@@ -63,7 +70,13 @@ func New(cfg Config) (*Batcher, error) {
 	if cfg.Process == nil {
 		return nil, fmt.Errorf("batcher: Process is required")
 	}
-	return &Batcher{cfg: cfg}, nil
+	return &Batcher{
+		cfg: cfg,
+		queueDepth: cfg.Telemetry.Gauge("hermes_batcher_queue_depth",
+			"Queries waiting for their batch to flush."),
+		batchSize: cfg.Telemetry.Histogram("hermes_batcher_batch_size",
+			"Queries per flushed batch.", telemetry.DefSizeBuckets),
+	}, nil
 }
 
 // Search enqueues a query and blocks until its batch completes.
@@ -75,6 +88,7 @@ func (b *Batcher) Search(q []float32) ([]vec.Neighbor, error) {
 		return nil, fmt.Errorf("batcher: closed")
 	}
 	b.pending = append(b.pending, req)
+	b.queueDepth.Set(float64(len(b.pending)))
 	switch {
 	case len(b.pending) >= b.cfg.MaxBatch:
 		batch := b.takeLocked()
@@ -95,6 +109,7 @@ func (b *Batcher) Search(q []float32) ([]vec.Neighbor, error) {
 func (b *Batcher) takeLocked() []*request {
 	batch := b.pending
 	b.pending = nil
+	b.queueDepth.Set(0)
 	if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil
@@ -117,6 +132,7 @@ func (b *Batcher) flush(batch []*request) {
 	for i, r := range batch {
 		queries[i] = r.query
 	}
+	b.batchSize.Observe(float64(len(queries)))
 	results, err := b.cfg.Process(queries)
 	if err == nil && len(results) != len(batch) {
 		err = fmt.Errorf("batcher: Process returned %d results for %d queries", len(results), len(batch))
@@ -139,6 +155,14 @@ type Stats struct {
 	Flushes, QueriesServed int64
 	// MeanBatch is queries per flush.
 	MeanBatch float64
+}
+
+// Collect publishes the snapshot into reg as hermes_batcher_* gauges; wire
+// it as a scrape-time collector. A nil registry is a no-op.
+func (s Stats) Collect(reg *telemetry.Registry) {
+	reg.Gauge("hermes_batcher_flushes", "Cumulative flushed batches.").Set(float64(s.Flushes))
+	reg.Gauge("hermes_batcher_queries_served", "Cumulative queries served through batches.").Set(float64(s.QueriesServed))
+	reg.Gauge("hermes_batcher_mean_batch", "Mean queries per flush.").Set(s.MeanBatch)
 }
 
 // Stats snapshots the counters.

@@ -1,0 +1,81 @@
+package batcher
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+func TestBatcherTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b, err := New(Config{
+		MaxBatch: 4,
+		MaxWait:  time.Hour, // only MaxBatch flushes
+		Process: func(queries [][]float32) ([][]vec.Neighbor, error) {
+			return make([][]vec.Neighbor, len(queries)), nil
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := b.Search([]float32{1})
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["hermes_batcher_batch_size:count"]; got != 2 {
+		t.Errorf("batch-size observations = %v, want 2 flushes", got)
+	}
+	if got := snap["hermes_batcher_batch_size:sum"]; got != 8 {
+		t.Errorf("batch-size sum = %v, want 8 queries", got)
+	}
+	if got := snap["hermes_batcher_queue_depth"]; got != 0 {
+		t.Errorf("queue depth = %v after drain, want 0", got)
+	}
+
+	// Stats.Collect publishes the same numbers as scrape-time gauges.
+	reg.RegisterCollector(func(r *telemetry.Registry) { b.Stats().Collect(r) })
+	snap = reg.Snapshot()
+	if got := snap["hermes_batcher_flushes"]; got != 2 {
+		t.Errorf("flushes = %v, want 2", got)
+	}
+	if got := snap["hermes_batcher_queries_served"]; got != 8 {
+		t.Errorf("queries served = %v, want 8", got)
+	}
+	if got := snap["hermes_batcher_mean_batch"]; got != 4 {
+		t.Errorf("mean batch = %v, want 4", got)
+	}
+}
+
+// TestBatcherNoTelemetry pins that an unconfigured batcher keeps working —
+// the handles are nil and every instrumentation site is a no-op.
+func TestBatcherNoTelemetry(t *testing.T) {
+	b, err := New(Config{
+		MaxBatch: 1,
+		MaxWait:  time.Millisecond,
+		Process: func(queries [][]float32) ([][]vec.Neighbor, error) {
+			return make([][]vec.Neighbor, len(queries)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Search([]float32{1}); err != nil {
+		t.Fatal(err)
+	}
+}

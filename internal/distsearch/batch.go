@@ -38,6 +38,8 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 	if p.K <= 0 {
 		p = hermes.DefaultParams()
 	}
+	co.m.queries.Add(int64(len(queries)))
+	co.m.batchSize.Observe(float64(len(queries)))
 
 	// Phase 1 — one sample-batch request per node.
 	start := time.Now()
@@ -73,6 +75,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		}
 	}
 	sampleLat := time.Since(start)
+	co.m.phaseSample.ObserveDuration(sampleLat)
 
 	// Rank shards per query and build per-node deep sub-batches.
 	type ranked struct {
@@ -142,6 +145,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		}
 	}
 	deepLat := time.Since(deepStart)
+	co.m.phaseDeep.ObserveDuration(deepLat)
 
 	out := &BatchResult{
 		Results:       make([][]vec.Neighbor, len(queries)),

@@ -2,6 +2,7 @@ package distsearch
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/hermes"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -22,18 +24,33 @@ type nodeClient struct {
 	dec  *gob.Decoder
 	mu   sync.Mutex
 
+	// rtTimeout bounds each round-trip: read/write deadlines are set on
+	// the connection per request so a hung node surfaces as a timeout
+	// error instead of stalling the coordinator forever.
+	rtTimeout time.Duration
+	cm        *coordMetrics
+	met       clientMetrics
+
 	shardID  int
 	size     int
 	dim      int
 	centroid []float32
 }
 
-func dialNode(addr string, timeout time.Duration) (*nodeClient, error) {
+func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (*nodeClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("distsearch: dial %s: %w", addr, err)
 	}
-	c := &nodeClient{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c := &nodeClient{addr: addr, conn: conn, rtTimeout: rtTimeout, cm: cm}
+	// The handshake runs before the shard ID is known, so wire byte counts
+	// attach to the codec only afterwards; the gob codec itself must be
+	// constructed exactly once per connection (it streams type state).
+	c.met = clientMetrics{}
+	sent := &countingWriter{w: conn}
+	recv := &countingReader{r: conn}
+	c.enc = gob.NewEncoder(sent)
+	c.dec = gob.NewDecoder(recv)
 	info, err := c.roundTrip(&Request{Op: OpInfo})
 	if err != nil {
 		//lint:ignore errdrop the handshake already failed; Close is best-effort cleanup
@@ -44,23 +61,61 @@ func dialNode(addr string, timeout time.Duration) (*nodeClient, error) {
 	c.size = info.Size
 	c.dim = info.Dim
 	c.centroid = info.Centroid
+	c.met = newClientMetrics(cm.reg, c.shardID)
+	sent.c = c.met.sent
+	recv.c = c.met.recv
 	return c, nil
 }
 
+// roundTrip issues one request/response exchange. Each exchange counts into
+// the per-op request counter and in-flight gauge, runs under the per-round-
+// trip I/O deadline, and lands in the per-node round-trip histogram.
 func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.cm.opCounter(req.Op).Inc()
+	c.cm.inflight.Inc()
+	defer c.cm.inflight.Dec()
+	stop := c.met.roundTrip.Timer()
+	defer stop()
+	if c.rtTimeout > 0 {
+		if err := c.conn.SetDeadline(now().Add(c.rtTimeout)); err != nil {
+			c.cm.errors.Inc()
+			return nil, fmt.Errorf("distsearch: deadline on %s: %w", c.addr, err)
+		}
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.countErr(err)
 		return nil, fmt.Errorf("distsearch: send to %s: %w", c.addr, err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.countErr(err)
 		return nil, fmt.Errorf("distsearch: recv from %s: %w", c.addr, err)
 	}
+	if c.rtTimeout > 0 {
+		// Clear the deadline so an idle connection cannot expire between
+		// requests.
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	if resp.ServerNanos > 0 {
+		c.met.compute.ObserveDuration(time.Duration(resp.ServerNanos))
+	}
 	if resp.Err != "" {
+		c.cm.errors.Inc()
 		return nil, fmt.Errorf("distsearch: node %s: %s", c.addr, resp.Err)
 	}
 	return &resp, nil
+}
+
+// countErr classifies a transport failure: every failure increments the
+// error counter, and I/O timeouts additionally count as deadline hits.
+func (c *nodeClient) countErr(err error) {
+	c.cm.errors.Inc()
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.cm.deadlineHits.Inc()
+	}
 }
 
 // Coordinator fans queries out to shard nodes following Hermes' two-phase
@@ -68,6 +123,7 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 type Coordinator struct {
 	nodes []*nodeClient
 	dim   int
+	m     *coordMetrics
 	// lenient degrades gracefully on node failure instead of failing the
 	// query (see SetLenient).
 	lenient bool
@@ -81,18 +137,50 @@ type Coordinator struct {
 // query still errors if every node fails.
 func (co *Coordinator) SetLenient(lenient bool) { co.lenient = lenient }
 
-// Dial connects to every node address. All nodes must expose the same
-// vector dimensionality.
+// DialOptions configures a coordinator connection.
+type DialOptions struct {
+	// Timeout bounds the TCP dial and the OpInfo handshake (default 5s).
+	Timeout time.Duration
+	// RoundTripTimeout is the per-request I/O deadline applied to every
+	// round-trip after connect, so a hung node fails the request instead
+	// of stalling the coordinator forever. 0 defaults to Timeout; pass a
+	// negative value to disable deadlines entirely.
+	RoundTripTimeout time.Duration
+	// Telemetry receives the coordinator's metrics (nil = telemetry.Default).
+	Telemetry *telemetry.Registry
+	// Lenient starts the coordinator in degraded-mode serving (SetLenient).
+	Lenient bool
+}
+
+// Dial connects to every node address with default options. All nodes must
+// expose the same vector dimensionality.
 func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
+	return DialOpts(addrs, DialOptions{Timeout: timeout})
+}
+
+// DialOpts connects to every node address with explicit options.
+func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("distsearch: no node addresses")
 	}
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	co := &Coordinator{}
+	rtTimeout := opts.RoundTripTimeout
+	switch {
+	case rtTimeout == 0:
+		rtTimeout = timeout
+	case rtTimeout < 0:
+		rtTimeout = 0
+	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	co := &Coordinator{m: newCoordMetrics(reg), lenient: opts.Lenient}
 	for _, addr := range addrs {
-		c, err := dialNode(addr, timeout)
+		c, err := dialNode(addr, timeout, rtTimeout, co.m)
 		if err != nil {
 			_ = co.Close()
 			return nil, err
@@ -139,12 +227,21 @@ type Result struct {
 // sample request to all nodes, rank by sampled-document distance, deep-search
 // the top p.DeepClusters nodes, and merge.
 func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
+	return co.SearchTraced(q, p, nil)
+}
+
+// SearchTraced is Search with request-scoped tracing: the trace's ID rides
+// every wire request to the shard nodes, and one span is recorded per phase
+// (sample_scatter, rank, deep_gather). A nil trace disables tracing at zero
+// cost.
+func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.Trace) (*Result, error) {
 	if len(q) != co.dim {
 		return nil, fmt.Errorf("distsearch: query dim %d != %d", len(q), co.dim)
 	}
 	if p.K <= 0 {
 		p = hermes.DefaultParams()
 	}
+	co.m.queries.Inc()
 
 	// Phase 1 — scatter sampling.
 	type sample struct {
@@ -153,6 +250,7 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 		ok    bool
 		err   error
 	}
+	endScatter := tr.StartSpan("sample_scatter")
 	start := time.Now()
 	samples := make([]sample, len(co.nodes))
 	var wg sync.WaitGroup
@@ -160,7 +258,7 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 		wg.Add(1)
 		go func(i int, n *nodeClient) {
 			defer wg.Done()
-			resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe})
+			resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe, TraceID: tr.ID()})
 			if err != nil {
 				samples[i] = sample{node: i, err: err}
 				return
@@ -174,11 +272,16 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 	}
 	wg.Wait()
 	sampleLat := time.Since(start)
+	endScatter()
+	co.m.phaseSample.ObserveDuration(sampleLat)
+
+	endRank := tr.StartSpan("rank")
 	ranked := samples[:0:0]
 	var firstErr error
 	for _, s := range samples {
 		if s.err != nil {
 			if !co.lenient {
+				endRank()
 				return nil, s.err
 			}
 			if firstErr == nil {
@@ -191,18 +294,21 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 		}
 	}
 	if len(ranked) == 0 {
+		endRank()
 		if firstErr != nil {
 			return nil, fmt.Errorf("distsearch: all nodes failed: %w", firstErr)
 		}
 		return &Result{SampleLatency: sampleLat}, nil
 	}
 	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+	endRank()
 
 	// Phase 2 — deep search the top clusters.
 	deep := p.DeepClusters
 	if deep > len(ranked) {
 		deep = len(ranked)
 	}
+	endDeep := tr.StartSpan("deep_gather")
 	deepStart := time.Now()
 	type deepResult struct {
 		neighbors []vec.Neighbor
@@ -215,7 +321,7 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 		deepNodes[i] = co.nodes[ranked[i].node].shardID
 		go func(slot, nodeIdx int) {
 			defer wg.Done()
-			resp, err := co.nodes[nodeIdx].roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe})
+			resp, err := co.nodes[nodeIdx].roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe, TraceID: tr.ID()})
 			if err != nil {
 				deepResults[slot] = deepResult{err: err}
 				return
@@ -225,6 +331,8 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 	}
 	wg.Wait()
 	deepLat := time.Since(deepStart)
+	endDeep()
+	co.m.phaseDeep.ObserveDuration(deepLat)
 
 	tk := vec.NewTopK(p.K)
 	gotAny := false
@@ -338,7 +446,8 @@ func (co *Coordinator) Remove(id int64) (int, bool, error) {
 	return 0, false, nil
 }
 
-// NodeStats is one node's live serving counters.
+// NodeStats is one node's live serving counters plus its full telemetry
+// snapshot.
 type NodeStats struct {
 	ShardID         int
 	Size            int
@@ -346,6 +455,11 @@ type NodeStats struct {
 	DeepServed      int64
 	MutationsServed int64
 	Tombstones      int
+	// Telemetry is the node's complete metric snapshot (per-op request
+	// counts, handling-time histogram quantiles, ...), keyed as
+	// telemetry.Registry.Snapshot renders it. Empty when talking to a
+	// pre-telemetry node.
+	Telemetry map[string]float64
 }
 
 // Stats gathers serving counters from every node — the live view of the
@@ -364,6 +478,7 @@ func (co *Coordinator) Stats() ([]NodeStats, error) {
 			DeepServed:      resp.DeepServed,
 			MutationsServed: resp.MutationsServed,
 			Tombstones:      resp.Tombstones,
+			Telemetry:       resp.Telemetry,
 		}
 	}
 	return out, nil

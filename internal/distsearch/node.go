@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ivf"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -20,6 +21,7 @@ type Node struct {
 	index   *ivf.Index
 	ln      net.Listener
 	logger  *log.Logger
+	met     *nodeMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -48,8 +50,15 @@ func NewNode(shardID int, index *ivf.Index, logger *log.Logger) (*Node, error) {
 		shardID: shardID,
 		index:   index,
 		logger:  logger,
+		met:     newNodeMetrics(telemetry.Default, shardID),
 		conns:   make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// SetTelemetry points the node's metrics at reg instead of the process
+// default registry. Call before Listen; a nil reg disables node telemetry.
+func (n *Node) SetTelemetry(reg *telemetry.Registry) {
+	n.met = newNodeMetrics(reg, n.shardID)
 }
 
 // Listen binds the node to addr ("127.0.0.1:0" for an ephemeral port) and
@@ -112,7 +121,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		start := now()
 		resp := n.handle(&req)
+		served := now().Sub(start)
+		resp.ServerNanos = served.Nanoseconds()
+		n.met.observe(req.Op, served, req.TraceID)
 		if err := enc.Encode(resp); err != nil {
 			if !n.isClosed() {
 				n.logger.Printf("node %d encode: %v", n.shardID, err)
@@ -184,6 +197,7 @@ func (n *Node) handle(req *Request) *Response {
 			DeepServed:      atomic.LoadInt64(&n.deepServed),
 			MutationsServed: atomic.LoadInt64(&n.mutationsServed),
 			Tombstones:      n.index.Tombstones(),
+			Telemetry:       n.met.reg.Snapshot(),
 		}
 	case OpCompact:
 		n.index.Compact()

@@ -53,6 +53,11 @@ type Request struct {
 	// ID identifies the document for OpAdd/OpRemove (OpAdd's vector
 	// travels in Query).
 	ID int64
+	// TraceID carries the coordinator-minted request-scoped trace ID; 0
+	// means untraced. Appended after the v1 fields: gob drops it when an
+	// old node decodes the request and zeroes it when an old coordinator
+	// talks to a new node, so the extension is wire-compatible both ways.
+	TraceID uint64
 }
 
 // Response is the single wire response envelope. Err is non-empty when the
@@ -76,4 +81,12 @@ type Response struct {
 	// Stats fields (OpStats).
 	SampleServed, DeepServed, MutationsServed int64
 	Tombstones                                int
+	// ServerNanos is the node-side handling time of this request in
+	// nanoseconds (deserialization and wire excluded); the coordinator
+	// uses it to split round-trip time into compute vs wire. Like
+	// TraceID, it is a gob-compatible v2 addition.
+	ServerNanos int64
+	// Telemetry is the node's full metric snapshot, keyed as
+	// telemetry.Registry.Snapshot renders it (OpStats only).
+	Telemetry map[string]float64
 }

@@ -1,0 +1,175 @@
+package distsearch
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// now is the injectable clock seam for deadline arithmetic (span and
+// histogram timing already run through internal/telemetry's own seam).
+var now = time.Now
+
+// opName renders an Op as a metric label value.
+func opName(op Op) string {
+	switch op {
+	case OpInfo:
+		return "info"
+	case OpSample:
+		return "sample"
+	case OpDeep:
+		return "deep"
+	case OpShutdown:
+		return "shutdown"
+	case OpSampleBatch:
+		return "sample_batch"
+	case OpDeepBatch:
+		return "deep_batch"
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpStats:
+		return "stats"
+	case OpCompact:
+		return "compact"
+	default:
+		return "unknown"
+	}
+}
+
+// allOps enumerates the wire protocol for per-op handle tables.
+var allOps = []Op{
+	OpInfo, OpSample, OpDeep, OpShutdown, OpSampleBatch, OpDeepBatch,
+	OpAdd, OpRemove, OpStats, OpCompact,
+}
+
+// coordMetrics bundles the coordinator-side metric handles. Handles are
+// resolved once at dial time so the per-request hot path touches only
+// atomics; every field tolerates a nil registry (nil handles no-op).
+type coordMetrics struct {
+	reg          *telemetry.Registry
+	inflight     *telemetry.Gauge
+	errors       *telemetry.Counter
+	deadlineHits *telemetry.Counter
+	queries      *telemetry.Counter
+	phaseSample  *telemetry.Histogram
+	phaseDeep    *telemetry.Histogram
+	batchSize    *telemetry.Histogram
+	byOp         map[Op]*telemetry.Counter
+}
+
+func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
+	m := &coordMetrics{
+		reg: reg,
+		inflight: reg.Gauge("hermes_distsearch_inflight",
+			"round-trips currently in flight across all nodes"),
+		errors: reg.Counter("hermes_distsearch_errors_total",
+			"failed round-trips (all causes, including deadline hits)"),
+		deadlineHits: reg.Counter("hermes_distsearch_deadline_hits_total",
+			"round-trips aborted by the per-request I/O deadline"),
+		queries: reg.Counter("hermes_coordinator_queries_total",
+			"hierarchical queries executed by this coordinator"),
+		phaseSample: reg.Histogram("hermes_coordinator_phase_seconds",
+			"wall time of each search phase", telemetry.DefLatencyBuckets, "phase", "sample"),
+		phaseDeep: reg.Histogram("hermes_coordinator_phase_seconds",
+			"wall time of each search phase", telemetry.DefLatencyBuckets, "phase", "deep"),
+		batchSize: reg.Histogram("hermes_coordinator_batch_size",
+			"queries per SearchBatch call", telemetry.DefSizeBuckets),
+		byOp: make(map[Op]*telemetry.Counter, len(allOps)),
+	}
+	for _, op := range allOps {
+		m.byOp[op] = reg.Counter("hermes_distsearch_requests_total",
+			"round-trips issued by op", "op", opName(op))
+	}
+	return m
+}
+
+func (m *coordMetrics) opCounter(op Op) *telemetry.Counter {
+	if c, ok := m.byOp[op]; ok {
+		return c
+	}
+	return nil
+}
+
+// clientMetrics are the per-node-connection handles (labeled by shard).
+type clientMetrics struct {
+	roundTrip *telemetry.Histogram
+	compute   *telemetry.Histogram
+	sent      *telemetry.Counter
+	recv      *telemetry.Counter
+}
+
+func newClientMetrics(reg *telemetry.Registry, shardID int) clientMetrics {
+	node := strconv.Itoa(shardID)
+	return clientMetrics{
+		roundTrip: reg.Histogram("hermes_distsearch_roundtrip_seconds",
+			"full round-trip time per node", telemetry.DefLatencyBuckets, "node", node),
+		compute: reg.Histogram("hermes_distsearch_node_compute_seconds",
+			"node-reported handling time per node (round-trip minus wire)", telemetry.DefLatencyBuckets, "node", node),
+		sent: reg.Counter("hermes_distsearch_bytes_sent_total",
+			"request bytes sent per node", "node", node),
+		recv: reg.Counter("hermes_distsearch_bytes_recv_total",
+			"response bytes received per node", "node", node),
+	}
+}
+
+// countingWriter / countingReader feed the wire byte counters; they wrap the
+// connection underneath the gob codec so encoded sizes are measured exactly.
+type countingWriter struct {
+	w io.Writer
+	c *telemetry.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+// nodeMetrics are the node-side handles (one table per served shard).
+type nodeMetrics struct {
+	reg      *telemetry.Registry
+	traced   *telemetry.Counter
+	requests map[Op]*telemetry.Counter
+	seconds  map[Op]*telemetry.Histogram
+}
+
+func newNodeMetrics(reg *telemetry.Registry, shardID int) *nodeMetrics {
+	shard := strconv.Itoa(shardID)
+	m := &nodeMetrics{
+		reg: reg,
+		traced: reg.Counter("hermes_node_traced_requests_total",
+			"requests carrying a coordinator trace ID", "shard", shard),
+		requests: make(map[Op]*telemetry.Counter, len(allOps)),
+		seconds:  make(map[Op]*telemetry.Histogram, len(allOps)),
+	}
+	for _, op := range allOps {
+		m.requests[op] = reg.Counter("hermes_node_requests_total",
+			"requests served by op", "shard", shard, "op", opName(op))
+		m.seconds[op] = reg.Histogram("hermes_node_request_seconds",
+			"node-side handling time by op", telemetry.DefLatencyBuckets, "shard", shard, "op", opName(op))
+	}
+	return m
+}
+
+func (m *nodeMetrics) observe(op Op, d time.Duration, traceID uint64) {
+	m.requests[op].Inc()
+	m.seconds[op].ObserveDuration(d)
+	if traceID != 0 {
+		m.traced.Inc()
+	}
+}

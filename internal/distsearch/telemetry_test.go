@@ -1,0 +1,327 @@
+package distsearch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/telemetry"
+)
+
+// telemetryCluster is cluster() with an isolated registry on both sides so
+// assertions see exactly this test's traffic.
+func telemetryCluster(t testing.TB, chunks, shards int) (*Coordinator, *corpus.Corpus, *telemetry.Registry) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{NumChunks: chunks, Dim: 16, NumTopics: shards, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	var nodes []*Node
+	var addrs []string
+	for i, shard := range st.Shards {
+		node, err := NewNode(i, shard.Index, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.SetTelemetry(reg)
+		if err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		addrs = append(addrs, node.Addr())
+	}
+	co, err := DialOpts(addrs, DialOptions{Timeout: time.Second, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := co.Close(); err != nil {
+			t.Errorf("close coordinator: %v", err)
+		}
+		for _, n := range nodes {
+			if err := n.Close(); err != nil {
+				t.Errorf("close node: %v", err)
+			}
+		}
+	})
+	return co, c, reg
+}
+
+// TestTracedQueryProducesOneSpanPerPhase is the end-to-end tracing test: a
+// traced query records exactly one span per coordinator phase, and the trace
+// ID demonstrably reaches every shard node over the wire.
+func TestTracedQueryProducesOneSpanPerPhase(t *testing.T) {
+	const shards = 4
+	co, c, reg := telemetryCluster(t, 1200, shards)
+	qs := c.Queries(1, 11)
+	p := hermes.DefaultParams()
+
+	tr := telemetry.NewTrace()
+	res, err := co.SearchTraced(qs.Vectors.Row(0), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) == 0 {
+		t.Fatal("traced query returned nothing")
+	}
+
+	counts := make(map[string]int)
+	for _, s := range tr.Spans() {
+		counts[s.Name]++
+		if s.Duration < 0 {
+			t.Errorf("span %s has negative duration %v", s.Name, s.Duration)
+		}
+	}
+	for _, phase := range []string{"sample_scatter", "rank", "deep_gather"} {
+		if counts[phase] != 1 {
+			t.Errorf("phase %s recorded %d spans, want exactly 1 (all: %v)", phase, counts[phase], counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("unexpected extra spans: %v", counts)
+	}
+	durs := tr.Durations()
+	if durs["sample_scatter"] <= 0 || durs["deep_gather"] <= 0 {
+		t.Errorf("network phases must take measurable time: %v", durs)
+	}
+
+	// The trace ID traveled to the nodes: every sample request (one per
+	// shard) and every deep request carried it.
+	traced := int64(0)
+	snap := reg.Snapshot()
+	for s := 0; s < shards; s++ {
+		traced += int64(snap[fmt.Sprintf(`hermes_node_traced_requests_total{shard="%d"}`, s)])
+	}
+	wantTraced := int64(shards + len(res.DeepNodes))
+	if traced != wantTraced {
+		t.Errorf("nodes saw %d traced requests, want %d (sample to %d shards + %d deep)",
+			traced, wantTraced, shards, len(res.DeepNodes))
+	}
+
+	if !strings.Contains(tr.Breakdown(), "sample_scatter=") {
+		t.Errorf("breakdown missing phase: %s", tr.Breakdown())
+	}
+}
+
+// TestCoordinatorMetrics checks the request counters, per-node round-trip
+// histograms, byte counters, and the settled in-flight gauge after real
+// traffic.
+func TestCoordinatorMetrics(t *testing.T) {
+	const shards = 4
+	const queries = 8
+	co, c, reg := telemetryCluster(t, 1200, shards)
+	qs := c.Queries(queries, 13)
+	p := hermes.DefaultParams()
+	for i := 0; i < queries; i++ {
+		if _, err := co.Search(qs.Vectors.Row(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+
+	if got := snap[`hermes_distsearch_requests_total{op="sample"}`]; got != queries*shards {
+		t.Errorf("sample round-trips = %v, want %d", got, queries*shards)
+	}
+	wantDeep := float64(queries * p.DeepClusters)
+	if got := snap[`hermes_distsearch_requests_total{op="deep"}`]; got != wantDeep {
+		t.Errorf("deep round-trips = %v, want %v", got, wantDeep)
+	}
+	if got := snap["hermes_coordinator_queries_total"]; got != queries {
+		t.Errorf("queries = %v, want %d", got, queries)
+	}
+	if got := snap["hermes_distsearch_inflight"]; got != 0 {
+		t.Errorf("in-flight gauge = %v after all queries returned, want 0", got)
+	}
+	if got := snap[`hermes_coordinator_phase_seconds{phase="sample"}:count`]; got != queries {
+		t.Errorf("sample phase observations = %v, want %d", got, queries)
+	}
+	for s := 0; s < shards; s++ {
+		rt := snap[fmt.Sprintf(`hermes_distsearch_roundtrip_seconds{node="%d"}:count`, s)]
+		if rt < queries { // every node gets at least the sample request per query
+			t.Errorf("node %d round-trip count = %v, want >= %d", s, rt, queries)
+		}
+		if sent := snap[fmt.Sprintf(`hermes_distsearch_bytes_sent_total{node="%d"}`, s)]; sent <= 0 {
+			t.Errorf("node %d bytes sent = %v, want > 0", s, sent)
+		}
+		if recv := snap[fmt.Sprintf(`hermes_distsearch_bytes_recv_total{node="%d"}`, s)]; recv <= 0 {
+			t.Errorf("node %d bytes recv = %v, want > 0", s, recv)
+		}
+	}
+	if got := snap["hermes_distsearch_errors_total"]; got != 0 {
+		t.Errorf("errors = %v, want 0", got)
+	}
+}
+
+// TestOpStatsReturnsTelemetrySnapshot is the satellite: Stats() now ships
+// each node's full metric snapshot, not just the served-request counters.
+func TestOpStatsReturnsTelemetrySnapshot(t *testing.T) {
+	co, c, _ := telemetryCluster(t, 1200, 3)
+	qs := c.Queries(4, 17)
+	for i := 0; i < 4; i++ {
+		if _, err := co.Search(qs.Vectors.Row(i), hermes.DefaultParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := co.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ns := range stats {
+		if len(ns.Telemetry) == 0 {
+			t.Fatalf("node %d returned no telemetry snapshot", ns.ShardID)
+		}
+		key := fmt.Sprintf(`hermes_node_requests_total{op="sample",shard="%d"}`, ns.ShardID)
+		if got := ns.Telemetry[key]; got != 4 {
+			t.Errorf("node %d %s = %v, want 4", ns.ShardID, key, got)
+		}
+		lat := fmt.Sprintf(`hermes_node_request_seconds{op="sample",shard="%d"}:count`, ns.ShardID)
+		if got := ns.Telemetry[lat]; got != 4 {
+			t.Errorf("node %d %s = %v, want 4", ns.ShardID, lat, got)
+		}
+	}
+}
+
+// hangingNode answers the OpInfo handshake correctly, then swallows every
+// subsequent request without replying — the failure mode the per-round-trip
+// deadline exists for.
+func hangingNode(t *testing.T, dim int) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		dec := gob.NewDecoder(conn)
+		enc := gob.NewEncoder(conn)
+		for {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			if req.Op == OpInfo {
+				if err := enc.Encode(&Response{ShardID: 0, Size: 1, Dim: dim, Centroid: make([]float32, dim)}); err != nil {
+					return
+				}
+				continue
+			}
+			// Hang: never respond, just wait for shutdown.
+			<-done
+			return
+		}
+	}()
+	return ln.Addr().String(), func() {
+		close(done)
+		if err := ln.Close(); err != nil {
+			t.Errorf("close hanging listener: %v", err)
+		}
+		wg.Wait()
+	}
+}
+
+// TestRoundTripDeadlineUnsticksHungNode is the satellite fix: without
+// per-round-trip deadlines this test would block forever on a node that
+// accepted the connection and went silent.
+func TestRoundTripDeadlineUnsticksHungNode(t *testing.T) {
+	const dim = 16
+	addr, stop := hangingNode(t, dim)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	co, err := DialOpts([]string{addr}, DialOptions{
+		Timeout:          time.Second,
+		RoundTripTimeout: 100 * time.Millisecond,
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = co.Close() }()
+
+	q := make([]float32, dim)
+	start := time.Now()
+	_, err = co.Search(q, hermes.DefaultParams())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("search against a hung node must fail")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the stall: took %v", elapsed)
+	}
+	snap := reg.Snapshot()
+	if got := snap["hermes_distsearch_deadline_hits_total"]; got < 1 {
+		t.Errorf("deadline hits = %v, want >= 1", got)
+	}
+	if got := snap["hermes_distsearch_errors_total"]; got < 1 {
+		t.Errorf("errors = %v, want >= 1", got)
+	}
+}
+
+// TestRequestWireCompat proves the TraceID/ServerNanos/Telemetry envelope
+// extensions are gob-compatible with the v1 protocol in both directions.
+func TestRequestWireCompat(t *testing.T) {
+	// v1 shapes as they existed before this change.
+	type RequestV1 struct {
+		Op      Op
+		Query   []float32
+		K       int
+		NProbe  int
+		Queries [][]float32
+		ID      int64
+	}
+	type ResponseV1 struct {
+		Err                                       string
+		ShardID, Size, Dim                        int
+		SampleServed, DeepServed, MutationsServed int64
+		Tombstones                                int
+	}
+
+	// New coordinator -> old node: TraceID is silently dropped.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Request{Op: OpSample, K: 5, TraceID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	var v1req RequestV1
+	if err := gob.NewDecoder(&buf).Decode(&v1req); err != nil {
+		t.Fatalf("old node cannot decode new request: %v", err)
+	}
+	if v1req.Op != OpSample || v1req.K != 5 {
+		t.Errorf("v1 decode mangled fields: %+v", v1req)
+	}
+
+	// Old node -> new coordinator: extensions decode to zero values.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&ResponseV1{ShardID: 3, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(&buf).Decode(&resp); err != nil {
+		t.Fatalf("new coordinator cannot decode old response: %v", err)
+	}
+	if resp.ShardID != 3 || resp.Size != 100 {
+		t.Errorf("decode mangled fields: %+v", resp)
+	}
+	if resp.ServerNanos != 0 || resp.Telemetry != nil {
+		t.Errorf("extensions must decode to zero values: %+v", resp)
+	}
+}

@@ -90,6 +90,10 @@ type Store struct {
 	SeedUsed int64
 	// Imbalance is the max/min shard-size ratio.
 	Imbalance float64
+
+	// met holds resolved telemetry handles (see SetTelemetry); the zero
+	// value is a no-op.
+	met storeMetrics
 }
 
 // BuildOptions configures disaggregation and per-shard index construction.
@@ -319,6 +323,9 @@ type SearchStats struct {
 // Search runs the full Hermes hierarchical search for one query.
 func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	p = p.withDefaults()
+	st.met.searches.Inc()
+	stop := st.met.searchSeconds.Timer()
+	defer stop()
 	var stats SearchStats
 
 	// Phase 1 — document sampling: retrieve 1 document from every shard
@@ -337,6 +344,7 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 		}
 		order = append(order, ranked{s, res[0].Score})
 	}
+	st.met.sampleScanned.Add(int64(stats.SampleScanned))
 	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
 
 	// Phase 2 — deep search into the top DeepClusters shards, optionally
@@ -357,6 +365,7 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 			tk.Push(n.ID, n.Score)
 		}
 	}
+	st.met.deepScanned.Add(int64(stats.DeepScanned))
 	return tk.Results(), stats
 }
 

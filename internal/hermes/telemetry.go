@@ -1,0 +1,29 @@
+package hermes
+
+import "repro/internal/telemetry"
+
+// storeMetrics holds the resolved metric handles for the in-process search
+// path. The zero value (all-nil handles) makes every instrumentation site a
+// no-op, so Search needs no telemetry branch.
+type storeMetrics struct {
+	searches      *telemetry.Counter
+	searchSeconds *telemetry.Histogram
+	sampleScanned *telemetry.Counter
+	deepScanned   *telemetry.Counter
+}
+
+// SetTelemetry publishes the store's search-path metrics (hermes_store_*)
+// into reg. Handles are resolved once here, so the per-query overhead is a
+// few atomic adds. A nil reg disables instrumentation.
+func (st *Store) SetTelemetry(reg *telemetry.Registry) {
+	st.met = storeMetrics{
+		searches: reg.Counter("hermes_store_searches_total",
+			"Hierarchical searches served by the in-process store."),
+		searchSeconds: reg.Histogram("hermes_store_search_seconds",
+			"End-to-end hierarchical search latency.", telemetry.DefLatencyBuckets),
+		sampleScanned: reg.Counter("hermes_store_sample_scanned_total",
+			"Vectors scanned by sample phases."),
+		deepScanned: reg.Counter("hermes_store_deep_scanned_total",
+			"Vectors scanned by deep phases."),
+	}
+}

@@ -1,0 +1,48 @@
+package hermes
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/telemetry"
+)
+
+func TestStoreTelemetry(t *testing.T) {
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 600, Dim: 16, NumTopics: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(c.Vectors, BuildOptions{NumShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	st.SetTelemetry(reg)
+
+	qs := c.Queries(5, 7)
+	for i := 0; i < 5; i++ {
+		if res, _ := st.Search(qs.Vectors.Row(i), DefaultParams()); len(res) == 0 {
+			t.Fatalf("query %d returned nothing", i)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["hermes_store_searches_total"]; got != 5 {
+		t.Errorf("searches = %v, want 5", got)
+	}
+	if got := snap["hermes_store_search_seconds:count"]; got != 5 {
+		t.Errorf("latency observations = %v, want 5", got)
+	}
+	if got := snap["hermes_store_sample_scanned_total"]; got <= 0 {
+		t.Errorf("sample scanned = %v, want > 0", got)
+	}
+	if got := snap["hermes_store_deep_scanned_total"]; got <= 0 {
+		t.Errorf("deep scanned = %v, want > 0", got)
+	}
+
+	// SearchBatch routes through Search, so the counters follow the batch.
+	_ = st.SearchBatch(qs.Vectors, DefaultParams())
+	if got := reg.Snapshot()["hermes_store_searches_total"]; got != 10 {
+		t.Errorf("searches after batch = %v, want 10", got)
+	}
+}

@@ -1,0 +1,20 @@
+package kvcache
+
+import "repro/internal/telemetry"
+
+// Collect publishes the snapshot into reg as hermes_kvcache_* gauges. The
+// values are point-in-time snapshots (set, not incremented), so the natural
+// wiring is a scrape-time collector:
+//
+//	reg.RegisterCollector(func(r *telemetry.Registry) { cache.Stats().Collect(r) })
+//
+// A nil registry is a no-op, matching the rest of the telemetry API.
+func (s Stats) Collect(reg *telemetry.Registry) {
+	reg.Gauge("hermes_kvcache_hits", "Cumulative KV-cache lookup hits.").Set(float64(s.Hits))
+	reg.Gauge("hermes_kvcache_misses", "Cumulative KV-cache lookup misses.").Set(float64(s.Misses))
+	reg.Gauge("hermes_kvcache_evictions", "Cumulative LRU evictions.").Set(float64(s.Evictions))
+	reg.Gauge("hermes_kvcache_used_bytes", "KV state bytes currently cached.").Set(float64(s.UsedBytes))
+	reg.Gauge("hermes_kvcache_capacity_bytes", "Configured KV-cache capacity in bytes.").Set(float64(s.CapacityBytes))
+	reg.Gauge("hermes_kvcache_entries", "Documents currently cached.").Set(float64(s.Entries))
+	reg.Gauge("hermes_kvcache_hit_rate", "Hits over total lookups (0 before any access).").Set(s.HitRate())
+}

@@ -1,0 +1,52 @@
+package kvcache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestStatsCollect(t *testing.T) {
+	c, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(1, 60) // miss, admit
+	c.Lookup(1, 60) // hit
+	c.Lookup(2, 60) // miss, evicts 1
+
+	reg := telemetry.NewRegistry()
+	reg.RegisterCollector(func(r *telemetry.Registry) { c.Stats().Collect(r) })
+
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"hermes_kvcache_hits":           1,
+		"hermes_kvcache_misses":         2,
+		"hermes_kvcache_evictions":      1,
+		"hermes_kvcache_used_bytes":     60,
+		"hermes_kvcache_capacity_bytes": 100,
+		"hermes_kvcache_entries":        1,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("%s = %v, want %v", k, snap[k], v)
+		}
+	}
+	if got := snap["hermes_kvcache_hit_rate"]; got < 0.33 || got > 0.34 {
+		t.Errorf("hit_rate = %v, want 1/3", got)
+	}
+
+	// The collector re-snapshots at every scrape.
+	c.Lookup(2, 60) // hit
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hermes_kvcache_hits 2") {
+		t.Errorf("scrape did not pick up new hit:\n%s", b.String())
+	}
+
+	// Nil registry must not panic.
+	c.Stats().Collect(nil)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/hermes"
 	"repro/internal/rerank"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	Stride int
 	// Seed drives generation sampling.
 	Seed int64
+	// Trace, when non-nil, records one span per pipeline phase (encode,
+	// retrieve, rerank, generate) per stride round — the generation-side
+	// half of the per-query breakdown; retrieval-internal phases are traced
+	// by the coordinator.
+	Trace *telemetry.Trace
 }
 
 // StrideRecord documents one retrieval round.
@@ -129,13 +135,19 @@ func (s *Session) Generate(query string, outTokens int) (*Result, error) {
 
 	for len(generated) < outTokens {
 		// Encode the current prompt (query + output so far) and retrieve.
+		endEncode := s.cfg.Trace.StartSpan("encode")
 		qv := ts.Encoder.Encode(promptText)
+		endEncode()
+		endRetrieve := s.cfg.Trace.StartSpan("retrieve")
 		neighbors, stats := ts.Store.Search(qv, s.cfg.Params)
+		endRetrieve()
 		if len(neighbors) == 0 {
 			return nil, fmt.Errorf("striding: retrieval returned nothing at stride %d", len(res.Strides))
 		}
 		if ts.Reranker != nil {
+			endRerank := s.cfg.Trace.StartSpan("rerank")
 			neighbors = ts.Reranker.Rerank(qv, neighbors)
+			endRerank()
 			if len(neighbors) == 0 {
 				return nil, fmt.Errorf("striding: reranker dropped every candidate")
 			}
@@ -154,7 +166,9 @@ func (s *Session) Generate(query string, outTokens int) (*Result, error) {
 		if remaining := outTokens - len(generated); remaining < want {
 			want = remaining
 		}
+		endGenerate := s.cfg.Trace.StartSpan("generate")
 		tokens := s.sampleTokens(context, want)
+		endGenerate()
 		rec.Generated = tokens
 		generated = append(generated, tokens...)
 		promptText = query + " " + strings.Join(generated, " ")

@@ -1,0 +1,77 @@
+package striding
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestGenerationTraceSpansPerPhase: a single-stride generation records
+// exactly one span per pipeline phase (encode, retrieve, rerank, generate).
+func TestGenerationTraceSpansPerPhase(t *testing.T) {
+	ts, _ := textStore(t, 600, 3)
+	tr := telemetry.NewTrace()
+	sess, err := NewSession(Config{Text: ts, Stride: 8, Seed: 3, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Generate("topic 0 question", 8) // one round: stride == outTokens
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strides) != 1 {
+		t.Fatalf("strides = %d, want 1", len(res.Strides))
+	}
+
+	counts := make(map[string]int)
+	for _, s := range tr.Spans() {
+		counts[s.Name]++
+		if s.Duration < 0 {
+			t.Errorf("span %s has negative duration %v", s.Name, s.Duration)
+		}
+	}
+	for _, phase := range []string{"encode", "retrieve", "rerank", "generate"} {
+		if counts[phase] != 1 {
+			t.Errorf("phase %s recorded %d spans, want exactly 1 (all: %v)", phase, counts[phase], counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("unexpected extra spans: %v", counts)
+	}
+}
+
+// TestGenerationTraceMultiStride: spans accumulate one set per round, and a
+// nil trace stays a no-op.
+func TestGenerationTraceMultiStride(t *testing.T) {
+	ts, _ := textStore(t, 600, 3)
+	tr := telemetry.NewTrace()
+	sess, err := NewSession(Config{Text: ts, Stride: 4, Seed: 3, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Generate("topic 1 question", 12) // three rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strides) != 3 {
+		t.Fatalf("strides = %d, want 3", len(res.Strides))
+	}
+	counts := make(map[string]int)
+	for _, s := range tr.Spans() {
+		counts[s.Name]++
+	}
+	for _, phase := range []string{"encode", "retrieve", "rerank", "generate"} {
+		if counts[phase] != 3 {
+			t.Errorf("phase %s recorded %d spans, want 3", phase, counts[phase])
+		}
+	}
+
+	// Untraced session: same path, no trace, no panic.
+	sess2, err := NewSession(Config{Text: ts, Stride: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Generate("topic 1 question", 4); err != nil {
+		t.Fatal(err)
+	}
+}

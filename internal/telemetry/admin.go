@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// NewAdminMux builds the admin endpoint set over a registry:
+//
+//	/metrics       — Prometheus text exposition of reg
+//	/healthz       — liveness ("ok")
+//	/debug/pprof/* — the standard runtime profiles
+//
+// The mux is returned so callers embedding the admin surface into an
+// existing server can mount it under their own routing.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are already gone; all we can do is note it inline.
+			fmt.Fprintf(w, "# render error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a background HTTP server exposing the admin endpoints.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+// ServeAdmin binds addr (":8080", "127.0.0.1:0", ...) and serves the admin
+// endpoints for reg in a background goroutine until Close.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	a := &AdminServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewAdminMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		// http.Server.Serve always returns a non-nil error on Close; that
+		// shutdown error carries no signal.
+		_ = a.srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server and waits for the serve goroutine to drain.
+func (a *AdminServer) Close() error {
+	err := a.srv.Close()
+	a.wg.Wait()
+	return err
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close body: %v", err)
+		}
+	}()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_test_requests_total", "requests").Add(9)
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close admin server: %v", err)
+		}
+	}()
+
+	code, body := adminGet(t, srv.Addr(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = adminGet(t, srv.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "admin_test_requests_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE admin_test_requests_total counter") {
+		t.Errorf("/metrics missing TYPE line:\n%s", body)
+	}
+
+	code, body = adminGet(t, srv.Addr(), "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+
+	code, _ = adminGet(t, srv.Addr(), "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+// TestAdminScrapeSeesLiveCollector proves the /metrics endpoint pulls
+// collector-backed stats at scrape time, not registration time.
+func TestAdminScrapeSeesLiveCollector(t *testing.T) {
+	reg := NewRegistry()
+	live := 0
+	reg.RegisterCollector(func(r *Registry) {
+		live += 10
+		r.Gauge("admin_live_gauge", "scrape-time value").Set(float64(live))
+	})
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close admin server: %v", err)
+		}
+	}()
+	_, body := adminGet(t, srv.Addr(), "/metrics")
+	if !strings.Contains(body, "admin_live_gauge 10") {
+		t.Errorf("first scrape:\n%s", body)
+	}
+	_, body = adminGet(t, srv.Addr(), "/metrics")
+	if !strings.Contains(body, "admin_live_gauge 20") {
+		t.Errorf("second scrape:\n%s", body)
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets covers the serving path's latency range: 50µs TCP
+// round-trips on localhost up to multi-second stalls, in seconds.
+var DefLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets covers batch sizes and fan-out counts.
+var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// DefByteBuckets covers wire payload sizes, in bytes.
+var DefByteBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// validateBuckets checks bounds are strictly increasing and finite, and
+// panics otherwise — bucket layout is static configuration, not input.
+func validateBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("telemetry: bucket bound %v is not finite", b))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: bucket bounds must be strictly increasing, got %v after %v", b, buckets[i-1]))
+		}
+	}
+	return buckets
+}
+
+// Histogram counts observations into fixed buckets with upper bounds
+// `bounds` plus an implicit +Inf overflow bucket, and tracks the running sum
+// and count. Observations are assumed non-negative (latencies, sizes,
+// bytes): quantile interpolation treats 0 as the first bucket's lower edge.
+// Safe for concurrent use; no-op on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// sort.SearchFloat64s finds the first bound >= v, i.e. the bucket whose
+	// upper bound covers v; values above every bound land in the overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// containing the ceil(q*count)-th smallest observation and interpolating
+// linearly inside it. The estimate is therefore always bracketed by the
+// bounds of the bucket that holds the true sample quantile. Observations in
+// the +Inf overflow bucket clamp to the largest finite bound. Returns 0
+// before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to interpolate to.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*float64(rank-cum)/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := fmt.Sprintf("le=%q", formatFloat(bound))
+		if labels != "" {
+			le = labels + "," + le
+		}
+		if err := seriesLine(w, name+"_bucket", le, strconv.FormatInt(cum, 10)); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := `le="+Inf"`
+	if labels != "" {
+		le = labels + "," + le
+	}
+	if err := seriesLine(w, name+"_bucket", le, strconv.FormatInt(cum, 10)); err != nil {
+		return err
+	}
+	if err := seriesLine(w, name+"_sum", labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	// _count reuses the cumulative bucket total so the rendered family is
+	// internally consistent even if observations land mid-scrape.
+	return seriesLine(w, name+"_count", labels, strconv.FormatInt(cum, 10))
+}
+
+func (h *Histogram) snapshot(base string, out map[string]float64) {
+	out[base+":count"] = float64(h.Count())
+	out[base+":sum"] = h.Sum()
+	out[base+":p50"] = h.Quantile(0.50)
+	out[base+":p95"] = h.Quantile(0.95)
+	out[base+":p99"] = h.Quantile(0.99)
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQuantileBracketsTrueQuantile is the histogram's accuracy contract:
+// for any sample set and any q, the estimate and the true sample quantile
+// lie in the same bucket, so the bucket bounds bracket both. Run over many
+// seeded random distributions shaped like real latency data.
+func TestQuantileBracketsTrueQuantile(t *testing.T) {
+	bounds := DefLatencyBuckets
+	maxBound := bounds[len(bounds)-1]
+	quantiles := []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(2000)
+		samples := make([]float64, n)
+		h := newHistogram(bounds)
+		for i := range samples {
+			// Log-uniform across the bucket range: every decade of the
+			// latency scale gets traffic.
+			v := math.Exp(rng.Float64()*math.Log(maxBound/bounds[0])) * bounds[0]
+			if v > maxBound {
+				v = maxBound
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range quantiles {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			trueQ := samples[rank-1]
+			bi := sort.SearchFloat64s(bounds, trueQ)
+			lo := 0.0
+			if bi > 0 {
+				lo = bounds[bi-1]
+			}
+			hi := bounds[bi]
+			est := h.Quantile(q)
+			if est < lo || est > hi {
+				t.Errorf("seed %d n %d q %.2f: estimate %v outside bucket [%v,%v] of true quantile %v",
+					seed, n, q, est, lo, hi, trueQ)
+			}
+		}
+	}
+}
+
+func TestQuantileOverflowClampsToLargestBound(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile = %v, want largest finite bound 2", got)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(1.5)
+	got := h.Quantile(0.5)
+	if got <= 1 || got > 2 {
+		t.Errorf("single-sample quantile = %v, want in (1,2]", got)
+	}
+}
+
+// TestTimerUsesClockSeam freezes the package clock and steps it between the
+// timer's start and stop reads, proving no real wall-clock dependency.
+func TestTimerUsesClockSeam(t *testing.T) {
+	orig := now
+	defer func() { now = orig }()
+	base := time.Unix(1000, 0)
+	calls := 0
+	now = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls-1) * 250 * time.Millisecond)
+	}
+	h := newHistogram(DefLatencyBuckets)
+	stop := h.Timer()
+	stop()
+	if h.Count() != 1 {
+		t.Fatalf("timer recorded %d observations, want 1", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("timer observed %v s, want 0.25", got)
+	}
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("sum after ObserveDuration = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndScrape hammers one registry from many goroutines —
+// incrementing shared handles, minting new labeled series, observing
+// histograms — while other goroutines continuously render /metrics and take
+// snapshots. Run under -race (scripts/verify.sh includes this package in the
+// race list); the assertions double as a consistency check of the totals.
+func TestConcurrentWritersAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	const writers = 8
+	const iters = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("race_requests_total", "shared counter").Inc()
+				reg.Counter("race_by_worker_total", "per-worker series", "worker", fmt.Sprint(w)).Inc()
+				reg.Gauge("race_gauge", "shared gauge").Add(1)
+				reg.Histogram("race_lat_seconds", "latency", DefLatencyBuckets).Observe(float64(i%100) / 1000)
+				reg.Histogram("race_lat_seconds", "latency", DefLatencyBuckets, "worker", fmt.Sprint(w)).Observe(0.001)
+			}
+		}(w)
+	}
+	// Concurrent scrapers: exposition rendering and snapshots while series
+	// are appearing and moving.
+	scrapeDone := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-scrapeDone:
+					return
+				default:
+					if err := reg.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(scrapeDone)
+	scrapeWG.Wait()
+
+	if got := reg.Counter("race_requests_total", "shared counter").Value(); got != writers*iters {
+		t.Errorf("shared counter = %d, want %d", got, writers*iters)
+	}
+	if got := reg.Gauge("race_gauge", "shared gauge").Value(); got != writers*iters {
+		t.Errorf("gauge = %v, want %d", got, writers*iters)
+	}
+	if got := reg.Histogram("race_lat_seconds", "latency", DefLatencyBuckets).Count(); got != writers*iters {
+		t.Errorf("histogram count = %d, want %d", got, writers*iters)
+	}
+	for w := 0; w < writers; w++ {
+		if got := reg.Counter("race_by_worker_total", "per-worker series", "worker", fmt.Sprint(w)).Value(); got != iters {
+			t.Errorf("worker %d counter = %d, want %d", w, got, iters)
+		}
+	}
+}
+
+// TestConcurrentTraceSpans exercises one trace from parallel goroutines.
+func TestConcurrentTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			done := tr.StartSpan(fmt.Sprintf("phase%d", i%4))
+			done()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 16 {
+		t.Errorf("spans = %d, want 16", got)
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request-scoped span collection. The coordinator mints a
+// Trace per query, threads its ID over the wire to shard nodes (a new,
+// backward-compatible field on the distsearch request envelope), and records
+// one span per serving phase (sample scatter, ranking, deep gather, rerank,
+// generation). A nil *Trace is the disabled state: every method no-ops, so
+// the serving path is instrumented unconditionally and pays nothing when
+// tracing is off.
+type Trace struct {
+	id uint64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed phase of a traced request.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+var (
+	traceSeq  atomic.Uint64
+	traceOnce sync.Once
+	traceBase uint64
+)
+
+// NewTrace mints a trace with a process-unique ID: the high bits come from
+// the wall clock at first use (distinguishing processes), the low 20 bits
+// from a per-process sequence.
+func NewTrace() *Trace {
+	traceOnce.Do(func() {
+		traceBase = uint64(now().UnixNano()) &^ ((1 << 20) - 1)
+	})
+	return &Trace{id: traceBase | (traceSeq.Add(1) & ((1 << 20) - 1))}
+}
+
+// ID returns the trace identifier, or 0 for a nil (disabled) trace — the
+// zero value is what untraced wire requests carry.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// StartSpan opens a span and returns the closure that completes it. Typical
+// use: done := tr.StartSpan("deep_gather"); ...; done(). Safe for
+// concurrent spans on one trace.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := now()
+	return func() {
+		d := now().Sub(start)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns the completed spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Durations returns total recorded time per span name.
+func (t *Trace) Durations() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range t.Spans() {
+		out[s.Name] += s.Duration
+	}
+	return out
+}
+
+// Breakdown renders the per-phase timing of the trace on one line, spans in
+// start order: "trace 000fa3: sample_scatter=412µs rank=3µs ... total=2ms".
+func (t *Trace) Breakdown() string {
+	if t == nil {
+		return "trace <disabled>"
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %012x:", t.id)
+	var total time.Duration
+	for _, s := range spans {
+		fmt.Fprintf(&b, " %s=%v", s.Name, s.Duration)
+		total += s.Duration
+	}
+	fmt.Fprintf(&b, " total=%v", total)
+	return b.String()
+}

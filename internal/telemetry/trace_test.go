@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock steps the package `now` seam a fixed amount per read.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(5000, 0)
+	calls := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(calls) * step)
+		calls++
+		return t
+	}
+}
+
+func TestTraceSpansRecordSeamedTime(t *testing.T) {
+	orig := now
+	defer func() { now = orig }()
+	now = fakeClock(time.Millisecond)
+
+	tr := NewTrace()
+	if tr.ID() == 0 {
+		t.Fatal("trace ID must be non-zero")
+	}
+	// StartSpan and its closure each read the clock exactly once, so the
+	// duration is one fake-clock step no matter what ran before.
+	done := tr.StartSpan("sample_scatter")
+	done()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if spans[0].Name != "sample_scatter" {
+		t.Errorf("span name = %q", spans[0].Name)
+	}
+	if spans[0].Duration != time.Millisecond {
+		t.Errorf("span duration = %v, want 1ms (one clock step)", spans[0].Duration)
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTrace().ID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != 0 {
+		t.Error("nil trace ID must be 0")
+	}
+	tr.StartSpan("x")() // must not panic
+	if tr.Spans() != nil {
+		t.Error("nil trace has no spans")
+	}
+	if got := tr.Breakdown(); !strings.Contains(got, "disabled") {
+		t.Errorf("nil breakdown = %q", got)
+	}
+}
+
+func TestBreakdownOrdersByStart(t *testing.T) {
+	orig := now
+	defer func() { now = orig }()
+	now = fakeClock(time.Millisecond)
+
+	tr := NewTrace()
+	endA := tr.StartSpan("sample_scatter")
+	endA()
+	endB := tr.StartSpan("rank")
+	endB()
+	endC := tr.StartSpan("deep_gather")
+	endC()
+	got := tr.Breakdown()
+	iA := strings.Index(got, "sample_scatter=")
+	iB := strings.Index(got, "rank=")
+	iC := strings.Index(got, "deep_gather=")
+	if iA < 0 || iB < 0 || iC < 0 || !(iA < iB && iB < iC) {
+		t.Errorf("breakdown phases out of order: %q", got)
+	}
+	if !strings.Contains(got, "total=") {
+		t.Errorf("breakdown missing total: %q", got)
+	}
+	durs := tr.Durations()
+	if durs["rank"] != time.Millisecond {
+		t.Errorf("rank duration = %v, want 1ms", durs["rank"])
+	}
+}

@@ -2,7 +2,8 @@
 # Tier-1 verification for this repo. Everything here must pass before a
 # change lands: build, go vet, the project's own static analyzers
 # (cmd/hermes-lint), the full test suite, and the race detector over the
-# concurrency-heavy packages (TCP serving path and the batching front-end).
+# concurrency-heavy packages (TCP serving path, the batching front-end, and
+# the telemetry registry scraped concurrently with metric writes).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,4 +12,4 @@ go build ./...
 go vet ./...
 go run ./cmd/hermes-lint ./...
 go test ./...
-go test -race ./internal/distsearch/ ./internal/batcher/
+go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/
