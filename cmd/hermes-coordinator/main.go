@@ -37,6 +37,7 @@ func main() {
 		deep      = flag.Int("deep", 3, "clusters to deep-search")
 		all       = flag.Bool("all", false, "search every node (naive baseline)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		rtTimeout = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8081)")
 		stats     = flag.Bool("stats", false, "print the per-node serving table (live Fig. 13 view) and exit")
 		trace     = flag.Bool("trace", false, "trace each query and print its per-phase span breakdown")
@@ -57,7 +58,10 @@ func main() {
 	}
 	store := corpus.NewChunkStore(c)
 
-	co, err := distsearch.Dial(addrs, *timeout)
+	co, err := distsearch.DialOpts(addrs, distsearch.DialOptions{
+		Timeout:          *timeout,
+		RoundTripTimeout: *rtTimeout,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -45,6 +45,7 @@ func main() {
 		seed      = flag.Int64("seed", 23, "generation seed")
 		allFlag   = flag.Bool("all", false, "use the naive search-all baseline")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		rtTimeout = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
 		kvMiB     = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
 		linger    = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
 	)
@@ -70,7 +71,10 @@ func main() {
 			fatal(err)
 		}
 		defer lc.Close()
-		co, err = distsearch.Dial(lc.Addrs(), 5*time.Second)
+		co, err = distsearch.DialOpts(lc.Addrs(), distsearch.DialOptions{
+			Timeout:          5 * time.Second,
+			RoundTripTimeout: *rtTimeout,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +91,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		co, err = distsearch.Dial(strings.Split(*nodesFlag, ","), 5*time.Second)
+		co, err = distsearch.DialOpts(strings.Split(*nodesFlag, ","), distsearch.DialOptions{
+			Timeout:          5 * time.Second,
+			RoundTripTimeout: *rtTimeout,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -24,12 +24,24 @@ type nodeClient struct {
 	dec  *gob.Decoder
 	mu   sync.Mutex
 
-	// rtTimeout bounds each round-trip: read/write deadlines are set on
-	// the connection per request so a hung node surfaces as a timeout
-	// error instead of stalling the coordinator forever.
-	rtTimeout time.Duration
-	cm        *coordMetrics
-	met       clientMetrics
+	// broken marks the connection poisoned after a transport failure. The
+	// wire protocol has no correlation ID, so once an exchange fails the
+	// gob stream is unusable: a node that finishes a timed-out request
+	// late still writes its response, and the next decode on the same
+	// connection would silently take that stale response as the reply to
+	// a NEW request. The failing exchange therefore closes the socket (so
+	// the late reply has nowhere to land) and the next round-trip redials.
+	broken bool
+
+	// dialTimeout bounds the TCP dial and the OpInfo handshake, for both
+	// the initial connect and lazy redials. rtTimeout, when positive,
+	// bounds each round-trip: read/write deadlines are set on the
+	// connection per request so a hung node surfaces as a timeout error
+	// instead of stalling the coordinator forever.
+	dialTimeout time.Duration
+	rtTimeout   time.Duration
+	cm          *coordMetrics
+	met         clientMetrics
 
 	shardID  int
 	size     int
@@ -42,7 +54,7 @@ func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (
 	if err != nil {
 		return nil, fmt.Errorf("distsearch: dial %s: %w", addr, err)
 	}
-	c := &nodeClient{addr: addr, conn: conn, rtTimeout: rtTimeout, cm: cm}
+	c := &nodeClient{addr: addr, conn: conn, dialTimeout: timeout, rtTimeout: rtTimeout, cm: cm}
 	// The handshake runs before the shard ID is known, so wire byte counts
 	// attach to the codec only afterwards; the gob codec itself must be
 	// constructed exactly once per connection (it streams type state).
@@ -69,7 +81,8 @@ func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (
 
 // roundTrip issues one request/response exchange. Each exchange counts into
 // the per-op request counter and in-flight gauge, runs under the per-round-
-// trip I/O deadline, and lands in the per-node round-trip histogram.
+// trip I/O deadline, and lands in the per-node round-trip histogram. A
+// connection broken by an earlier transport failure is redialed first.
 func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -78,25 +91,20 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 	defer c.cm.inflight.Dec()
 	stop := c.met.roundTrip.Timer()
 	defer stop()
-	if c.rtTimeout > 0 {
-		if err := c.conn.SetDeadline(now().Add(c.rtTimeout)); err != nil {
-			c.cm.errors.Inc()
-			return nil, fmt.Errorf("distsearch: deadline on %s: %w", c.addr, err)
+	if c.broken {
+		if err := c.redialLocked(); err != nil {
+			return nil, fmt.Errorf("distsearch: reconnect %s: %w", c.addr, err)
 		}
 	}
-	if err := c.enc.Encode(req); err != nil {
-		c.countErr(err)
-		return nil, fmt.Errorf("distsearch: send to %s: %w", c.addr, err)
+	timeout := c.rtTimeout
+	if req.Op == OpInfo && timeout <= 0 {
+		// DialOptions.Timeout bounds the OpInfo handshake even when
+		// round-trips are otherwise deadline-free.
+		timeout = c.dialTimeout
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.countErr(err)
-		return nil, fmt.Errorf("distsearch: recv from %s: %w", c.addr, err)
-	}
-	if c.rtTimeout > 0 {
-		// Clear the deadline so an idle connection cannot expire between
-		// requests.
-		_ = c.conn.SetDeadline(time.Time{})
+	resp, err := c.exchangeLocked(req, timeout)
+	if err != nil {
+		return nil, err
 	}
 	if resp.ServerNanos > 0 {
 		c.met.compute.ObserveDuration(time.Duration(resp.ServerNanos))
@@ -105,17 +113,103 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 		c.cm.errors.Inc()
 		return nil, fmt.Errorf("distsearch: node %s: %s", c.addr, resp.Err)
 	}
+	return resp, nil
+}
+
+// exchangeLocked runs one encode/decode under an optional I/O deadline. Any
+// transport failure abandons the connection via breakLocked — the gob stream
+// is out of sync, so reusing it would pair stale responses with future
+// requests.
+func (c *nodeClient) exchangeLocked(req *Request, timeout time.Duration) (*Response, error) {
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(now().Add(timeout)); err != nil {
+			c.breakLocked(err)
+			return nil, fmt.Errorf("distsearch: deadline on %s: %w", c.addr, err)
+		}
+		// Clear the deadline on every exit path so no later write on the
+		// connection can inherit an expired deadline (harmless no-op on
+		// the error paths, which close the socket anyway).
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.breakLocked(err)
+		return nil, fmt.Errorf("distsearch: send to %s: %w", c.addr, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.breakLocked(err)
+		return nil, fmt.Errorf("distsearch: recv from %s: %w", c.addr, err)
+	}
 	return &resp, nil
 }
 
-// countErr classifies a transport failure: every failure increments the
-// error counter, and I/O timeouts additionally count as deadline hits.
-func (c *nodeClient) countErr(err error) {
+// breakLocked records a transport failure and abandons the connection: every
+// failure increments the error counter, I/O timeouts additionally count as
+// deadline hits, and the socket is closed so a stale late reply cannot be
+// mistaken for the answer to a future request.
+func (c *nodeClient) breakLocked(err error) {
 	c.cm.errors.Inc()
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		c.cm.deadlineHits.Inc()
 	}
+	c.abandonLocked()
+}
+
+// abandonLocked closes the connection and marks it broken so the next
+// round-trip redials.
+func (c *nodeClient) abandonLocked() {
+	c.broken = true
+	//lint:ignore errdrop the connection is being abandoned; Close is best-effort
+	c.conn.Close()
+}
+
+// redialLocked replaces a broken connection with a fresh dial and handshake.
+// Fresh gob codecs are built on the new socket (the old stream state is
+// unusable) and wired through the existing byte counters. The node must
+// still present the same shard: a different shard ID or dimensionality at
+// the address means the cluster changed underneath the coordinator, whose
+// routing state (centroids, per-shard metric labels) would silently lie.
+func (c *nodeClient) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		c.cm.errors.Inc()
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(&countingWriter{w: conn, c: c.met.sent})
+	c.dec = gob.NewDecoder(&countingReader{r: conn, c: c.met.recv})
+	c.broken = false
+	info, err := c.exchangeLocked(&Request{Op: OpInfo}, c.dialTimeout)
+	if err != nil {
+		return err // exchangeLocked already re-abandoned the connection
+	}
+	if info.Err != "" {
+		c.cm.errors.Inc()
+		c.abandonLocked()
+		return fmt.Errorf("handshake rejected: %s", info.Err)
+	}
+	if info.ShardID != c.shardID || info.Dim != c.dim {
+		c.cm.errors.Inc()
+		c.abandonLocked()
+		return fmt.Errorf("node changed identity: shard %d dim %d, was shard %d dim %d",
+			info.ShardID, info.Dim, c.shardID, c.dim)
+	}
+	c.size = info.Size
+	c.centroid = info.Centroid
+	return nil
+}
+
+// close shuts down the client's connection; a connection already abandoned
+// after a transport failure reports success.
+func (c *nodeClient) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil || c.broken {
+		return nil
+	}
+	c.broken = true
+	return c.conn.Close()
 }
 
 // Coordinator fans queries out to shard nodes following Hermes' two-phase
@@ -141,10 +235,14 @@ func (co *Coordinator) SetLenient(lenient bool) { co.lenient = lenient }
 type DialOptions struct {
 	// Timeout bounds the TCP dial and the OpInfo handshake (default 5s).
 	Timeout time.Duration
-	// RoundTripTimeout is the per-request I/O deadline applied to every
-	// round-trip after connect, so a hung node fails the request instead
-	// of stalling the coordinator forever. 0 defaults to Timeout; pass a
-	// negative value to disable deadlines entirely.
+	// RoundTripTimeout, when positive, is the per-request I/O deadline
+	// applied to every round-trip after connect, so a hung node fails the
+	// request instead of stalling the coordinator forever. Zero (the
+	// default, and the plain Dial() behavior) leaves round-trips
+	// deadline-free: long-running operations — OpCompact on a large
+	// index, big batch payloads on slow links — are never cut short
+	// unless the caller opts in. Only the OpInfo handshake is always
+	// bounded (by Timeout).
 	RoundTripTimeout time.Duration
 	// Telemetry receives the coordinator's metrics (nil = telemetry.Default).
 	Telemetry *telemetry.Registry
@@ -168,10 +266,7 @@ func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 		timeout = 5 * time.Second
 	}
 	rtTimeout := opts.RoundTripTimeout
-	switch {
-	case rtTimeout == 0:
-		rtTimeout = timeout
-	case rtTimeout < 0:
+	if rtTimeout < 0 {
 		rtTimeout = 0
 	}
 	reg := opts.Telemetry
@@ -513,10 +608,11 @@ func (co *Coordinator) Shutdown() error {
 func (co *Coordinator) Close() error {
 	var firstErr error
 	for _, n := range co.nodes {
-		if n != nil && n.conn != nil {
-			if err := n.conn.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+		if n == nil {
+			continue
+		}
+		if err := n.close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

@@ -13,6 +13,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/hermes"
 	"repro/internal/telemetry"
+	"repro/internal/vec"
 )
 
 // telemetryCluster is cluster() with an isolated registry on both sides so
@@ -274,6 +275,110 @@ func TestRoundTripDeadlineUnsticksHungNode(t *testing.T) {
 	}
 	if got := snap["hermes_distsearch_errors_total"]; got < 1 {
 		t.Errorf("errors = %v, want >= 1", got)
+	}
+}
+
+// staleReplyNode accepts connections in a loop. On the first connection it
+// answers the OpInfo handshake, then delays the reply to the next request
+// past the caller's deadline before writing it — the late response of a
+// timed-out request. Later connections answer the handshake and serve
+// samples immediately with a distinguishable document ID.
+func staleReplyNode(t *testing.T, dim int, delay time.Duration) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for connIdx := 0; ; connIdx++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn, connIdx int) {
+				defer wg.Done()
+				defer func() { _ = conn.Close() }()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					var resp Response
+					switch req.Op {
+					case OpInfo:
+						resp = Response{ShardID: 0, Size: 1, Dim: dim, Centroid: make([]float32, dim)}
+					case OpSample:
+						if connIdx == 0 {
+							time.Sleep(delay)
+							resp = Response{Neighbors: []vec.Neighbor{{ID: 111}}}
+						} else {
+							resp = Response{Neighbors: []vec.Neighbor{{ID: 222}}}
+						}
+					default:
+						resp = Response{Err: "unexpected op"}
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn, connIdx)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		if err := ln.Close(); err != nil {
+			t.Errorf("close stale-reply listener: %v", err)
+		}
+		wg.Wait()
+	}
+}
+
+// TestTimeoutPoisonsConnection is the stale-response regression test: the
+// wire protocol has no correlation ID, so after a deadline timeout the
+// coordinator must abandon the connection — otherwise the node's late reply
+// (ID 111 here) would be silently decoded as the answer to the NEXT request.
+// The retry must instead redial and receive the fresh reply (ID 222).
+func TestTimeoutPoisonsConnection(t *testing.T) {
+	const dim = 8
+	const delay = 400 * time.Millisecond
+	addr, stop := staleReplyNode(t, dim, delay)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	co, err := DialOpts([]string{addr}, DialOptions{
+		Timeout:          time.Second,
+		RoundTripTimeout: 100 * time.Millisecond,
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = co.Close() }()
+	n := co.nodes[0]
+
+	q := make([]float32, dim)
+	if _, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: 1}); err == nil {
+		t.Fatal("round-trip against the delayed node must time out")
+	}
+	// Let the node write its late reply (onto the now-closed socket) so it
+	// would be sitting first in the stream if the connection were reused.
+	time.Sleep(delay + 100*time.Millisecond)
+
+	resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: 1})
+	if err != nil {
+		t.Fatalf("retry after timeout must redial and succeed: %v", err)
+	}
+	if len(resp.Neighbors) != 1 || resp.Neighbors[0].ID != 222 {
+		t.Fatalf("retry served a stale response: %+v", resp.Neighbors)
+	}
+	snap := reg.Snapshot()
+	if got := snap["hermes_distsearch_deadline_hits_total"]; got < 1 {
+		t.Errorf("deadline hits = %v, want >= 1", got)
 	}
 }
 

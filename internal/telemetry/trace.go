@@ -36,14 +36,16 @@ var (
 	traceBase uint64
 )
 
-// NewTrace mints a trace with a process-unique ID: the high bits come from
-// the wall clock at first use (distinguishing processes), the low 20 bits
-// from a per-process sequence.
+// NewTrace mints a trace with a process-unique ID: the high 32 bits carry
+// start-time entropy (the low, fast-varying bits of the wall clock at first
+// use, distinguishing processes), the low 32 bits a per-process sequence —
+// IDs repeat only after 2^32 traces in one process, so distinct in-flight
+// queries in a long-lived coordinator never share an ID.
 func NewTrace() *Trace {
 	traceOnce.Do(func() {
-		traceBase = uint64(now().UnixNano()) &^ ((1 << 20) - 1)
+		traceBase = uint64(now().UnixNano()) << 32
 	})
-	return &Trace{id: traceBase | (traceSeq.Add(1) & ((1 << 20) - 1))}
+	return &Trace{id: traceBase | (traceSeq.Add(1) & (1<<32 - 1))}
 }
 
 // ID returns the trace identifier, or 0 for a nil (disabled) trace — the
@@ -91,7 +93,7 @@ func (t *Trace) Durations() map[string]time.Duration {
 }
 
 // Breakdown renders the per-phase timing of the trace on one line, spans in
-// start order: "trace 000fa3: sample_scatter=412µs rank=3µs ... total=2ms".
+// start order: "trace 01c2a3f400000001: sample_scatter=412µs ... total=2ms".
 func (t *Trace) Breakdown() string {
 	if t == nil {
 		return "trace <disabled>"
@@ -99,7 +101,7 @@ func (t *Trace) Breakdown() string {
 	spans := t.Spans()
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace %012x:", t.id)
+	fmt.Fprintf(&b, "trace %016x:", t.id)
 	var total time.Duration
 	for _, s := range spans {
 		fmt.Fprintf(&b, " %s=%v", s.Name, s.Duration)

@@ -53,6 +53,19 @@ func TestTraceIDsUnique(t *testing.T) {
 	}
 }
 
+// TestTraceIDLayout pins the widened ID layout: 32 bits of per-process
+// start-time entropy over a 32-bit sequence, so IDs only repeat after 2^32
+// traces (not the 2^20 of the first implementation).
+func TestTraceIDLayout(t *testing.T) {
+	a, b := NewTrace().ID(), NewTrace().ID()
+	if a>>32 != b>>32 {
+		t.Errorf("high 32 bits must be the per-process base: %016x vs %016x", a, b)
+	}
+	if uint32(b) != uint32(a)+1 {
+		t.Errorf("low 32 bits must be a sequence: %016x then %016x", a, b)
+	}
+}
+
 func TestNilTraceNoOps(t *testing.T) {
 	var tr *Trace
 	if tr.ID() != 0 {
