@@ -139,14 +139,15 @@ func printStats(co *distsearch.Coordinator) {
 		fatal(err)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "shard\tvectors\tsample\tdeep\tmutations\ttombstones\tsample_p95\tdeep_p95\ttraced")
+	fmt.Fprintln(w, "shard\tvectors\tquantizer\tsample\tdeep\tmutations\ttombstones\tsample_p95\tdeep_p95\tscan_p95\ttraced")
 	for _, ns := range stats {
 		sampleP95 := nodeSeconds(ns, "sample")
 		deepP95 := nodeSeconds(ns, "deep")
+		quantizer, scanP95 := nodeScanP95(ns)
 		traced := ns.Telemetry[fmt.Sprintf(`hermes_node_traced_requests_total{shard="%d"}`, ns.ShardID)]
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%.0f\n",
-			ns.ShardID, ns.Size, ns.SampleServed, ns.DeepServed, ns.MutationsServed,
-			ns.Tombstones, sampleP95, deepP95, traced)
+		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
+			ns.ShardID, ns.Size, quantizer, ns.SampleServed, ns.DeepServed, ns.MutationsServed,
+			ns.Tombstones, sampleP95, deepP95, scanP95, traced)
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
@@ -158,6 +159,33 @@ func printStats(co *distsearch.Coordinator) {
 func nodeSeconds(ns distsearch.NodeStats, op string) time.Duration {
 	key := fmt.Sprintf(`hermes_node_request_seconds{op="%s",shard="%d"}:p95`, op, ns.ShardID)
 	return time.Duration(ns.Telemetry[key] * float64(time.Second))
+}
+
+// nodeScanP95 extracts the node's per-quantizer index-scan p95. The series is
+// labeled with the quantizer kind, which the coordinator does not know ahead
+// of time, so it matches the key by prefix and shard label and recovers the
+// quantizer name from the label block.
+func nodeScanP95(ns distsearch.NodeStats) (string, time.Duration) {
+	const prefix = `hermes_node_scan_seconds{`
+	shardLabel := fmt.Sprintf(`shard="%d"`, ns.ShardID)
+	for key, v := range ns.Telemetry {
+		if !strings.HasPrefix(key, prefix) || !strings.HasSuffix(key, ":p95") {
+			continue
+		}
+		labels := strings.TrimSuffix(strings.TrimPrefix(key, prefix), "}:p95")
+		if !strings.Contains(labels, shardLabel) {
+			continue
+		}
+		quantizer := "?"
+		if i := strings.Index(labels, `quantizer="`); i >= 0 {
+			rest := labels[i+len(`quantizer="`):]
+			if j := strings.IndexByte(rest, '"'); j >= 0 {
+				quantizer = rest[:j]
+			}
+		}
+		return quantizer, time.Duration(v * float64(time.Second))
+	}
+	return "?", 0
 }
 
 func fatal(err error) {

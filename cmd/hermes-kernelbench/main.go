@@ -1,0 +1,278 @@
+// Command hermes-kernelbench measures the serving-path distance kernels and
+// writes the machine-readable record scripts/bench.sh publishes as
+// BENCH_PR3.json.
+//
+// Two suites run:
+//
+//   - kernels: per-quantizer list-scan throughput, scalar Distancer vs the
+//     blocked BatchDistancer, at dims 64/128/768 over a contiguous block of
+//     1024 codes (the shape of one inverted-list scan).
+//   - e2e: end-to-end IVF queries through a warmed Searcher (20k vectors,
+//     nlist 100, nProbe 8), reporting ns/query and steady-state heap
+//     allocations per query.
+//
+// Usage:
+//
+//	hermes-kernelbench                     # text summary + BENCH_PR3.json
+//	hermes-kernelbench -out bench.json     # alternate output path
+//	hermes-kernelbench -dims 64,128        # subset of kernel dims
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"text/tabwriter"
+
+	"repro/internal/ivf"
+	"repro/internal/quant"
+	"repro/internal/vec"
+)
+
+// kernelResult is one quantizer x dim scalar-vs-batch comparison.
+type kernelResult struct {
+	Quantizer        string  `json:"quantizer"`
+	Dim              int     `json:"dim"`
+	CodesPerOp       int     `json:"codes_per_op"`
+	ScalarNsPerOp    float64 `json:"scalar_ns_per_op"`
+	BatchNsPerOp     float64 `json:"batch_ns_per_op"`
+	ScalarVecsPerSec float64 `json:"scalar_vectors_per_sec"`
+	BatchVecsPerSec  float64 `json:"batch_vectors_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// e2eResult is one end-to-end searcher measurement.
+type e2eResult struct {
+	Quantizer     string  `json:"quantizer"`
+	Dim           int     `json:"dim"`
+	Vectors       int     `json:"vectors"`
+	NProbe        int     `json:"nprobe"`
+	K             int     `json:"k"`
+	NsPerQuery    float64 `json:"ns_per_query"`
+	AllocsPerQry  float64 `json:"allocs_per_query"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+type report struct {
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	CPUs    int            `json:"cpus"`
+	Kernels []kernelResult `json:"kernels"`
+	E2E     []e2eResult    `json:"e2e"`
+}
+
+func main() {
+	var (
+		outFlag  = flag.String("out", "BENCH_PR3.json", "JSON output path")
+		dimsFlag = flag.String("dims", "64,128,768", "comma-separated kernel dims")
+		codesN   = flag.Int("codes", 1024, "codes per kernel op (list-scan length)")
+	)
+	flag.Parse()
+
+	var dims []int
+	for _, s := range strings.Split(*dimsFlag, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || d <= 0 || d%8 != 0 {
+			fatal(fmt.Errorf("invalid dim %q (must be positive multiples of 8)", s))
+		}
+		dims = append(dims, d)
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	for _, dim := range dims {
+		for _, qz := range kernelQuantizers(dim) {
+			rep.Kernels = append(rep.Kernels, benchKernel(qz, dim, *codesN))
+		}
+	}
+	rep.E2E = benchE2E()
+
+	printReport(rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", *outFlag)
+}
+
+// kernelQuantizers mirrors the shapes of internal/quant's benchmarks: Flat,
+// SQ8, SQ4, and PQ/OPQ with dsub=8 (the paper's Table 1 configuration).
+// Training iterations are kept small — the kernels under test are
+// training-independent.
+func kernelQuantizers(dim int) []quant.Quantizer {
+	pq, err := quant.NewPQ(dim, dim/8, 8, 3)
+	if err != nil {
+		fatal(err)
+	}
+	opq, err := quant.NewOPQ(dim, dim/8, 8, 2)
+	if err != nil {
+		fatal(err)
+	}
+	return []quant.Quantizer{
+		quant.NewFlat(dim), quant.NewSQ(dim, 8), quant.NewSQ(dim, 4), pq, opq,
+	}
+}
+
+// trainAndEncode fits qz on Gaussian data and returns n contiguous codes
+// plus a query, the shape of one inverted-list scan.
+func trainAndEncode(qz quant.Quantizer, dim, n int) (codes []byte, q []float32) {
+	rng := rand.New(rand.NewSource(17))
+	train := vec.NewMatrix(512, dim)
+	for i := range train.Data() {
+		train.Data()[i] = float32(rng.NormFloat64())
+	}
+	if err := qz.Train(train); err != nil {
+		fatal(err)
+	}
+	cs := qz.CodeSize()
+	codes = make([]byte, n*cs)
+	v := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		qz.Encode(v, codes[i*cs:(i+1)*cs])
+	}
+	q = make([]float32, dim)
+	for d := range q {
+		q[d] = float32(rng.NormFloat64())
+	}
+	return codes, q
+}
+
+// benchKernel times the list-scan throughput of one quantizer: the query is
+// bound once outside the timed region (as in a real query, where one bind
+// amortizes over nProbe lists of codes) and each op scans the n-code block.
+func benchKernel(qz quant.Quantizer, dim, n int) kernelResult {
+	codes, q := trainAndEncode(qz, dim, n)
+	cs := qz.CodeSize()
+
+	dz := qz.NewDistancer(q)
+	scalar := testing.Benchmark(func(b *testing.B) {
+		var sink float32
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				sink += dz(codes[j*cs : (j+1)*cs])
+			}
+		}
+		_ = sink
+	})
+
+	bd := quant.NewBatchDistancer(qz)
+	bd.BindQuery(q)
+	out := make([]float32, n)
+	batch := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bd.DistanceBatch(codes, n, out)
+		}
+	})
+
+	sns := float64(scalar.NsPerOp())
+	bns := float64(batch.NsPerOp())
+	return kernelResult{
+		Quantizer:        qz.Name(),
+		Dim:              dim,
+		CodesPerOp:       n,
+		ScalarNsPerOp:    sns,
+		BatchNsPerOp:     bns,
+		ScalarVecsPerSec: float64(n) / sns * 1e9,
+		BatchVecsPerSec:  float64(n) / bns * 1e9,
+		Speedup:          sns / bns,
+	}
+}
+
+func benchE2E() []e2eResult {
+	const (
+		dim     = 64
+		vectors = 20000
+		nlist   = 100
+		nProbe  = 8
+		k       = 10
+	)
+	rng := rand.New(rand.NewSource(1))
+	data := vec.NewMatrix(vectors, dim)
+	for i := range data.Data() {
+		data.Data()[i] = float32(rng.NormFloat64())
+	}
+	pq, err := quant.NewPQ(dim, dim/8, 8, 3)
+	if err != nil {
+		fatal(err)
+	}
+	cases := []struct {
+		name string
+		qz   quant.Quantizer
+	}{
+		{"Flat", nil},
+		{"SQ8", quant.NewSQ(dim, 8)},
+		{"SQ4", quant.NewSQ(dim, 4)},
+		{"PQ8x8", pq},
+	}
+	var out []e2eResult
+	for _, c := range cases {
+		ix, err := ivf.New(ivf.Config{Dim: dim, NList: nlist, Seed: 1, Quantizer: c.qz})
+		if err != nil {
+			fatal(err)
+		}
+		if err := ix.Train(data); err != nil {
+			fatal(err)
+		}
+		if err := ix.AddBatch(0, data); err != nil {
+			fatal(err)
+		}
+		s := ix.NewSearcher()
+		q := data.Row(0)
+		dst := make([]vec.Neighbor, 0, 2*k)
+		dst, _ = s.Search(dst[:0], q, k, nProbe)
+
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dst, _ = s.Search(dst[:0], q, k, nProbe)
+			}
+		})
+		allocs := testing.AllocsPerRun(100, func() {
+			dst, _ = s.Search(dst[:0], q, k, nProbe)
+		})
+		ns := float64(res.NsPerOp())
+		out = append(out, e2eResult{
+			Quantizer:     c.name,
+			Dim:           dim,
+			Vectors:       vectors,
+			NProbe:        nProbe,
+			K:             k,
+			NsPerQuery:    ns,
+			AllocsPerQry:  allocs,
+			QueriesPerSec: 1e9 / ns,
+		})
+	}
+	return out
+}
+
+func printReport(rep report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "quantizer\tdim\tscalar Mvec/s\tbatch Mvec/s\tspeedup")
+	for _, k := range rep.Kernels {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.2fx\n",
+			k.Quantizer, k.Dim, k.ScalarVecsPerSec/1e6, k.BatchVecsPerSec/1e6, k.Speedup)
+	}
+	fmt.Fprintln(w, "\te2e\tns/query\tallocs/query\tqueries/s")
+	for _, e := range rep.E2E {
+		fmt.Fprintf(w, "%s\tdim%d\t%.0f\t%.0f\t%.0f\n",
+			e.Quantizer, e.Dim, e.NsPerQuery, e.AllocsPerQry, e.QueriesPerSec)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-kernelbench:", err)
+	os.Exit(1)
+}

@@ -50,7 +50,7 @@ func NewNode(shardID int, index *ivf.Index, logger *log.Logger) (*Node, error) {
 		shardID: shardID,
 		index:   index,
 		logger:  logger,
-		met:     newNodeMetrics(telemetry.Default, shardID),
+		met:     newNodeMetrics(telemetry.Default, shardID, index.QuantizerName()),
 		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -58,7 +58,7 @@ func NewNode(shardID int, index *ivf.Index, logger *log.Logger) (*Node, error) {
 // SetTelemetry points the node's metrics at reg instead of the process
 // default registry. Call before Listen; a nil reg disables node telemetry.
 func (n *Node) SetTelemetry(reg *telemetry.Registry) {
-	n.met = newNodeMetrics(reg, n.shardID)
+	n.met = newNodeMetrics(reg, n.shardID, n.index.QuantizerName())
 }
 
 // Listen binds the node to addr ("127.0.0.1:0" for an ephemeral port) and
@@ -156,7 +156,7 @@ func (n *Node) handle(req *Request) *Response {
 			return &Response{Err: fmt.Sprintf("node %d: query dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
 		}
 		atomic.AddInt64(&n.sampleServed, 1)
-		res := n.index.Search(req.Query, 1, req.NProbe)
+		res := n.scan(req.Query, 1, req.NProbe)
 		return &Response{ShardID: n.shardID, Neighbors: res}
 	case OpDeep:
 		if len(req.Query) != n.index.Dim() {
@@ -166,7 +166,7 @@ func (n *Node) handle(req *Request) *Response {
 			return &Response{Err: fmt.Sprintf("node %d: k must be positive", n.shardID)}
 		}
 		atomic.AddInt64(&n.deepServed, 1)
-		res := n.index.Search(req.Query, req.K, req.NProbe)
+		res := n.scan(req.Query, req.K, req.NProbe)
 		return &Response{ShardID: n.shardID, Neighbors: res}
 	case OpSampleBatch:
 		atomic.AddInt64(&n.sampleServed, int64(len(req.Queries)))
@@ -226,9 +226,18 @@ func (n *Node) handleBatch(req *Request, k, nProbe int) *Response {
 		if len(q) != n.index.Dim() {
 			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
 		}
-		batch[i] = n.index.Search(q, k, nProbe)
+		batch[i] = n.scan(q, k, nProbe)
 	}
 	return &Response{ShardID: n.shardID, Batch: batch}
+}
+
+// scan runs one index search, timing it against the shard's per-quantizer
+// scan histogram (protocol decode/encode excluded).
+func (n *Node) scan(q []float32, k, nProbe int) []vec.Neighbor {
+	stop := n.met.scanSeconds.Timer()
+	res := n.index.Search(q, k, nProbe)
+	stop()
+	return res
 }
 
 func (n *Node) isClosed() bool {

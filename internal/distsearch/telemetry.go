@@ -146,9 +146,14 @@ type nodeMetrics struct {
 	traced   *telemetry.Counter
 	requests map[Op]*telemetry.Counter
 	seconds  map[Op]*telemetry.Histogram
+	// scanSeconds times the raw index scans inside search ops (request
+	// handling minus protocol overhead), labeled by shard and the shard's
+	// quantizer kind so /metrics answers "how fast does each compression
+	// scheme scan" per node; the coordinator -stats view surfaces its p95.
+	scanSeconds *telemetry.Histogram
 }
 
-func newNodeMetrics(reg *telemetry.Registry, shardID int) *nodeMetrics {
+func newNodeMetrics(reg *telemetry.Registry, shardID int, quantizer string) *nodeMetrics {
 	shard := strconv.Itoa(shardID)
 	m := &nodeMetrics{
 		reg: reg,
@@ -156,6 +161,9 @@ func newNodeMetrics(reg *telemetry.Registry, shardID int) *nodeMetrics {
 			"requests carrying a coordinator trace ID", "shard", shard),
 		requests: make(map[Op]*telemetry.Counter, len(allOps)),
 		seconds:  make(map[Op]*telemetry.Histogram, len(allOps)),
+		scanSeconds: reg.Histogram("hermes_node_scan_seconds",
+			"per-query index scan time by shard and quantizer kind",
+			telemetry.DefLatencyBuckets, "shard", shard, "quantizer", quantizer),
 	}
 	for _, op := range allOps {
 		m.requests[op] = reg.Counter("hermes_node_requests_total",

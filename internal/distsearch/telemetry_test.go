@@ -191,6 +191,12 @@ func TestOpStatsReturnsTelemetrySnapshot(t *testing.T) {
 		if got := ns.Telemetry[lat]; got != 4 {
 			t.Errorf("node %d %s = %v, want 4", ns.ShardID, lat, got)
 		}
+		// The per-quantizer scan histogram covers at least the sample scans
+		// (labels render sorted, quantizer before shard).
+		scan := fmt.Sprintf(`hermes_node_scan_seconds{quantizer="SQ8",shard="%d"}:count`, ns.ShardID)
+		if got := ns.Telemetry[scan]; got < 4 {
+			t.Errorf("node %d %s = %v, want >= 4", ns.ShardID, scan, got)
+		}
 	}
 }
 

@@ -17,6 +17,8 @@ type Index struct {
 	dim  int
 	data *vec.Matrix
 	ids  []int64
+	// pool recycles Searcher scratch across Search calls.
+	pool sync.Pool
 }
 
 // New creates an empty index for dim-dimensional vectors.
@@ -50,19 +52,19 @@ func (ix *Index) AddBatch(startID int64, m *vec.Matrix) {
 }
 
 // Search returns the k exact nearest neighbors of q by squared L2 distance,
-// best first.
+// best first. It draws a Searcher from the internal pool, so steady-state
+// queries allocate only the returned result slice.
 func (ix *Index) Search(q []float32, k int) []vec.Neighbor {
-	if len(q) != ix.dim {
-		panic(fmt.Sprintf("flatindex: Search dim %d != %d", len(q), ix.dim))
-	}
 	if k <= 0 || ix.Len() == 0 {
+		if len(q) != ix.dim {
+			panic(fmt.Sprintf("flatindex: Search dim %d != %d", len(q), ix.dim))
+		}
 		return nil
 	}
-	tk := vec.NewTopK(k)
-	for i := 0; i < ix.data.Len(); i++ {
-		tk.Push(ix.ids[i], vec.L2Squared(q, ix.data.Row(i)))
-	}
-	return tk.Results()
+	s := ix.getSearcher()
+	out := s.Search(nil, q, k)
+	ix.pool.Put(s)
+	return out
 }
 
 // SearchBatch runs Search for every query, parallelized across GOMAXPROCS

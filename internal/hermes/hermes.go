@@ -18,7 +18,6 @@ package hermes
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/ivf"
@@ -94,6 +93,8 @@ type Store struct {
 	// met holds resolved telemetry handles (see SetTelemetry); the zero
 	// value is a no-op.
 	met storeMetrics
+	// pool recycles searchScratch across queries (see scratch.go).
+	pool sync.Pool
 }
 
 // BuildOptions configures disaggregation and per-shard index construction.
@@ -320,32 +321,34 @@ type SearchStats struct {
 	DeepScanned   int
 }
 
-// Search runs the full Hermes hierarchical search for one query.
+// Search runs the full Hermes hierarchical search for one query. Per-query
+// scratch (shard ranking, top-k selector, per-shard searchers) is recycled
+// through an internal pool, so steady-state queries allocate only the
+// returned result slice and the stats' DeepShards list.
 func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	p = p.withDefaults()
 	st.met.searches.Inc()
 	stop := st.met.searchSeconds.Timer()
 	defer stop()
 	var stats SearchStats
+	sc := st.getScratch()
+	defer st.pool.Put(sc)
 
 	// Phase 1 — document sampling: retrieve 1 document from every shard
 	// with a low nProbe and score shards by that document's distance.
-	type ranked struct {
-		shard int
-		d     float32
-	}
-	order := make([]ranked, 0, len(st.Shards))
-	for s, sh := range st.Shards {
-		res, sampleStats := sh.Index.SearchWithStats(q, 1, p.SampleNProbe)
+	order := sc.order[:0]
+	for s := range st.Shards {
+		res, sampleStats := st.searchShard(sc, s, q, 1, p.SampleNProbe)
 		stats.SampledShards++
 		stats.SampleScanned += sampleStats.VectorsScanned
 		if len(res) == 0 {
 			continue
 		}
-		order = append(order, ranked{s, res[0].Score})
+		order = append(order, rankedShard{res[0].Score, int32(s)})
 	}
+	sc.order = order
 	st.met.sampleScanned.Add(int64(stats.SampleScanned))
-	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	sortRanked(order)
 
 	// Phase 2 — deep search into the top DeepClusters shards, optionally
 	// pruned by sampled-document distance.
@@ -353,13 +356,13 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	if deep > len(order) {
 		deep = len(order)
 	}
-	tk := vec.NewTopK(p.K)
+	tk := sc.topK(p.K)
 	for i, r := range order[:deep] {
 		if p.PruneEps > 0 && i > 0 && float64(r.d) > (1+p.PruneEps)*float64(order[0].d) {
 			break
 		}
-		res, deepStats := st.Shards[r.shard].Index.SearchWithStats(q, p.K, p.DeepNProbe)
-		stats.DeepShards = append(stats.DeepShards, r.shard)
+		res, deepStats := st.searchShard(sc, int(r.shard), q, p.K, p.DeepNProbe)
+		stats.DeepShards = append(stats.DeepShards, int(r.shard))
 		stats.DeepScanned += deepStats.VectorsScanned
 		for _, n := range res {
 			tk.Push(n.ID, n.Score)
@@ -375,23 +378,22 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 func (st *Store) SearchCentroid(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	p = p.withDefaults()
 	var stats SearchStats
-	type ranked struct {
-		shard int
-		d     float32
-	}
-	order := make([]ranked, len(st.Shards))
+	sc := st.getScratch()
+	defer st.pool.Put(sc)
+	order := sc.order[:0]
 	for s, sh := range st.Shards {
-		order[s] = ranked{s, vec.L2Squared(q, sh.Centroid)}
+		order = append(order, rankedShard{vec.L2Squared(q, sh.Centroid), int32(s)})
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	sc.order = order
+	sortRanked(order)
 	deep := p.DeepClusters
 	if deep > len(order) {
 		deep = len(order)
 	}
-	tk := vec.NewTopK(p.K)
+	tk := sc.topK(p.K)
 	for _, r := range order[:deep] {
-		res, deepStats := st.Shards[r.shard].Index.SearchWithStats(q, p.K, p.DeepNProbe)
-		stats.DeepShards = append(stats.DeepShards, r.shard)
+		res, deepStats := st.searchShard(sc, int(r.shard), q, p.K, p.DeepNProbe)
+		stats.DeepShards = append(stats.DeepShards, int(r.shard))
 		stats.DeepScanned += deepStats.VectorsScanned
 		for _, n := range res {
 			tk.Push(n.ID, n.Score)
@@ -406,9 +408,11 @@ func (st *Store) SearchCentroid(q []float32, p Params) ([]vec.Neighbor, SearchSt
 func (st *Store) SearchAll(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	p = p.withDefaults()
 	var stats SearchStats
-	tk := vec.NewTopK(p.K)
-	for s, sh := range st.Shards {
-		res, deepStats := sh.Index.SearchWithStats(q, p.K, p.DeepNProbe)
+	sc := st.getScratch()
+	defer st.pool.Put(sc)
+	tk := sc.topK(p.K)
+	for s := range st.Shards {
+		res, deepStats := st.searchShard(sc, s, q, p.K, p.DeepNProbe)
 		stats.DeepShards = append(stats.DeepShards, s)
 		stats.DeepScanned += deepStats.VectorsScanned
 		for _, n := range res {
@@ -432,9 +436,11 @@ func (st *Store) SearchFirstN(q []float32, p Params, n int) ([]vec.Neighbor, Sea
 		n = len(st.Shards)
 	}
 	var stats SearchStats
-	tk := vec.NewTopK(p.K)
+	sc := st.getScratch()
+	defer st.pool.Put(sc)
+	tk := sc.topK(p.K)
 	for s := 0; s < n; s++ {
-		res, deepStats := st.Shards[s].Index.SearchWithStats(q, p.K, p.DeepNProbe)
+		res, deepStats := st.searchShard(sc, s, q, p.K, p.DeepNProbe)
 		stats.DeepShards = append(stats.DeepShards, s)
 		stats.DeepScanned += deepStats.VectorsScanned
 		for _, nb := range res {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hermes
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package hermes
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// which deliberately drops sync.Pool puts and so re-allocates pooled scratch.
+const raceEnabled = true

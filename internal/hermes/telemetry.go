@@ -10,12 +10,33 @@ type storeMetrics struct {
 	searchSeconds *telemetry.Histogram
 	sampleScanned *telemetry.Counter
 	deepScanned   *telemetry.Counter
+	// scanSeconds times individual shard scans, one handle per shard so the
+	// hot path indexes a slice instead of formatting labels. Series are
+	// labeled by the shard's quantizer kind, answering "where does scan time
+	// go per compression scheme" straight off /metrics.
+	scanSeconds []*telemetry.Histogram
+}
+
+// scanTimer starts timing a scan of shard s; the returned stop func records
+// it. Safe on the zero value and out-of-range shards.
+func (m *storeMetrics) scanTimer(s int) func() {
+	if s >= len(m.scanSeconds) {
+		var h *telemetry.Histogram
+		return h.Timer()
+	}
+	return m.scanSeconds[s].Timer()
 }
 
 // SetTelemetry publishes the store's search-path metrics (hermes_store_*)
 // into reg. Handles are resolved once here, so the per-query overhead is a
 // few atomic adds. A nil reg disables instrumentation.
 func (st *Store) SetTelemetry(reg *telemetry.Registry) {
+	scan := make([]*telemetry.Histogram, len(st.Shards))
+	for s, sh := range st.Shards {
+		scan[s] = reg.Histogram("hermes_store_scan_seconds",
+			"Per-shard scan latency by quantizer kind.", telemetry.DefLatencyBuckets,
+			"quantizer", sh.Index.QuantizerName())
+	}
 	st.met = storeMetrics{
 		searches: reg.Counter("hermes_store_searches_total",
 			"Hierarchical searches served by the in-process store."),
@@ -25,5 +46,6 @@ func (st *Store) SetTelemetry(reg *telemetry.Registry) {
 			"Vectors scanned by sample phases."),
 		deepScanned: reg.Counter("hermes_store_deep_scanned_total",
 			"Vectors scanned by deep phases."),
+		scanSeconds: scan,
 	}
 }

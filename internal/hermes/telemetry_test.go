@@ -39,6 +39,12 @@ func TestStoreTelemetry(t *testing.T) {
 	if got := snap["hermes_store_deep_scanned_total"]; got <= 0 {
 		t.Errorf("deep scanned = %v, want > 0", got)
 	}
+	// Per-quantizer scan histogram: 5 queries x (3 sample + up to 3 deep)
+	// shard scans, all SQ8 in the default build, on one labeled series.
+	scans := snap[`hermes_store_scan_seconds{quantizer="SQ8"}:count`]
+	if scans < 5*4 {
+		t.Errorf("scan observations = %v, want >= 20", scans)
+	}
 
 	// SearchBatch routes through Search, so the counters follow the batch.
 	_ = st.SearchBatch(qs.Vectors, DefaultParams())

@@ -13,7 +13,6 @@ package ivf
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/kmeans"
@@ -75,8 +74,13 @@ type Index struct {
 	lists     []invList
 	count     int
 	trained   bool
-	// dead marks tombstoned list slots (see mutate.go).
-	dead map[uint64]struct{}
+	// deadPos holds tombstoned slot positions per inverted list, sorted
+	// ascending, so scans skip them with a cursor instead of a per-vector
+	// map lookup (see mutate.go). nil until the first Remove.
+	deadPos   [][]uint32
+	deadCount int
+	// pool recycles Searcher scratch across Search calls.
+	pool sync.Pool
 }
 
 type invList struct {
@@ -211,72 +215,18 @@ func (ix *Index) Search(q []float32, k, nProbe int) []vec.Neighbor {
 	return res
 }
 
-// SearchWithStats is Search plus work accounting.
+// SearchWithStats is Search plus work accounting. It draws a Searcher from
+// the index's internal pool, so steady-state queries allocate only the
+// returned result slice; callers that also want to amortize that should hold
+// their own Searcher and use its append API.
 func (ix *Index) SearchWithStats(q []float32, k, nProbe int) ([]vec.Neighbor, SearchStats) {
-	var stats SearchStats
 	if !ix.trained || k <= 0 || ix.count == 0 {
-		return nil, stats
+		return nil, SearchStats{}
 	}
-	if len(q) != ix.cfg.Dim {
-		panic(fmt.Sprintf("ivf: Search dim %d != %d", len(q), ix.cfg.Dim))
-	}
-	if nProbe <= 0 {
-		nProbe = 1
-	}
-	if nProbe > ix.cfg.NList {
-		nProbe = ix.cfg.NList
-	}
-	cells := ix.nearestCells(q, nProbe)
-	var dist quant.Distancer
-	if !ix.cfg.ByResidual {
-		dist = ix.cfg.Quantizer.NewDistancer(q)
-	}
-	cs := ix.cfg.Quantizer.CodeSize()
-	tk := vec.NewTopK(k)
-	qres := make([]float32, len(q))
-	for _, c := range cells {
-		l := &ix.lists[c]
-		stats.CellsProbed++
-		if ix.cfg.ByResidual {
-			// Distances to residual codes are computed against the
-			// query's residual from the same centroid: ||q - (c + r)||
-			// = ||(q - c) - r||.
-			centroid := ix.centroids.Row(c)
-			for d := range q {
-				qres[d] = q[d] - centroid[d]
-			}
-			dist = ix.cfg.Quantizer.NewDistancer(qres)
-		}
-		for i, id := range l.ids {
-			if len(ix.dead) > 0 {
-				if _, gone := ix.dead[slotKey(c, i)]; gone {
-					continue
-				}
-			}
-			tk.Push(id, dist(l.codes[i*cs:(i+1)*cs]))
-			stats.VectorsScanned++
-		}
-	}
-	return tk.Results(), stats
-}
-
-// nearestCells returns the indices of the nProbe centroids closest to q,
-// ordered by ascending distance.
-func (ix *Index) nearestCells(q []float32, nProbe int) []int {
-	type cellDist struct {
-		cell int
-		d    float32
-	}
-	all := make([]cellDist, ix.cfg.NList)
-	for c := 0; c < ix.cfg.NList; c++ {
-		all[c] = cellDist{c, vec.L2Squared(q, ix.centroids.Row(c))}
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
-	out := make([]int, nProbe)
-	for i := 0; i < nProbe; i++ {
-		out[i] = all[i].cell
-	}
-	return out
+	s := ix.getSearcher()
+	res, stats := s.Search(nil, q, k, nProbe)
+	ix.pool.Put(s)
+	return res, stats
 }
 
 // BatchResult couples a query's neighbors with its work stats.

@@ -1,6 +1,9 @@
 package ivf
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Mutation support. RAG's whole premise is a mutable, non-parametric
 // datastore that evolves without retraining the LLM (paper Sections 1-2),
@@ -8,9 +11,35 @@ import "fmt"
 // list slot so scans skip it, and Compact reclaims the space once enough
 // garbage accumulates. The coarse quantizer is intentionally left untouched
 // — re-clustering is an offline rebuild, as in the paper's workflow.
+//
+// Tombstones are kept as per-list sorted position slices rather than a
+// global hash set: the scan hot loop advances a cursor through the (almost
+// always empty) positions instead of hashing every visited slot, so removal
+// support costs the blocked scan path nothing when no tombstones exist.
 
-// slotKey packs an inverted-list index and a position within it.
-func slotKey(list, pos int) uint64 { return uint64(list)<<32 | uint64(uint32(pos)) }
+// isDead reports whether list li's slot pos is tombstoned.
+func (ix *Index) isDead(li, pos int) bool {
+	if ix.deadCount == 0 || ix.deadPos == nil {
+		return false
+	}
+	d := ix.deadPos[li]
+	i := sort.Search(len(d), func(i int) bool { return d[i] >= uint32(pos) })
+	return i < len(d) && d[i] == uint32(pos)
+}
+
+// markDead tombstones list li's slot pos, keeping positions sorted.
+func (ix *Index) markDead(li, pos int) {
+	if ix.deadPos == nil {
+		ix.deadPos = make([][]uint32, len(ix.lists))
+	}
+	d := ix.deadPos[li]
+	i := sort.Search(len(d), func(i int) bool { return d[i] >= uint32(pos) })
+	d = append(d, 0)
+	copy(d[i+1:], d[i:])
+	d[i] = uint32(pos)
+	ix.deadPos[li] = d
+	ix.deadCount++
+}
 
 // Remove tombstones the first live entry stored under id. It returns false
 // if the id is not present (or already removed). The slot is skipped during
@@ -25,13 +54,10 @@ func (ix *Index) Remove(id int64) bool {
 			if got != id {
 				continue
 			}
-			if _, dead := ix.dead[slotKey(li, pos)]; dead {
+			if ix.isDead(li, pos) {
 				continue
 			}
-			if ix.dead == nil {
-				ix.dead = make(map[uint64]struct{})
-			}
-			ix.dead[slotKey(li, pos)] = struct{}{}
+			ix.markDead(li, pos)
 			ix.count--
 			return true
 		}
@@ -40,21 +66,27 @@ func (ix *Index) Remove(id int64) bool {
 }
 
 // Tombstones reports how many removed entries still occupy list space.
-func (ix *Index) Tombstones() int { return len(ix.dead) }
+func (ix *Index) Tombstones() int { return ix.deadCount }
 
 // Compact rewrites every inverted list without tombstoned slots, reclaiming
 // their memory. It must not run concurrently with searches.
 func (ix *Index) Compact() {
-	if len(ix.dead) == 0 {
+	if ix.deadCount == 0 {
 		return
 	}
 	cs := ix.cfg.Quantizer.CodeSize()
 	for li := range ix.lists {
+		dead := ix.deadPos[li]
+		if len(dead) == 0 {
+			continue
+		}
 		l := &ix.lists[li]
 		keepIDs := l.ids[:0]
 		keepCodes := l.codes[:0]
+		di := 0
 		for pos, id := range l.ids {
-			if _, dead := ix.dead[slotKey(li, pos)]; dead {
+			if di < len(dead) && dead[di] == uint32(pos) {
+				di++
 				continue
 			}
 			keepIDs = append(keepIDs, id)
@@ -63,7 +95,8 @@ func (ix *Index) Compact() {
 		l.ids = keepIDs
 		l.codes = keepCodes
 	}
-	ix.dead = nil
+	ix.deadPos = nil
+	ix.deadCount = 0
 }
 
 // Update replaces the vector stored under id (remove + re-add under the

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package quant
+
+// sq8UseAsm and pqUseAsm gate the assembly scan kernels. Both kernels use
+// SSE2 only, which is part of the amd64 baseline, so no runtime feature
+// detection is needed.
+const (
+	sq8UseAsm = true
+	pqUseAsm  = true
+)
+
+// pqScanAsm evaluates n contiguous ADC codes of len(tables) subquantizer
+// bytes each against the per-query gather tables, writing distances to
+// out[:n]. Preconditions (enforced by the caller): len(tables) > 0 and a
+// multiple of 4, len(codes) >= n*len(tables), len(out) >= n. Codes are
+// processed in pairs with eight scalar accumulator chains to hide ADDSS
+// latency behind the L1 table gathers. Implemented in pq_amd64.s.
+//
+//go:noescape
+func pqScanAsm(codes []byte, tables [][256]float32, n int, out []float32)
+
+// sq8DotAsm computes sum_d (qm[d] - float32(code[d])*scale[d])^2 over
+// d in [0, len(qm)). Preconditions (enforced by the caller): len(qm) is a
+// multiple of 4, len(code) >= len(qm), len(scale) >= len(qm). Accumulation
+// uses eight SIMD lanes, so results match the scalar path only within the
+// documented reassociation tolerance. Implemented in sq8_amd64.s.
+//
+//go:noescape
+func sq8DotAsm(code []byte, qm, scale []float32) float32

@@ -1,0 +1,117 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func pqScanAsm(codes []byte, tables [][256]float32, n int, out []float32)
+//
+// ADC table-gather scan. tables is M rows of [256]float32 (4 KiB stride
+// between the same lane of consecutive rows is 1 KiB = 256*4), codes is n
+// packed M-byte codes. Caller guarantees M > 0, M % 4 == 0,
+// len(codes) >= n*M, len(out) >= n.
+//
+// Codes are processed in pairs: eight scalar accumulators (four per code,
+// one per subquantizer lane) give eight independent ADDSS dependency chains,
+// enough to hide the 3-4 cycle add latency behind the L1-resident gathers.
+// ADDSS with a memory operand has no alignment requirement, so gathers fold
+// directly into the adds.
+TEXT ·pqScanAsm(SB), NOSPLIT, $0-80
+	MOVQ codes_base+0(FP), SI
+	MOVQ tables_base+24(FP), DX
+	MOVQ tables_len+32(FP), CX // M, multiple of 4
+	MOVQ n+48(FP), BX
+	MOVQ out_base+56(FP), DI
+
+	XORQ R14, R14 // i: index of the next code to evaluate
+
+pair:
+	MOVQ BX, AX
+	SUBQ R14, AX
+	CMPQ AX, $2
+	JLT  single
+
+	XORPS X0, X0 // code A lanes 4k+0..3
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4 // code B lanes 4k+0..3
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	MOVQ SI, R8          // cursor into code A
+	LEAQ (SI)(CX*1), R9  // cursor into code B
+	MOVQ DX, R10         // table row cursor
+	MOVQ CX, R11         // remaining subquantizers
+
+pairInner:
+	MOVBLZX (R8), R12
+	ADDSS   (R10)(R12*4), X0
+	MOVBLZX (R9), R13
+	ADDSS   (R10)(R13*4), X4
+	MOVBLZX 1(R8), R12
+	ADDSS   1024(R10)(R12*4), X1
+	MOVBLZX 1(R9), R13
+	ADDSS   1024(R10)(R13*4), X5
+	MOVBLZX 2(R8), R12
+	ADDSS   2048(R10)(R12*4), X2
+	MOVBLZX 2(R9), R13
+	ADDSS   2048(R10)(R13*4), X6
+	MOVBLZX 3(R8), R12
+	ADDSS   3072(R10)(R12*4), X3
+	MOVBLZX 3(R9), R13
+	ADDSS   3072(R10)(R13*4), X7
+
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4096, R10
+	SUBQ $4, R11
+	JNZ  pairInner
+
+	ADDSS X1, X0 // reduce as (0+1)+(2+3), matching the Go lanes
+	ADDSS X3, X2
+	ADDSS X2, X0
+	MOVSS X0, (DI)(R14*4)
+	ADDSS X5, X4
+	ADDSS X7, X6
+	ADDSS X6, X4
+	MOVSS X4, 4(DI)(R14*4)
+
+	LEAQ (SI)(CX*2), SI
+	ADDQ $2, R14
+	JMP  pair
+
+single:
+	CMPQ AX, $1
+	JLT  done
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+	MOVQ SI, R8
+	MOVQ DX, R10
+	MOVQ CX, R11
+
+singleInner:
+	MOVBLZX (R8), R12
+	ADDSS   (R10)(R12*4), X0
+	MOVBLZX 1(R8), R12
+	ADDSS   1024(R10)(R12*4), X1
+	MOVBLZX 2(R8), R12
+	ADDSS   2048(R10)(R12*4), X2
+	MOVBLZX 3(R8), R12
+	ADDSS   3072(R10)(R12*4), X3
+
+	ADDQ $4, R8
+	ADDQ $4096, R10
+	SUBQ $4, R11
+	JNZ  singleInner
+
+	ADDSS X1, X0
+	ADDSS X3, X2
+	ADDSS X2, X0
+	MOVSS X0, (DI)(R14*4)
+
+done:
+	RET

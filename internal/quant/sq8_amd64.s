@@ -1,0 +1,86 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func sq8DotAsm(code []byte, qm []float32, scale []float32) float32
+//
+// SSE2-only (amd64 baseline) dequantize-and-accumulate:
+//   sum_d (qm[d] - float32(code[d])*scale[d])^2
+// Caller guarantees len(qm) % 4 == 0 and len(code), len(scale) >= len(qm).
+//
+// Main loop handles eight dimensions per iteration: eight code bytes are
+// zero-extended to int32 via PUNPCKLBW/PUNPCK{L,H}WD against a zero register,
+// converted with CVTPL2PS (cvtdq2ps), then two 4-wide mul/sub/mul/add chains
+// feed two independent accumulator registers. All float vector loads go
+// through MOVUPS: Go slice data is only guaranteed 8-byte aligned, and
+// SSE2 arithmetic with memory operands would fault on unaligned addresses.
+TEXT ·sq8DotAsm(SB), NOSPLIT, $0-76
+	MOVQ code_base+0(FP), SI
+	MOVQ qm_base+24(FP), DI
+	MOVQ qm_len+32(FP), CX
+	MOVQ scale_base+48(FP), DX
+
+	PXOR  X6, X6 // zero, for byte->dword unpacking
+	XORPS X5, X5 // accumulator, dims 8k+0..3
+	XORPS X4, X4 // accumulator, dims 8k+4..7
+	XORQ  AX, AX // element index d
+
+	MOVQ CX, BX
+	ANDQ $-8, BX // BX = len rounded down to a multiple of 8
+	CMPQ AX, BX
+	JGE  tail4
+
+loop8:
+	MOVQ      (SI)(AX*1), X0 // eight code bytes
+	PUNPCKLBW X6, X0         // -> eight uint16
+	MOVOU     X0, X1
+	PUNPCKLWL X6, X0 // low four -> uint32 (punpcklwd)
+	PUNPCKHWL X6, X1 // high four -> uint32 (punpckhwd)
+	CVTPL2PS  X0, X0 // -> float32
+	CVTPL2PS  X1, X1
+
+	MOVUPS (DX)(AX*4), X2   // scale[d..d+3]
+	MOVUPS 16(DX)(AX*4), X3 // scale[d+4..d+7]
+	MULPS  X2, X0
+	MULPS  X3, X1
+
+	MOVUPS (DI)(AX*4), X2   // qm[d..d+3]
+	MOVUPS 16(DI)(AX*4), X3 // qm[d+4..d+7]
+	SUBPS  X0, X2           // qm - code*scale
+	SUBPS  X1, X3
+	MULPS  X2, X2
+	MULPS  X3, X3
+	ADDPS  X2, X5
+	ADDPS  X3, X4
+
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  loop8
+
+tail4:
+	CMPQ AX, CX
+	JGE  reduce
+
+	// One 4-wide step for len % 8 == 4.
+	MOVL      (SI)(AX*1), R8
+	MOVQ      R8, X0
+	PUNPCKLBW X6, X0
+	PUNPCKLWL X6, X0
+	CVTPL2PS  X0, X0
+	MOVUPS    (DX)(AX*4), X2
+	MULPS     X2, X0
+	MOVUPS    (DI)(AX*4), X2
+	SUBPS     X0, X2
+	MULPS     X2, X2
+	ADDPS     X2, X5
+
+reduce:
+	ADDPS  X4, X5
+	MOVAPS X5, X0
+	SHUFPS $0xEE, X5, X0 // X0 = {lane2, lane3, lane2, lane3}
+	ADDPS  X5, X0        // lanes 0+2, 1+3 in the low two slots
+	MOVAPS X0, X1
+	SHUFPS $0x55, X0, X1 // X1 low = lane 1+3
+	ADDSS  X1, X0
+	MOVSS  X0, ret+72(FP)
+	RET

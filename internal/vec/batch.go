@@ -1,0 +1,44 @@
+package vec
+
+import "fmt"
+
+// L2SquaredBatch computes the squared Euclidean distance between q and each
+// of the first n rows of data (row-major, stride len(q)), writing distances
+// to out[:n]. It is the flat-storage scan kernel: one call evaluates a whole
+// block of contiguous vectors, keeping the inner loop free of per-vector
+// closure calls and bounds checks.
+//
+// Accumulation uses the same four-lane unrolling as L2Squared, so the two
+// produce bit-identical results for the same inputs.
+func L2SquaredBatch(q, data []float32, n int, out []float32) {
+	dim := len(q)
+	if dim == 0 {
+		panic("vec: L2SquaredBatch requires a non-empty query")
+	}
+	if len(data) < n*dim {
+		panic(fmt.Sprintf("vec: L2SquaredBatch data length %d < %d rows x dim %d", len(data), n, dim))
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("vec: L2SquaredBatch out length %d < n %d", len(out), n))
+	}
+	for i := 0; i < n; i++ {
+		row := data[i*dim : i*dim+dim : i*dim+dim]
+		var s0, s1, s2, s3 float32
+		d := 0
+		for ; d+4 <= dim; d += 4 {
+			d0 := q[d] - row[d]
+			d1 := q[d+1] - row[d+1]
+			d2 := q[d+2] - row[d+2]
+			d3 := q[d+3] - row[d+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		for ; d < dim; d++ {
+			dd := q[d] - row[d]
+			s0 += dd * dd
+		}
+		out[i] = s0 + s1 + s2 + s3
+	}
+}

@@ -25,6 +25,21 @@ func NewTopK(k int) *TopK {
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
 }
 
+// Reset re-arms the selector for a new query retaining the k smallest-scored
+// neighbors, reusing the underlying buffer. It lets a per-searcher scratch
+// TopK serve successive queries without allocating.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("vec: TopK.Reset requires k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		t.heap = make([]Neighbor, 0, k)
+	} else {
+		t.heap = t.heap[:0]
+	}
+}
+
 // Push offers a candidate; it is retained if fewer than k candidates are held
 // or its score beats the current worst.
 func (t *TopK) Push(id int64, score float32) {
@@ -56,7 +71,18 @@ func (t *TopK) Len() int { return len(t.heap) }
 // Results destructively extracts the retained neighbors ordered best
 // (smallest score) first.
 func (t *TopK) Results() []Neighbor {
-	out := make([]Neighbor, len(t.heap))
+	out := make([]Neighbor, 0, len(t.heap))
+	return t.AppendResults(out)
+}
+
+// AppendResults destructively extracts the retained neighbors, best first,
+// appending them to dst and returning the extended slice. With a dst of
+// sufficient capacity the extraction performs no allocation, which is how the
+// zero-allocation search paths return results from pooled scratch.
+func (t *TopK) AppendResults(dst []Neighbor) []Neighbor {
+	base := len(dst)
+	dst = append(dst, t.heap...)
+	out := dst[base:]
 	for i := len(t.heap) - 1; i >= 0; i-- {
 		out[i] = t.heap[0]
 		last := len(t.heap) - 1
@@ -64,7 +90,7 @@ func (t *TopK) Results() []Neighbor {
 		t.heap = t.heap[:last]
 		t.siftDown(0)
 	}
-	return out
+	return dst
 }
 
 func (t *TopK) siftUp(i int) {

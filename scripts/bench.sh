@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Performance record for the serving-path distance kernels. Runs the
+# hermes-kernelbench suite (scalar vs blocked kernels at dims 64/128/768,
+# plus end-to-end searcher latency and allocation counts) and publishes the
+# machine-readable result as BENCH_PR3.json at the repo root.
+#
+# Usage: scripts/bench.sh [extra hermes-kernelbench flags]
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/hermes-kernelbench -out BENCH_PR3.json "$@"

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 verification for this repo. Everything here must pass before a
 # change lands: build, go vet, the project's own static analyzers
-# (cmd/hermes-lint), the full test suite, and the race detector over the
-# concurrency-heavy packages (TCP serving path, the batching front-end, and
-# the telemetry registry scraped concurrently with metric writes).
+# (cmd/hermes-lint), the full test suite, the race detector over the
+# concurrency-heavy packages (TCP serving path, the batching front-end, the
+# telemetry registry scraped concurrently with metric writes, and the pooled
+# IVF searcher scratch), and a single-iteration bench smoke so the kernel
+# benchmarks can never rot unnoticed.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -12,4 +14,5 @@ go build ./...
 go vet ./...
 go run ./cmd/hermes-lint ./...
 go test ./...
-go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/
+go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/ ./internal/ivf/
+go test -bench=. -benchtime=1x -run '^$' ./internal/vec/ ./internal/quant/ ./internal/ivf/
