@@ -8,20 +8,24 @@
 //	hermes-coordinator -nodes 127.0.0.1:7001,127.0.0.1:7002 -index ./idx -queries 5
 //	hermes-coordinator -nodes ... -index ./idx -queries 5 -all   # naive search-all baseline
 //	hermes-coordinator -nodes ... -index ./idx -stats            # per-node serving table
-//	hermes-coordinator -nodes ... -index ./idx -trace -queries 3 # per-query span breakdown
+//	hermes-coordinator -nodes ... -index ./idx -stats -watch 2s  # live load + modeled energy
+//	hermes-coordinator -nodes ... -index ./idx -trace -queries 3 # per-query cross-node waterfall
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
 	"repro/internal/hermes"
+	"repro/internal/hwmodel"
 	"repro/internal/rerank"
 	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
@@ -40,7 +44,10 @@ func main() {
 		rtTimeout = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8081)")
 		stats     = flag.Bool("stats", false, "print the per-node serving table (live Fig. 13 view) and exit")
-		trace     = flag.Bool("trace", false, "trace each query and print its per-phase span breakdown")
+		trace     = flag.Bool("trace", false, "trace each query and print its cross-node span waterfall")
+		watch     = flag.Duration("watch", 0, "with -stats: poll the cluster at this interval, printing load shares and modeled DVFS energy until interrupted")
+		platform  = flag.String("platform", "gold6448y", "CPU platform for the energy model (gold6448y|platinum8380|silver4316|neoverse, or a full hwmodel name)")
+		slowMS    = flag.Int("slow-ms", 100, "flight-recorder pin threshold in milliseconds for /debug/queries (with -admin)")
 	)
 	flag.Parse()
 
@@ -57,10 +64,20 @@ func main() {
 		fatal(err)
 	}
 	store := corpus.NewChunkStore(c)
+	tokensPerChunk := int64(corpus.DefaultTokensPerChunk)
+	if meta.Corpus.TokensPerChunk > 0 {
+		tokensPerChunk = int64(meta.Corpus.TokensPerChunk)
+	}
+	spec, err := resolvePlatform(*platform)
+	if err != nil {
+		fatal(err)
+	}
 
+	rec := telemetry.NewRecorder(256, time.Duration(*slowMS)*time.Millisecond)
 	co, err := distsearch.DialOpts(addrs, distsearch.DialOptions{
 		Timeout:          *timeout,
 		RoundTripTimeout: *rtTimeout,
+		Recorder:         rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -69,15 +86,22 @@ func main() {
 	fmt.Printf("connected to %d nodes, %d vectors total, dim %d\n\n", co.Nodes(), co.TotalSize(), co.Dim())
 
 	if *admin != "" {
-		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		if err := co.EnableEnergyModel(spec, tokensPerChunk); err != nil {
+			fatal(err)
+		}
+		srv, err := telemetry.ServeAdminOpts(*admin, telemetry.Default, rec)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("admin endpoints on http://%s/metrics\n\n", srv.Addr())
+		fmt.Printf("admin endpoints on http://%s/metrics (flight recorder at /debug/queries)\n\n", srv.Addr())
 	}
 	if *stats {
-		printStats(co)
+		if *watch > 0 {
+			watchStats(co, spec, tokensPerChunk, *watch)
+			return
+		}
+		printStats(co, spec)
 		return
 	}
 
@@ -116,6 +140,9 @@ func main() {
 			i, qs.Topics[i], res.SampleLatency, res.DeepLatency, res.DeepNodes)
 		if tr != nil {
 			fmt.Printf("  %s\n", tr.Breakdown())
+			for _, line := range strings.Split(tr.Waterfall(), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
 		}
 		for rank, n := range res.Neighbors {
 			txt, err := store.Get(n.ID)
@@ -131,26 +158,131 @@ func main() {
 	}
 }
 
-// printStats renders each node's serving counters and handling-time
-// quantiles — the live per-node view of the paper's Fig. 13 access imbalance.
-func printStats(co *distsearch.Coordinator) {
+// resolvePlatform maps short CLI aliases to hwmodel specs, falling back to
+// the full platform-name lookup.
+func resolvePlatform(name string) (hwmodel.CPUSpec, error) {
+	switch strings.ToLower(name) {
+	case "gold6448y", "gold":
+		return hwmodel.XeonGold6448Y, nil
+	case "platinum8380", "platinum":
+		return hwmodel.XeonPlatinum8380, nil
+	case "silver4316", "silver":
+		return hwmodel.XeonSilver4316, nil
+	case "neoverse", "neoversen1", "n1":
+		return hwmodel.NeoverseN1, nil
+	}
+	return hwmodel.PlatformByName(name)
+}
+
+// printStats renders each node's serving counters, handling-time quantiles,
+// its share of the cluster's deep-search load, and the static DVFS estimate
+// for that share — the live per-node view of the paper's Fig. 13 access
+// imbalance with Fig. 21's energy angle attached.
+func printStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec) {
 	stats, err := co.Stats()
 	if err != nil {
 		fatal(err)
 	}
+	var totalDeep int64
+	for _, ns := range stats {
+		totalDeep += ns.DeepServed
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "shard\tvectors\tquantizer\tsample\tdeep\tmutations\ttombstones\tsample_p95\tdeep_p95\tscan_p95\ttraced")
+	fmt.Fprintln(w, "shard\tvectors\tquantizer\tsample\tdeep\tshare\tghz(model)\twatts(model)\tmutations\ttombstones\tsample_p95\tdeep_p95\tscan_p95\ttraced")
 	for _, ns := range stats {
 		sampleP95 := nodeSeconds(ns, "sample")
 		deepP95 := nodeSeconds(ns, "deep")
 		quantizer, scanP95 := nodeScanP95(ns)
 		traced := ns.Telemetry[fmt.Sprintf(`hermes_node_traced_requests_total{shard="%d"}`, ns.ShardID)]
-		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
-			ns.ShardID, ns.Size, quantizer, ns.SampleServed, ns.DeepServed, ns.MutationsServed,
-			ns.Tombstones, sampleP95, deepP95, scanP95, traced)
+		share := 0.0
+		if totalDeep > 0 {
+			share = float64(ns.DeepServed) / float64(totalDeep)
+		}
+		ghz, watts := modelForShare(spec, share, len(stats))
+		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%d\t%.1f%%\t%.2f\t%.0f\t%d\t%d\t%v\t%v\t%v\t%.0f\n",
+			ns.ShardID, ns.Size, quantizer, ns.SampleServed, ns.DeepServed, 100*share, ghz, watts,
+			ns.MutationsServed, ns.Tombstones, sampleP95, deepP95, scanP95, traced)
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
+	}
+}
+
+// modelForShare is the static one-shot DVFS estimate: a node carrying its
+// fair share (1/n) of the deep load runs at base frequency; relative
+// over/under-load scales it, clamped to the platform's DVFS range, and power
+// follows the platform's f-V curve. The -watch loop replaces this with the
+// real windowed model driven by observed load deltas.
+func modelForShare(spec hwmodel.CPUSpec, share float64, n int) (ghz, watts float64) {
+	rel := share * float64(n)
+	ghz = spec.BaseGHz * rel
+	if ghz < spec.MinGHz {
+		ghz = spec.MinGHz
+	}
+	if ghz > spec.MaxGHz {
+		ghz = spec.MaxGHz
+	}
+	if share == 0 {
+		return spec.MinGHz, spec.IdlePower()
+	}
+	return ghz, spec.Power(ghz)
+}
+
+// watchStats polls the cluster until interrupted, feeding each node's
+// observed deep-search load through the windowed DVFS energy model — real
+// load deltas over real wall windows, so the joules column is the live
+// Fig. 21 account.
+func watchStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec, tokensPerChunk int64, interval time.Duration) {
+	model, err := hwmodel.NewEnergyModel(spec)
+	if err != nil {
+		fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	fmt.Printf("watching %d nodes every %v on %s (interrupt to stop)\n", co.Nodes(), interval, spec.Name)
+	last := make(map[int]int64)
+	lastAt := time.Now()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\ninterrupted")
+			return
+		case t := <-ticker.C:
+			stats, err := co.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			window := t.Sub(lastAt)
+			lastAt = t
+			var totalDelta int64
+			deltas := make(map[int]int64, len(stats))
+			for _, ns := range stats {
+				d := ns.DeepServed - last[ns.ShardID]
+				last[ns.ShardID] = ns.DeepServed
+				deltas[ns.ShardID] = d
+				totalDelta += d
+			}
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(w, "%s  window=%v  deep=%d\n", t.Format("15:04:05"), window.Round(time.Millisecond), totalDelta)
+			fmt.Fprintln(w, "shard\tdeep_total\tΔdeep\tshare\tghz\twatts\tjoules")
+			for _, ns := range stats {
+				d := deltas[ns.ShardID]
+				share := 0.0
+				if totalDelta > 0 {
+					share = float64(d) / float64(totalDelta)
+				}
+				ne := model.Advance(ns.ShardID, int64(ns.Size)*tokensPerChunk, d, window)
+				fmt.Fprintf(w, "%d\t%d\t%d\t%.1f%%\t%.2f\t%.0f\t%.1f\n",
+					ns.ShardID, ns.DeepServed, d, 100*share, ne.GHz, ne.Watts, ne.Joules)
+			}
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
 	}
 }
 

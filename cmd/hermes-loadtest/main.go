@@ -48,8 +48,14 @@ func main() {
 		rtTimeout = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
 		kvMiB     = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
 		linger    = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
+		slowMS    = flag.Int("slow-ms", 0, "trace every query into a flight recorder, pin those slower than this many milliseconds, and print the slowest at run end (0 disables tracing)")
 	)
 	flag.Parse()
+
+	var rec *telemetry.Recorder
+	if *slowMS > 0 {
+		rec = telemetry.NewRecorder(1024, time.Duration(*slowMS)*time.Millisecond)
+	}
 
 	tokensPerChunk := corpus.DefaultTokensPerChunk
 	var co *distsearch.Coordinator
@@ -74,6 +80,7 @@ func main() {
 		co, err = distsearch.DialOpts(lc.Addrs(), distsearch.DialOptions{
 			Timeout:          5 * time.Second,
 			RoundTripTimeout: *rtTimeout,
+			Recorder:         rec,
 		})
 		if err != nil {
 			fatal(err)
@@ -94,6 +101,7 @@ func main() {
 		co, err = distsearch.DialOpts(strings.Split(*nodesFlag, ","), distsearch.DialOptions{
 			Timeout:          5 * time.Second,
 			RoundTripTimeout: *rtTimeout,
+			Recorder:         rec,
 		})
 		if err != nil {
 			fatal(err)
@@ -105,12 +113,15 @@ func main() {
 	defer co.Close()
 
 	if *admin != "" {
-		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		srv, err := telemetry.ServeAdminOpts(*admin, telemetry.Default, rec)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "admin endpoints on http://%s/metrics\n", srv.Addr())
+		if rec != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder on http://%s/debug/queries\n", srv.Addr())
+		}
 	}
 
 	// The optional KV cache replays RAGCache's premise over the real
@@ -153,9 +164,14 @@ func main() {
 		q := qset.Vectors.Row(i % qset.Vectors.Len())
 		var res *distsearch.Result
 		var err error
-		if *allFlag {
+		switch {
+		case *allFlag:
 			res, err = co.SearchAll(q, params)
-		} else {
+		case rec != nil:
+			// Trace every query so slow outliers land in the recorder with
+			// their full cross-node breakdown attached.
+			res, err = co.SearchTraced(q, params, telemetry.NewTrace())
+		default:
 			res, err = co.Search(q, params)
 		}
 		if err != nil {
@@ -187,9 +203,36 @@ func main() {
 		fmt.Printf("kv cache: %.1f%% hit rate (%d hits / %d lookups, %d evictions)\n",
 			100*s.HitRate(), s.Hits, s.Hits+s.Misses, s.Evictions)
 	}
+	if rec != nil {
+		printSlowest(rec, *slowMS)
+	}
 	if *linger > 0 {
 		fmt.Fprintf(os.Stderr, "lingering %v for admin scrapes...\n", *linger)
 		time.Sleep(*linger)
+	}
+}
+
+// printSlowest renders the flight recorder's pinned outliers — trace ID and
+// per-phase breakdown — so the slowest queries of the run are explainable
+// without re-running it. With -linger and -admin the same records stay
+// queryable at /debug/queries?trace=<id>.
+func printSlowest(rec *telemetry.Recorder, slowMS int) {
+	slow := rec.Slow(10)
+	if len(slow) == 0 {
+		fmt.Printf("slowest queries: none above the %dms pin threshold\n", slowMS)
+		return
+	}
+	fmt.Printf("slowest queries (>= %dms, slowest first):\n", slowMS)
+	for _, qr := range slow {
+		fmt.Printf("  %016x total=%-12v busy=%-12v deep=%v scanned=%d",
+			qr.TraceID, qr.Total, qr.Busy, qr.DeepNodes, qr.Scanned)
+		if qr.Err != "" {
+			fmt.Printf(" err=%q", qr.Err)
+		}
+		if s := qr.PhaseSummary(); s != "" {
+			fmt.Printf("\n      %s", s)
+		}
+		fmt.Println()
 	}
 }
 

@@ -3,6 +3,11 @@
 // Run one process per shard (typically on separate machines), then point
 // hermes-coordinator at the node addresses.
 //
+// When a request carries a trace ID, the node times its own phases (decode,
+// probe select, list scan, top-k merge, encode) and ships them back in the
+// response as offsets from request arrival, so the coordinator can stitch a
+// cross-node waterfall without any clock synchronization.
+//
 // Usage:
 //
 //	hermes-node -index ./idx -shard 0 -addr 127.0.0.1:7001

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	hermes "repro"
+	"repro/internal/hwmodel"
 )
 
 func main() {
@@ -45,6 +46,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer co.Close()
+
+	// Flight recorder: every completed query lands in a fixed-capacity ring,
+	// with queries slower than the threshold pinned separately. The cmd
+	// binaries serve this at /debug/queries; here we read it directly.
+	rec := hermes.NewQueryRecorder(64, 2*time.Millisecond)
+	co.SetRecorder(rec)
+	// DVFS energy account: each node's observed deep-search load feeds the
+	// paper's frequency/power model at scrape time (Fig. 21's live view).
+	if err := co.EnableEnergyModel(hwmodel.XeonGold6448Y, int64(corpus.Spec.TokensPerChunk)); err != nil {
+		log.Fatal(err)
+	}
 
 	queries := corpus.Queries(12, 4)
 	params := hermes.DefaultParams()
@@ -79,24 +91,42 @@ func main() {
 	fmt.Printf("mean wire+search time: hierarchical %v | search-all %v\n",
 		hierTime/time.Duration(n), allTime/time.Duration(n))
 
-	// A traced query: its ID rides the wire to every shard node and each
-	// coordinator phase lands in one span.
+	// A traced query: its ID rides the wire to every shard node, each
+	// coordinator phase lands in one span, and every node ships its own
+	// decode/probe/scan/merge/encode spans back — the waterfall below is a
+	// true cross-node timing chart with no clock synchronization needed.
 	tr := hermes.NewTrace()
 	if _, err := co.SearchTraced(queries.Vectors.Row(0), params, tr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntraced query breakdown:\n  %s\n", tr.Breakdown())
+	fmt.Printf("\ncross-node waterfall:\n%s\n", tr.Waterfall())
+
+	// The flight recorder kept every query of the run; the slowest pinned
+	// ones answer "what was that spike" after the fact (the cmd binaries
+	// serve this ring at /debug/queries).
+	if qr, ok := rec.Find(tr.ID()); ok {
+		fmt.Printf("\nflight-recorder record for the traced query:\n  total=%v busy=%v deep=%v scanned=%d\n",
+			qr.Total, qr.Busy, qr.DeepNodes, qr.Scanned)
+	}
+	fmt.Printf("recorder holds %d recent queries, %d pinned slow\n",
+		len(rec.Recent(100)), len(rec.Slow(100)))
 
 	// The same traffic is visible in the default metric registry, in
-	// Prometheus exposition format (cmd binaries serve this on -admin).
+	// Prometheus exposition format (cmd binaries serve this on -admin) —
+	// including the per-shard load counters and the modeled DVFS energy
+	// series the collector derives from them.
 	var exp strings.Builder
 	if err := hermes.DefaultTelemetry().WritePrometheus(&exp); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nscrape excerpt (hermes_coordinator_*):")
+	fmt.Println("\nscrape excerpt (load + modeled energy):")
 	for _, line := range strings.Split(exp.String(), "\n") {
 		if strings.HasPrefix(line, "hermes_coordinator_queries_total") ||
-			strings.HasPrefix(line, "hermes_coordinator_phase_seconds_count") {
+			strings.HasPrefix(line, "hermes_coordinator_load_imbalance") ||
+			strings.HasPrefix(line, `hermes_coordinator_shard_deep_total{shard="0"}`) ||
+			strings.HasPrefix(line, `hermes_energy_model_joules{node="0"}`) ||
+			strings.HasPrefix(line, `hermes_energy_model_ghz{node="0"}`) {
 			fmt.Println("  " + line)
 		}
 	}

@@ -175,13 +175,33 @@ func DefaultTelemetry() *TelemetryRegistry { return telemetry.Default }
 // NewTrace mints a trace whose ID rides the wire protocol to shard nodes.
 func NewTrace() *Trace { return telemetry.NewTrace() }
 
+// QueryRecorder is the fixed-capacity flight recorder of completed queries:
+// attach it with distsearch.DialOptions.Recorder or Store.SetRecorder and
+// serve it at /debug/queries via ServeTelemetryOpts.
+type QueryRecorder = telemetry.Recorder
+
+// QueryRecord is one completed query as kept by a QueryRecorder.
+type QueryRecord = telemetry.QueryRecord
+
+// NewQueryRecorder builds a flight recorder holding the last capacity
+// queries (256 when <= 0) and pinning those slower than slowThreshold.
+func NewQueryRecorder(capacity int, slowThreshold time.Duration) *QueryRecorder {
+	return telemetry.NewRecorder(capacity, slowThreshold)
+}
+
 // ServeTelemetry starts the admin HTTP server (/metrics, /healthz,
 // /debug/pprof) for reg on addr; pass nil to serve the default registry.
 func ServeTelemetry(addr string, reg *TelemetryRegistry) (*telemetry.AdminServer, error) {
+	return ServeTelemetryOpts(addr, reg, nil)
+}
+
+// ServeTelemetryOpts is ServeTelemetry plus an optional flight recorder
+// mounted at /debug/queries.
+func ServeTelemetryOpts(addr string, reg *TelemetryRegistry, rec *QueryRecorder) (*telemetry.AdminServer, error) {
 	if reg == nil {
 		reg = telemetry.Default
 	}
-	return telemetry.ServeAdmin(addr, reg)
+	return telemetry.ServeAdminOpts(addr, reg, rec)
 }
 
 // ---------------------------------------------------------------------------

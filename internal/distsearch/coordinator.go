@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hermes"
@@ -47,6 +48,11 @@ type nodeClient struct {
 	size     int
 	dim      int
 	centroid []float32
+
+	// deepLoad counts deep searches sent to this node over the client's
+	// lifetime — the coordinator-side view of per-shard load, feeding the
+	// imbalance gauge and the DVFS energy collector.
+	deepLoad atomic.Int64
 }
 
 func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (*nodeClient, error) {
@@ -87,10 +93,23 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cm.opCounter(req.Op).Inc()
+	switch req.Op {
+	case OpDeep:
+		c.deepLoad.Add(1)
+		c.met.deepTotal.Inc()
+	case OpDeepBatch:
+		n := int64(len(req.Queries))
+		c.deepLoad.Add(n)
+		c.met.deepTotal.Add(n)
+	}
 	c.cm.inflight.Inc()
 	defer c.cm.inflight.Dec()
-	stop := c.met.roundTrip.Timer()
-	defer stop()
+	rtStart := now()
+	// Timed by hand rather than via Timer() so a traced request pins its
+	// trace ID as the round-trip bucket's exemplar.
+	defer func() {
+		c.met.roundTrip.ObserveExemplar(now().Sub(rtStart).Seconds(), req.TraceID)
+	}()
 	if c.broken {
 		if err := c.redialLocked(); err != nil {
 			return nil, fmt.Errorf("distsearch: reconnect %s: %w", c.addr, err)
@@ -218,6 +237,9 @@ type Coordinator struct {
 	nodes []*nodeClient
 	dim   int
 	m     *coordMetrics
+	// rec, when non-nil, receives one QueryRecord per completed
+	// SearchTraced/Search call — the flight-recorder hook.
+	rec *telemetry.Recorder
 	// lenient degrades gracefully on node failure instead of failing the
 	// query (see SetLenient).
 	lenient bool
@@ -246,6 +268,9 @@ type DialOptions struct {
 	RoundTripTimeout time.Duration
 	// Telemetry receives the coordinator's metrics (nil = telemetry.Default).
 	Telemetry *telemetry.Registry
+	// Recorder, when non-nil, is the flight recorder completed queries are
+	// written to (see SetRecorder).
+	Recorder *telemetry.Recorder
 	// Lenient starts the coordinator in degraded-mode serving (SetLenient).
 	Lenient bool
 }
@@ -273,7 +298,7 @@ func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 	if reg == nil {
 		reg = telemetry.Default
 	}
-	co := &Coordinator{m: newCoordMetrics(reg), lenient: opts.Lenient}
+	co := &Coordinator{m: newCoordMetrics(reg), rec: opts.Recorder, lenient: opts.Lenient}
 	for _, addr := range addrs {
 		c, err := dialNode(addr, timeout, rtTimeout, co.m)
 		if err != nil {
@@ -290,7 +315,50 @@ func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 		}
 		co.nodes = append(co.nodes, c)
 	}
+	// Imbalance is computed at scrape time from the per-node deep counters:
+	// max/mean load, the figure Hermes' DVFS story keys off (Fig. 13/21).
+	imbalance := reg.Gauge("hermes_coordinator_load_imbalance",
+		"per-shard deep-search load imbalance seen by this coordinator (max/mean; 1 = perfectly balanced, 0 = no load yet)")
+	reg.RegisterCollector(func(*telemetry.Registry) {
+		imbalance.Set(co.loadImbalance())
+	})
 	return co, nil
+}
+
+// SetRecorder points the coordinator's flight-recorder hook at rec: every
+// completed Search/SearchTraced appends one QueryRecord (trace ID, total,
+// per-phase/per-node spans when traced, shards deep-searched, vectors
+// scanned, error). A nil rec disables recording.
+func (co *Coordinator) SetRecorder(rec *telemetry.Recorder) { co.rec = rec }
+
+// DeepLoad returns the number of deep searches sent to each connected node
+// over this coordinator's lifetime, index-aligned with its node list.
+func (co *Coordinator) DeepLoad() []int64 {
+	out := make([]int64, len(co.nodes))
+	for i, n := range co.nodes {
+		out[i] = n.deepLoad.Load()
+	}
+	return out
+}
+
+// loadImbalance is max/mean of per-node deep-search load (0 before any
+// deep search).
+func (co *Coordinator) loadImbalance() float64 {
+	if len(co.nodes) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, n := range co.nodes {
+		v := n.deepLoad.Load()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(co.nodes)) / float64(sum)
 }
 
 // Nodes returns the number of connected shard nodes.
@@ -326,12 +394,61 @@ func (co *Coordinator) Search(q []float32, p hermes.Params) (*Result, error) {
 }
 
 // SearchTraced is Search with request-scoped tracing: the trace's ID rides
-// every wire request to the shard nodes, and one span is recorded per phase
-// (sample_scatter, rank, deep_gather). A nil trace disables tracing at zero
-// cost.
+// every wire request to the shard nodes, one span is recorded per
+// coordinator phase (sample_scatter, rank, deep_gather), and every node
+// ships its own per-phase spans (decode/probe_select/list_scan/topk_merge/
+// encode) back in the response, which the coordinator stitches into the
+// trace anchored at its own send time — a cross-node waterfall immune to
+// clock skew. A nil trace disables tracing at zero cost. When a flight
+// recorder is attached (SetRecorder), every call — traced or not — appends
+// one QueryRecord.
 func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.Trace) (*Result, error) {
+	if co.rec == nil {
+		res, _, err := co.searchTraced(q, p, tr)
+		return res, err
+	}
+	start := time.Now()
+	res, scanned, err := co.searchTraced(q, p, tr)
+	qr := telemetry.QueryRecord{
+		TraceID: tr.ID(),
+		Start:   start,
+		Total:   time.Since(start),
+		Scanned: scanned,
+	}
+	qr.Busy = qr.Total
+	if qr.TraceID == 0 {
+		// Untraced queries still get a unique record ID so /debug/queries
+		// can address them.
+		qr.TraceID = telemetry.NewTraceID()
+	}
+	if tr != nil {
+		qr.Spans = tr.Spans()
+		_, qr.Busy = telemetry.SpanTotals(qr.Spans)
+	}
+	if err != nil {
+		qr.Err = err.Error()
+	} else {
+		qr.DeepNodes = res.DeepNodes
+	}
+	co.rec.Record(qr)
+	return res, err
+}
+
+// stitchSpans merges node-shipped wire spans into the trace. Node offsets
+// are relative to the request's arrival at the node; anchoring them at the
+// coordinator's send time places them on the coordinator's clock without
+// ever comparing the two machines' wall clocks (they drift into the
+// outbound wire time, which shifts a node's block slightly left — never
+// scrambles it).
+func stitchSpans(tr *telemetry.Trace, anchor time.Time, spans []WireSpan) {
+	for _, ws := range spans {
+		tr.AddSpan(ws.Name, ws.Node, anchor.Add(time.Duration(ws.OffsetNanos)), time.Duration(ws.DurNanos))
+	}
+}
+
+func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.Trace) (*Result, int64, error) {
 	if len(q) != co.dim {
-		return nil, fmt.Errorf("distsearch: query dim %d != %d", len(q), co.dim)
+		return nil, 0, fmt.Errorf("distsearch: query dim %d != %d", len(q), co.dim)
 	}
 	if p.K <= 0 {
 		p = hermes.DefaultParams()
@@ -340,10 +457,11 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 
 	// Phase 1 — scatter sampling.
 	type sample struct {
-		node  int
-		score float32
-		ok    bool
-		err   error
+		node    int
+		score   float32
+		scanned int64
+		ok      bool
+		err     error
 	}
 	endScatter := tr.StartSpan("sample_scatter")
 	start := time.Now()
@@ -353,31 +471,35 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 		wg.Add(1)
 		go func(i int, n *nodeClient) {
 			defer wg.Done()
+			sendAt := time.Now()
 			resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe, TraceID: tr.ID()})
 			if err != nil {
 				samples[i] = sample{node: i, err: err}
 				return
 			}
+			stitchSpans(tr, sendAt, resp.Spans)
 			if len(resp.Neighbors) == 0 {
-				samples[i] = sample{node: i}
+				samples[i] = sample{node: i, scanned: resp.Scanned}
 				return
 			}
-			samples[i] = sample{node: i, score: resp.Neighbors[0].Score, ok: true}
+			samples[i] = sample{node: i, score: resp.Neighbors[0].Score, scanned: resp.Scanned, ok: true}
 		}(i, n)
 	}
 	wg.Wait()
 	sampleLat := time.Since(start)
 	endScatter()
-	co.m.phaseSample.ObserveDuration(sampleLat)
+	co.m.phaseSample.ObserveExemplar(sampleLat.Seconds(), tr.ID())
 
+	var scanned int64
 	endRank := tr.StartSpan("rank")
 	ranked := samples[:0:0]
 	var firstErr error
 	for _, s := range samples {
+		scanned += s.scanned
 		if s.err != nil {
 			if !co.lenient {
 				endRank()
-				return nil, s.err
+				return nil, scanned, s.err
 			}
 			if firstErr == nil {
 				firstErr = s.err
@@ -391,9 +513,9 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 	if len(ranked) == 0 {
 		endRank()
 		if firstErr != nil {
-			return nil, fmt.Errorf("distsearch: all nodes failed: %w", firstErr)
+			return nil, scanned, fmt.Errorf("distsearch: all nodes failed: %w", firstErr)
 		}
-		return &Result{SampleLatency: sampleLat}, nil
+		return &Result{SampleLatency: sampleLat}, scanned, nil
 	}
 	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
 	endRank()
@@ -407,6 +529,7 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 	deepStart := time.Now()
 	type deepResult struct {
 		neighbors []vec.Neighbor
+		scanned   int64
 		err       error
 	}
 	deepResults := make([]deepResult, deep)
@@ -416,25 +539,28 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 		deepNodes[i] = co.nodes[ranked[i].node].shardID
 		go func(slot, nodeIdx int) {
 			defer wg.Done()
+			sendAt := time.Now()
 			resp, err := co.nodes[nodeIdx].roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe, TraceID: tr.ID()})
 			if err != nil {
 				deepResults[slot] = deepResult{err: err}
 				return
 			}
-			deepResults[slot] = deepResult{neighbors: resp.Neighbors}
+			stitchSpans(tr, sendAt, resp.Spans)
+			deepResults[slot] = deepResult{neighbors: resp.Neighbors, scanned: resp.Scanned}
 		}(i, ranked[i].node)
 	}
 	wg.Wait()
 	deepLat := time.Since(deepStart)
 	endDeep()
-	co.m.phaseDeep.ObserveDuration(deepLat)
+	co.m.phaseDeep.ObserveExemplar(deepLat.Seconds(), tr.ID())
 
 	tk := vec.NewTopK(p.K)
 	gotAny := false
 	for _, dr := range deepResults {
+		scanned += dr.scanned
 		if dr.err != nil {
 			if !co.lenient {
-				return nil, dr.err
+				return nil, scanned, dr.err
 			}
 			continue
 		}
@@ -444,14 +570,14 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 		}
 	}
 	if !gotAny && deep > 0 {
-		return nil, fmt.Errorf("distsearch: every deep-search node failed")
+		return nil, scanned, fmt.Errorf("distsearch: every deep-search node failed")
 	}
 	return &Result{
 		Neighbors:     tk.Results(),
 		DeepNodes:     deepNodes,
 		SampleLatency: sampleLat,
 		DeepLatency:   deepLat,
-	}, nil
+	}, scanned, nil
 }
 
 // SearchAll deep-searches every node (the naive distributed baseline) and

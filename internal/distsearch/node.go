@@ -9,11 +9,35 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ivf"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
+
+// arrivalReader timestamps the first byte read after each reset, giving the
+// serving loop the request's wire-arrival time so the decode span starts
+// when bytes hit the node, not when gob returns. The protocol strictly
+// serializes request/response per connection (the coordinator holds the
+// connection mutex across a round-trip), so gob's internal read-ahead can
+// never have consumed the next request's first byte before reset is called.
+type arrivalReader struct {
+	r       io.Reader
+	armed   bool
+	arrival time.Time
+}
+
+func (a *arrivalReader) Read(p []byte) (int, error) {
+	n, err := a.r.Read(p)
+	if a.armed && n > 0 {
+		a.arrival = now()
+		a.armed = false
+	}
+	return n, err
+}
+
+func (a *arrivalReader) reset() { a.armed = true }
 
 // Node serves one shard's IVF index over TCP.
 type Node struct {
@@ -111,9 +135,11 @@ func (n *Node) serveConn(conn net.Conn) {
 		n.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	ar := &arrivalReader{r: conn}
+	dec := gob.NewDecoder(ar)
 	enc := gob.NewEncoder(conn)
 	for {
+		ar.reset()
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !n.isClosed() {
@@ -122,10 +148,30 @@ func (n *Node) serveConn(conn net.Conn) {
 			return
 		}
 		start := now()
-		resp := n.handle(&req)
+		arrival := start
+		if !ar.armed && ar.arrival.Before(start) {
+			arrival = ar.arrival
+		}
+		resp := n.handle(&req, arrival, start)
 		served := now().Sub(start)
 		resp.ServerNanos = served.Nanoseconds()
 		n.met.observe(req.Op, served, req.TraceID)
+		if req.TraceID != 0 && len(resp.Spans) > 0 {
+			// The encode span cannot be measured around the real Encode
+			// below — it must already be inside the response it times — so
+			// it is approximated by a discard-encode pre-pass of the final
+			// payload. A fresh encoder re-transmits gob type descriptors,
+			// making this a slight upper bound on the steady-state cost.
+			encStart := now()
+			if err := gob.NewEncoder(io.Discard).Encode(resp); err == nil {
+				resp.Spans = append(resp.Spans, WireSpan{
+					Name:        "encode",
+					Node:        n.shardID,
+					OffsetNanos: encStart.Sub(arrival).Nanoseconds(),
+					DurNanos:    now().Sub(encStart).Nanoseconds(),
+				})
+			}
+		}
 		if err := enc.Encode(resp); err != nil {
 			if !n.isClosed() {
 				n.logger.Printf("node %d encode: %v", n.shardID, err)
@@ -139,7 +185,7 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 }
 
-func (n *Node) handle(req *Request) *Response {
+func (n *Node) handle(req *Request, arrival, decodeDone time.Time) *Response {
 	switch req.Op {
 	case OpAdd, OpRemove, OpCompact:
 		n.idxMu.Lock()
@@ -156,8 +202,7 @@ func (n *Node) handle(req *Request) *Response {
 			return &Response{Err: fmt.Sprintf("node %d: query dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
 		}
 		atomic.AddInt64(&n.sampleServed, 1)
-		res := n.scan(req.Query, 1, req.NProbe)
-		return &Response{ShardID: n.shardID, Neighbors: res}
+		return n.searchResp(req, 1, req.NProbe, arrival, decodeDone)
 	case OpDeep:
 		if len(req.Query) != n.index.Dim() {
 			return &Response{Err: fmt.Sprintf("node %d: query dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
@@ -166,17 +211,16 @@ func (n *Node) handle(req *Request) *Response {
 			return &Response{Err: fmt.Sprintf("node %d: k must be positive", n.shardID)}
 		}
 		atomic.AddInt64(&n.deepServed, 1)
-		res := n.scan(req.Query, req.K, req.NProbe)
-		return &Response{ShardID: n.shardID, Neighbors: res}
+		return n.searchResp(req, req.K, req.NProbe, arrival, decodeDone)
 	case OpSampleBatch:
 		atomic.AddInt64(&n.sampleServed, int64(len(req.Queries)))
-		return n.handleBatch(req, 1, req.NProbe)
+		return n.handleBatch(req, 1, req.NProbe, arrival, decodeDone)
 	case OpDeepBatch:
 		if req.K <= 0 {
 			return &Response{Err: fmt.Sprintf("node %d: k must be positive", n.shardID)}
 		}
 		atomic.AddInt64(&n.deepServed, int64(len(req.Queries)))
-		return n.handleBatch(req, req.K, req.NProbe)
+		return n.handleBatch(req, req.K, req.NProbe, arrival, decodeDone)
 	case OpAdd:
 		if len(req.Query) != n.index.Dim() {
 			return &Response{Err: fmt.Sprintf("node %d: add dim %d != %d", n.shardID, len(req.Query), n.index.Dim())}
@@ -220,24 +264,92 @@ func (n *Node) meanCentroid() []float32 {
 	return out
 }
 
-func (n *Node) handleBatch(req *Request, k, nProbe int) *Response {
+// searchResp serves one single-query search. Untraced requests take the
+// clock-free path; a traced request (TraceID != 0) runs the phased search
+// and ships the per-phase spans in the response.
+func (n *Node) searchResp(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
+	if req.TraceID == 0 {
+		res, scanned := n.scan(req.Query, k, nProbe)
+		return &Response{ShardID: n.shardID, Neighbors: res, Scanned: scanned}
+	}
+	scanStart := now()
+	res, scanned, ph := n.scanPhased(req.Query, k, nProbe)
+	return &Response{
+		ShardID:   n.shardID,
+		Neighbors: res,
+		Scanned:   scanned,
+		Spans:     n.tracedSpans(arrival, decodeDone, scanStart, ph),
+	}
+}
+
+func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
 	batch := make([][]vec.Neighbor, len(req.Queries))
+	traced := req.TraceID != 0
+	var scanned int64
+	var agg ivf.PhaseNanos
+	scanStart := decodeDone
+	if traced {
+		scanStart = now()
+	}
 	for i, q := range req.Queries {
 		if len(q) != n.index.Dim() {
 			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
 		}
-		batch[i] = n.scan(q, k, nProbe)
+		if traced {
+			res, sc, ph := n.scanPhased(q, k, nProbe)
+			batch[i] = res
+			scanned += sc
+			agg.Add(ph)
+		} else {
+			res, sc := n.scan(q, k, nProbe)
+			batch[i] = res
+			scanned += sc
+		}
 	}
-	return &Response{ShardID: n.shardID, Batch: batch}
+	resp := &Response{ShardID: n.shardID, Batch: batch, Scanned: scanned}
+	if traced {
+		// A batch interleaves the three phases query by query; the shipped
+		// spans consolidate them into one select/scan/merge sequence whose
+		// durations are the per-phase sums — busy time is exact, the
+		// offsets within the batch are a presentation choice.
+		resp.Spans = n.tracedSpans(arrival, decodeDone, scanStart, agg)
+	}
+	return resp
+}
+
+// tracedSpans lays the node-side phases out as wire spans with offsets
+// relative to the request's wire arrival: decode, then (from scanStart,
+// which also covers any index-lock wait) probe_select, list_scan, and
+// topk_merge back to back. The encode span is appended by serveConn once
+// the response payload is final.
+func (n *Node) tracedSpans(arrival, decodeDone, scanStart time.Time, ph ivf.PhaseNanos) []WireSpan {
+	sel := scanStart.Sub(arrival).Nanoseconds()
+	scan := sel + ph.Select
+	merge := scan + ph.Scan
+	return []WireSpan{
+		{Name: "decode", Node: n.shardID, OffsetNanos: 0, DurNanos: decodeDone.Sub(arrival).Nanoseconds()},
+		{Name: "probe_select", Node: n.shardID, OffsetNanos: sel, DurNanos: ph.Select},
+		{Name: "list_scan", Node: n.shardID, OffsetNanos: scan, DurNanos: ph.Scan},
+		{Name: "topk_merge", Node: n.shardID, OffsetNanos: merge, DurNanos: ph.Merge},
+	}
 }
 
 // scan runs one index search, timing it against the shard's per-quantizer
-// scan histogram (protocol decode/encode excluded).
-func (n *Node) scan(q []float32, k, nProbe int) []vec.Neighbor {
+// scan histogram (protocol decode/encode excluded). It returns the
+// neighbors and the number of vectors scanned.
+func (n *Node) scan(q []float32, k, nProbe int) ([]vec.Neighbor, int64) {
 	stop := n.met.scanSeconds.Timer()
-	res := n.index.Search(q, k, nProbe)
+	res, st := n.index.SearchWithStats(q, k, nProbe)
 	stop()
-	return res
+	return res, int64(st.VectorsScanned)
+}
+
+// scanPhased is scan with the per-phase breakdown, for traced requests.
+func (n *Node) scanPhased(q []float32, k, nProbe int) ([]vec.Neighbor, int64, ivf.PhaseNanos) {
+	stop := n.met.scanSeconds.Timer()
+	res, st, ph := n.index.SearchPhased(q, k, nProbe)
+	stop()
+	return res, int64(st.VectorsScanned), ph
 }
 
 func (n *Node) isClosed() bool {

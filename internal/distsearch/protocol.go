@@ -89,4 +89,28 @@ type Response struct {
 	// Telemetry is the node's full metric snapshot, keyed as
 	// telemetry.Registry.Snapshot renders it (OpStats only).
 	Telemetry map[string]float64
+	// Scanned is the number of vectors the node's index scanned serving
+	// this request (summed across a batch). Gob-compatible v3 addition,
+	// like Spans below.
+	Scanned int64
+	// Spans carries the node's per-phase timing for a traced request
+	// (Request.TraceID != 0): decode, probe_select, list_scan, topk_merge,
+	// encode. Offsets are relative to the node-side request start, never
+	// wall times, so coordinator/node clock skew is irrelevant — the
+	// coordinator anchors them at its own send time when stitching them
+	// into the query trace. Empty for untraced requests; a v2-era peer
+	// simply drops the field (decoding an old response leaves it nil).
+	Spans []WireSpan
+}
+
+// WireSpan is one node-side phase shipped inside a Response.
+type WireSpan struct {
+	Name string
+	// Node is the shard ID that recorded the span.
+	Node int
+	// OffsetNanos is the span start relative to the node-side request
+	// start (first request byte observed / decode start).
+	OffsetNanos int64
+	// DurNanos is the span duration.
+	DurNanos int64
 }

@@ -100,6 +100,7 @@ type clientMetrics struct {
 	compute   *telemetry.Histogram
 	sent      *telemetry.Counter
 	recv      *telemetry.Counter
+	deepTotal *telemetry.Counter
 }
 
 func newClientMetrics(reg *telemetry.Registry, shardID int) clientMetrics {
@@ -113,6 +114,8 @@ func newClientMetrics(reg *telemetry.Registry, shardID int) clientMetrics {
 			"request bytes sent per node", "node", node),
 		recv: reg.Counter("hermes_distsearch_bytes_recv_total",
 			"response bytes received per node", "node", node),
+		deepTotal: reg.Counter("hermes_coordinator_shard_deep_total",
+			"deep searches this coordinator sent to each shard (the live Fig. 13 load view)", "shard", node),
 	}
 }
 

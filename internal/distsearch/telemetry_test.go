@@ -61,8 +61,9 @@ func telemetryCluster(t testing.TB, chunks, shards int) (*Coordinator, *corpus.C
 }
 
 // TestTracedQueryProducesOneSpanPerPhase is the end-to-end tracing test: a
-// traced query records exactly one span per coordinator phase, and the trace
-// ID demonstrably reaches every shard node over the wire.
+// traced query records exactly one span per coordinator phase plus the full
+// set of node-shipped spans from every contacted shard, and the trace ID
+// demonstrably reaches every shard node over the wire.
 func TestTracedQueryProducesOneSpanPerPhase(t *testing.T) {
 	const shards = 4
 	co, c, reg := telemetryCluster(t, 1200, shards)
@@ -79,10 +80,14 @@ func TestTracedQueryProducesOneSpanPerPhase(t *testing.T) {
 	}
 
 	counts := make(map[string]int)
+	nodeSpansBy := make(map[int]int)
 	for _, s := range tr.Spans() {
 		counts[s.Name]++
 		if s.Duration < 0 {
 			t.Errorf("span %s has negative duration %v", s.Name, s.Duration)
+		}
+		if s.Node != telemetry.NodeLocal {
+			nodeSpansBy[s.Node]++
 		}
 	}
 	for _, phase := range []string{"sample_scatter", "rank", "deep_gather"} {
@@ -90,8 +95,22 @@ func TestTracedQueryProducesOneSpanPerPhase(t *testing.T) {
 			t.Errorf("phase %s recorded %d spans, want exactly 1 (all: %v)", phase, counts[phase], counts)
 		}
 	}
-	if len(counts) != 3 {
-		t.Errorf("unexpected extra spans: %v", counts)
+	// Node span shipping: every contacted node (all shards sampled, the top
+	// DeepClusters deep-searched) ships one span per node-side phase.
+	contacts := shards + len(res.DeepNodes)
+	for _, phase := range []string{"decode", "probe_select", "list_scan", "topk_merge", "encode"} {
+		if counts[phase] != contacts {
+			t.Errorf("node phase %s recorded %d spans, want %d (one per contacted node; all: %v)",
+				phase, counts[phase], contacts, counts)
+		}
+	}
+	if len(counts) != 8 {
+		t.Errorf("unexpected extra span names: %v", counts)
+	}
+	for shard := 0; shard < shards; shard++ {
+		if nodeSpansBy[shard] < 5 {
+			t.Errorf("shard %d shipped %d spans, want >= 5 (sampled at minimum)", shard, nodeSpansBy[shard])
+		}
 	}
 	durs := tr.Durations()
 	if durs["sample_scatter"] <= 0 || durs["deep_gather"] <= 0 {
@@ -434,5 +453,71 @@ func TestRequestWireCompat(t *testing.T) {
 	}
 	if resp.ServerNanos != 0 || resp.Telemetry != nil {
 		t.Errorf("extensions must decode to zero values: %+v", resp)
+	}
+}
+
+// TestResponseWireCompatV2V3 proves the Scanned/Spans v3 response extensions
+// are gob-compatible with span-less v2 peers in both directions: a v2 node's
+// response decodes under the new coordinator with nil Spans (empty waterfall,
+// not an error), and a v3 response with spans decodes cleanly under a v2-era
+// struct, which simply drops the new fields.
+func TestResponseWireCompatV2V3(t *testing.T) {
+	// The v2 response shape as it existed before Scanned/Spans.
+	type ResponseV2 struct {
+		Err                                       string
+		ShardID, Size, Dim                        int
+		Neighbors                                 []vec.Neighbor
+		Batch                                     [][]vec.Neighbor
+		Centroid                                  []float32
+		OK                                        bool
+		SampleServed, DeepServed, MutationsServed int64
+		Tombstones                                int
+		ServerNanos                               int64
+		Telemetry                                 map[string]float64
+	}
+
+	// v2 node -> new coordinator: Spans stays nil, Scanned stays zero.
+	var buf bytes.Buffer
+	v2 := ResponseV2{
+		ShardID:     2,
+		Size:        500,
+		Neighbors:   []vec.Neighbor{{ID: 7, Score: 0.9}},
+		ServerNanos: 1234,
+	}
+	if err := gob.NewEncoder(&buf).Encode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(&buf).Decode(&resp); err != nil {
+		t.Fatalf("new coordinator cannot decode v2 response: %v", err)
+	}
+	if resp.ShardID != 2 || resp.Size != 500 || resp.ServerNanos != 1234 || len(resp.Neighbors) != 1 {
+		t.Errorf("decode mangled v2 fields: %+v", resp)
+	}
+	if resp.Spans != nil || resp.Scanned != 0 {
+		t.Errorf("v3 extensions must decode to zero values from a v2 response: %+v", resp)
+	}
+
+	// v3 node -> v2 coordinator: spans and scanned counts are dropped, the
+	// rest decodes untouched.
+	buf.Reset()
+	v3 := Response{
+		ShardID: 4,
+		Size:    900,
+		Scanned: 64,
+		Spans: []WireSpan{
+			{Name: "decode", Node: 4, OffsetNanos: 0, DurNanos: 100},
+			{Name: "list_scan", Node: 4, OffsetNanos: 100, DurNanos: 5000},
+		},
+	}
+	if err := gob.NewEncoder(&buf).Encode(&v3); err != nil {
+		t.Fatal(err)
+	}
+	var back ResponseV2
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("v2 coordinator cannot decode v3 response with spans: %v", err)
+	}
+	if back.ShardID != 4 || back.Size != 900 {
+		t.Errorf("v2 decode mangled fields: %+v", back)
 	}
 }

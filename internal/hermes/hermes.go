@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/ivf"
 	"repro/internal/kmeans"
 	"repro/internal/quant"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -93,6 +95,9 @@ type Store struct {
 	// met holds resolved telemetry handles (see SetTelemetry); the zero
 	// value is a no-op.
 	met storeMetrics
+	// rec, when non-nil, receives one QueryRecord per Search (see
+	// SetRecorder in telemetry.go).
+	rec *telemetry.Recorder
 	// pool recycles searchScratch across queries (see scratch.go).
 	pool sync.Pool
 }
@@ -326,16 +331,30 @@ type SearchStats struct {
 // through an internal pool, so steady-state queries allocate only the
 // returned result slice and the stats' DeepShards list.
 func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
+	return st.SearchTraced(q, p, nil)
+}
+
+// SearchTraced is Search with request-scoped tracing: one span per phase
+// (sample, rank, deep) lands on tr, and when a flight recorder is attached
+// (SetRecorder) the completed query is appended to it — traced or not. A
+// nil trace keeps the hot path clock-free.
+func (st *Store) SearchTraced(q []float32, p Params, tr *telemetry.Trace) ([]vec.Neighbor, SearchStats) {
 	p = p.withDefaults()
 	st.met.searches.Inc()
 	stop := st.met.searchSeconds.Timer()
 	defer stop()
+	rec := st.rec
+	var start time.Time
+	if rec != nil {
+		start = now()
+	}
 	var stats SearchStats
 	sc := st.getScratch()
 	defer st.pool.Put(sc)
 
 	// Phase 1 — document sampling: retrieve 1 document from every shard
 	// with a low nProbe and score shards by that document's distance.
+	endSample := tr.StartSpan("sample")
 	order := sc.order[:0]
 	for s := range st.Shards {
 		res, sampleStats := st.searchShard(sc, s, q, 1, p.SampleNProbe)
@@ -348,7 +367,10 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	}
 	sc.order = order
 	st.met.sampleScanned.Add(int64(stats.SampleScanned))
+	endSample()
+	endRank := tr.StartSpan("rank")
 	sortRanked(order)
+	endRank()
 
 	// Phase 2 — deep search into the top DeepClusters shards, optionally
 	// pruned by sampled-document distance.
@@ -356,6 +378,7 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 	if deep > len(order) {
 		deep = len(order)
 	}
+	endDeep := tr.StartSpan("deep")
 	tk := sc.topK(p.K)
 	for i, r := range order[:deep] {
 		if p.PruneEps > 0 && i > 0 && float64(r.d) > (1+p.PruneEps)*float64(order[0].d) {
@@ -368,8 +391,28 @@ func (st *Store) Search(q []float32, p Params) ([]vec.Neighbor, SearchStats) {
 			tk.Push(n.ID, n.Score)
 		}
 	}
+	endDeep()
 	st.met.deepScanned.Add(int64(stats.DeepScanned))
-	return tk.Results(), stats
+	out := tk.Results()
+	if rec != nil {
+		qr := telemetry.QueryRecord{
+			TraceID:   tr.ID(),
+			Start:     start,
+			Total:     now().Sub(start),
+			DeepNodes: append([]int(nil), stats.DeepShards...),
+			Scanned:   int64(stats.SampleScanned + stats.DeepScanned),
+		}
+		qr.Busy = qr.Total
+		if qr.TraceID == 0 {
+			qr.TraceID = telemetry.NewTraceID()
+		}
+		if tr != nil {
+			qr.Spans = tr.Spans()
+			_, qr.Busy = telemetry.SpanTotals(qr.Spans)
+		}
+		rec.Record(qr)
+	}
+	return out, stats
 }
 
 // SearchCentroid is the centroid-routing ablation: shards are ranked by the

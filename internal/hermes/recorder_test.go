@@ -1,0 +1,125 @@
+package hermes
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestStoreRecorderRecordsQueries(t *testing.T) {
+	c := testCorpus(t, 600, 4)
+	st := buildStore(t, c.Vectors, 4)
+	rec := telemetry.NewRecorder(32, 0)
+	st.SetRecorder(rec)
+	q := c.Queries(1, 3).Vectors.Row(0)
+	p := DefaultParams()
+
+	// Traced query: the record carries the trace's spans and breakdown.
+	tr := telemetry.NewTrace()
+	_, stats := st.SearchTraced(q, p, tr)
+	qr, ok := rec.Find(tr.ID())
+	if !ok {
+		t.Fatalf("traced query %016x not recorded", tr.ID())
+	}
+	if qr.Total <= 0 || qr.Busy <= 0 {
+		t.Errorf("record missing timing: %+v", qr)
+	}
+	names := make(map[string]int)
+	for _, s := range qr.Spans {
+		names[s.Name]++
+	}
+	for _, phase := range []string{"sample", "rank", "deep"} {
+		if names[phase] != 1 {
+			t.Errorf("recorded spans missing phase %s: %v", phase, names)
+		}
+	}
+	if len(qr.DeepNodes) != len(stats.DeepShards) {
+		t.Errorf("record DeepNodes = %v, stats %v", qr.DeepNodes, stats.DeepShards)
+	}
+	if qr.Scanned != int64(stats.SampleScanned+stats.DeepScanned) {
+		t.Errorf("record Scanned = %d, stats say %d", qr.Scanned, stats.SampleScanned+stats.DeepScanned)
+	}
+
+	// Untraced query: still recorded, with a minted ID and no spans.
+	st.Search(q, p)
+	recent := rec.Recent(10)
+	if len(recent) != 2 {
+		t.Fatalf("recorder holds %d records, want 2", len(recent))
+	}
+	latest := recent[0]
+	if latest.TraceID == 0 || latest.TraceID == tr.ID() {
+		t.Errorf("untraced query must get its own minted trace ID: %016x", latest.TraceID)
+	}
+	if len(latest.Spans) != 0 {
+		t.Errorf("untraced query must not carry spans: %+v", latest.Spans)
+	}
+	if latest.Busy != latest.Total {
+		t.Errorf("span-less record must report busy == total: %+v", latest)
+	}
+
+	// Detaching stops recording.
+	st.SetRecorder(nil)
+	st.Search(q, p)
+	if got := len(rec.Recent(10)); got != 2 {
+		t.Errorf("detached store still recorded: %d records", got)
+	}
+}
+
+// TestStoreRecorderConcurrent hammers one store+recorder from parallel
+// searchers while readers page through Recent/Find/Slow — the in-process
+// equivalent of live traffic with an operator on /debug/queries. Run under
+// -race (scripts/verify.sh includes this package in the race list).
+func TestStoreRecorderConcurrent(t *testing.T) {
+	c := testCorpus(t, 600, 4)
+	st := buildStore(t, c.Vectors, 4)
+	rec := telemetry.NewRecorder(64, time.Nanosecond) // pin everything
+	st.SetRecorder(rec)
+	qs := c.Queries(8, 7)
+	p := DefaultParams()
+
+	var wg sync.WaitGroup
+	const searchers = 4
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := qs.Vectors.Row((w + i) % qs.Vectors.Len())
+				if i%2 == 0 {
+					st.SearchTraced(q, p, telemetry.NewTrace())
+				} else {
+					st.Search(q, p)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, qr := range rec.Recent(16) {
+					rec.Find(qr.TraceID)
+				}
+				rec.Slow(8)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := len(rec.Recent(200)); got == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if got := len(rec.Slow(200)); got == 0 {
+		t.Fatal("1ns threshold must pin queries")
+	}
+}

@@ -1,6 +1,14 @@
 package hermes
 
-import "repro/internal/telemetry"
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// now is the injectable clock seam for the flight-recorder timestamps; the
+// untraced, recorder-less hot path never reads it.
+var now = time.Now
 
 // storeMetrics holds the resolved metric handles for the in-process search
 // path. The zero value (all-nil handles) makes every instrumentation site a
@@ -26,6 +34,14 @@ func (m *storeMetrics) scanTimer(s int) func() {
 	}
 	return m.scanSeconds[s].Timer()
 }
+
+// SetRecorder points the store's flight-recorder hook at rec: every Search/
+// SearchTraced appends one QueryRecord (trace ID, total, phase spans when
+// traced, shards deep-searched, vectors scanned). Recording copies the
+// record by value into a preallocated ring slot, so the pooled zero-
+// allocation scan path is preserved for untraced queries up to that single
+// DeepNodes copy. A nil rec disables recording.
+func (st *Store) SetRecorder(rec *telemetry.Recorder) { st.rec = rec }
 
 // SetTelemetry publishes the store's search-path metrics (hermes_store_*)
 // into reg. Handles are resolved once here, so the per-query overhead is a

@@ -1,0 +1,87 @@
+package hwmodel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeEnergy is the modeled operating point of one serving node after its
+// latest accounting window: the DVFS frequency the model would run the node
+// at given its observed load, the average package power over that window,
+// and the cumulative energy charged since accounting began.
+type NodeEnergy struct {
+	GHz     float64
+	Watts   float64
+	Joules  float64 // cumulative across all windows
+	Queries int64   // cumulative queries accounted
+}
+
+// EnergyModel turns observed per-node serving load into the paper's live
+// DVFS energy account (Section 4.2, Figure 21): each accounting window, a
+// node that served q queries against a shard of shardTokens is modeled as
+// running at the lowest frequency that still completes those queries within
+// the window (FrequencyForLatency) and is charged EnergyInWindow at that
+// frequency; an idle node coasts at MinGHz and is charged idle power for
+// the window. Joules accumulate monotonically per node.
+//
+// The model deliberately never reads the clock — callers pass each window's
+// duration — so it composes with the repo's wallclock rule and is exactly
+// reproducible in tests. Safe for concurrent use.
+type EnergyModel struct {
+	spec  CPUSpec
+	mu    sync.Mutex
+	nodes map[int]*NodeEnergy
+}
+
+// NewEnergyModel validates the platform and returns an empty account.
+func NewEnergyModel(spec CPUSpec) (*EnergyModel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("hwmodel: energy model: %w", err)
+	}
+	return &EnergyModel{spec: spec, nodes: make(map[int]*NodeEnergy)}, nil
+}
+
+// Spec returns the platform the model charges energy at.
+func (m *EnergyModel) Spec() CPUSpec { return m.spec }
+
+// Advance accounts one observation window for a node: queries is the number
+// of deep searches the node served during the window, shardTokens the token
+// count of its shard. It returns the node's updated operating point.
+// Windows of zero or negative length change nothing.
+func (m *EnergyModel) Advance(node int, shardTokens, queries int64, window time.Duration) NodeEnergy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.nodes[node]
+	if st == nil {
+		st = &NodeEnergy{GHz: m.spec.MinGHz, Watts: m.spec.IdleWatts}
+		m.nodes[node] = st
+	}
+	if window <= 0 {
+		return *st
+	}
+	if queries <= 0 || shardTokens <= 0 {
+		st.GHz = m.spec.MinGHz
+		st.Watts = m.spec.IdleWatts
+		st.Joules += m.spec.IdleWatts * window.Seconds()
+		return *st
+	}
+	f := m.spec.FrequencyForLatency(shardTokens, int(queries), window)
+	e := m.spec.EnergyInWindow(shardTokens, int(queries), f, window)
+	st.GHz = f
+	st.Watts = e / window.Seconds()
+	st.Joules += e
+	st.Queries += queries
+	return *st
+}
+
+// Node returns the current account of one node (zero value if never
+// advanced).
+func (m *EnergyModel) Node(node int) NodeEnergy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.nodes[node]; st != nil {
+		return *st
+	}
+	return NodeEnergy{GHz: m.spec.MinGHz, Watts: m.spec.IdleWatts}
+}

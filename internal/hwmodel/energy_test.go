@@ -1,0 +1,91 @@
+package hwmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEnergyModelValidatesSpec(t *testing.T) {
+	if _, err := NewEnergyModel(CPUSpec{}); err == nil {
+		t.Fatal("zero spec must fail validation")
+	}
+	m, err := NewEnergyModel(XeonGold6448Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec().Name != XeonGold6448Y.Name {
+		t.Errorf("Spec() = %q", m.Spec().Name)
+	}
+}
+
+func TestEnergyModelIdleWindow(t *testing.T) {
+	m, err := NewEnergyModel(XeonGold6448Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := m.Spec()
+	ne := m.Advance(0, 1_000_000, 0, 2*time.Second)
+	if ne.GHz != spec.MinGHz {
+		t.Errorf("idle GHz = %v, want MinGHz %v", ne.GHz, spec.MinGHz)
+	}
+	if ne.Watts != spec.IdleWatts {
+		t.Errorf("idle Watts = %v, want IdleWatts %v", ne.Watts, spec.IdleWatts)
+	}
+	want := spec.IdleWatts * 2
+	if diff := ne.Joules - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("idle Joules = %v, want %v (idle power over the window)", ne.Joules, want)
+	}
+	// An unknown node reads back as idle-at-minimum without mutating state.
+	if got := m.Node(99); got.GHz != spec.MinGHz || got.Joules != 0 {
+		t.Errorf("unseen node = %+v", got)
+	}
+}
+
+func TestEnergyModelLoadedWindow(t *testing.T) {
+	m, err := NewEnergyModel(XeonGold6448Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := m.Spec()
+	const shardTokens = 50_000_000
+	ne := m.Advance(1, shardTokens, 32, time.Second)
+	if ne.GHz < spec.MinGHz || ne.GHz > spec.MaxGHz {
+		t.Errorf("modeled GHz %v outside [%v, %v]", ne.GHz, spec.MinGHz, spec.MaxGHz)
+	}
+	if ne.Joules <= 0 || ne.Watts <= 0 {
+		t.Errorf("loaded window must charge energy: %+v", ne)
+	}
+	if ne.Queries != 32 {
+		t.Errorf("Queries = %d, want 32", ne.Queries)
+	}
+	// Heavier load within the same window pushes the modeled frequency up
+	// (until the max clamp) and never cheapens the window.
+	heavy := m.Advance(2, shardTokens, 320, time.Second)
+	if heavy.GHz < ne.GHz {
+		t.Errorf("10x load lowered modeled frequency: %v < %v", heavy.GHz, ne.GHz)
+	}
+}
+
+func TestEnergyModelJoulesMonotonic(t *testing.T) {
+	m, err := NewEnergyModel(XeonSilver4316)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	loads := []int64{0, 5, 0, 100, 1, 0}
+	for i, q := range loads {
+		ne := m.Advance(0, 10_000_000, q, 500*time.Millisecond)
+		if ne.Joules <= prev {
+			t.Fatalf("window %d (queries=%d): joules %v not above %v — cumulative energy must be monotonic",
+				i, q, ne.Joules, prev)
+		}
+		prev = ne.Joules
+	}
+	// A zero or negative window is a no-op, not a rollback.
+	if ne := m.Advance(0, 10_000_000, 50, 0); ne.Joules != prev {
+		t.Errorf("zero window changed joules: %v != %v", ne.Joules, prev)
+	}
+	if got := m.Node(0); got.Joules != prev {
+		t.Errorf("Node() = %v joules, want %v", got.Joules, prev)
+	}
+}

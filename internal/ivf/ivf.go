@@ -229,6 +229,18 @@ func (ix *Index) SearchWithStats(q []float32, k, nProbe int) ([]vec.Neighbor, Se
 	return res, stats
 }
 
+// SearchPhased is SearchWithStats plus a per-phase wall-time breakdown
+// (probe-cell selection / list scan / top-k merge) for traced queries.
+func (ix *Index) SearchPhased(q []float32, k, nProbe int) ([]vec.Neighbor, SearchStats, PhaseNanos) {
+	if !ix.trained || k <= 0 || ix.count == 0 {
+		return nil, SearchStats{}, PhaseNanos{}
+	}
+	s := ix.getSearcher()
+	res, stats, ph := s.SearchPhased(nil, q, k, nProbe)
+	ix.pool.Put(s)
+	return res, stats, ph
+}
+
 // BatchResult couples a query's neighbors with its work stats.
 type BatchResult struct {
 	Neighbors []vec.Neighbor

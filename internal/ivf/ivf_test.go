@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/flatindex"
 	"repro/internal/metrics"
@@ -300,5 +301,70 @@ func BenchmarkIVFSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ix.Search(q, 10, 8)
+	}
+}
+
+// TestSearchPhasedMatchesSearch checks the traced search variant: identical
+// results and stats to SearchWithStats, with per-phase nanosecond attribution
+// that is nonnegative and nonzero in aggregate.
+func TestSearchPhasedMatchesSearch(t *testing.T) {
+	data := gaussianData(600, 24, 9)
+	ix := buildIndex(t, data, Config{Dim: 24, NList: 16})
+	q := data.Row(7)
+
+	plain, pStats := ix.SearchWithStats(q, 5, 4)
+	phased, fStats, ph := ix.SearchPhased(q, 5, 4)
+	if len(phased) != len(plain) {
+		t.Fatalf("phased returned %d neighbors, plain %d", len(phased), len(plain))
+	}
+	for i := range plain {
+		if phased[i] != plain[i] {
+			t.Errorf("neighbor %d: phased %+v != plain %+v", i, phased[i], plain[i])
+		}
+	}
+	if fStats != pStats {
+		t.Errorf("stats diverge: phased %+v, plain %+v", fStats, pStats)
+	}
+	if ph.Select < 0 || ph.Scan < 0 || ph.Merge < 0 {
+		t.Errorf("negative phase attribution: %+v", ph)
+	}
+	if ph.Select+ph.Scan+ph.Merge <= 0 {
+		t.Errorf("phases must attribute some time: %+v", ph)
+	}
+
+	var agg PhaseNanos
+	agg.Add(ph)
+	agg.Add(PhaseNanos{Select: 1, Scan: 2, Merge: 3})
+	if agg.Select != ph.Select+1 || agg.Scan != ph.Scan+2 || agg.Merge != ph.Merge+3 {
+		t.Errorf("PhaseNanos.Add wrong: %+v", agg)
+	}
+}
+
+// TestSearchPhasedClockGating proves the untraced path never reads the
+// clock: with the seam rigged to panic, Search still works while
+// SearchPhased trips it.
+func TestSearchPhasedClockGating(t *testing.T) {
+	data := gaussianData(300, 16, 10)
+	ix := buildIndex(t, data, Config{Dim: 16, NList: 8})
+
+	orig := now
+	defer func() { now = orig }()
+	calls := 0
+	now = func() time.Time {
+		calls++
+		return time.Unix(int64(calls), 0)
+	}
+
+	if _, stats := ix.SearchWithStats(data.Row(0), 3, 2); stats.VectorsScanned == 0 {
+		t.Fatal("plain search scanned nothing")
+	}
+	if calls != 0 {
+		t.Fatalf("untraced search read the clock %d times; the hot path must stay clock-free", calls)
+	}
+	if _, _, ph := ix.SearchPhased(data.Row(0), 3, 2); ph.Select+ph.Scan+ph.Merge <= 0 {
+		t.Error("phased search with a ticking fake clock must attribute time")
+	}
+	if calls == 0 {
+		t.Error("phased search must read the clock")
 	}
 }

@@ -2,10 +2,33 @@ package ivf
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/quant"
 	"repro/internal/vec"
 )
+
+// now is the injectable clock seam used by the phased-search accounting;
+// tests swap it to step time deterministically.
+var now = time.Now
+
+// PhaseNanos is the per-phase wall time of one (or an accumulation of)
+// phased searches, in nanoseconds: coarse probe-cell selection, inverted-
+// list scanning, and top-k result extraction. It exists so the serving node
+// can ship a true per-phase breakdown to the coordinator without the
+// untraced hot path ever reading the clock.
+type PhaseNanos struct {
+	Select int64
+	Scan   int64
+	Merge  int64
+}
+
+// Add accumulates o into p (batch queries sum their phases).
+func (p *PhaseNanos) Add(o PhaseNanos) {
+	p.Select += o.Select
+	p.Scan += o.Scan
+	p.Merge += o.Merge
+}
 
 // scanBlock is the number of codes evaluated per DistanceBatch call during a
 // list scan. 256 codes keeps the distance scratch (1 KiB) and the code block
@@ -64,6 +87,20 @@ func (ix *Index) getSearcher() *Searcher {
 // appended to dst (best first), so a caller that recycles dst pays only for
 // neighbors it has not preallocated room for.
 func (s *Searcher) Search(dst []vec.Neighbor, q []float32, k, nProbe int) ([]vec.Neighbor, SearchStats) {
+	return s.search(dst, q, k, nProbe, nil)
+}
+
+// SearchPhased is Search plus a per-phase wall-time breakdown. Unlike the
+// plain path it reads the clock (four times), so it is reserved for traced
+// queries; the untraced hot path stays clock-free.
+func (s *Searcher) SearchPhased(dst []vec.Neighbor, q []float32, k, nProbe int) ([]vec.Neighbor, SearchStats, PhaseNanos) {
+	var ph PhaseNanos
+	out, stats := s.search(dst, q, k, nProbe, &ph)
+	return out, stats, ph
+}
+
+// search is the shared body; ph non-nil turns on phase timing.
+func (s *Searcher) search(dst []vec.Neighbor, q []float32, k, nProbe int, ph *PhaseNanos) ([]vec.Neighbor, SearchStats) {
 	ix := s.ix
 	var stats SearchStats
 	if !ix.trained || k <= 0 || ix.count == 0 {
@@ -81,7 +118,16 @@ func (s *Searcher) Search(dst []vec.Neighbor, q []float32, k, nProbe int) ([]vec
 	if nProbe > ix.cfg.NList {
 		nProbe = ix.cfg.NList
 	}
+	var mark time.Time
+	if ph != nil {
+		mark = now()
+	}
 	s.selectCells(q, nProbe)
+	if ph != nil {
+		t := now()
+		ph.Select += t.Sub(mark).Nanoseconds()
+		mark = t
+	}
 	if s.tk == nil {
 		s.tk = vec.NewTopK(k)
 	} else {
@@ -112,7 +158,16 @@ func (s *Searcher) Search(dst []vec.Neighbor, q []float32, k, nProbe int) ([]vec
 		}
 		stats.VectorsScanned += s.scanList(l, cs, dead)
 	}
-	return s.tk.AppendResults(dst), stats
+	if ph != nil {
+		t := now()
+		ph.Scan += t.Sub(mark).Nanoseconds()
+		mark = t
+	}
+	out := s.tk.AppendResults(dst)
+	if ph != nil {
+		ph.Merge += now().Sub(mark).Nanoseconds()
+	}
+	return out, stats
 }
 
 // scanList runs the blocked kernel over one inverted list and folds the

@@ -2,6 +2,12 @@
 // paper: NDCG (normalized discounted cumulative gain) against exhaustive
 // ground truth, recall@k, latency percentile summaries, throughput, and an
 // energy ledger that converts modeled power and time into Joules.
+//
+// Naming note: these are retrieval-*quality* and experiment-evaluation
+// metrics. Runtime observability of the live serving process — Prometheus
+// counters/histograms, request traces, the admin HTTP server — lives in
+// internal/telemetry; new serving-path instrumentation belongs there, not
+// here.
 package metrics
 
 import (

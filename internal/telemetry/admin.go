@@ -18,7 +18,19 @@ import (
 // The mux is returned so callers embedding the admin surface into an
 // existing server can mount it under their own routing.
 func NewAdminMux(reg *Registry) *http.ServeMux {
+	return NewAdminMuxOpts(reg, nil)
+}
+
+// NewAdminMuxOpts is NewAdminMux plus the flight recorder's query
+// inspection endpoint when rec is non-nil:
+//
+//	/debug/queries             — recent + pinned slow queries (text or ?format=json)
+//	/debug/queries?trace=<id>  — one query's full cross-node waterfall
+func NewAdminMuxOpts(reg *Registry, rec *Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
+	if rec != nil {
+		mux.HandleFunc("/debug/queries", rec.ServeQueries)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
@@ -48,6 +60,11 @@ type AdminServer struct {
 // ServeAdmin binds addr (":8080", "127.0.0.1:0", ...) and serves the admin
 // endpoints for reg in a background goroutine until Close.
 func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	return ServeAdminOpts(addr, reg, nil)
+}
+
+// ServeAdminOpts is ServeAdmin plus /debug/queries over rec when non-nil.
+func ServeAdminOpts(addr string, reg *Registry, rec *Recorder) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
@@ -55,7 +72,7 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 	a := &AdminServer{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           NewAdminMux(reg),
+			Handler:           NewAdminMuxOpts(reg, rec),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}

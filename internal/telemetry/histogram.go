@@ -49,10 +49,22 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+
+	// Per-bucket exemplars: the last trace-linked observation to land in
+	// each bucket (trace ID + float64 bits of the value). The two words are
+	// stored without mutual atomicity — an exemplar is a debugging pointer
+	// from a latency bucket to a trace ID, not an invariant-bearing pair.
+	exTrace []atomic.Uint64
+	exValue []atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:  bounds,
+		counts:  make([]atomic.Int64, len(bounds)+1),
+		exTrace: make([]atomic.Uint64, len(bounds)+1),
+		exValue: make([]atomic.Uint64, len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -60,6 +72,25 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-zero, pins it
+// as the bucket's exemplar so a scrape can answer "which query put an
+// observation in this latency bucket". traceID 0 degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID != 0 {
+		h.exValue[i].Store(math.Float64bits(v))
+		h.exTrace[i].Store(traceID)
+	}
+}
+
+// observe counts v and returns the bucket index it landed in.
+func (h *Histogram) observe(v float64) int {
 	// sort.SearchFloat64s finds the first bound >= v, i.e. the bucket whose
 	// upper bound covers v; values above every bound land in the overflow.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -69,9 +100,36 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nv) {
-			return
+			return i
 		}
 	}
+}
+
+// BucketExemplar is one bucket's pinned trace-linked observation.
+type BucketExemplar struct {
+	UpperBound float64 // math.Inf(1) for the overflow bucket
+	TraceID    uint64
+	Value      float64
+}
+
+// Exemplars returns the buckets that currently hold an exemplar.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for i := range h.exTrace {
+		id := h.exTrace[i].Load()
+		if id == 0 {
+			continue
+		}
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out = append(out, BucketExemplar{UpperBound: ub, TraceID: id, Value: math.Float64frombits(h.exValue[i].Load())})
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -138,6 +196,18 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// bucketValue renders one _bucket line's value: the cumulative count, with
+// an OpenMetrics-style exemplar suffix (` # {trace_id="..."} <value>`) only
+// when the bucket holds one — histograms that never saw ObserveExemplar
+// render byte-identical to the pre-exemplar format.
+func (h *Histogram) bucketValue(i int, cum int64) string {
+	v := strconv.FormatInt(cum, 10)
+	if id := h.exTrace[i].Load(); id != 0 {
+		v += fmt.Sprintf(" # {trace_id=\"%016x\"} %s", id, formatFloat(math.Float64frombits(h.exValue[i].Load())))
+	}
+	return v
+}
+
 func (h *Histogram) write(w io.Writer, name, labels string) error {
 	var cum int64
 	for i, bound := range h.bounds {
@@ -146,7 +216,7 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 		if labels != "" {
 			le = labels + "," + le
 		}
-		if err := seriesLine(w, name+"_bucket", le, strconv.FormatInt(cum, 10)); err != nil {
+		if err := seriesLine(w, name+"_bucket", le, h.bucketValue(i, cum)); err != nil {
 			return err
 		}
 	}
@@ -155,7 +225,7 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 	if labels != "" {
 		le = labels + "," + le
 	}
-	if err := seriesLine(w, name+"_bucket", le, strconv.FormatInt(cum, 10)); err != nil {
+	if err := seriesLine(w, name+"_bucket", le, h.bucketValue(len(h.bounds), cum)); err != nil {
 		return err
 	}
 	if err := seriesLine(w, name+"_sum", labels, formatFloat(h.Sum())); err != nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -97,5 +98,64 @@ func TestTimerUsesClockSeam(t *testing.T) {
 	h.ObserveDuration(500 * time.Millisecond)
 	if got := h.Sum(); math.Abs(got-0.75) > 1e-9 {
 		t.Errorf("sum after ObserveDuration = %v, want 0.75", got)
+	}
+}
+
+// TestHistogramExemplars checks that ObserveExemplar pins a trace ID to the
+// bucket the value lands in, that the exposition suffix appears only on
+// buckets holding an exemplar (plain histograms render byte-identical to the
+// pre-exemplar format — see TestExpositionGolden), and that trace ID 0
+// degrades to a plain Observe.
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{0.01, 0.1, 1}
+	h := reg.Histogram("exemplar_seconds", "latency with exemplars", bounds)
+
+	h.Observe(0.005)                      // first bucket, no exemplar
+	h.ObserveExemplar(0.05, 0)            // trace 0: plain observation
+	h.ObserveExemplar(0.5, 0xbeef)        // third bucket
+	h.ObserveExemplar(5, 0xfeed)          // +Inf overflow bucket
+
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 (trace 0 must not pin)", ex)
+	}
+	if ex[0].UpperBound != 1 || ex[0].TraceID != 0xbeef || ex[0].Value != 0.5 {
+		t.Errorf("bucket exemplar = %+v", ex[0])
+	}
+	if !math.IsInf(ex[1].UpperBound, 1) || ex[1].TraceID != 0xfeed {
+		t.Errorf("overflow exemplar = %+v", ex[1])
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4 (exemplar observations still count)", h.Count())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, `# {trace_id="000000000000beef"} 0.5`) {
+		t.Errorf("exposition missing third-bucket exemplar:\n%s", page)
+	}
+	if !strings.Contains(page, `# {trace_id="000000000000feed"} 5`) {
+		t.Errorf("exposition missing +Inf exemplar:\n%s", page)
+	}
+	// Buckets without exemplars keep the bare cumulative-count format.
+	if !strings.Contains(page, `exemplar_seconds_bucket{le="0.01"} 1`+"\n") {
+		t.Errorf("exemplar-free bucket line changed format:\n%s", page)
+	}
+	// A newer exemplar in the same bucket replaces the old one.
+	h.ObserveExemplar(0.6, 0xcafe)
+	for _, e := range h.Exemplars() {
+		if e.UpperBound == 1 && e.TraceID != 0xcafe {
+			t.Errorf("exemplar not replaced: %+v", e)
+		}
+	}
+	// Nil handle stays inert.
+	var nh *Histogram
+	nh.ObserveExemplar(1, 2)
+	if nh.Exemplars() != nil {
+		t.Error("nil histogram must return no exemplars")
 	}
 }

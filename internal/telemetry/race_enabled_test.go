@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation allocates on paths that are allocation-free in
+// normal builds.
+const raceEnabled = true

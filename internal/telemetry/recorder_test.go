@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func recAt(i int) time.Time { return time.Unix(9000, 0).Add(time.Duration(i) * time.Second) }
+
+func TestRecorderRecentOrderAndEviction(t *testing.T) {
+	rec := NewRecorder(16, 0)
+	for i := 0; i < 40; i++ {
+		rec.Record(QueryRecord{TraceID: uint64(i + 1), Start: recAt(i), Total: time.Millisecond})
+	}
+	recent := rec.Recent(100)
+	if len(recent) != 16 {
+		t.Fatalf("recent = %d records, want capacity 16", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Start.After(recent[i-1].Start) {
+			t.Fatalf("recent not newest-first at %d: %v after %v", i, recent[i].Start, recent[i-1].Start)
+		}
+	}
+	// The newest record survives eviction; the oldest is gone.
+	if _, ok := rec.Find(40); !ok {
+		t.Error("newest record evicted")
+	}
+	if _, ok := rec.Find(1); ok {
+		t.Error("oldest record must have been evicted from a 16-slot ring after 40 inserts")
+	}
+	if got := rec.Recent(3); len(got) != 3 {
+		t.Errorf("Recent(3) = %d records", len(got))
+	}
+}
+
+func TestRecorderSlowPinning(t *testing.T) {
+	rec := NewRecorder(8, 10*time.Millisecond)
+	slowID := uint64(7777)
+	rec.Record(QueryRecord{TraceID: slowID, Start: recAt(0), Total: 50 * time.Millisecond})
+	// A burst of fast queries evicts the slow one from the recent ring...
+	for i := 0; i < 100; i++ {
+		rec.Record(QueryRecord{TraceID: uint64(i + 1), Start: recAt(i + 1), Total: time.Millisecond})
+	}
+	slow := rec.Slow(10)
+	if len(slow) != 1 || slow[0].TraceID != slowID {
+		t.Fatalf("slow ring = %+v, want just the pinned outlier", slow)
+	}
+	// ...but Find still resolves it through the pin ring.
+	if qr, ok := rec.Find(slowID); !ok || qr.Total != 50*time.Millisecond {
+		t.Errorf("Find(slow) = %+v, %v; want the pinned record", qr, ok)
+	}
+	// Slow sorts slowest-first.
+	rec.Record(QueryRecord{TraceID: 8888, Start: recAt(200), Total: 80 * time.Millisecond})
+	slow = rec.Slow(10)
+	if len(slow) != 2 || slow[0].TraceID != 8888 || slow[1].TraceID != slowID {
+		t.Errorf("slow not slowest-first: %+v", slow)
+	}
+	// Threshold 0 disables pinning.
+	rec.SetSlowThreshold(0)
+	rec.Record(QueryRecord{TraceID: 9999, Start: recAt(201), Total: time.Hour})
+	if len(rec.Slow(10)) != 2 {
+		t.Error("pinning must be disabled at threshold 0")
+	}
+	if rec.SlowThreshold() != 0 {
+		t.Errorf("SlowThreshold = %v", rec.SlowThreshold())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Record(QueryRecord{TraceID: 1})
+	rec.SetSlowThreshold(time.Second)
+	if rec.Recent(5) != nil || rec.Slow(5) != nil || rec.SlowThreshold() != 0 {
+		t.Error("nil recorder must no-op")
+	}
+	if _, ok := rec.Find(1); ok {
+		t.Error("nil recorder Find must miss")
+	}
+	w := httptest.NewRecorder()
+	rec.ServeQueries(w, httptest.NewRequest("GET", "/debug/queries", nil))
+	if w.Code != 404 {
+		t.Errorf("nil recorder handler status = %d, want 404", w.Code)
+	}
+}
+
+func TestServeQueries(t *testing.T) {
+	rec := NewRecorder(32, 20*time.Millisecond)
+	base := recAt(0)
+	rec.Record(QueryRecord{
+		TraceID: 0xabc, Start: base, Total: 30 * time.Millisecond, Busy: 35 * time.Millisecond,
+		Spans: []Span{
+			{Name: "sample_scatter", Node: NodeLocal, Start: base, Duration: 5 * time.Millisecond},
+			{Name: "list_scan", Node: 2, Start: base.Add(time.Millisecond), Duration: 20 * time.Millisecond},
+		},
+		DeepNodes: []int{2, 0}, Scanned: 640,
+	})
+	rec.Record(QueryRecord{TraceID: 0xdef, Start: base.Add(time.Second), Total: time.Millisecond, Err: "node down"})
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		w := httptest.NewRecorder()
+		rec.ServeQueries(w, httptest.NewRequest("GET", url, nil))
+		return w.Code, w.Body.String()
+	}
+
+	// Listing (text): both rings, breakdowns, error annotations.
+	code, body := get("/debug/queries")
+	if code != 200 {
+		t.Fatalf("listing status %d", code)
+	}
+	for _, want := range []string{"0000000000000abc", "0000000000000def", "pinned slow", "n2.list_scan=20ms", `err="node down"`, "scanned=640"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("listing missing %q:\n%s", want, body)
+		}
+	}
+
+	// Single trace (text): header plus waterfall rows.
+	code, body = get("/debug/queries?trace=abc")
+	if code != 200 || !strings.Contains(body, "deep=[2 0]") || !strings.Contains(body, "n2.list_scan") {
+		t.Errorf("trace view (status %d) wrong:\n%s", code, body)
+	}
+	if code, _ := get("/debug/queries?trace=0xabc"); code != 200 {
+		t.Errorf("0x-prefixed trace ID rejected: %d", code)
+	}
+
+	// JSON forms round-trip.
+	code, body = get("/debug/queries?format=json&n=1")
+	if code != 200 {
+		t.Fatalf("json listing status %d", code)
+	}
+	var listing struct {
+		SlowThresholdNanos int64         `json:"slow_threshold_nanos"`
+		Recent             []QueryRecord `json:"recent"`
+		Slow               []QueryRecord `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("json listing unparseable: %v\n%s", err, body)
+	}
+	if listing.SlowThresholdNanos != int64(20*time.Millisecond) || len(listing.Recent) != 1 || len(listing.Slow) != 1 {
+		t.Errorf("json listing = %+v", listing)
+	}
+	code, body = get("/debug/queries?trace=abc&format=json")
+	var qr QueryRecord
+	if code != 200 || json.Unmarshal([]byte(body), &qr) != nil || qr.TraceID != 0xabc || qr.Scanned != 640 {
+		t.Errorf("json trace view (status %d) = %+v\n%s", code, qr, body)
+	}
+
+	// Error paths.
+	if code, _ := get("/debug/queries?trace=zzz"); code != 400 {
+		t.Errorf("garbage trace ID status %d, want 400", code)
+	}
+	if code, _ := get("/debug/queries?trace=123456"); code != 404 {
+		t.Errorf("unknown trace status %d, want 404", code)
+	}
+}
+
+func TestQueryRecordPhaseSummary(t *testing.T) {
+	base := recAt(0)
+	qr := QueryRecord{Spans: []Span{
+		{Name: "list_scan", Node: 1, Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+		{Name: "decode", Node: 1, Start: base, Duration: time.Millisecond},
+	}}
+	if got := qr.PhaseSummary(); got != "n1.decode=1ms n1.list_scan=2ms" {
+		t.Errorf("PhaseSummary = %q", got)
+	}
+	if got := (QueryRecord{}).PhaseSummary(); got != "" {
+		t.Errorf("empty PhaseSummary = %q", got)
+	}
+}
+
+// TestRecordAllocationFree pins the hot-path contract: Record copies the
+// record by value into a preallocated ring slot and allocates nothing, so
+// the flight recorder is safe on the serving path.
+func TestRecordAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rec := NewRecorder(64, 10*time.Millisecond)
+	spans := []Span{{Name: "list_scan", Node: 1, Duration: time.Millisecond}}
+	deep := []int{1, 2}
+	var id uint64
+	avg := testing.AllocsPerRun(200, func() {
+		id++
+		rec.Record(QueryRecord{
+			TraceID: id, Total: 20 * time.Millisecond, Busy: 21 * time.Millisecond,
+			Spans: spans, DeepNodes: deep, Scanned: 100,
+		})
+	})
+	if avg != 0 {
+		t.Errorf("Record allocates %.1f per call, want 0", avg)
+	}
+}
+
+func TestRecorderDefaultsAndSmallCapacity(t *testing.T) {
+	// Tiny capacity collapses to one stripe but still works.
+	rec := NewRecorder(3, 0)
+	for i := 1; i <= 5; i++ {
+		rec.Record(QueryRecord{TraceID: uint64(i), Start: recAt(i)})
+	}
+	if got := len(rec.Recent(10)); got > 3+recorderStripes {
+		t.Errorf("tiny recorder kept %d records", got)
+	}
+	if _, ok := rec.Find(5); !ok {
+		t.Error("tiny recorder lost the newest record")
+	}
+	// Default capacity engages for <= 0.
+	if got := NewRecorder(0, 0); len(got.stripes) != recorderStripes {
+		t.Errorf("default recorder has %d stripes", len(got.stripes))
+	}
+}

@@ -2,7 +2,15 @@
 // a concurrency-safe metric registry (counters, gauges, and fixed-bucket
 // latency histograms with quantile estimation) rendered in the Prometheus
 // text exposition format, request-scoped span tracing (trace.go), and an
-// admin HTTP server exposing /metrics, /healthz, and /debug/pprof (admin.go).
+// admin HTTP server exposing /metrics, /healthz, and /debug/pprof (admin.go),
+// plus a flight recorder of completed queries at /debug/queries (recorder.go).
+//
+// Naming note: this package is about *runtime* metrics — counters, latency
+// histograms, traces of the live serving process. Retrieval-*quality*
+// metrics (NDCG, recall@k, latency summaries of offline experiments, the
+// energy ledger) live in internal/metrics. If the number describes how well
+// retrieval worked, import internal/metrics; if it describes what the
+// running system is doing, import this package.
 //
 // The package is stdlib-only and dependency-free within the repo, so every
 // layer (distsearch, batcher, kvcache, the hermes store) can hang metrics on

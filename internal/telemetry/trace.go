@@ -23,11 +23,27 @@ type Trace struct {
 	spans []Span
 }
 
-// Span is one completed phase of a traced request.
+// NodeLocal marks a span recorded by the process that owns the trace (the
+// coordinator itself) rather than shipped from a remote shard node.
+const NodeLocal = -1
+
+// Span is one completed phase of a traced request. Node identifies where the
+// phase ran: NodeLocal for coordinator-side phases, a shard ID for spans
+// shipped back from remote nodes.
 type Span struct {
 	Name     string
+	Node     int
 	Start    time.Time
 	Duration time.Duration
+}
+
+// Label renders the span name qualified by its origin: "rank" for local
+// spans, "n3.list_scan" for a span shipped from shard node 3.
+func (s Span) Label() string {
+	if s.Node == NodeLocal {
+		return s.Name
+	}
+	return fmt.Sprintf("n%d.%s", s.Node, s.Name)
 }
 
 var (
@@ -42,10 +58,17 @@ var (
 // IDs repeat only after 2^32 traces in one process, so distinct in-flight
 // queries in a long-lived coordinator never share an ID.
 func NewTrace() *Trace {
+	return &Trace{id: NewTraceID()}
+}
+
+// NewTraceID mints a bare trace identifier with the same layout and
+// uniqueness guarantees as NewTrace, for callers (e.g. the flight recorder's
+// clients) that need an ID to correlate a query without carrying a *Trace.
+func NewTraceID() uint64 {
 	traceOnce.Do(func() {
 		traceBase = uint64(now().UnixNano()) << 32
 	})
-	return &Trace{id: traceBase | (traceSeq.Add(1) & (1<<32 - 1))}
+	return traceBase | (traceSeq.Add(1) & (1<<32 - 1))
 }
 
 // ID returns the trace identifier, or 0 for a nil (disabled) trace — the
@@ -68,9 +91,21 @@ func (t *Trace) StartSpan(name string) func() {
 	return func() {
 		d := now().Sub(start)
 		t.mu.Lock()
-		t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+		t.spans = append(t.spans, Span{Name: name, Node: NodeLocal, Start: start, Duration: d})
 		t.mu.Unlock()
 	}
+}
+
+// AddSpan records an already-completed span, attributed to a node. The
+// coordinator uses it to stitch wire-shipped shard-node spans (whose offsets
+// it anchors at its own send time) into the trace. No-op on nil.
+func (t *Trace) AddSpan(name string, node int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Node: node, Start: start, Duration: d})
+	t.mu.Unlock()
 }
 
 // Spans returns the completed spans in completion order.
@@ -93,7 +128,11 @@ func (t *Trace) Durations() map[string]time.Duration {
 }
 
 // Breakdown renders the per-phase timing of the trace on one line, spans in
-// start order: "trace 01c2a3f400000001: sample_scatter=412µs ... total=2ms".
+// start order: "trace 01c2a3f400000001: sample_scatter=412µs ... total=2ms
+// busy=3ms". total is wall time — max span end minus min span start — so
+// concurrent spans (parallel scatter legs, shipped node spans) are not
+// double-counted; busy is the plain duration sum, so busy > total quantifies
+// the overlap.
 func (t *Trace) Breakdown() string {
 	if t == nil {
 		return "trace <disabled>"
@@ -102,11 +141,86 @@ func (t *Trace) Breakdown() string {
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %016x:", t.id)
-	var total time.Duration
 	for _, s := range spans {
-		fmt.Fprintf(&b, " %s=%v", s.Name, s.Duration)
-		total += s.Duration
+		fmt.Fprintf(&b, " %s=%v", s.Label(), s.Duration)
 	}
-	fmt.Fprintf(&b, " total=%v", total)
+	total, busy := SpanTotals(spans)
+	fmt.Fprintf(&b, " total=%v busy=%v", total, busy)
 	return b.String()
+}
+
+// SpanTotals reduces a span set to (wall, busy): wall is max span end minus
+// min span start (0 for an empty set), busy the sum of durations.
+func SpanTotals(spans []Span) (wall, busy time.Duration) {
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	minStart := spans[0].Start
+	maxEnd := spans[0].Start.Add(spans[0].Duration)
+	for _, s := range spans {
+		busy += s.Duration
+		if s.Start.Before(minStart) {
+			minStart = s.Start
+		}
+		if end := s.Start.Add(s.Duration); end.After(maxEnd) {
+			maxEnd = end
+		}
+	}
+	return maxEnd.Sub(minStart), busy
+}
+
+// Waterfall renders the trace as a multi-line cross-node timing chart.
+func (t *Trace) Waterfall() string {
+	if t == nil {
+		return "trace <disabled>"
+	}
+	return FormatWaterfall(t.id, t.Spans())
+}
+
+// FormatWaterfall renders spans (local and node-shipped alike) as an aligned
+// waterfall: one line per span in start order, with start offset, duration,
+// label, and a proportional bar positioned on the wall-time axis.
+func FormatWaterfall(id uint64, spans []Span) string {
+	if len(spans) == 0 {
+		return fmt.Sprintf("trace %016x: no spans", id)
+	}
+	spans = append([]Span(nil), spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	wall, busy := SpanTotals(spans)
+	base := spans[0].Start
+	labelW := 0
+	for _, s := range spans {
+		if n := len(s.Label()); n > labelW {
+			labelW = n
+		}
+	}
+	const barW = 32
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x: wall=%v busy=%v spans=%d\n", id, wall, busy, len(spans))
+	for _, s := range spans {
+		off := s.Start.Sub(base)
+		bar := [barW]byte{}
+		for i := range bar {
+			bar[i] = ' '
+		}
+		lo, hi := 0, barW
+		if wall > 0 {
+			lo = int(int64(off) * barW / int64(wall))
+			hi = int(int64(off+s.Duration) * barW / int64(wall))
+		}
+		if lo >= barW {
+			lo = barW - 1
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > barW {
+			hi = barW
+		}
+		for i := lo; i < hi; i++ {
+			bar[i] = '='
+		}
+		fmt.Fprintf(&b, "  %10v %10v  %-*s |%s|\n", off, s.Duration, labelW, s.Label(), bar[:])
+	}
+	return strings.TrimRight(b.String(), "\n")
 }

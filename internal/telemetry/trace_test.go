@@ -107,3 +107,71 @@ func TestBreakdownOrdersByStart(t *testing.T) {
 		t.Errorf("rank duration = %v, want 1ms", durs["rank"])
 	}
 }
+
+// TestSpanTotalsOverlapping pins the Breakdown total semantics: wall time is
+// max span end minus min span start, so concurrent spans (parallel scatter
+// legs, shipped node spans) are not double-counted, while busy stays the
+// plain sum and quantifies the overlap.
+func TestSpanTotalsOverlapping(t *testing.T) {
+	base := time.Unix(7000, 0)
+	tr := NewTrace()
+	// A [0, 10ms) and B [5ms, 9ms) overlap; C [12ms, 15ms) is disjoint.
+	tr.AddSpan("list_scan", 0, base, 10*time.Millisecond)
+	tr.AddSpan("list_scan", 1, base.Add(5*time.Millisecond), 4*time.Millisecond)
+	tr.AddSpan("topk_merge", 0, base.Add(12*time.Millisecond), 3*time.Millisecond)
+
+	wall, busy := SpanTotals(tr.Spans())
+	if wall != 15*time.Millisecond {
+		t.Errorf("wall = %v, want 15ms (max end - min start)", wall)
+	}
+	if busy != 17*time.Millisecond {
+		t.Errorf("busy = %v, want 17ms (duration sum)", busy)
+	}
+	got := tr.Breakdown()
+	if !strings.Contains(got, "total=15ms") || !strings.Contains(got, "busy=17ms") {
+		t.Errorf("breakdown must report wall total and busy sum separately: %q", got)
+	}
+	// Node-shipped spans render with their origin qualifier.
+	if !strings.Contains(got, "n1.list_scan=4ms") {
+		t.Errorf("breakdown missing node-qualified span: %q", got)
+	}
+}
+
+func TestSpanTotalsEmpty(t *testing.T) {
+	if wall, busy := SpanTotals(nil); wall != 0 || busy != 0 {
+		t.Errorf("empty span set: wall=%v busy=%v, want 0/0", wall, busy)
+	}
+}
+
+// TestWaterfallLayout checks the multi-line cross-node chart: header with
+// wall/busy/span count, one start-ordered line per span, node-qualified
+// labels, and proportional bars on the wall-time axis.
+func TestWaterfallLayout(t *testing.T) {
+	base := time.Unix(7000, 0)
+	tr := NewTrace()
+	tr.AddSpan("list_scan", 2, base.Add(2*time.Millisecond), 6*time.Millisecond)
+	tr.AddSpan("decode", 2, base, time.Millisecond)
+	end := tr.StartSpan("deep_gather")
+	end()
+
+	got := tr.Waterfall()
+	lines := strings.Split(got, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("waterfall lines = %d, want header + 3 spans:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "spans=3") || !strings.Contains(lines[0], "wall=") || !strings.Contains(lines[0], "busy=") {
+		t.Errorf("bad waterfall header: %q", lines[0])
+	}
+	// Start order: decode (offset 0) before list_scan (offset 2ms).
+	if !strings.Contains(lines[1], "n2.decode") || !strings.Contains(lines[2], "n2.list_scan") {
+		t.Errorf("waterfall rows out of start order:\n%s", got)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, "=") || !strings.Contains(line, "|") {
+			t.Errorf("span row missing bar: %q", line)
+		}
+	}
+	if (&Trace{}).Waterfall() == "" || (*Trace)(nil).Waterfall() != "trace <disabled>" {
+		t.Error("nil/empty waterfall must render placeholders")
+	}
+}

@@ -3,9 +3,10 @@
 # change lands: build, go vet, the project's own static analyzers
 # (cmd/hermes-lint), the full test suite, the race detector over the
 # concurrency-heavy packages (TCP serving path, the batching front-end, the
-# telemetry registry scraped concurrently with metric writes, and the pooled
-# IVF searcher scratch), and a single-iteration bench smoke so the kernel
-# benchmarks can never rot unnoticed.
+# telemetry registry scraped concurrently with metric writes, the pooled
+# IVF searcher scratch, and the in-process store recording into the flight
+# recorder under concurrent readers), and a single-iteration bench smoke so
+# the kernel benchmarks can never rot unnoticed.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -14,5 +15,5 @@ go build ./...
 go vet ./...
 go run ./cmd/hermes-lint ./...
 go test ./...
-go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/ ./internal/ivf/
+go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/ ./internal/ivf/ ./internal/hermes/
 go test -bench=. -benchtime=1x -run '^$' ./internal/vec/ ./internal/quant/ ./internal/ivf/
