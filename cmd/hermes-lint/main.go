@@ -1,16 +1,30 @@
-// Command hermes-lint runs the project's custom static-analysis checks
+// Command hermes-lint runs the project's custom static-analysis suite
 // (see internal/lint) over package patterns and exits non-zero on any
 // finding. It is part of the tier-1 verify path (scripts/verify.sh): the
 // paper's latency/imbalance/energy claims depend on deterministic,
-// race-free code, and these checks machine-enforce the project rules that
-// keep it that way.
+// race-free, wire-stable code, and these checks machine-enforce the project
+// rules that keep it that way.
 //
 // Usage:
 //
-//	hermes-lint [-only checks] [-skip checks] [packages...]
+//	hermes-lint [flags] [packages...]
 //	hermes-lint ./...                      # whole module (default)
 //	hermes-lint -only globalrand,errdrop ./internal/...
+//	hermes-lint -include-tests ./...       # also analyze in-package _test.go files
+//	hermes-lint -json ./... > lint.json    # machine-readable report on stdout
+//	hermes-lint -update-wirelock ./...     # regenerate wire.lock artifacts
 //	hermes-lint -list                      # describe available checks
+//	hermes-lint -facts ./...               # print cross-package I/O facts
+//
+// Before any analyzer runs, the driver computes cross-package facts (today:
+// "this function transitively performs I/O") over every module package
+// reached while loading, so analyzers like lockheldio see through call
+// chains that end at a socket three packages away.
+//
+// A baseline file (-baseline) subtracts previously accepted findings,
+// matched by (check, file, message); -write-baseline records the current
+// findings to bootstrap one. Entries that no longer match anything are
+// reported so the baseline shrinks toward empty.
 //
 // Patterns ending in /... walk recursively (testdata, vendor, and hidden
 // directories are skipped); any other argument names one package
@@ -31,10 +45,16 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated check IDs to run exclusively")
-		skip     = flag.String("skip", "", "comma-separated check IDs to disable")
-		list     = flag.Bool("list", false, "list available checks and exit")
-		typeWarn = flag.Bool("typewarnings", false, "print type-check problems encountered while loading")
+		only          = flag.String("only", "", "comma-separated check IDs to run exclusively")
+		skip          = flag.String("skip", "", "comma-separated check IDs to disable")
+		list          = flag.Bool("list", false, "list available checks and exit")
+		jsonOut       = flag.Bool("json", false, "write the machine-readable report to stdout")
+		includeTests  = flag.Bool("include-tests", false, "also analyze in-package _test.go files (TestFiles-capable checks only)")
+		baselinePath  = flag.String("baseline", "", "baseline file of accepted findings to subtract")
+		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+		updateWire    = flag.Bool("update-wirelock", false, "regenerate wire.lock artifacts for matched packages and exit")
+		showFacts     = flag.Bool("facts", false, "print exported module functions carrying the performs-I/O fact and exit")
+		typeWarn      = flag.Bool("typewarnings", false, "print type-check problems encountered while loading")
 	)
 	flag.Parse()
 
@@ -61,6 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loader.IncludeTests = *includeTests
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fatal(err)
@@ -68,16 +89,78 @@ func main() {
 	if len(pkgs) == 0 {
 		fatal(fmt.Errorf("hermes-lint: no packages matched %v", patterns))
 	}
-
-	cwd, _ := os.Getwd()
-	total := 0
-	for _, pkg := range pkgs {
-		if *typeWarn {
+	if *typeWarn {
+		for _, pkg := range pkgs {
 			for _, terr := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "hermes-lint: typecheck %s: %v\n", pkg.Path, terr)
 			}
 		}
-		for _, f := range lint.RunPackage(pkg, analyzers) {
+	}
+
+	if *updateWire {
+		for _, ar := range lint.AllArtifacts() {
+			written, err := ar.Update(pkgs)
+			if err != nil {
+				fatal(err)
+			}
+			for _, path := range written {
+				fmt.Printf("hermes-lint: wrote %s\n", path)
+			}
+		}
+		return
+	}
+
+	// Facts span every package reached during loading, not just the pattern
+	// targets: a lockheldio finding in a target package may hinge on I/O
+	// buried in a dependency.
+	facts := lint.ComputeFacts(loader.Cached())
+	if *showFacts {
+		for _, fn := range facts.IOFuncs() {
+			fmt.Println(fn)
+		}
+		return
+	}
+
+	findings := lint.RunPackages(pkgs, analyzers, lint.RunOptions{
+		Facts:        facts,
+		IncludeTests: *includeTests,
+	})
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, loader.ModuleRoot, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hermes-lint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var absorbed int
+		var stale []lint.JSONFinding
+		findings, absorbed, stale = base.Filter(findings, loader.ModuleRoot)
+		if absorbed > 0 {
+			fmt.Fprintf(os.Stderr, "hermes-lint: baseline absorbed %d finding(s)\n", absorbed)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "hermes-lint: stale baseline entry (fixed? delete it): %s %s: %s\n", e.Check, e.File, e.Msg)
+		}
+	}
+
+	if *jsonOut {
+		report := lint.NewReport(loader.ModulePath, loader.ModuleRoot, pkgs, analyzers, findings)
+		data, err := report.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, f := range findings {
 			pos := f.Pos
 			if cwd != "" {
 				if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
@@ -85,11 +168,10 @@ func main() {
 				}
 			}
 			fmt.Printf("%s: %s (%s)\n", pos, f.Msg, f.Check)
-			total++
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "hermes-lint: %d finding(s) in %d package(s)\n", total, len(pkgs))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hermes-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
 }

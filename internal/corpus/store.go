@@ -56,14 +56,21 @@ func (s *ChunkStore) Get(id int64) (string, error) {
 		return "", fmt.Errorf("corpus: chunk %d out of range [0,%d)", id, len(s.topics))
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if txt, ok := s.cache[id]; ok {
+		s.mu.Unlock()
 		return txt, nil
 	}
+	s.mu.Unlock()
+	// Synthesis is CPU-heavy and deterministic, so it runs outside the
+	// lock: two goroutines missing on the same id redundantly build the
+	// same text, which is cheaper than serializing every miss behind one
+	// mutex.
 	txt := synthesizeChunk(id, s.topics[id], s.tokensPerChunk)
+	s.mu.Lock()
 	if len(s.cache) < s.cacheCap {
 		s.cache[id] = txt
 	}
+	s.mu.Unlock()
 	return txt, nil
 }
 

@@ -111,6 +111,7 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 		c.met.roundTrip.ObserveExemplar(now().Sub(rtStart).Seconds(), req.TraceID)
 	}()
 	if c.broken {
+		//lint:ignore lockheldio serializing the redial under the per-connection mutex is the design: one repair at a time, and queued requests must not race a half-built conn
 		if err := c.redialLocked(); err != nil {
 			return nil, fmt.Errorf("distsearch: reconnect %s: %w", c.addr, err)
 		}
@@ -121,6 +122,7 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 		// round-trips are otherwise deadline-free.
 		timeout = c.dialTimeout
 	}
+	//lint:ignore lockheldio the per-connection mutex exists to serialize gob exchanges on one stateful stream; concurrency comes from many nodeClients, not many requests per conn
 	resp, err := c.exchangeLocked(req, timeout)
 	if err != nil {
 		return nil, err
@@ -223,12 +225,16 @@ func (c *nodeClient) redialLocked() error {
 // after a transport failure reports success.
 func (c *nodeClient) close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.conn == nil || c.broken {
+		c.mu.Unlock()
 		return nil
 	}
 	c.broken = true
-	return c.conn.Close()
+	conn := c.conn
+	c.mu.Unlock()
+	// Close outside the lock: a peer mid-teardown can stall Close, and
+	// nothing else touches the conn once broken is set.
+	return conn.Close()
 }
 
 // Coordinator fans queries out to shard nodes following Hermes' two-phase

@@ -43,6 +43,14 @@ const (
 )
 
 // Request is the single wire request envelope.
+//
+// The struct (and everything reachable through it) is locked in wire.lock:
+// gob names fields and encodes them in declaration order, so evolution is
+// append-only — new fields go at the end, and hermes-lint -update-wirelock
+// re-records the schema. Renaming, removing, reordering, or retyping an
+// existing field fails the wirelock gate.
+//
+//hermes:wire
 type Request struct {
 	Op     Op
 	Query  []float32
@@ -61,7 +69,10 @@ type Request struct {
 }
 
 // Response is the single wire response envelope. Err is non-empty when the
-// node rejected or failed the request.
+// node rejected or failed the request. Like Request, its gob schema is
+// locked in wire.lock (append-only evolution; see the Request doc).
+//
+//hermes:wire
 type Response struct {
 	Err string
 	// Info fields.

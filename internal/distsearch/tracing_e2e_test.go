@@ -219,12 +219,14 @@ type v2NodeResponse struct {
 // ships spans, exactly like a node running the previous release.
 func serveV2Node(t *testing.T, ln net.Listener, shardID, dim int) {
 	t.Helper()
+	//lint:ignore goroutinectx accept loop exits when the test's deferred ln.Close unblocks Accept; the test process outlives every connection
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
+			//lint:ignore goroutinectx per-conn handler exits when the coordinator closes the conn at test end
 			go func(conn net.Conn) {
 				defer conn.Close()
 				dec := gob.NewDecoder(conn)
@@ -268,6 +270,7 @@ func TestMixedVersionClusterEmptyWaterfall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		//lint:ignore deferinloop bounded two-iteration setup loop; both listeners must live until the test ends
 		defer ln.Close()
 		serveV2Node(t, ln, i, dim)
 		addrs = append(addrs, ln.Addr().String())

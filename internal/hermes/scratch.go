@@ -41,6 +41,7 @@ type searchScratch struct {
 
 func (st *Store) getScratch() *searchScratch {
 	if sc, ok := st.pool.Get().(*searchScratch); ok && len(sc.samplers) == len(st.Shards) {
+		//lint:ignore poolescape typed pool accessor: every getScratch is paired with putScratch by the search paths, which keeps the Get/Put bracket one level up
 		return sc
 	}
 	return &searchScratch{

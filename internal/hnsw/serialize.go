@@ -54,6 +54,7 @@ func (ix *Index) Save(w io.Writer) error {
 		wi.Counts[i] = counts
 		wi.Flat[i] = flat
 	}
+	//lint:ignore lockheldio the lock IS the snapshot: wireIndex aliases the live Data buffer, and copying it to move the encode out of the lock would double peak memory during saves
 	return gob.NewEncoder(w).Encode(&wi)
 }
 

@@ -78,6 +78,7 @@ func (ix *Index) NewSearcher() *Searcher {
 // getSearcher draws a warmed Searcher from the index pool.
 func (ix *Index) getSearcher() *Searcher {
 	if s, ok := ix.pool.Get().(*Searcher); ok {
+		//lint:ignore poolescape typed pool accessor: every getSearcher is paired with putSearcher by Index.Search/SearchPhased, which keeps the Get/Put bracket one level up
 		return s
 	}
 	return ix.NewSearcher()
@@ -99,7 +100,13 @@ func (s *Searcher) SearchPhased(dst []vec.Neighbor, q []float32, k, nProbe int) 
 	return out, stats, ph
 }
 
-// search is the shared body; ph non-nil turns on phase timing.
+// search is the shared body; ph non-nil turns on phase timing. The
+// //hermes:hotpath contract (enforced by hermes-lint) keeps every clock
+// read gated behind `if ph != nil`: the untraced serving path must stay
+// clock- and allocation-free, which is where PR 3's zero-allocation scan
+// numbers come from.
+//
+//hermes:hotpath
 func (s *Searcher) search(dst []vec.Neighbor, q []float32, k, nProbe int, ph *PhaseNanos) ([]vec.Neighbor, SearchStats) {
 	ix := s.ix
 	var stats SearchStats
@@ -175,6 +182,8 @@ func (s *Searcher) search(dst []vec.Neighbor, q []float32, k, nProbe int, ph *Ph
 // over the sorted dead positions. It returns the number of live vectors
 // scanned. Distances for dead slots are computed and discarded — with block
 // kernels that is cheaper than splitting blocks around them.
+//
+//hermes:hotpath
 func (s *Searcher) scanList(l *invList, cs int, dead []uint32) int {
 	n := len(l.ids)
 	tk := s.tk
@@ -226,6 +235,8 @@ func (s *Searcher) scanList(l *invList, cs int, dead []uint32) int {
 // to q, ascending by distance. It is a bounded max-heap partial selection:
 // O(nlist log nProbe) instead of the full O(nlist log nlist) sort, and it
 // reuses the heap scratch across queries.
+//
+//hermes:hotpath
 func (s *Searcher) selectCells(q []float32, nProbe int) {
 	ix := s.ix
 	if cap(s.heap) < nProbe {

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is a generated per-package file that an analyzer diffs against
+// the working tree — the framework's generated-artifact mode. Analyzers stay
+// read-only; regeneration is an explicit driver action (e.g. hermes-lint
+// -update-wirelock), so a schema change is always a reviewed commit, never a
+// silent side effect of running the linter.
+type Artifact struct {
+	// Name is the artifact ID (matches the owning analyzer where there is
+	// one).
+	Name string
+	// Filename is the per-package file the artifact lives in.
+	Filename string
+	// Doc is a one-line description.
+	Doc string
+	// Generate renders the artifact for pkg, or nil when the artifact does
+	// not apply to this package.
+	Generate func(pkg *Package) []byte
+}
+
+// AllArtifacts returns every registered artifact generator in stable order.
+func AllArtifacts() []*Artifact {
+	return []*Artifact{WireLockArtifact}
+}
+
+// WireLockArtifact regenerates wire.lock for packages with //hermes:wire
+// structs (see the wirelock analyzer).
+var WireLockArtifact = &Artifact{
+	Name:     "wirelock",
+	Filename: WireLockFile,
+	Doc:      "append-only gob wire schema of //hermes:wire structs",
+	Generate: GenerateWireLock,
+}
+
+// Update writes the artifact for every applicable package and returns the
+// paths written.
+func (ar *Artifact) Update(pkgs []*Package) ([]string, error) {
+	var written []string
+	for _, pkg := range pkgs {
+		data := ar.Generate(pkg)
+		if data == nil {
+			continue
+		}
+		path := filepath.Join(pkg.Dir, ar.Filename)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return written, fmt.Errorf("lint: writing %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

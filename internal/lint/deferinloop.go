@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeferInLoop flags defer statements inside loop bodies. A defer runs at
+// function exit, not iteration exit, so a loop deferring per-iteration
+// cleanup (file handles, unlocks, span Ends) accumulates every iteration's
+// resource until the function returns — in a shard rebuild iterating over
+// segment files that is an fd-exhaustion outage, and in a scan loop it is
+// an unbounded defer stack on the hot path. Hoist the body into a helper
+// function (the defer then runs per call) or release explicitly.
+var DeferInLoop = &Analyzer{
+	Name:      "deferinloop",
+	Doc:       "defer inside a loop body runs at function exit, accumulating one pending call per iteration",
+	Run:       runDeferInLoop,
+	TestFiles: true,
+}
+
+func runDeferInLoop(p *Pass) {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				deferInLoopWalk(p, fd.Body, 0)
+			}
+		}
+	}
+}
+
+// deferInLoopWalk descends tracking loop depth. A function literal resets
+// the depth: its defers run when the literal returns, so a `for { func(){
+// defer f.Close(); ... }() }` pattern is exactly the recommended fix.
+func deferInLoopWalk(p *Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			deferInLoopWalk(p, s.Body, 0)
+			return false
+		case *ast.ForStmt:
+			if s.Init != nil {
+				deferInLoopWalk(p, s.Init, depth)
+			}
+			if s.Cond != nil {
+				deferInLoopWalk(p, s.Cond, depth)
+			}
+			if s.Post != nil {
+				deferInLoopWalk(p, s.Post, depth)
+			}
+			deferInLoopWalk(p, s.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			if s.X != nil {
+				deferInLoopWalk(p, s.X, depth)
+			}
+			deferInLoopWalk(p, s.Body, depth+1)
+			return false
+		case *ast.DeferStmt:
+			if depth > 0 {
+				p.Reportf(s.Pos(), "defer inside a loop body runs at function exit, not iteration exit; each iteration stacks another pending call — hoist the loop body into a function, or suppress with //lint:ignore deferinloop <reason>")
+			}
+		}
+		return true
+	})
+}

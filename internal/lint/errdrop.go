@@ -31,7 +31,7 @@ var errDropMethods = map[string]bool{
 
 func runErrDrop(p *Pass) {
 	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
+		if p.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Facts holds cross-package analysis facts computed once per driver run over
+// every loaded module package, before any analyzer runs. The flagship fact is
+// "this function performs I/O": seeded from a curated model of the standard
+// library (network, file system, process, blocking sleeps, stream codecs) and
+// propagated through the module's call graph to a fixpoint, so an analyzer
+// looking at `c.exchange(req)` under a mutex knows the callee three packages
+// away eventually writes to a socket.
+//
+// Facts are deliberately monotone (they only turn on), which makes the
+// fixpoint order-independent and the result deterministic. Calls that cannot
+// be resolved statically (function values, module-defined interface methods)
+// contribute no fact — the engine under-approximates rather than guess.
+type Facts struct {
+	io map[*types.Func]bool
+}
+
+// PerformsIO reports whether fn is known to (transitively) perform I/O or
+// block: either a standard-library I/O primitive or a module function whose
+// body reaches one. A nil Facts answers using the stdlib model alone.
+func (fc *Facts) PerformsIO(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibIO(fn) {
+		return true
+	}
+	return fc != nil && fc.io[fn]
+}
+
+// IOFuncs returns the exported module functions carrying the performs-I/O
+// fact, as "pkgpath.FuncName" strings in sorted order — the driver's -facts
+// view, and a stable surface for tests.
+func (fc *Facts) IOFuncs() []string {
+	if fc == nil {
+		return nil
+	}
+	var out []string
+	for fn := range fc.io {
+		if !fn.Exported() || fn.Pkg() == nil {
+			continue
+		}
+		out = append(out, fn.Pkg().Path()+"."+funcDisplayName(fn))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		// The caller prefixes the package path, so render the receiver
+		// unqualified: pkg/path.Recv.Method, not pkg/path.pkg.Recv.Method.
+		s := types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" })
+		return strings.TrimPrefix(strings.TrimPrefix(s, "*"), ".") + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ioPackages are standard-library packages whose every function and method
+// is treated as performing (or potentially blocking on) I/O. The set is
+// deliberately coarse: holding a mutex across *any* call into these packages
+// is at best suspicious, and a false positive costs one reviewed
+// //lint:ignore line.
+var ioPackages = map[string]bool{
+	"net":          true,
+	"os":           true,
+	"os/exec":      true,
+	"os/signal":    true,
+	"io":           true,
+	"io/fs":        true,
+	"io/ioutil":    true,
+	"bufio":        true,
+	"syscall":      true,
+	"database/sql": true,
+	"crypto/tls":   true,
+	"crypto/rand":  true,
+	"log":          true,
+	"log/slog":     true,
+}
+
+// ioFuncs lists (package, name) pairs treated as I/O in packages that are
+// otherwise pure: blocking sleeps, the stream codecs (whose Encode/Decode
+// drive an underlying reader/writer), and fmt's writer-directed helpers.
+// fmt.Sprintf and friends stay exempt — they allocate but never block.
+var ioFuncs = map[[2]string]bool{
+	{"time", "Sleep"}:   true,
+	{"fmt", "Print"}:    true,
+	{"fmt", "Printf"}:   true,
+	{"fmt", "Println"}:  true,
+	{"fmt", "Fprint"}:   true,
+	{"fmt", "Fprintf"}:  true,
+	{"fmt", "Fprintln"}: true,
+	{"fmt", "Scan"}:     true,
+	{"fmt", "Scanf"}:    true,
+	{"fmt", "Scanln"}:   true,
+	{"fmt", "Fscan"}:    true,
+	{"fmt", "Fscanf"}:   true,
+	{"fmt", "Fscanln"}:  true,
+}
+
+// ioCodecPackages are packages whose Encoder/Decoder methods stream to an
+// underlying writer/reader (network or file in every serving-path use).
+// Their pure value<->bytes functions (json.Marshal, ...) carry no fact.
+var ioCodecPackages = map[string]bool{
+	"encoding/gob":  true,
+	"encoding/json": true,
+	"encoding/xml":  true,
+}
+
+// stdlibIO is the seed predicate: does this standard-library (or otherwise
+// AST-less) function perform I/O by the curated model above?
+func stdlibIO(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if ioPackages[path] || strings.HasPrefix(path, "net/") {
+		return true
+	}
+	if ioFuncs[[2]string{path, fn.Name()}] {
+		return true
+	}
+	if ioCodecPackages[path] {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := receiverName(sig.Recv().Type())
+			if strings.HasSuffix(recv, "Encoder") || strings.HasSuffix(recv, "Decoder") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ComputeFacts builds the cross-package fact set over pkgs (typically
+// Loader.Cached(): every module package reached while loading). It walks each
+// function body once to record static call edges, then propagates the I/O
+// fact callee-to-caller until nothing changes.
+func ComputeFacts(pkgs []*Package) *Facts {
+	fc := &Facts{io: make(map[*types.Func]bool)}
+
+	// declBody pairs a module function with its body; callees holds the
+	// statically resolved calls out of it.
+	type declInfo struct {
+		fn      *types.Func
+		callees []*types.Func
+	}
+	var decls []declInfo
+	for _, pkg := range pkgs {
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				di := declInfo{fn: fn}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeFunc(pkg.Info, call); callee != nil {
+						di.callees = append(di.callees, callee)
+					}
+					return true
+				})
+				decls = append(decls, di)
+			}
+		}
+	}
+
+	// Monotone fixpoint: a function gains the fact when any callee has it.
+	// Module call graphs are shallow; the loop converges in a few passes.
+	for changed := true; changed; {
+		changed = false
+		for _, di := range decls {
+			if fc.io[di.fn] {
+				continue
+			}
+			for _, callee := range di.callees {
+				if stdlibIO(callee) || fc.io[callee] {
+					fc.io[di.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return fc
+}
+
+// calleeFunc statically resolves a call expression to the *types.Func it
+// invokes, or nil for function values, type conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

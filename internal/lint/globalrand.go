@@ -33,7 +33,7 @@ func runGlobalRand(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
+		if p.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -19,14 +19,15 @@ import (
 //     targets, but a silent time bomb if the module version is ever
 //     lowered, and harder to review either way.)
 var GoroutineCtx = &Analyzer{
-	Name: "goroutinectx",
-	Doc:  "go func literals need a visible completion mechanism and must not capture loop variables",
-	Run:  runGoroutineCtx,
+	Name:      "goroutinectx",
+	Doc:       "go func literals need a visible completion mechanism and must not capture loop variables",
+	Run:       runGoroutineCtx,
+	TestFiles: true,
 }
 
 func runGoroutineCtx(p *Pass) {
 	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
+		if p.SkipFile(f) {
 			continue
 		}
 		loopVars, loopBodies := collectLoopVars(p, f)

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathDirective marks a function as serving-hot-path: zero clock reads
+// and zero fmt-style allocations unless lexically gated by a conditional.
+const hotpathDirective = "hermes:hotpath"
+
+// HotPathClock enforces the clock-gating contract on functions annotated
+// //hermes:hotpath: every clock read (time.Now/Since/Until, or a call
+// through a package clock seam like `var now = time.Now`) and every
+// allocating fmt-style call must sit inside an if body, case clause, or
+// select clause — gated so the common path executes neither. The IVF scan
+// loop reads the clock only under `if ph != nil` (per-phase tracing armed)
+// and the flight recorder samples under an explicit trigger; hoisting such
+// a call out of its gate silently puts two vDSO clock reads and an
+// interface allocation back on every query, the regression PR 3 and PR 4
+// measured and removed. The analyzer makes that contract mechanical.
+//
+// The gate's *condition* is deliberately not inspected for truthiness —
+// any enclosing conditional counts. The contract is "the straight-line
+// path is clock- and alloc-free", not "tracing is off".
+var HotPathClock = &Analyzer{
+	Name:      "hotpathclock",
+	Doc:       "//hermes:hotpath functions must gate clock reads and fmt-style allocations behind a conditional",
+	Run:       runHotPathClock,
+	TestFiles: true,
+}
+
+func runHotPathClock(p *Pass) {
+	seams := clockSeamVars(p)
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(hotpathDirective, fd.Doc) {
+				continue
+			}
+			hotPathCheck(p, fd, seams)
+		}
+	}
+}
+
+// clockSeamVars collects the package-level `var now = time.Now` style seams:
+// package variables initialized to (a reference to) time.Now. Calls through
+// them are clock reads even though the callee is a function value.
+func clockSeamVars(p *Pass) map[*types.Var]bool {
+	seams := make(map[*types.Var]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					sel, ok := ast.Unparen(val).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+						continue
+					}
+					if i < len(vs.Names) {
+						if v, ok := p.Info.Defs[vs.Names[i]].(*types.Var); ok && isPackageLevel(v, p.Pkg) {
+							seams[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return seams
+}
+
+// hotPathCheck walks one annotated function keeping an ancestor stack; a
+// hot call is gated when some ancestor conditional's *body* (not its
+// condition) contains it. Function literals are skipped — a closure runs on
+// its own schedule (often the gated slow path handed to a sampler).
+func hotPathCheck(p *Pass, fd *ast.FuncDecl, seams map[*types.Var]bool) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what := hotCallKind(p, call, seams)
+		if what == "" || gatedByConditional(stack, call.Pos()) {
+			return true
+		}
+		p.Reportf(call.Pos(), "ungated %s in //hermes:hotpath function %s; hot-path clock reads and allocations must sit behind a conditional (e.g. if ph != nil) so the common path stays zero-overhead — gate it, or suppress with //lint:ignore hotpathclock <reason>", what, fd.Name.Name)
+		return true
+	})
+}
+
+// gatedByConditional reports whether pos sits inside the body (not the
+// condition/tag) of any enclosing if, case clause, or select clause.
+func gatedByConditional(stack []ast.Node, pos token.Pos) bool {
+	for _, anc := range stack {
+		switch a := anc.(type) {
+		case *ast.IfStmt:
+			// Body and Else both start at/after Body.Pos(); Init and Cond
+			// come before.
+			if pos >= a.Body.Pos() {
+				return true
+			}
+		case *ast.CaseClause:
+			if pos > a.Colon {
+				return true
+			}
+		case *ast.CommClause:
+			if pos > a.Colon {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotCallKind classifies a call as a clock read or a known allocating call,
+// returning a display string, or "" for calls the contract permits.
+func hotCallKind(p *Pass, call *ast.CallExpr, seams map[*types.Var]bool) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[fun].(*types.Var); ok && seams[v] {
+			return "clock read " + fun.Name + "()"
+		}
+	case *ast.SelectorExpr:
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return ""
+		}
+		path, name := fn.Pkg().Path(), fn.Name()
+		if path == "time" && (name == "Now" || name == "Since" || name == "Until") {
+			return "clock read time." + name + "()"
+		}
+		if allocatingCalls[[2]string{path, name}] {
+			return "allocating call " + fn.Pkg().Name() + "." + name
+		}
+	}
+	return ""
+}
+
+// allocatingCalls are formatting/boxing helpers that heap-allocate on every
+// invocation. The list is the fmt family plus errors.New — the calls PR 3's
+// zero-allocation audit actually evicted from the scan loop; it is not a
+// general escape analysis.
+var allocatingCalls = map[[2]string]bool{
+	{"fmt", "Sprint"}:    true,
+	{"fmt", "Sprintf"}:   true,
+	{"fmt", "Sprintln"}:  true,
+	{"fmt", "Errorf"}:    true,
+	{"fmt", "Appendf"}:   true,
+	{"errors", "New"}:    true,
+	{"strconv", "Itoa"}:  true,
+	{"strconv", "Quote"}: true,
+}

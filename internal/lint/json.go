@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// JSONFinding is one finding in the machine-readable report. File paths are
+// module-root-relative and slash-separated so the report is stable across
+// checkouts and operating systems.
+type JSONFinding struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Msg   string `json:"msg"`
+}
+
+// Report is the -json output of a driver run: what ran, over what, and what
+// it found, in deterministic order.
+type Report struct {
+	Module    string        `json:"module"`
+	Analyzers []string      `json:"analyzers"`
+	Packages  []string      `json:"packages"`
+	Findings  []JSONFinding `json:"findings"`
+}
+
+// NewReport assembles the machine-readable report. moduleRoot anchors the
+// relative file paths; findings must already be in SortFindings order.
+func NewReport(modulePath, moduleRoot string, pkgs []*Package, analyzers []*Analyzer, findings []Finding) *Report {
+	r := &Report{
+		Module:    modulePath,
+		Analyzers: []string{},
+		Packages:  []string{},
+		Findings:  []JSONFinding{},
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for _, pkg := range pkgs {
+		r.Packages = append(r.Packages, pkg.Path)
+	}
+	for _, f := range findings {
+		r.Findings = append(r.Findings, JSONFinding{
+			Check: f.Check,
+			File:  moduleRel(moduleRoot, f.Pos.Filename),
+			Line:  f.Pos.Line,
+			Col:   f.Pos.Column,
+			Msg:   f.Msg,
+		})
+	}
+	return r
+}
+
+// MarshalIndent renders the report as stable, human-diffable JSON with a
+// trailing newline (golden files and CI artifacts want byte-exactness).
+func (r *Report) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// moduleRel maps an absolute filename under root to its slash-separated
+// relative form; files outside the module keep their absolute path.
+func moduleRel(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// Baseline is a committed set of accepted findings. A baselined finding is
+// matched by (check, file, message) — not line/column, so unrelated edits
+// shifting code around do not invalidate it — with multiset semantics: a
+// baseline entry absorbs at most one occurrence per count.
+//
+// The baseline exists for adopting a new analyzer over a codebase with
+// pre-existing findings without turning the gate off; the goal state is an
+// empty baseline, which is why unused entries are reported (Stale).
+type Baseline struct {
+	Findings []JSONFinding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline (or a full
+// -json report; only check/file/msg are consulted).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file.
+func WriteBaseline(path, moduleRoot string, findings []Finding) error {
+	b := Baseline{Findings: []JSONFinding{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, JSONFinding{
+			Check: f.Check,
+			File:  moduleRel(moduleRoot, f.Pos.Filename),
+			Line:  f.Pos.Line,
+			Col:   f.Pos.Column,
+			Msg:   f.Msg,
+		})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into the ones not covered by the baseline (kept)
+// and the count it absorbed. Stale reports baseline entries that matched
+// nothing — fixed findings whose entries should be deleted.
+func (b *Baseline) Filter(findings []Finding, moduleRoot string) (kept []Finding, absorbed int, stale []JSONFinding) {
+	budget := make(map[[3]string]int)
+	for _, e := range b.Findings {
+		budget[[3]string{e.Check, e.File, e.Msg}]++
+	}
+	for _, f := range findings {
+		key := [3]string{f.Check, moduleRel(moduleRoot, f.Pos.Filename), f.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Findings {
+		key := [3]string{e.Check, e.File, e.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			stale = append(stale, e)
+		}
+	}
+	return kept, absorbed, stale
+}

@@ -1,10 +1,16 @@
-// Package lint is a zero-dependency static-analysis engine for the Hermes
+// Package lint is a zero-dependency static-analysis framework for the Hermes
 // reproduction, built on stdlib go/parser, go/ast, and go/types.
 //
 // The paper's headline numbers (hierarchical-search latency, shard load
 // imbalance, the energy model) are only meaningful if the reproduction is
-// deterministic and data-race-free. The analyzers here encode the project
-// rules that protect those properties:
+// deterministic, data-race-free, and wire-stable across rolling upgrades.
+// The framework loads the whole module from source (Loader), computes
+// cross-package facts over the call graph (ComputeFacts — e.g. "this
+// function transitively performs I/O"), and runs the analyzer suite over
+// every package with deterministic file:line:col finding order, optional
+// machine-readable JSON output (Report), a findings baseline (Baseline),
+// and generated per-package artifacts (Artifacts — the gob wire-schema
+// lock). The analyzers encode the project rules:
 //
 //   - globalrand:   no package-global math/rand in library code (index
 //     builds must be bit-reproducible from a config seed)
@@ -16,6 +22,15 @@
 //     by value
 //   - errdrop:      no silently discarded errors from Close/Flush/Encode
 //     style calls
+//   - wirelock:     the gob schema of //hermes:wire structs must match the
+//     committed wire.lock; evolution is append-only
+//   - lockheldio:   no mutex held across network/file I/O, channel
+//     operations, or time.Sleep (uses the cross-package I/O facts)
+//   - poolescape:   sync.Pool Get values must not escape via return,
+//     struct field, or package-level variable
+//   - deferinloop:  no resource-holding defer inside a loop body
+//   - hotpathclock: //hermes:hotpath functions must keep clock reads and
+//     allocating fmt-style calls gated behind a conditional
 //
 // Findings can be suppressed case-by-case with a directive comment on the
 // same line or the line above:
@@ -60,11 +75,20 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package in pass and reports findings.
 	Run func(*Pass)
+	// TestFiles marks the analyzer as meaningful over _test.go files when
+	// the driver runs with -include-tests. The concurrency and resource
+	// checks apply (a pool misuse in a race test hides a real hazard);
+	// style rules that tests legitimately break (dropped Close errors,
+	// ad-hoc randomness) leave it false and keep skipping test files.
+	TestFiles bool
 }
 
 // All returns every registered analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop}
+	return []*Analyzer{
+		GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop,
+		WireLock, LockHeldIO, PoolEscape, DeferInLoop, HotPathClock,
+	}
 }
 
 // Select filters All() by the -only / -skip comma-separated check lists.
@@ -128,9 +152,28 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Dir is the package's directory on disk (for per-package artifacts
+	// such as wire.lock).
+	Dir string
+	// Facts is the cross-package fact set (nil when running a single
+	// package standalone; Facts methods are nil-tolerant).
+	Facts *Facts
+	// IncludeTests reports whether the loader parsed _test.go files into
+	// this package; see (*Pass).SkipFile.
+	IncludeTests bool
 
 	ignores  ignoreIndex
 	findings *[]Finding
+}
+
+// SkipFile reports whether the analyzer should skip f: test files are
+// analyzed only when the run includes them AND the analyzer opts in via
+// TestFiles.
+func (p *Pass) SkipFile(f *ast.File) bool {
+	if !isTestFile(p.Fset, f) {
+		return false
+	}
+	return !p.IncludeTests || !p.Analyzer.TestFiles
 }
 
 // Reportf records a finding at pos unless an ignore directive suppresses it.
@@ -154,24 +197,60 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// RunOptions configures an analysis run beyond the analyzer list.
+type RunOptions struct {
+	// Facts is the cross-package fact set (see ComputeFacts); nil degrades
+	// fact-consuming analyzers to their stdlib-only seed knowledge.
+	Facts *Facts
+	// IncludeTests marks the packages as having been loaded with test
+	// files, unlocking TestFiles-capable analyzers on them.
+	IncludeTests bool
+}
+
 // RunPackage runs the analyzers over one loaded package and returns the
 // findings sorted by position. Malformed //lint:ignore directives are
 // reported under the always-on check ID "lintdirective".
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	return RunPackageOpts(pkg, analyzers, RunOptions{})
+}
+
+// RunPackageOpts is RunPackage with explicit run options.
+func RunPackageOpts(pkg *Package, analyzers []*Analyzer, opts RunOptions) []Finding {
 	var findings []Finding
 	ign := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			ignores:  ign,
-			findings: &findings,
+			Analyzer:     a,
+			Fset:         pkg.Fset,
+			Files:        pkg.Files,
+			Pkg:          pkg.Types,
+			Info:         pkg.Info,
+			Dir:          pkg.Dir,
+			Facts:        opts.Facts,
+			IncludeTests: opts.IncludeTests,
+			ignores:      ign,
+			findings:     &findings,
 		}
 		a.Run(pass)
 	}
+	SortFindings(findings)
+	return findings
+}
+
+// RunPackages runs the analyzers over every package and returns one globally
+// sorted finding list — the deterministic file:line:col order the driver
+// prints and the JSON report serializes.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, RunPackageOpts(pkg, analyzers, opts)...)
+	}
+	SortFindings(findings)
+	return findings
+}
+
+// SortFindings orders findings by filename, line, column, then check ID.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -185,7 +264,6 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		return findings[i].Check < findings[j].Check
 	})
-	return findings
 }
 
 // ignoreIndex maps file -> line -> suppressed check IDs. A directive on

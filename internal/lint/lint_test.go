@@ -123,9 +123,13 @@ func TestSelect(t *testing.T) {
 		want       []string
 		wantErr    bool
 	}{
-		{"", "", []string{"globalrand", "wallclock", "goroutinectx", "lockcopy", "errdrop"}, false},
+		{"", "", []string{
+			"globalrand", "wallclock", "goroutinectx", "lockcopy", "errdrop",
+			"wirelock", "lockheldio", "poolescape", "deferinloop", "hotpathclock",
+		}, false},
 		{"globalrand,errdrop", "", []string{"globalrand", "errdrop"}, false},
-		{"", "goroutinectx", []string{"globalrand", "wallclock", "lockcopy", "errdrop"}, false},
+		{"", "goroutinectx,wirelock,lockheldio,poolescape,deferinloop,hotpathclock",
+			[]string{"globalrand", "wallclock", "lockcopy", "errdrop"}, false},
 		{"globalrand", "globalrand", nil, false},
 		{"nosuchcheck", "", nil, true},
 		{"", "nosuchcheck", nil, true},

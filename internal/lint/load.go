@@ -39,6 +39,12 @@ type Loader struct {
 	ModuleRoot string
 	ModulePath string
 	GoVersion  string
+	// IncludeTests additionally parses and type-checks each package's
+	// in-package _test.go files (external foo_test packages are not
+	// loaded — they form a separate package with their own import
+	// universe). Set it before the first Load call: packages reached as
+	// dependencies of other packages always load without tests.
+	IncludeTests bool
 
 	std     types.Importer
 	cache   map[string]*Package // keyed by absolute dir
@@ -155,7 +161,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	sort.Strings(dirs)
 	var pkgs []*Package
 	for _, dir := range dirs {
-		pkg, err := l.loadDir(dir)
+		pkg, err := l.loadDir(dir, l.IncludeTests)
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +170,29 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 	return pkgs, nil
+}
+
+// Cached returns every module package loaded so far — pattern targets and
+// packages pulled in as their dependencies — in deterministic (path, dir)
+// order. It is the input ComputeFacts wants: facts must cover the whole
+// reachable module, not just the pattern targets.
+func (l *Loader) Cached() []*Package {
+	var pkgs []*Package
+	for _, pkg := range l.cache {
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		if pkgs[i].Dir != pkgs[j].Dir {
+			return pkgs[i].Dir < pkgs[j].Dir
+		}
+		return len(pkgs[i].Files) < len(pkgs[j].Files)
+	})
+	return pkgs
 }
 
 func hasGoFiles(dir string) bool {
@@ -194,20 +223,28 @@ func (l *Loader) importPathFor(dir string) string {
 
 // loadDir parses and type-checks the package in dir, caching the result.
 // Returns (nil, nil) when the directory holds no buildable non-test files.
-func (l *Loader) loadDir(dir string) (*Package, error) {
-	if pkg, ok := l.cache[dir]; ok {
+// withTests additionally parses the in-package _test.go files; the with- and
+// without-test variants cache separately, and dependency resolution (Import)
+// always uses the plain variant, so a test file importing a package that
+// imports the package under test cannot manufacture an import cycle.
+func (l *Loader) loadDir(dir string, withTests bool) (*Package, error) {
+	key := dir
+	if withTests {
+		key = dir + "\x00tests"
+	}
+	if pkg, ok := l.cache[key]; ok {
 		return pkg, nil
 	}
-	if l.loading[dir] {
+	if l.loading[key] {
 		return nil, fmt.Errorf("lint: import cycle through %s", dir)
 	}
-	l.loading[dir] = true
-	defer delete(l.loading, dir)
+	l.loading[key] = true
+	defer delete(l.loading, key)
 
 	bp, err := build.ImportDir(dir, 0)
 	if err != nil {
 		if _, noGo := err.(*build.NoGoError); noGo {
-			l.cache[dir] = nil
+			l.cache[key] = nil
 			return nil, nil
 		}
 		return nil, fmt.Errorf("lint: %s: %w", dir, err)
@@ -218,7 +255,11 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		Dir:  dir,
 		Fset: l.Fset,
 	}
-	for _, name := range bp.GoFiles {
+	names := bp.GoFiles
+	if withTests {
+		names = append(names[:len(names):len(names)], bp.TestGoFiles...)
+	}
+	for _, name := range names {
 		path := filepath.Join(dir, name)
 		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -247,7 +288,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	tpkg, _ := conf.Check(pkg.Path, l.Fset, pkg.Files, info)
 	pkg.Types = tpkg
 	pkg.Info = info
-	l.cache[dir] = pkg
+	l.cache[key] = pkg
 	return pkg, nil
 }
 
@@ -258,7 +299,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
 		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
-		pkg, err := l.loadDir(dir)
+		pkg, err := l.loadDir(dir, false)
 		if err != nil {
 			return nil, err
 		}

@@ -13,14 +13,15 @@ import (
 // copylocks catches assignments; this check covers the signature surface
 // where the copy is part of the API contract.
 var LockCopy = &Analyzer{
-	Name: "lockcopy",
-	Doc:  "passing or returning structs that carry sync primitives by value copies the lock; use a pointer",
-	Run:  runLockCopy,
+	Name:      "lockcopy",
+	Doc:       "passing or returning structs that carry sync primitives by value copies the lock; use a pointer",
+	Run:       runLockCopy,
+	TestFiles: true,
 }
 
 func runLockCopy(p *Pass) {
 	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
+		if p.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

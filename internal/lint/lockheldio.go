@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeldIO flags code that holds a sync.Mutex/RWMutex across network or
+// file I/O, channel operations, or time.Sleep. A lock held across a blocking
+// operation turns one slow peer into a stalled shard: every other goroutine
+// queuing on the mutex inherits the wire latency, which is exactly the
+// serving-path contention TeleRAG/VectorLiteRAG identify as the source of
+// retrieval tail latency. Callees are classified with the cross-package I/O
+// facts, so an innocent-looking helper three packages above a socket write
+// is still caught.
+//
+// The analysis is lexical within one function: held locks are tracked
+// through a statement walk, branches are joined by intersecting the held
+// sets of the paths that fall through (a branch ending in return/panic/break
+// contributes nothing), and function literals are excluded — they run on
+// their own goroutine's schedule with their own locking discipline.
+//
+// Deliberate designs exist — a per-connection mutex that serializes request/
+// response exchanges IS the point of the lock — and take a one-line
+// //lint:ignore lockheldio <reason> at the flagged site.
+var LockHeldIO = &Analyzer{
+	Name:      "lockheldio",
+	Doc:       "mutex held across network/file I/O, channel ops, or time.Sleep stalls every goroutine queuing on it",
+	Run:       runLockHeldIO,
+	TestFiles: true,
+}
+
+func runLockHeldIO(p *Pass) {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				lw := &lockWalker{p: p}
+				lw.stmts(fd.Body.List, nil)
+			}
+		}
+	}
+}
+
+// heldLock is one acquired mutex, identified by the source text of the
+// receiver it was locked through.
+type heldLock struct {
+	expr string
+	pos  token.Pos
+}
+
+// lockWalker walks one function body in source order tracking the held-lock
+// set. Every walk method returns the held set at its exit plus whether the
+// construct terminates (never falls through to the next statement).
+type lockWalker struct {
+	p *Pass
+}
+
+func (lw *lockWalker) stmts(list []ast.Stmt, held []heldLock) (out []heldLock, terminates bool) {
+	for _, stmt := range list {
+		var term bool
+		held, term = lw.stmt(stmt, held)
+		terminates = terminates || term
+	}
+	return held, terminates
+}
+
+func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockOp(lw.p, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				return append(held[:len(held):len(held)], heldLock{expr: recv, pos: s.Pos()}), false
+			case "Unlock", "RUnlock":
+				return removeLock(held, recv), false
+			}
+		}
+		lw.inspect(s, held)
+		return held, isPanicCall(lw.p, s.X)
+	case *ast.ReturnStmt:
+		lw.inspect(s, held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; fallthrough moves
+		// into the next case body, which for lock purposes is the same.
+		return held, true
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at function exit and go statements on another
+		// goroutine; neither blocks this statement's critical section. A
+		// deferred Unlock in particular just keeps the lock held — the I/O
+		// scan of the following statements does the judging.
+		return held, false
+	case *ast.BlockStmt:
+		return lw.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		lw.inspect(s.Cond, held)
+		type path struct {
+			held []heldLock
+			term bool
+		}
+		paths := make([]path, 0, 2)
+		bodyHeld, bodyTerm := lw.stmts(s.Body.List, held)
+		paths = append(paths, path{bodyHeld, bodyTerm})
+		if s.Else != nil {
+			elseHeld, elseTerm := lw.stmt(s.Else, held)
+			paths = append(paths, path{elseHeld, elseTerm})
+		} else {
+			paths = append(paths, path{held, false})
+		}
+		return joinPaths(held, []([]heldLock){paths[0].held, paths[1].held}, []bool{paths[0].term, paths[1].term})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.inspect(s.Cond, held)
+		}
+		// The body is walked for reporting; loop bodies are assumed lock-
+		// balanced (an unbalanced one is its own bug), so the held set
+		// passes through unchanged.
+		lw.stmts(s.Body.List, held)
+		return held, false
+	case *ast.RangeStmt:
+		lw.inspect(s.X, held)
+		if len(held) > 0 {
+			if t := lw.p.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lw.report(s.Pos(), held, "range over channel")
+				}
+			}
+		}
+		lw.stmts(s.Body.List, held)
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lw.inspect(s.Tag, held)
+		}
+		return lw.caseBodies(caseClauses(s.Body), held, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.stmt(s.Init, held)
+		}
+		return lw.caseBodies(caseClauses(s.Body), held, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			lw.report(s.Pos(), held, "select statement")
+		}
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		// A select always executes exactly one clause, so there is no
+		// implicit fall-through path.
+		return lw.caseBodies(bodies, held, true)
+	case *ast.LabeledStmt:
+		return lw.stmt(s.Stmt, held)
+	default:
+		lw.inspect(stmt, held)
+		return held, false
+	}
+}
+
+// caseBodies joins the case bodies of a switch/select: the held set after is
+// the intersection over every non-terminating path, including the implicit
+// no-case-matched path when there is no default clause.
+func (lw *lockWalker) caseBodies(bodies [][]ast.Stmt, held []heldLock, exhaustive bool) ([]heldLock, bool) {
+	var helds []([]heldLock)
+	var terms []bool
+	for _, body := range bodies {
+		h, t := lw.stmts(body, held)
+		helds = append(helds, h)
+		terms = append(terms, t)
+	}
+	if !exhaustive || len(bodies) == 0 {
+		helds = append(helds, held)
+		terms = append(terms, false)
+	}
+	return joinPaths(held, helds, terms)
+}
+
+// joinPaths merges branch outcomes: paths that terminate never reach the
+// next statement and contribute nothing; the survivors' held sets intersect
+// (a lock counts as held after the branch only if every live path still
+// holds it). If every path terminates, so does the whole construct.
+func joinPaths(incoming []heldLock, helds []([]heldLock), terms []bool) ([]heldLock, bool) {
+	var live []([]heldLock)
+	for i, h := range helds {
+		if !terms[i] {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 0 {
+		return incoming, true
+	}
+	out := live[0]
+	for _, h := range live[1:] {
+		out = intersectHeld(out, h)
+	}
+	return out, false
+}
+
+func intersectHeld(a, b []heldLock) []heldLock {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	inB := make(map[string]bool, len(b))
+	for _, l := range b {
+		inB[l.expr] = true
+	}
+	var out []heldLock
+	for _, l := range a {
+		if inB[l.expr] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// inspect scans a statement or expression for blocking operations while
+// locks are held, without descending into function literals.
+func (lw *lockWalker) inspect(n ast.Node, held []heldLock) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			lw.report(x.Pos(), held, "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lw.report(x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(lw.p.Info, x); fn != nil && lw.p.Facts.PerformsIO(fn) {
+				lw.report(x.Pos(), held, "call to "+calleeDisplay(fn)+", which performs I/O")
+			}
+		}
+		return true
+	})
+}
+
+func (lw *lockWalker) report(pos token.Pos, held []heldLock, what string) {
+	lw.p.Reportf(pos, "%s while %s is held; one blocked goroutine here stalls everyone queuing on the lock — release it first, or suppress with //lint:ignore lockheldio <reason>", what, held[len(held)-1].expr)
+}
+
+func calleeDisplay(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return receiverName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// isPanicCall reports whether expr is a call to the panic builtin or a
+// known never-returns function (os.Exit, log.Fatal*).
+func isPanicCall(p *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			_, isBuiltin := p.Info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			path, name := fn.Pkg().Path(), fn.Name()
+			if path == "os" && name == "Exit" {
+				return true
+			}
+			if path == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Panic" || name == "Panicf" || name == "Panicln") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockOp matches expr as a <recv>.Lock/RLock/Unlock/RUnlock() call resolving
+// into package sync (covering Mutex, RWMutex, and fields promoted from an
+// embedded mutex), returning the receiver's source text and the method name.
+func lockOp(p *Pass, expr ast.Expr) (recv, op string, ok bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// removeLock pops the most recent acquisition through the same receiver
+// expression.
+func removeLock(held []heldLock, recv string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].expr == recv {
+			out := make([]heldLock, 0, len(held)-1)
+			out = append(out, held[:i]...)
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func caseClauses(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscape flags sync.Pool Get values that escape the function that
+// borrowed them: returned to the caller, stored into a struct field, or
+// assigned to a package-level variable. A pooled object is only safe while
+// its lifetime is bracketed by Get/Put inside one frame; once a reference
+// escapes, a later Put hands the object to another goroutine while the
+// escaped reference still reads it — the classic recycled-scratch-buffer
+// race that corrupts top-k heaps under load and never reproduces in a
+// single-query test.
+//
+// Typed pool facades (a get() accessor that wraps pool.Get and is always
+// paired with put()) are a deliberate pattern; annotate the accessor's
+// return with //lint:ignore poolescape <reason>.
+var PoolEscape = &Analyzer{
+	Name:      "poolescape",
+	Doc:       "sync.Pool Get value escaping via return, struct field, or global outlives its Get/Put bracket",
+	Run:       runPoolEscape,
+	TestFiles: true,
+}
+
+func runPoolEscape(p *Pass) {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				poolEscapeFunc(p, fd)
+			}
+		}
+	}
+}
+
+func poolEscapeFunc(p *Pass, fd *ast.FuncDecl) {
+	// Pass 1: variables bound (possibly through a type assertion) to a
+	// pool.Get result anywhere in the function, including closures — the
+	// object identity carries across FuncLit boundaries.
+	pooled := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if !isPoolGet(p, rhs) {
+					continue
+				}
+				// v := pool.Get() and v, ok := pool.Get().(*T) both bind
+				// the pooled object to the first matching LHS.
+				if i < len(s.Lhs) {
+					if v := assignedVar(p, s.Lhs[i]); v != nil {
+						pooled[v] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range s.Values {
+				if isPoolGet(p, val) && i < len(s.Names) {
+					if v, ok := p.Info.Defs[s.Names[i]].(*types.Var); ok {
+						pooled[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: escapes. Both the tracked variables and direct pool.Get
+	// results count.
+	escapes := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isPoolGet(p, e) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok {
+				return pooled[v]
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if escapes(res) {
+					p.Reportf(res.Pos(), "sync.Pool Get value returned from %s; the pooled object outlives its Get/Put bracket and a later Put recycles it under the caller — copy the data out, or suppress a deliberate typed-pool accessor with //lint:ignore poolescape <reason>", fd.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !escapes(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := p.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+						p.Reportf(s.Pos(), "sync.Pool Get value stored into struct field %s; the field outlives the Get/Put bracket and reads a recycled object — copy the data out, or suppress with //lint:ignore poolescape <reason>", types.ExprString(lhs))
+					}
+				case *ast.Ident:
+					if v, ok := p.Info.Uses[lhs].(*types.Var); ok && isPackageLevel(v, p.Pkg) {
+						p.Reportf(s.Pos(), "sync.Pool Get value stored into package-level variable %s; the global outlives the Get/Put bracket and reads a recycled object — copy the data out, or suppress with //lint:ignore poolescape <reason>", lhs.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assignedVar resolves the variable an assignment LHS binds, whether the
+// ident is defined here (:=) or reused (=).
+func assignedVar(p *Pass, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// isPoolGet reports whether e is a (possibly type-asserted) call to
+// (*sync.Pool).Get.
+func isPoolGet(p *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var, pkg *types.Package) bool {
+	return pkg != nil && v.Parent() == pkg.Scope()
+}

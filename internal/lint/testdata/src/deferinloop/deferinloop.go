@@ -1,0 +1,51 @@
+// Package deferinloop is the fixture for the deferinloop analyzer.
+package deferinloop
+
+import "os"
+
+func leaky(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want "defer inside a loop body"
+	}
+	return nil
+}
+
+func hoisted(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close() // function literal resets the loop depth: fine
+			return f.Sync()
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nested(f *os.File) {
+	defer f.Close() // not in a loop: fine
+	for i := 0; i < 3; i++ {
+		for range []int{1, 2} {
+			defer println(i) // want "defer inside a loop body"
+		}
+	}
+}
+
+func suppressed(mu interface {
+	Lock()
+	Unlock()
+}, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		//lint:ignore deferinloop fixture: loop runs a bounded, tiny number of iterations
+		defer mu.Unlock()
+	}
+}

@@ -1,0 +1,38 @@
+// Package facts is the fixture for the cross-package fact engine: WriteState
+// touches I/O directly, Chain and Probe.Flush only reach it transitively,
+// and Pure must never pick up the fact.
+package facts
+
+import "os"
+
+// WriteState performs I/O directly (os is a seed I/O package).
+func WriteState(f *os.File, b []byte) error {
+	_, err := f.Write(b)
+	return err
+}
+
+// Chain reaches I/O one call deep.
+func Chain(f *os.File) error {
+	return WriteState(f, nil)
+}
+
+// Probe carries a method that reaches I/O two calls deep.
+type Probe struct{}
+
+// Flush reaches I/O through Chain.
+func (Probe) Flush(f *os.File) error {
+	return Chain(f)
+}
+
+// Pure is arithmetic only; no fact.
+func Pure(a, b int) int {
+	return a + b
+}
+
+// viaValue calls through a function value: statically unresolvable, so the
+// engine under-approximates and viaValue stays fact-free by design.
+func viaValue(fn func() error) error {
+	return fn()
+}
+
+var _ = viaValue

@@ -1,0 +1,60 @@
+// Package hotpathclock is the fixture for the hotpathclock analyzer. The
+// `now` seam mirrors the clock seam the serving packages use for test
+// injection: calls through it are clock reads even though the callee is a
+// plain function value.
+package hotpathclock
+
+import (
+	"fmt"
+	"time"
+)
+
+var now = time.Now
+
+type probe struct{ t0 time.Time }
+
+//hermes:hotpath
+func scan(ph *probe, xs []float32) float32 {
+	t0 := now() // want "ungated clock read now()"
+	if ph != nil {
+		ph.t0 = now() // gated: fine
+	}
+	var sum float32
+	for _, x := range xs {
+		sum += x
+	}
+	if sum < 0 {
+		panic(fmt.Sprintf("bad sum %f", sum)) // gated: fine
+	}
+	_ = time.Since(t0)                  // want "ungated clock read time.Since()"
+	name := fmt.Sprintf("q%d", len(xs)) // want "ungated allocating call fmt.Sprintf"
+	_ = name
+	return sum
+}
+
+//hermes:hotpath
+func scanGated(mode int) string {
+	switch mode {
+	case 1:
+		return fmt.Sprintf("m%d", mode) // case body is gated: fine
+	}
+	go func() { _ = time.Now() }() // closures run on their own schedule: fine
+	return ""
+}
+
+//hermes:hotpath
+func scanSuppressed(n int) time.Duration {
+	//lint:ignore hotpathclock fixture: this function is timed by design
+	start := time.Now()
+	for i := 0; i < n; i++ {
+	}
+	if n > 0 {
+		return time.Since(start) // gated: fine
+	}
+	return 0
+}
+
+// cold is unannotated: free to read the clock and format strings.
+func cold() string {
+	return fmt.Sprintf("%v", time.Now())
+}

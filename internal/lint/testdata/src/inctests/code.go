@@ -1,0 +1,7 @@
+// Package inctests is the fixture for -include-tests: the package's only
+// findings live in its in-package _test.go file, so they appear exactly when
+// the loader parses test files AND the analyzer opts into them.
+package inctests
+
+// Value exists so the package has a non-test file.
+func Value() int { return 1 }

@@ -1,0 +1,27 @@
+package inctests
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+// leak escapes a pooled value: poolescape opts into test files, so this is
+// found under -include-tests.
+func leak() *int {
+	return pool.Get().(*int)
+}
+
+// jitter uses global math/rand: globalrand does NOT opt into test files, so
+// this stays unflagged even under -include-tests.
+func jitter() float32 {
+	return rand.Float32()
+}
+
+func TestFixture(t *testing.T) {
+	if leak() == nil || jitter() < -1 {
+		t.Fatal("unreachable")
+	}
+}

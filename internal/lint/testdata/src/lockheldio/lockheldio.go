@@ -1,0 +1,90 @@
+// Package lockheldio is the fixture for the lockheldio analyzer.
+package lockheldio
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+	f  *os.File
+}
+
+// flush exists so the cross-package/cross-function I/O fact is exercised:
+// it has no I/O of its own on its signature, but its body reaches os.File.
+func flush(f *os.File) error {
+	return f.Sync()
+}
+
+func (s *server) blockingUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep, which performs I/O"
+	s.ch <- 1                    // want "channel send"
+	<-s.ch                       // want "channel receive"
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // released: fine
+}
+
+func (s *server) factPropagation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = flush(s.f) // want "call to lockheldio.flush, which performs I/O"
+}
+
+func (s *server) earlyExitBranch(closed bool) {
+	s.mu.Lock()
+	if closed {
+		s.mu.Unlock()
+		_ = s.f.Close() // released on this path: fine
+		return
+	}
+	s.ch <- 1 // want "channel send"
+	s.mu.Unlock()
+}
+
+func (s *server) allBranchesRelease(n int) {
+	s.mu.Lock()
+	switch {
+	case n > 0:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+	<-s.ch // every branch released the lock: fine
+}
+
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select statement"
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *server) rangeOverChannel() {
+	s.mu.Lock()
+	for v := range s.ch { // want "range over channel"
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) otherGoroutines() {
+	s.mu.Lock()
+	go func() { time.Sleep(time.Millisecond) }() // other goroutine: fine
+	cb := func() { s.ch <- 1 }                   // not called here: fine
+	_ = cb
+	s.mu.Unlock()
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockheldio fixture: serialized exchange is the point of this lock
+	_ = flush(s.f)
+}

@@ -1,0 +1,63 @@
+// Package poolescape is the fixture for the poolescape analyzer.
+package poolescape
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var global *buf
+
+type holder struct{ b *buf }
+
+func direct() any {
+	return pool.Get() // want "returned from direct"
+}
+
+func asserted() *buf {
+	return pool.Get().(*buf) // want "returned from asserted"
+}
+
+func tracked() *buf {
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+	return b // want "returned from tracked"
+}
+
+func commaOK() *buf {
+	v, ok := pool.Get().(*buf)
+	if !ok {
+		return nil
+	}
+	return v // want "returned from commaOK"
+}
+
+func viaField(h *holder) {
+	h.b = pool.Get().(*buf) // want "stored into struct field h.b"
+}
+
+func viaGlobal() {
+	global = pool.Get().(*buf) // want "stored into package-level variable global"
+}
+
+func bracketed() int {
+	b := pool.Get().(*buf)
+	n := len(b.b)
+	pool.Put(b) // proper Get/Put bracket: fine
+	return n
+}
+
+func localOnly() {
+	local := pool.Get().(*buf)
+	other := local // aliasing is out of scope for the lexical check
+	_ = other
+	pool.Put(local)
+}
+
+func accessor() *buf {
+	//lint:ignore poolescape fixture: typed accessor paired with the put() below
+	return pool.Get().(*buf)
+}
+
+func put(b *buf) { pool.Put(b) }

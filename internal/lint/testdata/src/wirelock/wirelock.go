@@ -1,0 +1,39 @@
+// Package wirelock is the fixture for the wirelock analyzer's happy path:
+// the committed wire.lock matches this schema exactly.
+package wirelock
+
+// Op is a named non-struct type: the lock records its underlying width, so
+// widening it is caught as a type change even though the Go name is stable.
+type Op uint8
+
+// Request is a root wire struct.
+//
+//hermes:wire
+type Request struct {
+	ID     uint64
+	Op     Op
+	Query  []float32
+	Filter map[string]bool
+	note   string // unexported: gob never sees it, neither does the lock
+}
+
+// Response is a root wire struct; Hit is locked transitively through it.
+//
+//hermes:wire
+type Response struct {
+	ID   uint64
+	Hits []Hit
+}
+
+// Hit rides inside Response and is locked without its own annotation.
+type Hit struct {
+	Key  uint64
+	Dist float32
+}
+
+// scratch is unexported and unreferenced by wire structs: not locked.
+type scratch struct {
+	buf []byte
+}
+
+var _ = scratch{}

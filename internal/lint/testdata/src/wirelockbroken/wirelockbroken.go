@@ -1,0 +1,42 @@
+// Package wirelockbroken is the fixture for the wirelock analyzer's failure
+// modes: its wire.lock records the pre-refactor schema, so every diff class
+// fires — moved fields, a removed field, a rename, a type change, an
+// unrecorded append, a vanished struct, and a new unrecorded struct.
+package wirelockbroken // want "wire struct repro/internal/lint/testdata/src/wirelockbroken.Vanished is recorded in wire.lock but no longer part of the wire schema"
+
+// Request swapped its first two fields and dropped Gone.
+//
+//hermes:wire
+type Request struct { // want "field Gone (locked position 3) was removed"
+	B uint64 // want "field B moved from locked position 2 to 1"
+	A uint64 // want "field A moved from locked position 1 to 2"
+}
+
+// Ack widened Code from uint16.
+//
+//hermes:wire
+type Ack struct {
+	Code uint32 // want "changed type from uint16 to uint32"
+}
+
+// Extra appended New without regenerating the lock.
+//
+//hermes:wire
+type Extra struct {
+	Old uint8
+	New uint8 // want "appended field(s) not yet recorded"
+}
+
+// Span renamed Name to Label.
+//
+//hermes:wire
+type Span struct {
+	Label string // want "locked field Name (position 1) was renamed or removed"
+}
+
+// Fresh is newly annotated and absent from the lock.
+//
+//hermes:wire
+type Fresh struct { // want "is not recorded in wire.lock; run hermes-lint -update-wirelock"
+	X uint8
+}

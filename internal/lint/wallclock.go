@@ -37,7 +37,7 @@ func runWallClock(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
+		if p.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The want harness: fixture packages under testdata/src annotate expected
+// findings in place with trailing comments of the form
+//
+//	// want "substring" "another substring"
+//
+// Every finding must be claimed by a want on its exact file:line (substring
+// match against the message), and every want must be claimed by a finding.
+// This keeps expectations next to the code they describe instead of in a
+// line-number table that rots on every fixture edit.
+
+var wantCommentRe = regexp.MustCompile(`//\s*want\s((?:\s*"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantStringRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants scans the fixture's .go files for want comments, returning
+// expectations keyed by "filebase:line".
+func parseWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", e.Name(), err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantCommentRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, sm := range wantStringRe.FindAllStringSubmatch(m[1], -1) {
+				wants[key] = append(wants[key], sm[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runWantFixture loads testdata/src/<name>, runs the analyzers, and checks
+// findings against the fixture's want comments. Facts are computed over the
+// fixture itself so cross-function fact propagation is exercised in-package.
+func runWantFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	opts := RunOptions{Facts: ComputeFacts([]*Package{pkg})}
+	findings := RunPackageOpts(pkg, analyzers, opts)
+	wants := parseWants(t, pkg.Dir)
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		claimed := false
+		for i, w := range wants[key] {
+			if strings.Contains(f.Msg, w) {
+				wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding at %s: %s (%s)", key, f.Msg, f.Check)
+		}
+	}
+	var leftover []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			leftover = append(leftover, fmt.Sprintf("%s: want %q not matched", key, w))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+}
+
+func TestLockHeldIO(t *testing.T)   { runWantFixture(t, "lockheldio", []*Analyzer{LockHeldIO}) }
+func TestPoolEscape(t *testing.T)   { runWantFixture(t, "poolescape", []*Analyzer{PoolEscape}) }
+func TestDeferInLoop(t *testing.T)  { runWantFixture(t, "deferinloop", []*Analyzer{DeferInLoop}) }
+func TestHotPathClock(t *testing.T) { runWantFixture(t, "hotpathclock", []*Analyzer{HotPathClock}) }
+
+// TestWireLockBroken exercises every diff class against a lock file that
+// records the pre-refactor schema: moved fields (both directions), a removed
+// field, a type change, an unrecorded append, a vanished struct, and a new
+// unrecorded struct.
+func TestWireLockBroken(t *testing.T) { runWantFixture(t, "wirelockbroken", []*Analyzer{WireLock}) }
+
+// TestWireLockClean pins the happy path: a package whose committed wire.lock
+// matches its //hermes:wire schema yields zero findings, and the committed
+// artifact is byte-identical to what -update-wirelock would regenerate.
+func TestWireLockClean(t *testing.T) {
+	pkg := loadFixture(t, "wirelock")
+	findings := RunPackage(pkg, []*Analyzer{WireLock})
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	committed, err := os.ReadFile(filepath.Join(pkg.Dir, WireLockFile))
+	if err != nil {
+		t.Fatalf("reading committed lock: %v", err)
+	}
+	if got := GenerateWireLock(pkg); string(got) != string(committed) {
+		t.Errorf("GenerateWireLock drifted from committed %s:\n--- generated ---\n%s--- committed ---\n%s", WireLockFile, got, committed)
+	}
+}

@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WireLock pins the gob wire schema of a package's protocol structs to a
+// committed wire.lock file, turning wire-compat regressions into build
+// errors instead of rolling-upgrade incidents.
+//
+// Gob identifies fields by name and encodes them in declaration order, so a
+// coordinator and a node compiled from different commits stay compatible iff
+// every struct on the wire evolves append-only: new exported fields may be
+// added at the end, but renaming, removing, reordering, or retyping an
+// existing field silently corrupts cross-version exchanges (PR 2 and PR 4
+// both shipped after-the-fact regression tests for exactly this hazard).
+//
+// Root structs are annotated with a //hermes:wire directive on their type
+// declaration; every named struct reachable through their exported fields
+// (e.g. vec.Neighbor inside Response.Neighbors) is locked transitively. The
+// analyzer re-derives the schema from go/types on every run and diffs it
+// against <package dir>/wire.lock; `hermes-lint -update-wirelock` (the
+// framework's generated-artifact mode) regenerates the file after an
+// intentional append.
+var WireLock = &Analyzer{
+	Name:      "wirelock",
+	Doc:       "gob schema of //hermes:wire structs must match the committed wire.lock; evolution is append-only",
+	Run:       runWireLock,
+	TestFiles: true,
+}
+
+// WireLockFile is the per-package artifact filename.
+const WireLockFile = "wire.lock"
+
+// wireDirective marks a root wire struct.
+const wireDirective = "hermes:wire"
+
+// wireField is one exported field in gob declaration order.
+type wireField struct {
+	Name string
+	Type string
+	Pos  token.Pos // declaration site; NoPos when parsed from a lock file
+}
+
+// wireStruct is one locked struct schema.
+type wireStruct struct {
+	Name   string // fully qualified: pkgpath.TypeName
+	Fields []wireField
+	Pos    token.Pos
+}
+
+func runWireLock(p *Pass) {
+	schema := extractWireSchema(p.Files, p.Info, p.Pkg)
+	lockPath := filepath.Join(p.Dir, WireLockFile)
+	data, err := os.ReadFile(lockPath)
+	if os.IsNotExist(err) {
+		if len(schema) > 0 {
+			p.Reportf(schema[0].Pos, "%d //hermes:wire struct(s) but no %s; run hermes-lint -update-wirelock to record the wire schema", len(schema), WireLockFile)
+		}
+		return
+	}
+	if err != nil {
+		p.Reportf(firstPos(p.Files), "reading %s: %v", WireLockFile, err)
+		return
+	}
+	if len(schema) == 0 {
+		p.Reportf(firstPos(p.Files), "%s exists but the package declares no //hermes:wire structs; delete the stale lock or restore the annotations", WireLockFile)
+		return
+	}
+	locked, err := parseWireLock(data)
+	if err != nil {
+		p.Reportf(firstPos(p.Files), "parsing %s: %v", WireLockFile, err)
+		return
+	}
+	diffWireSchema(p, locked, schema)
+}
+
+// firstPos anchors package-level findings at the first file's package clause.
+func firstPos(files []*ast.File) token.Pos {
+	if len(files) == 0 {
+		return token.NoPos
+	}
+	return files[0].Pos()
+}
+
+// hasDirective reports whether any comment group carries //<directive>
+// (optionally followed by explanatory text after a space).
+func hasDirective(directive string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if text == directive || strings.HasPrefix(text, directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// extractWireSchema collects the package's annotated root structs plus every
+// module-internal named struct transitively reachable through their exported
+// fields, sorted by qualified name. Field types render through wireTypeString
+// so that retyping a named non-struct type (e.g. widening Op from uint8)
+// still changes the schema text.
+func extractWireSchema(files []*ast.File, info *types.Info, pkg *types.Package) []wireStruct {
+	if info == nil || pkg == nil {
+		return nil
+	}
+	// moduleHead is the first import-path segment of the analyzed package;
+	// named structs sharing it are locked transitively, stdlib types are
+	// referenced by name only (their layout is the Go project's problem).
+	moduleHead, _, _ := strings.Cut(pkg.Path(), "/")
+
+	var queue []*types.Named
+	seen := make(map[*types.Named]bool)
+	posOf := make(map[*types.Named]token.Pos)
+	enqueue := func(n *types.Named) {
+		if n == nil || seen[n] {
+			return
+		}
+		if _, ok := n.Underlying().(*types.Struct); !ok {
+			return
+		}
+		obj := n.Obj()
+		if obj.Pkg() == nil {
+			return
+		}
+		head, _, _ := strings.Cut(obj.Pkg().Path(), "/")
+		if head != moduleHead {
+			return
+		}
+		seen[n] = true
+		queue = append(queue, n)
+	}
+
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !hasDirective(wireDirective, gd.Doc, ts.Doc, ts.Comment) {
+					continue
+				}
+				obj, ok := info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := types.Unalias(obj.Type()).(*types.Named)
+				if !ok {
+					continue
+				}
+				posOf[named] = ts.Pos()
+				enqueue(named)
+			}
+		}
+	}
+
+	var out []wireStruct
+	for len(queue) > 0 {
+		named := queue[0]
+		queue = queue[1:]
+		st := named.Underlying().(*types.Struct)
+		ws := wireStruct{
+			Name: qualifiedTypeName(named),
+			Pos:  posOf[named],
+		}
+		if ws.Pos == token.NoPos {
+			ws.Pos = named.Obj().Pos()
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // gob ignores unexported fields
+			}
+			ws.Fields = append(ws.Fields, wireField{
+				Name: f.Name(),
+				Type: wireTypeString(f.Type(), enqueue),
+				Pos:  f.Pos(),
+			})
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func qualifiedTypeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// wireTypeString renders a field type for the lock file. Named struct types
+// appear by qualified name (their own fields are locked separately, via
+// enqueue); named non-struct types carry their underlying type in
+// parentheses, because gob encodes the underlying representation — `type Op
+// uint8` changing to uint16 is a wire change even though the Go type name is
+// untouched.
+func wireTypeString(t types.Type, enqueue func(*types.Named)) string {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Named:
+		if _, ok := tt.Underlying().(*types.Struct); ok {
+			enqueue(tt)
+			return qualifiedTypeName(tt)
+		}
+		return qualifiedTypeName(tt) + "(" + wireTypeString(tt.Underlying(), enqueue) + ")"
+	case *types.Basic:
+		return tt.Name()
+	case *types.Slice:
+		return "[]" + wireTypeString(tt.Elem(), enqueue)
+	case *types.Array:
+		return fmt.Sprintf("[%d]%s", tt.Len(), wireTypeString(tt.Elem(), enqueue))
+	case *types.Map:
+		return "map[" + wireTypeString(tt.Key(), enqueue) + "]" + wireTypeString(tt.Elem(), enqueue)
+	case *types.Pointer:
+		return "*" + wireTypeString(tt.Elem(), enqueue)
+	default:
+		return types.TypeString(tt, func(p *types.Package) string { return p.Path() })
+	}
+}
+
+// GenerateWireLock renders the package's wire schema as the lock-file
+// artifact, or nil when the package has no //hermes:wire structs.
+func GenerateWireLock(pkg *Package) []byte {
+	schema := extractWireSchema(pkg.Files, pkg.Info, pkg.Types)
+	if len(schema) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("# Code generated by hermes-lint -update-wirelock; DO NOT EDIT BY HAND.\n")
+	b.WriteString("# Gob wire schema for package " + pkg.Path + ".\n")
+	b.WriteString("# Evolution is append-only: new fields go at the end of a struct; never\n")
+	b.WriteString("# rename, remove, reorder, or retype a recorded field.\n")
+	for _, ws := range schema {
+		b.WriteString("\nstruct " + ws.Name + "\n")
+		for _, f := range ws.Fields {
+			b.WriteString("\t" + f.Name + " " + f.Type + "\n")
+		}
+	}
+	return []byte(b.String())
+}
+
+// parseWireLock reads a lock file back into schema form. Unknown or
+// malformed lines are errors: the file is generated, so any hand-edit drift
+// should surface loudly.
+func parseWireLock(data []byte) ([]wireStruct, error) {
+	var out []wireStruct
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "struct "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "struct "))
+			if name == "" {
+				return nil, fmt.Errorf("line %d: struct with no name", i+1)
+			}
+			out = append(out, wireStruct{Name: name})
+		case strings.HasPrefix(line, "\t"):
+			if len(out) == 0 {
+				return nil, fmt.Errorf("line %d: field line before any struct", i+1)
+			}
+			name, typ, ok := strings.Cut(strings.TrimPrefix(line, "\t"), " ")
+			if !ok || name == "" || typ == "" {
+				return nil, fmt.Errorf("line %d: want \"<field> <type>\"", i+1)
+			}
+			ws := &out[len(out)-1]
+			ws.Fields = append(ws.Fields, wireField{Name: name, Type: typ})
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized line %q", i+1, line)
+		}
+	}
+	return out, nil
+}
+
+// diffWireSchema reports every way current diverges from locked. The rules
+// mirror gob's actual compatibility contract: per struct, the locked field
+// list must be a prefix of the current one, name-and-type exact; appended
+// fields only need the lock regenerated; a vanished struct is an error.
+func diffWireSchema(p *Pass, locked, current []wireStruct) {
+	curByName := make(map[string]*wireStruct, len(current))
+	for i := range current {
+		curByName[current[i].Name] = &current[i]
+	}
+	lockedByName := make(map[string]bool, len(locked))
+	for _, lk := range locked {
+		lockedByName[lk.Name] = true
+	}
+
+	for _, lk := range locked {
+		cur := curByName[lk.Name]
+		if cur == nil {
+			p.Reportf(firstPos(p.Files), "wire struct %s is recorded in %s but no longer part of the wire schema; removing a wire struct breaks peers still sending it", lk.Name, WireLockFile)
+			continue
+		}
+		diffWireStruct(p, lk, cur)
+	}
+	for _, cur := range current {
+		if !lockedByName[cur.Name] {
+			p.Reportf(cur.Pos, "wire struct %s is not recorded in %s; run hermes-lint -update-wirelock", cur.Name, WireLockFile)
+		}
+	}
+}
+
+func diffWireStruct(p *Pass, lk wireStruct, cur *wireStruct) {
+	curIndex := make(map[string]int, len(cur.Fields))
+	for i, f := range cur.Fields {
+		curIndex[f.Name] = i
+	}
+	for i, lf := range lk.Fields {
+		if i >= len(cur.Fields) {
+			p.Reportf(cur.Pos, "wire struct %s: field %s (locked position %d) was removed; gob peers decoding old streams will misread every later field", lk.Name, lf.Name, i+1)
+			continue
+		}
+		cf := cur.Fields[i]
+		if cf.Name != lf.Name {
+			if j, ok := curIndex[lf.Name]; ok {
+				p.Reportf(cur.Fields[j].Pos, "wire struct %s: field %s moved from locked position %d to %d; gob field order is part of the wire format", lk.Name, lf.Name, i+1, j+1)
+			} else {
+				p.Reportf(cf.Pos, "wire struct %s: locked field %s (position %d) was renamed or removed (position now holds %s); gob matches fields by name, so old peers silently drop it", lk.Name, lf.Name, i+1, cf.Name)
+			}
+			continue
+		}
+		if cf.Type != lf.Type {
+			p.Reportf(cf.Pos, "wire struct %s: field %s changed type from %s to %s; gob will refuse or corrupt cross-version decodes", lk.Name, lf.Name, lf.Type, cf.Type)
+		}
+	}
+	if len(cur.Fields) > len(lk.Fields) {
+		extra := make([]string, 0, len(cur.Fields)-len(lk.Fields))
+		for _, f := range cur.Fields[len(lk.Fields):] {
+			extra = append(extra, f.Name)
+		}
+		p.Reportf(cur.Fields[len(lk.Fields)].Pos, "wire struct %s: %d appended field(s) not yet recorded in %s (%s); run hermes-lint -update-wirelock", lk.Name, len(extra), WireLockFile, strings.Join(extra, ", "))
+	}
+}
