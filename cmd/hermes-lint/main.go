@@ -12,26 +12,36 @@
 //	hermes-lint -only globalrand,errdrop ./internal/...
 //	hermes-lint -include-tests ./...       # also analyze in-package _test.go files
 //	hermes-lint -json ./... > lint.json    # machine-readable report on stdout
+//	hermes-lint -diff lint-report.json ./... # fail only on NEW findings
 //	hermes-lint -update-wirelock ./...     # regenerate wire.lock artifacts
-//	hermes-lint -list                      # describe available checks
-//	hermes-lint -facts ./...               # print cross-package I/O facts
+//	hermes-lint -list                      # describe checks and fact lattices
+//	hermes-lint -facts ./...               # dump the cross-package facts
+//	hermes-lint -facts -json ./...         # ... as stable JSON
 //
-// Before any analyzer runs, the driver computes cross-package facts (today:
-// "this function transitively performs I/O") over every module package
-// reached while loading, so analyzers like lockheldio see through call
-// chains that end at a socket three packages away.
+// Before any analyzer runs, the driver computes the cross-package fact
+// lattices (io, alloc, acquires, blocks — see internal/lint's fact engine)
+// over every module package reached while loading, so analyzers like
+// lockheldio, hotpathalloc, lockorder, and goroutineleak see through call
+// chains that end at a socket, an allocation, or a mutex three packages
+// away.
 //
 // A baseline file (-baseline) subtracts previously accepted findings,
 // matched by (check, file, message); -write-baseline records the current
 // findings to bootstrap one. Entries that no longer match anything are
-// reported so the baseline shrinks toward empty.
+// reported so the baseline shrinks toward empty. -diff is the incremental-
+// adoption variant the CI gate uses (scripts/lint-diff.sh): the full
+// report is still computed (and emitted with -json), but the exit status
+// considers only findings absent from the given committed report, so a new
+// analyzer can land with known findings and tighten over time.
 //
 // Patterns ending in /... walk recursively (testdata, vendor, and hidden
 // directories are skipped); any other argument names one package
 // directory, which is how the lint fixtures under
 // internal/lint/testdata/src/ can be linted directly.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Exit status: 0 clean, 1 findings (with -diff: new findings), 2 usage or
+// load error — including parse failures in dependency packages, which
+// type-check error recovery would otherwise swallow.
 package main
 
 import (
@@ -47,22 +57,31 @@ func main() {
 	var (
 		only          = flag.String("only", "", "comma-separated check IDs to run exclusively")
 		skip          = flag.String("skip", "", "comma-separated check IDs to disable")
-		list          = flag.Bool("list", false, "list available checks and exit")
-		jsonOut       = flag.Bool("json", false, "write the machine-readable report to stdout")
+		list          = flag.Bool("list", false, "list available checks and fact lattices, then exit")
+		jsonOut       = flag.Bool("json", false, "write the machine-readable report (or facts dump) to stdout")
 		includeTests  = flag.Bool("include-tests", false, "also analyze in-package _test.go files (TestFiles-capable checks only)")
 		baselinePath  = flag.String("baseline", "", "baseline file of accepted findings to subtract")
+		diffPath      = flag.String("diff", "", "committed report to diff against: report everything, but exit 1 only on findings absent from it")
 		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 		updateWire    = flag.Bool("update-wirelock", false, "regenerate wire.lock artifacts for matched packages and exit")
-		showFacts     = flag.Bool("facts", false, "print exported module functions carrying the performs-I/O fact and exit")
+		showFacts     = flag.Bool("facts", false, "dump the cross-package fact lattices and lock-order graph, then exit")
 		typeWarn      = flag.Bool("typewarnings", false, "print type-check problems encountered while loading")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("checks:")
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("fact lattices:")
+		for _, la := range lint.Lattices() {
+			fmt.Printf("  %-14s %s\n", la.Name, la.Doc)
 		}
 		return
+	}
+	if *baselinePath != "" && *diffPath != "" {
+		fatal(fmt.Errorf("hermes-lint: -baseline and -diff are mutually exclusive (both subtract accepted findings)"))
 	}
 
 	analyzers, err := lint.Select(*only, *skip)
@@ -89,6 +108,14 @@ func main() {
 	if len(pkgs) == 0 {
 		fatal(fmt.Errorf("hermes-lint: no packages matched %v", patterns))
 	}
+	// A syntactically broken dependency is a load failure, not a lint
+	// finding: type-check recovery would analyze around it and exit 0.
+	if errs := loader.HardErrors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "hermes-lint: load: %v\n", e)
+		}
+		os.Exit(2)
+	}
 	if *typeWarn {
 		for _, pkg := range pkgs {
 			for _, terr := range pkg.TypeErrors {
@@ -112,11 +139,39 @@ func main() {
 
 	// Facts span every package reached during loading, not just the pattern
 	// targets: a lockheldio finding in a target package may hinge on I/O
-	// buried in a dependency.
+	// buried in a dependency, and the lock-order graph is module-wide by
+	// construction.
 	facts := lint.ComputeFacts(loader.Cached())
 	if *showFacts {
-		for _, fn := range facts.IOFuncs() {
-			fmt.Println(fn)
+		dump := facts.Dump(loader.ModuleRoot)
+		if *jsonOut {
+			data, err := dump.MarshalIndent()
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		for _, fn := range dump.IO {
+			fmt.Println("io       " + fn)
+		}
+		for _, fn := range dump.Alloc {
+			fmt.Println("alloc    " + fn)
+		}
+		for _, fn := range dump.Blocks {
+			fmt.Println("blocks   " + fn)
+		}
+		for _, a := range dump.Acquires {
+			fmt.Printf("acquires %s -> %v\n", a.Func, a.Mutexes)
+		}
+		for _, e := range dump.LockEdges {
+			via := ""
+			if e.Via != "" {
+				via = " via " + e.Via
+			}
+			fmt.Printf("lockedge %s -> %s at %s in %s%s\n", e.From, e.To, e.Pos, e.Func, via)
 		}
 		return
 	}
@@ -149,6 +204,23 @@ func main() {
 		}
 	}
 
+	// -diff gates, it does not filter: the JSON report keeps every current
+	// finding (so the archived artifact refreshes each run), while the exit
+	// status and the text listing consider only findings the committed
+	// report does not already carry.
+	gate := findings
+	if *diffPath != "" {
+		base, err := lint.LoadBaseline(*diffPath)
+		if err != nil {
+			fatal(err)
+		}
+		var absorbed int
+		gate, absorbed, _ = base.Filter(findings, loader.ModuleRoot)
+		if absorbed > 0 {
+			fmt.Fprintf(os.Stderr, "hermes-lint: diff base %s absorbed %d finding(s)\n", *diffPath, absorbed)
+		}
+	}
+
 	if *jsonOut {
 		report := lint.NewReport(loader.ModulePath, loader.ModuleRoot, pkgs, analyzers, findings)
 		data, err := report.MarshalIndent()
@@ -160,7 +232,7 @@ func main() {
 		}
 	} else {
 		cwd, _ := os.Getwd()
-		for _, f := range findings {
+		for _, f := range gate {
 			pos := f.Pos
 			if cwd != "" {
 				if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
@@ -170,8 +242,12 @@ func main() {
 			fmt.Printf("%s: %s (%s)\n", pos, f.Msg, f.Check)
 		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "hermes-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if len(gate) > 0 {
+		what := "finding(s)"
+		if *diffPath != "" {
+			what = "new finding(s)"
+		}
+		fmt.Fprintf(os.Stderr, "hermes-lint: %d %s in %d package(s)\n", len(gate), what, len(pkgs))
 		os.Exit(1)
 	}
 }

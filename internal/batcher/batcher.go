@@ -42,6 +42,12 @@ type Batcher struct {
 	pending []*request
 	timer   *time.Timer
 	closed  bool
+	// timerFlushes counts armed wait timers whose flushTimer callback has
+	// not finished: time.AfterFunc runs the callback on its own goroutine,
+	// and Timer.Stop does not wait for a callback already in flight. Close
+	// drains this before returning so no flush (and no cfg.Process call)
+	// outlives it.
+	timerFlushes sync.WaitGroup
 
 	flushes, queriesServed int64
 
@@ -95,7 +101,10 @@ func (b *Batcher) Search(q []float32) ([]vec.Neighbor, error) {
 		b.mu.Unlock()
 		b.flush(batch)
 	case len(b.pending) == 1:
-		// First arrival arms the wait timer.
+		// First arrival arms the wait timer. The Add is balanced by
+		// flushTimer when the callback runs, or by takeLocked when a
+		// successful Stop proves it never will.
+		b.timerFlushes.Add(1)
 		b.timer = time.AfterFunc(b.cfg.MaxWait, b.flushTimer)
 		b.mu.Unlock()
 	default:
@@ -111,13 +120,19 @@ func (b *Batcher) takeLocked() []*request {
 	b.pending = nil
 	b.queueDepth.Set(0)
 	if b.timer != nil {
-		b.timer.Stop()
+		if b.timer.Stop() {
+			// Stopped before firing: the callback never runs, so settle
+			// its Add here. A false return means flushTimer is already
+			// running (or queued) and settles it itself.
+			b.timerFlushes.Done()
+		}
 		b.timer = nil
 	}
 	return batch
 }
 
 func (b *Batcher) flushTimer() {
+	defer b.timerFlushes.Done()
 	b.mu.Lock()
 	batch := b.takeLocked()
 	b.mu.Unlock()
@@ -176,7 +191,9 @@ func (b *Batcher) Stats() Stats {
 	return s
 }
 
-// Close flushes any pending batch and rejects future Searches.
+// Close flushes any pending batch, rejects future Searches, and waits for
+// any in-flight timer flush to finish, so cfg.Process is never entered
+// after Close returns (callers tear down the processor right after).
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -187,4 +204,5 @@ func (b *Batcher) Close() {
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	b.flush(batch)
+	b.timerFlushes.Wait()
 }

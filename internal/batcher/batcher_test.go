@@ -169,3 +169,31 @@ func TestCloseFlushesAndRejects(t *testing.T) {
 	}
 	b.Close() // double close is safe
 }
+
+// TestCloseWaitsForTimerFlush pins the Close drain contract: time.AfterFunc
+// runs flushTimer on its own goroutine and Timer.Stop does not wait for a
+// callback already in flight, so without the WaitGroup drain Close could
+// return while cfg.Process was still executing — and callers tear down the
+// processor right after Close.
+func TestCloseWaitsForTimerFlush(t *testing.T) {
+	var inFlight, finished atomic.Int32
+	b, err := New(Config{MaxBatch: 100, MaxWait: time.Millisecond,
+		Process: func(qs [][]float32) ([][]vec.Neighbor, error) {
+			inFlight.Add(1)
+			time.Sleep(30 * time.Millisecond) // Close must outwait this
+			finished.Add(1)
+			return echoProcess(qs)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Search([]float32{1})
+	// Wait for the timer flush to enter Process, then race Close against it.
+	for inFlight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if got := finished.Load(); got != 1 {
+		t.Fatalf("Close returned with %d Process calls finished, want 1 (flush still in flight)", got)
+	}
+}

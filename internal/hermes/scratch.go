@@ -1,6 +1,8 @@
 package hermes
 
 import (
+	"time"
+
 	"repro/internal/ivf"
 	"repro/internal/vec"
 )
@@ -15,6 +17,8 @@ type rankedShard struct {
 // sortRanked orders shards ascending by score with a stable insertion sort.
 // Shard counts are small (the paper deploys 10-40), where insertion sort wins
 // and — unlike sort.Slice — costs no closure allocation in the hot path.
+//
+//hermes:hotpath
 func sortRanked(order []rankedShard) {
 	for i := 1; i < len(order); i++ {
 		x := order[i]
@@ -51,6 +55,8 @@ func (st *Store) getScratch() *searchScratch {
 }
 
 // topK returns the scratch's top-k selector reset for a fresh query.
+//
+//hermes:hotpath
 func (sc *searchScratch) topK(k int) *vec.TopK {
 	if sc.tk == nil {
 		sc.tk = vec.NewTopK(k)
@@ -63,13 +69,21 @@ func (sc *searchScratch) topK(k int) *vec.TopK {
 // searchShard runs one shard query through the scratch's warmed Searcher,
 // reusing the shared result buffer and timing the scan against the shard's
 // per-quantizer histogram (a no-op without SetTelemetry).
+//
+//hermes:hotpath
 func (st *Store) searchShard(sc *searchScratch, s int, q []float32, k, nProbe int) ([]vec.Neighbor, ivf.SearchStats) {
 	if sc.samplers[s] == nil {
 		sc.samplers[s] = st.Shards[s].Index.NewSearcher()
 	}
-	stop := st.met.scanTimer(s)
+	h := st.met.scanHist(s)
+	var t0 time.Time
+	if h != nil {
+		t0 = now()
+	}
 	res, stats := sc.samplers[s].Search(sc.buf[:0], q, k, nProbe)
-	stop()
+	if h != nil {
+		h.ObserveDuration(now().Sub(t0))
+	}
 	sc.buf = res
 	return res, stats
 }

@@ -6,8 +6,9 @@ import (
 	"repro/internal/telemetry"
 )
 
-// now is the injectable clock seam for the flight-recorder timestamps; the
-// untraced, recorder-less hot path never reads it.
+// now is the injectable clock seam for the flight-recorder timestamps and
+// the gated scan timing in searchShard; with telemetry and recording
+// disabled the hot path never reads it.
 var now = time.Now
 
 // storeMetrics holds the resolved metric handles for the in-process search
@@ -25,14 +26,17 @@ type storeMetrics struct {
 	scanSeconds []*telemetry.Histogram
 }
 
-// scanTimer starts timing a scan of shard s; the returned stop func records
-// it. Safe on the zero value and out-of-range shards.
-func (m *storeMetrics) scanTimer(s int) func() {
-	if s >= len(m.scanSeconds) {
-		var h *telemetry.Histogram
-		return h.Timer()
+// scanHist returns the histogram timing scans of shard s, or nil when
+// telemetry is disabled (zero value) or s is out of range. Callers gate
+// their clock reads on the returned handle and record through
+// ObserveDuration: unlike Histogram.Timer, whose stop func is a fresh
+// closure capturing the start time, this keeps the scan path
+// allocation-free (hotpathalloc flagged the Timer call in searchShard).
+func (m *storeMetrics) scanHist(s int) *telemetry.Histogram {
+	if s < len(m.scanSeconds) {
+		return m.scanSeconds[s]
 	}
-	return m.scanSeconds[s].Timer()
+	return nil
 }
 
 // SetRecorder points the store's flight-recorder hook at rec: every Search/

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file recognizes syntactic heap-allocation sites. It feeds two
+// consumers: the alloc fact lattice (a function with an ungated site on its
+// straight-line path "allocates"), and the hotpathalloc analyzer, which
+// reports each site inside a //hermes:hotpath function.
+//
+// The scan is a contract checker, not an escape analysis: it flags the
+// allocation idioms PR 3's zero-allocation audit actually evicted from the
+// scan loop, and deliberately exempts the two idioms that audit kept:
+//
+//   - append whose destination derives from a function parameter or the
+//     receiver: growth is amortized against caller-owned (usually pooled)
+//     backing, the AppendResults(dst) / scratch-buffer pattern;
+//   - captureless function literals: the compiler backs them with a static
+//     singleton, so `return func() {}` costs nothing.
+//
+// Sites lexically gated behind a conditional (if body, case clause, select
+// clause — see gatedByConditional) are excluded everywhere: the gated slow
+// path (pool warm-up, armed tracing, error formatting) is allowed to
+// allocate. Taking the address of a plain local (&x escaping) and implicit
+// interface boxing at call boundaries are out of scope; the latter is
+// covered where it matters by the allocFuncs seed on fmt-style calls.
+
+// allocSite is one recognized heap-allocation site.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocSites returns the ungated heap-allocation sites on fd's
+// straight-line path, in source order. Function literal bodies are not
+// descended into (they run on their own schedule); a literal that captures
+// variables is itself a site.
+func allocSites(info *types.Info, fd *ast.FuncDecl) []allocSite {
+	owned := ownedVars(info, fd)
+	var sites []allocSite
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if !gatedByConditional(stack, lit.Pos()) && capturesVariables(info, lit) {
+				sites = append(sites, allocSite{lit.Pos(), "function literal capturing variables (closure allocation)"})
+			}
+			return false
+		}
+		stack = append(stack, n)
+		gated := func(pos token.Pos) bool { return gatedByConditional(stack, pos) }
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if !gated(x.Pos()) {
+				sites = append(sites, allocSite{x.Pos(), "go statement (allocates a goroutine)"})
+			}
+		case *ast.CallExpr:
+			if gated(x.Pos()) {
+				return true
+			}
+			if what := allocCallKind(info, x, owned); what != "" {
+				sites = append(sites, allocSite{x.Pos(), what})
+			}
+		case *ast.CompositeLit:
+			if gated(x.Pos()) {
+				return true
+			}
+			if what := compositeLitKind(info, x, stack); what != "" {
+				sites = append(sites, allocSite{x.Pos(), what})
+			}
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD || gated(x.Pos()) {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
+				// Constant-folded concatenation has tv.Value set; only the
+				// runtime concatenations building a fresh string count.
+				sites = append(sites, allocSite{x.Pos(), "string concatenation"})
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// allocCallKind classifies a call expression as an allocation site:
+// make/new builtins, growth-capable append, and allocating conversions.
+// Calls to allocating functions are the fact engine's job, not a site.
+func allocCallKind(info *types.Info, call *ast.CallExpr, owned map[*types.Var]bool) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, builtin := info.Uses[fun].(*types.Builtin); builtin {
+			switch fun.Name {
+			case "make":
+				return "make call"
+			case "new":
+				return "new call"
+			case "append":
+				if len(call.Args) > 0 && derivesFrom(info, call.Args[0], owned) {
+					return "" // caller-amortized growth: dst/scratch pattern
+				}
+				return "append that may grow its backing array"
+			}
+			return ""
+		}
+	}
+	// Allocating conversions: string <-> byte/rune slice copies, and
+	// explicit interface conversions boxing a concrete operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return ""
+		}
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src):
+			return "string conversion copying a byte/rune slice"
+		case isByteOrRuneSlice(dst) && isString(src):
+			return "slice conversion copying a string"
+		case types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()):
+			return "interface conversion boxing its operand"
+		}
+	}
+	return ""
+}
+
+// compositeLitKind classifies a composite literal: slice and map literals
+// always allocate backing storage; a struct or array literal allocates only
+// when its address is taken (&T{...}).
+func compositeLitKind(info *types.Info, lit *ast.CompositeLit, stack []ast.Node) string {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice literal"
+	case *types.Map:
+		return "map literal"
+	}
+	if len(stack) >= 2 {
+		if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == lit {
+			return "composite literal whose address is taken"
+		}
+	}
+	return ""
+}
+
+// ownedVars is the set of variables whose backing the caller owns: the
+// receiver and every parameter (including results, which the caller also
+// observes). append through them is the amortized-growth pattern.
+func ownedVars(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	owned := make(map[*types.Var]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					owned[v] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		add(fd.Recv)
+	}
+	if fd.Type != nil {
+		add(fd.Type.Params)
+		add(fd.Type.Results)
+	}
+	return owned
+}
+
+// derivesFrom reports whether the expression's base identifier resolves to
+// one of the owned variables: dst, t.heap, sc.buf[i], (*p).out, ...
+func derivesFrom(info *types.Info, e ast.Expr, owned map[*types.Var]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			return ok && owned[v]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// capturesVariables reports whether the function literal references any
+// variable declared outside itself (receiver/params/locals of the enclosing
+// function). Package-level variables and struct fields do not force a
+// closure allocation by themselves.
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// allocFuncs are standard-library helpers that heap-allocate on every
+// invocation — the alloc lattice's seed. The core is the fmt family plus
+// errors.New (the calls PR 3's zero-allocation audit evicted from the scan
+// loop), extended with the common string/slice builders and timer
+// constructors; it is a curated contract list, not an escape analysis.
+var allocFuncs = map[[2]string]bool{
+	{"fmt", "Sprint"}:          true,
+	{"fmt", "Sprintf"}:         true,
+	{"fmt", "Sprintln"}:        true,
+	{"fmt", "Errorf"}:          true,
+	{"fmt", "Appendf"}:         true,
+	{"errors", "New"}:          true,
+	{"errors", "Join"}:         true,
+	{"strconv", "Itoa"}:        true,
+	{"strconv", "Quote"}:       true,
+	{"strconv", "FormatInt"}:   true,
+	{"strconv", "FormatFloat"}: true,
+	{"strings", "Join"}:        true,
+	{"strings", "Repeat"}:      true,
+	{"strings", "Replace"}:     true,
+	{"strings", "ReplaceAll"}:  true,
+	{"strings", "Split"}:       true,
+	{"strings", "Fields"}:      true,
+	{"strings", "ToUpper"}:     true,
+	{"strings", "ToLower"}:     true,
+	{"strings", "Clone"}:       true,
+	{"bytes", "Join"}:          true,
+	{"bytes", "Repeat"}:        true,
+	{"bytes", "Clone"}:         true,
+	{"time", "NewTimer"}:       true,
+	{"time", "NewTicker"}:      true,
+	{"time", "After"}:          true,
+	{"time", "Tick"}:           true,
+	{"time", "AfterFunc"}:      true,
+	{"context", "WithCancel"}:  true,
+	{"context", "WithTimeout"}: true,
+	{"sync", "NewCond"}:        true,
+}
+
+// allocMethods are (package, receiver, method) triples that allocate:
+// snapshotting builders into fresh strings.
+var allocMethods = map[[3]string]bool{
+	{"strings", "Builder", "String"}: true,
+	{"bytes", "Buffer", "String"}:    true,
+}
+
+// stdlibAlloc is the alloc lattice's seed predicate.
+func stdlibAlloc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if allocFuncs[[2]string{path, fn.Name()}] {
+		return true
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return allocMethods[[3]string{path, recv, fn.Name()}]
+	}
+	return false
+}

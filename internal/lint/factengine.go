@@ -1,0 +1,660 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the cross-package fact engine: a monotone-fixpoint framework
+// over the module's statically resolved call graph. Each fact is a lattice
+// registered like an analyzer (see Lattices) and computed once per driver
+// run, before any analyzer sees a package:
+//
+//   - io:       the function transitively performs I/O or blocks on the
+//     outside world (network, file system, sleeps, stream codecs)
+//   - alloc:    the function heap-allocates on its straight-line path —
+//     allocation sites or allocating calls NOT gated behind a conditional
+//   - acquires: the set of mutex class identities (see mutexID) the
+//     function may take, directly or through callees
+//   - blocks:   the function contains a channel/select/sync rendezvous —
+//     the termination signals goroutineleak looks for
+//
+// All lattices are monotone (facts only turn on / sets only grow), so the
+// fixpoint is order-independent and the result deterministic. Calls that
+// cannot be resolved statically (function values, module-defined interface
+// methods) contribute no fact — the engine under-approximates rather than
+// guess. Propagation is lattice-specific in one dimension: the io, blocks,
+// and acquires facts flow through every resolved call, while alloc flows
+// only through ungated calls outside function literals, because the fact it
+// encodes is "the common path allocates", and a call inside an `if traced`
+// body is exactly the gated slow path the hot-path contract permits.
+//
+// On top of the acquires fixpoint the engine extracts the module-wide
+// lock-acquisition-order graph (LockEdges): an edge A -> B is witnessed
+// wherever a function acquires B — directly or by calling something whose
+// acquires set contains B — while holding A. The lockorder analyzer reports
+// cycles in this graph.
+
+// LatticeInfo describes one registered fact lattice for -list.
+type LatticeInfo struct {
+	Name string
+	Doc  string
+}
+
+// Lattices returns the registered fact lattices in stable order.
+func Lattices() []LatticeInfo {
+	return []LatticeInfo{
+		{"io", "function transitively performs I/O or blocks on the outside world (network, files, sleeps, stream codecs)"},
+		{"alloc", "function heap-allocates on its straight-line path (sites and calls not gated behind a conditional)"},
+		{"acquires", "set of mutex class identities (type.field or package var) the function may acquire, transitively"},
+		{"blocks", "function contains a channel, select, or sync rendezvous (WaitGroup/Cond/ctx.Done) — a termination signal"},
+	}
+}
+
+// Facts holds the cross-package fact maps computed once per driver run over
+// every loaded module package, before any analyzer runs.
+type Facts struct {
+	fset     *token.FileSet
+	io       map[*types.Func]bool
+	alloc    map[*types.Func]bool
+	blocks   map[*types.Func]bool
+	acquires map[*types.Func][]string
+	edges    []LockEdge
+	edgeSeen map[[2]string]bool
+}
+
+// LockEdge is one witnessed lock-order edge: while From was held, To was
+// acquired — directly, or transitively through the call named by Via.
+type LockEdge struct {
+	From string // mutex identity held
+	To   string // mutex identity acquired under it
+	Pos  token.Pos
+	Func string // "pkgpath.Func" containing the witness
+	Via  string // callee display name when the acquisition is transitive, else ""
+}
+
+// PerformsIO reports whether fn is known to (transitively) perform I/O or
+// block: either a standard-library I/O primitive or a module function whose
+// body reaches one. A nil Facts answers using the stdlib model alone.
+func (fc *Facts) PerformsIO(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibIO(fn) {
+		return true
+	}
+	return fc != nil && fc.io[fn]
+}
+
+// Allocates reports whether fn is known to heap-allocate on its
+// straight-line (ungated) path: an allocating stdlib helper, or a module
+// function whose ungated body reaches an allocation site.
+func (fc *Facts) Allocates(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibAlloc(fn) {
+		return true
+	}
+	return fc != nil && fc.alloc[fn]
+}
+
+// Blocks reports whether fn is known to (transitively) reach a channel,
+// select, or sync rendezvous — the reachable-termination-signal test
+// goroutineleak applies to spawned functions.
+func (fc *Facts) Blocks(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibBlocks(fn) {
+		return true
+	}
+	return fc != nil && fc.blocks[fn]
+}
+
+// Acquires returns the sorted mutex class identities fn may acquire,
+// directly or through callees. Nil Facts (or an unknown fn) answers nil.
+func (fc *Facts) Acquires(fn *types.Func) []string {
+	if fc == nil || fn == nil {
+		return nil
+	}
+	return fc.acquires[fn]
+}
+
+// LockEdges returns the module-wide lock-acquisition-order graph, one edge
+// per distinct (From, To) pair, first witness wins, in deterministic order.
+func (fc *Facts) LockEdges() []LockEdge {
+	if fc == nil {
+		return nil
+	}
+	return fc.edges
+}
+
+// IOFuncs returns the exported module functions carrying the performs-I/O
+// fact, as "pkgpath.FuncName" strings in sorted order — a stable surface
+// for tests and the original -facts view.
+func (fc *Facts) IOFuncs() []string {
+	if fc == nil {
+		return nil
+	}
+	var out []string
+	for fn := range fc.io {
+		if !fn.Exported() || fn.Pkg() == nil {
+			continue
+		}
+		out = append(out, fn.Pkg().Path()+"."+funcDisplayName(fn))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		// The caller prefixes the package path, so render the receiver
+		// unqualified: pkg/path.Recv.Method, not pkg/path.pkg.Recv.Method.
+		s := types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" })
+		return strings.TrimPrefix(strings.TrimPrefix(s, "*"), ".") + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// qualifiedName is "pkgpath.Func" / "pkgpath.Recv.Method".
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + funcDisplayName(fn)
+}
+
+// callSite is one statically resolved call out of a function body, with the
+// lexical context the per-lattice propagation rules consult.
+type callSite struct {
+	fn     *types.Func
+	gated  bool // inside the body of an enclosing if/case/select clause
+	inLit  bool // inside a function literal (runs on its own schedule)
+	goCall bool // the direct call of a go statement (runs elsewhere)
+}
+
+// declInfo pairs a module function with its body and resolved call sites.
+type declInfo struct {
+	fn    *types.Func
+	fd    *ast.FuncDecl
+	pkg   *Package
+	calls []callSite
+}
+
+// ComputeFacts builds the cross-package fact set over pkgs (typically
+// Loader.Cached(): every module package reached while loading). It walks
+// each function body once to record static call edges and per-lattice local
+// facts, runs every lattice to fixpoint, then extracts the lock-order graph
+// under the final acquires sets.
+func ComputeFacts(pkgs []*Package) *Facts {
+	fc := &Facts{
+		io:       make(map[*types.Func]bool),
+		alloc:    make(map[*types.Func]bool),
+		blocks:   make(map[*types.Func]bool),
+		acquires: make(map[*types.Func][]string),
+		edgeSeen: make(map[[2]string]bool),
+	}
+	var decls []*declInfo
+	for _, pkg := range pkgs {
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		if fc.fset == nil {
+			fc.fset = pkg.Fset
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls = append(decls, &declInfo{
+					fn:    fn,
+					fd:    fd,
+					pkg:   pkg,
+					calls: collectCalls(pkg.Info, fd),
+				})
+			}
+		}
+	}
+
+	// Bool lattices. io and blocks flow through every resolved call; alloc
+	// only through ungated, non-literal, non-go calls (see file comment).
+	anyCall := func(callSite) bool { return true }
+	straightLine := func(c callSite) bool { return !c.gated && !c.inLit && !c.goCall }
+	fixBool(decls, fc.io, stdlibIO,
+		func(*declInfo) bool { return false }, anyCall)
+	fixBool(decls, fc.blocks, stdlibBlocks,
+		func(di *declInfo) bool { return blocksLocally(di.pkg.Info, di.fd.Body) }, anyCall)
+	fixBool(decls, fc.alloc, stdlibAlloc,
+		func(di *declInfo) bool { return len(allocSites(di.pkg.Info, di.fd)) > 0 }, straightLine)
+
+	// Acquires: set-union fixpoint over mutex identities. Calls inside
+	// function literals and go statements run on another goroutine's stack
+	// and do not make THIS function an acquirer.
+	acq := make(map[*types.Func]map[string]bool)
+	for _, di := range decls {
+		ids := make(map[string]bool)
+		for _, id := range acquiredMutexIDs(di.pkg.Info, di.fd) {
+			ids[id] = true
+		}
+		acq[di.fn] = ids
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, di := range decls {
+			have := acq[di.fn]
+			for _, c := range di.calls {
+				if c.inLit || c.goCall {
+					continue
+				}
+				for id := range acq[c.fn] {
+					if !have[id] {
+						have[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for fn, ids := range acq {
+		if len(ids) == 0 {
+			continue
+		}
+		sorted := make([]string, 0, len(ids))
+		for id := range ids {
+			sorted = append(sorted, id)
+		}
+		sort.Strings(sorted)
+		fc.acquires[fn] = sorted
+	}
+
+	// Lock-order graph, under the final acquires sets. Decl order is
+	// deterministic (sorted packages, file order, source order), so the
+	// first-witness-wins dedup is too.
+	for _, di := range decls {
+		fc.collectLockEdges(di)
+	}
+	return fc
+}
+
+// fixBool runs one bool lattice to fixpoint: val(fn) = local(fn) OR any
+// use-eligible callee with seed or val.
+func fixBool(decls []*declInfo, val map[*types.Func]bool, seed func(*types.Func) bool, local func(*declInfo) bool, use func(callSite) bool) {
+	for _, di := range decls {
+		if local(di) {
+			val[di.fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, di := range decls {
+			if val[di.fn] {
+				continue
+			}
+			for _, c := range di.calls {
+				if !use(c) {
+					continue
+				}
+				if seed(c.fn) || val[c.fn] {
+					val[di.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// collectCalls records the statically resolved calls out of fd with their
+// lexical context (gated / in a function literal / a go statement's call).
+func collectCalls(info *types.Info, fd *ast.FuncDecl) []callSite {
+	var out []callSite
+	var stack []ast.Node
+	litDepth := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok {
+				litDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			litDepth++
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		goCall := false
+		if len(stack) >= 2 {
+			if g, ok := stack[len(stack)-2].(*ast.GoStmt); ok && g.Call == call {
+				goCall = true
+			}
+		}
+		out = append(out, callSite{
+			fn:     callee,
+			gated:  gatedByConditional(stack, call.Pos()),
+			inLit:  litDepth > 0,
+			goCall: goCall,
+		})
+		return true
+	})
+	return out
+}
+
+// collectLockEdges walks one function with the held-set walker, adding a
+// lock-order edge for every acquisition (direct or via a callee's acquires
+// set) made while another identified mutex is held.
+func (fc *Facts) collectLockEdges(di *declInfo) {
+	info := di.pkg.Info
+	ids := make(map[string]string) // receiver source text -> mutex identity
+	lw := &lockWalker{
+		info: info,
+		onAcquire: func(l heldLock, held []heldLock) {
+			id := mutexID(info, l.sel)
+			ids[l.expr] = id
+			for _, h := range held {
+				fc.addEdge(ids[h.expr], id, l.pos, di.fn, "")
+			}
+		},
+		onNode: func(n ast.Node, held []heldLock) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return
+			}
+			for _, to := range fc.acquires[callee] {
+				for _, h := range held {
+					fc.addEdge(ids[h.expr], to, call.Pos(), di.fn, calleeDisplay(callee))
+				}
+			}
+		},
+	}
+	lw.stmts(di.fd.Body.List, nil)
+}
+
+func (fc *Facts) addEdge(from, to string, pos token.Pos, in *types.Func, via string) {
+	if from == "" || to == "" || from == to {
+		// Unidentified mutexes (locals, anonymous types) carry no class
+		// identity; same-class self-edges are instance conflation
+		// (shard[i].mu then shard[j].mu), not an ordering fact.
+		return
+	}
+	key := [2]string{from, to}
+	if fc.edgeSeen[key] {
+		return
+	}
+	fc.edgeSeen[key] = true
+	fc.edges = append(fc.edges, LockEdge{From: from, To: to, Pos: pos, Func: qualifiedName(in), Via: via})
+}
+
+// --- stdlib seed models ---
+
+// ioPackages are standard-library packages whose every function and method
+// is treated as performing (or potentially blocking on) I/O. The set is
+// deliberately coarse: holding a mutex across *any* call into these packages
+// is at best suspicious, and a false positive costs one reviewed
+// //lint:ignore line.
+var ioPackages = map[string]bool{
+	"net":          true,
+	"os":           true,
+	"os/exec":      true,
+	"os/signal":    true,
+	"io":           true,
+	"io/fs":        true,
+	"io/ioutil":    true,
+	"bufio":        true,
+	"syscall":      true,
+	"database/sql": true,
+	"crypto/tls":   true,
+	"crypto/rand":  true,
+	"log":          true,
+	"log/slog":     true,
+}
+
+// ioFuncs lists (package, name) pairs treated as I/O in packages that are
+// otherwise pure: blocking sleeps, the stream codecs (whose Encode/Decode
+// drive an underlying reader/writer), and fmt's writer-directed helpers.
+// fmt.Sprintf and friends stay exempt — they allocate but never block
+// (they seed the alloc lattice instead; see allocFuncs).
+var ioFuncs = map[[2]string]bool{
+	{"time", "Sleep"}:   true,
+	{"fmt", "Print"}:    true,
+	{"fmt", "Printf"}:   true,
+	{"fmt", "Println"}:  true,
+	{"fmt", "Fprint"}:   true,
+	{"fmt", "Fprintf"}:  true,
+	{"fmt", "Fprintln"}: true,
+	{"fmt", "Scan"}:     true,
+	{"fmt", "Scanf"}:    true,
+	{"fmt", "Scanln"}:   true,
+	{"fmt", "Fscan"}:    true,
+	{"fmt", "Fscanf"}:   true,
+	{"fmt", "Fscanln"}:  true,
+}
+
+// ioCodecPackages are packages whose Encoder/Decoder methods stream to an
+// underlying writer/reader (network or file in every serving-path use).
+// Their pure value<->bytes functions (json.Marshal, ...) carry no fact.
+var ioCodecPackages = map[string]bool{
+	"encoding/gob":  true,
+	"encoding/json": true,
+	"encoding/xml":  true,
+}
+
+// stdlibIO is the io lattice's seed predicate: does this standard-library
+// (or otherwise AST-less) function perform I/O by the curated model above?
+func stdlibIO(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if ioPackages[path] || strings.HasPrefix(path, "net/") {
+		return true
+	}
+	if ioFuncs[[2]string{path, fn.Name()}] {
+		return true
+	}
+	if ioCodecPackages[path] {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := receiverName(sig.Recv().Type())
+			if strings.HasSuffix(recv, "Encoder") || strings.HasSuffix(recv, "Decoder") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stdlibBlocks is the blocks lattice's seed: standard-library rendezvous
+// and termination-signal primitives. time.Sleep is deliberately absent — a
+// sleep loop has no exit rendezvous, which is exactly what goroutineleak
+// should flag.
+func stdlibBlocks(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "sync":
+		switch recvTypeName(fn) {
+		case "WaitGroup":
+			return name == "Wait" || name == "Done"
+		case "Cond":
+			return name == "Wait" || name == "Signal" || name == "Broadcast"
+		}
+	case "context":
+		// ctx.Done()/ctx.Err() in a spawned function are cancellation
+		// checks — the termination signals the leak check looks for.
+		return name == "Done" || name == "Err"
+	}
+	return false
+}
+
+// recvTypeName is the bare named-type name of fn's receiver ("WaitGroup"
+// for (*sync.WaitGroup).Wait), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// blocksLocally reports whether the body contains a channel operation:
+// send, receive, select, range over a channel, or close.
+func blocksLocally(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// --- -facts dump ---
+
+// FactsDump is the machine-readable -facts view: every module function
+// carrying each fact (exported or not), the acquires sets, and the
+// lock-order graph, all in sorted order so two runs are byte-identical.
+type FactsDump struct {
+	IO        []string       `json:"io"`
+	Alloc     []string       `json:"alloc"`
+	Blocks    []string       `json:"blocks"`
+	Acquires  []AcquireJSON  `json:"acquires"`
+	LockEdges []LockEdgeJSON `json:"lock_edges"`
+}
+
+// AcquireJSON is one function's transitive mutex acquisition set.
+type AcquireJSON struct {
+	Func    string   `json:"func"`
+	Mutexes []string `json:"mutexes"`
+}
+
+// LockEdgeJSON is one lock-order edge with its witness position rendered
+// module-relative.
+type LockEdgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Func string `json:"func"`
+	Via  string `json:"via,omitempty"`
+	Pos  string `json:"pos"`
+}
+
+// Dump renders the fact set for -facts. moduleRoot anchors witness
+// positions the way Report anchors finding paths.
+func (fc *Facts) Dump(moduleRoot string) *FactsDump {
+	d := &FactsDump{
+		IO:        []string{},
+		Alloc:     []string{},
+		Blocks:    []string{},
+		Acquires:  []AcquireJSON{},
+		LockEdges: []LockEdgeJSON{},
+	}
+	if fc == nil {
+		return d
+	}
+	names := func(m map[*types.Func]bool) []string {
+		out := make([]string, 0, len(m))
+		for fn := range m {
+			out = append(out, qualifiedName(fn))
+		}
+		sort.Strings(out)
+		return out
+	}
+	d.IO = names(fc.io)
+	d.Alloc = names(fc.alloc)
+	d.Blocks = names(fc.blocks)
+	for fn, ids := range fc.acquires {
+		d.Acquires = append(d.Acquires, AcquireJSON{Func: qualifiedName(fn), Mutexes: ids})
+	}
+	sort.Slice(d.Acquires, func(i, j int) bool { return d.Acquires[i].Func < d.Acquires[j].Func })
+	for _, e := range fc.edges {
+		pos := ""
+		if fc.fset != nil {
+			p := fc.fset.Position(e.Pos)
+			pos = moduleRel(moduleRoot, p.Filename) + ":" + strconv.Itoa(p.Line)
+		}
+		d.LockEdges = append(d.LockEdges, LockEdgeJSON{From: e.From, To: e.To, Func: e.Func, Via: e.Via, Pos: pos})
+	}
+	sort.Slice(d.LockEdges, func(i, j int) bool {
+		a, b := d.LockEdges[i], d.LockEdges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return d
+}
+
+// MarshalIndent renders the dump as stable, human-diffable JSON with a
+// trailing newline (golden files and CI artifacts want byte-exactness).
+func (d *FactsDump) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// calleeFunc statically resolves a call expression to the *types.Func it
+// invokes, or nil for function values, type conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

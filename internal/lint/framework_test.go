@@ -153,6 +153,106 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// loadFactdump loads the factdump fixture through a fresh loader and
+// returns the loader with both fixture packages (a and its dependency b)
+// in its cache.
+func loadFactdump(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join("testdata", "src", "factdump", "a"))
+	if err != nil {
+		t.Fatalf("Load factdump/a: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("factdump type error: %v", terr)
+		}
+	}
+	if got := len(l.Cached()); got != 2 {
+		t.Fatalf("Cached() has %d packages, want 2 (a and its dependency b)", got)
+	}
+	return l
+}
+
+// TestFactsDumpGolden pins the -facts -json dump byte-for-byte over the
+// factdump fixture: all four lattices populate (io crosses the a -> b
+// package boundary; alloc, blocks, and acquires are per-function; the
+// S.mu -> mu lock edge carries its witness), and the function-value
+// under-approximation is visible as data — a.hello is in the io list,
+// a.Indirect is not. Regenerate with -update-golden.
+func TestFactsDumpGolden(t *testing.T) {
+	l := loadFactdump(t)
+	fc := ComputeFacts(l.Cached())
+	data, err := fc.Dump(l.ModuleRoot).MarshalIndent()
+	if err != nil {
+		t.Fatalf("MarshalIndent: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "factdump.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if string(data) != string(golden) {
+		t.Errorf("facts dump drifted from golden:\n--- got ---\n%s--- want ---\n%s", data, golden)
+	}
+}
+
+// TestFactsDumpDeterministic runs the whole load -> fixpoint -> dump
+// pipeline twice from scratch: the JSON must come out byte-identical, or
+// the -diff gate and the archived facts artifact churn on every CI run.
+func TestFactsDumpDeterministic(t *testing.T) {
+	dump := func() string {
+		l := loadFactdump(t)
+		data, err := ComputeFacts(l.Cached()).Dump(l.ModuleRoot).MarshalIndent()
+		if err != nil {
+			t.Fatalf("MarshalIndent: %v", err)
+		}
+		return string(data)
+	}
+	first, second := dump(), dump()
+	if first != second {
+		t.Errorf("facts dump is not deterministic:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestLoaderHardErrors pins the exit-2 contract's loader half: a
+// dependency package that fails to parse surfaces through HardErrors even
+// though Load itself succeeds best-effort (go/types files the failure as a
+// type error of the importer and moves on).
+func TestLoaderHardErrors(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(filepath.Join("testdata", "src", "brokenimport"))
+	if err != nil {
+		t.Fatalf("Load brokenimport: %v (want best-effort success)", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	hard := l.HardErrors()
+	if len(hard) != 1 {
+		t.Fatalf("HardErrors() = %v, want exactly one (the dep parse failure)", hard)
+	}
+	if !strings.Contains(hard[0].Error(), "dep.go") {
+		t.Errorf("hard error %v does not name dep.go", hard[0])
+	}
+	// The broken dependency also shows up as a type error of the importer;
+	// both channels exist, but only HardErrors drives the exit code.
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Error("importer package has no type errors; expected the failed import to surface there too")
+	}
+}
+
 // TestBaselineRoundTrip pins baseline semantics: (check, file, msg) matching
 // that survives line drift, multiset budgets, and stale-entry reporting,
 // through a write/load round trip.
@@ -263,8 +363,8 @@ func TestAnalyzerRegistryComplete(t *testing.T) {
 			t.Errorf("analyzer %q is in All() but no declaration was found", name)
 		}
 	}
-	if len(registered) < 10 {
-		t.Errorf("All() has %d analyzers, want at least 10", len(registered))
+	if len(registered) < 13 {
+		t.Errorf("All() has %d analyzers, want at least 13", len(registered))
 	}
 }
 
@@ -279,9 +379,12 @@ var raceCriticalPackages = []string{
 	"./internal/hermes/",
 }
 
-// TestVerifyScriptCoverage cross-checks scripts/verify.sh against this
-// package: the lint gate must run in -json mode saving the report artifact,
-// and the -race package list must match raceCriticalPackages exactly.
+// TestVerifyScriptCoverage cross-checks scripts/verify.sh and its lint
+// gate scripts/lint-diff.sh against this package: verify.sh must delegate
+// to lint-diff.sh; lint-diff.sh must refresh the committed report through
+// the -diff gate, re-gate test files, and archive the facts dump; the
+// committed lint-report.json must exist; and verify.sh's -race package
+// list must match raceCriticalPackages exactly.
 func TestVerifyScriptCoverage(t *testing.T) {
 	l, err := NewLoader(".")
 	if err != nil {
@@ -293,9 +396,28 @@ func TestVerifyScriptCoverage(t *testing.T) {
 	}
 	script := string(data)
 
-	lintLine := regexp.MustCompile(`(?m)^go run \./cmd/hermes-lint -json \./\.\.\. > lint-report\.json$`)
-	if !lintLine.MatchString(script) {
-		t.Error("verify.sh does not run `go run ./cmd/hermes-lint -json ./... > lint-report.json`")
+	if !regexp.MustCompile(`(?m)^\./scripts/lint-diff\.sh$`).MatchString(script) {
+		t.Error("verify.sh does not invoke ./scripts/lint-diff.sh")
+	}
+
+	diffData, err := os.ReadFile(filepath.Join(l.ModuleRoot, "scripts", "lint-diff.sh"))
+	if err != nil {
+		t.Fatalf("reading lint-diff.sh: %v", err)
+	}
+	diffScript := string(diffData)
+	for _, line := range []string{
+		`^go run \./cmd/hermes-lint -json -diff lint-report\.json \./\.\.\. > lint-report\.json\.tmp$`,
+		`^mv lint-report\.json\.tmp lint-report\.json$`,
+		`^go run \./cmd/hermes-lint -diff lint-report\.json -include-tests \./\.\.\.$`,
+		`^go run \./cmd/hermes-lint -facts -json \./\.\.\. > lint-facts\.json$`,
+	} {
+		if !regexp.MustCompile(`(?m)` + line).MatchString(diffScript) {
+			t.Errorf("lint-diff.sh is missing a line matching %s", line)
+		}
+	}
+
+	if _, err := os.Stat(filepath.Join(l.ModuleRoot, "lint-report.json")); err != nil {
+		t.Errorf("committed diff base lint-report.json: %v", err)
 	}
 
 	raceLine := regexp.MustCompile(`(?m)^go test -race (.+)$`).FindStringSubmatch(script)

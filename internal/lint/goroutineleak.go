@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLeak flags `go f(...)` statements in the request-path packages
+// whose spawned function has no reachable termination signal: no channel
+// send/receive/select/close, no WaitGroup.Wait/Done, no Cond rendezvous,
+// no ctx.Done()/ctx.Err() check — judged transitively with the fact
+// engine's blocks lattice. A goroutine with no exit rendezvous runs until
+// process death: under the paper's steady query load each leaked spawn is
+// permanent memory plus a runnable the scheduler keeps servicing, the
+// slow-burn failure mode that only shows up as p99 drift hours in. On the
+// serving path every goroutine must be joined (WaitGroup), cancelled
+// (context), or fed through a channel whose close ends it.
+//
+// Scope is deliberately tight. Only the request-path packages are checked
+// (requestPathPkgs): a CLI spawning a helper for main's lifetime is fine.
+// Only *named* calls are checked: `go func() {...}()` literals are
+// goroutinectx's territory (it wants a visible completion mechanism at the
+// spawn site), and `go handler()` through a function value resolves to no
+// *types.Func — the engine under-approximates, so unresolvable spawns are
+// not flagged. The blocks fact itself over-approximates (any channel op in
+// the callee counts, related to termination or not); the check therefore
+// only fires when a goroutine provably has no rendezvous at all.
+//
+// A spawn that is genuinely fire-and-forget for the process lifetime takes
+// //lint:ignore goroutineleak <reason> at the go statement.
+var GoroutineLeak = &Analyzer{
+	Name:      "goroutineleak",
+	Doc:       "go statements in request-path packages need a reachable termination signal (channel, WaitGroup, or ctx.Done)",
+	Run:       runGoroutineLeak,
+	TestFiles: true,
+}
+
+// requestPathPkgs are the package *names* (not paths, so fixtures can
+// impersonate them) on the serving path, where goroutine lifetimes must be
+// bounded by a rendezvous.
+var requestPathPkgs = map[string]bool{
+	"distsearch": true,
+	"batcher":    true,
+	"hermes":     true,
+	"telemetry":  true,
+}
+
+func runGoroutineLeak(p *Pass) {
+	if p.Pkg == nil || !requestPathPkgs[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if _, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+				return true // goroutinectx owns literals
+			}
+			callee := calleeFunc(p.Info, g.Call)
+			if callee == nil || p.Facts.Blocks(callee) {
+				return true
+			}
+			p.Reportf(g.Pos(), "go %s: the spawned function has no reachable termination signal (no channel op, select, WaitGroup/Cond rendezvous, or ctx.Done check anywhere in its call graph) — on the request path a goroutine nobody can join or cancel leaks until process death; add a rendezvous, or suppress with //lint:ignore goroutineleak <reason>", calleeDisplay(callee))
+			return true
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotPathAlloc extends the //hermes:hotpath contract from clock reads
+// (hotpathclock) to heap allocations, module-wide and transitively: inside
+// an annotated function, every syntactic allocation site (make/new, slice
+// and map literals, &T{}, growth-capable append, capturing closures, string
+// concatenation and copying conversions, go statements — see allocSites)
+// and every call to a function that allocates on ITS straight-line path
+// (the fact engine's alloc lattice, seeded by allocFuncs) must be gated
+// behind a conditional. This locks in PR 3's zero-allocation scan-path
+// guarantee mechanically: the benchmark that proved 0 allocs/op can only
+// rot through a diff this analyzer flags.
+//
+// The exemptions mirror what that audit kept (documented at allocSites):
+// append into caller-owned backing (the AppendResults(dst) / pooled-scratch
+// pattern) and captureless function literals. Calls through function values
+// and module interface methods resolve to no callee and are not judged —
+// the engine under-approximates; the ivf kernel indirection stays exempt
+// by design and is covered by the kernel benchmarks instead.
+//
+// Pool warm-up paths that must allocate take //lint:ignore hotpathalloc
+// <reason> at the site — but note the gating rule usually makes that
+// unnecessary: `if s.tk == nil { s.tk = vec.NewTopK(k) }` is already gated.
+var HotPathAlloc = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "//hermes:hotpath functions must keep heap allocations (direct and transitive) gated behind a conditional",
+	Run:       runHotPathAlloc,
+	TestFiles: true,
+}
+
+func runHotPathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(hotpathDirective, fd.Doc) {
+				continue
+			}
+			for _, s := range allocSites(p.Info, fd) {
+				p.Reportf(s.pos, "ungated %s in //hermes:hotpath function %s; the straight-line path must stay allocation-free (gate slow-path work behind a conditional), or suppress with //lint:ignore hotpathalloc <reason>", s.what, fd.Name.Name)
+			}
+			hotAllocCalls(p, fd)
+		}
+	}
+}
+
+// hotAllocCalls flags ungated calls (outside function literals) whose
+// callee carries the alloc fact: the allocation is a helper away, but still
+// lands on this function's straight-line path.
+func hotAllocCalls(p *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || gatedByConditional(stack, call.Pos()) {
+			return true
+		}
+		callee := calleeFunc(p.Info, call)
+		if callee == nil || !p.Facts.Allocates(callee) {
+			return true
+		}
+		p.Reportf(call.Pos(), "ungated call to %s, which allocates on its straight-line path, in //hermes:hotpath function %s; gate it behind a conditional, make the callee allocation-free, or suppress with //lint:ignore hotpathalloc <reason>", calleeDisplay(callee), fd.Name.Name)
+		return true
+	})
+}

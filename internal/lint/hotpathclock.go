@@ -7,26 +7,28 @@ import (
 )
 
 // hotpathDirective marks a function as serving-hot-path: zero clock reads
-// and zero fmt-style allocations unless lexically gated by a conditional.
+// (hotpathclock) and zero heap allocations (hotpathalloc) unless lexically
+// gated by a conditional.
 const hotpathDirective = "hermes:hotpath"
 
 // HotPathClock enforces the clock-gating contract on functions annotated
 // //hermes:hotpath: every clock read (time.Now/Since/Until, or a call
-// through a package clock seam like `var now = time.Now`) and every
-// allocating fmt-style call must sit inside an if body, case clause, or
-// select clause — gated so the common path executes neither. The IVF scan
-// loop reads the clock only under `if ph != nil` (per-phase tracing armed)
-// and the flight recorder samples under an explicit trigger; hoisting such
-// a call out of its gate silently puts two vDSO clock reads and an
-// interface allocation back on every query, the regression PR 3 and PR 4
-// measured and removed. The analyzer makes that contract mechanical.
+// through a package clock seam like `var now = time.Now`) must sit inside
+// an if body, case clause, or select clause — gated so the common path
+// never executes it. The IVF scan loop reads the clock only under
+// `if ph != nil` (per-phase tracing armed) and the flight recorder samples
+// under an explicit trigger; hoisting such a call out of its gate silently
+// puts two vDSO clock reads back on every query, the regression PR 3 and
+// PR 4 measured and removed. The analyzer makes that contract mechanical.
+// (The allocation half of the hot-path contract is hotpathalloc's job,
+// backed by the transitive alloc fact.)
 //
 // The gate's *condition* is deliberately not inspected for truthiness —
 // any enclosing conditional counts. The contract is "the straight-line
-// path is clock- and alloc-free", not "tracing is off".
+// path is clock-free", not "tracing is off".
 var HotPathClock = &Analyzer{
 	Name:      "hotpathclock",
-	Doc:       "//hermes:hotpath functions must gate clock reads and fmt-style allocations behind a conditional",
+	Doc:       "//hermes:hotpath functions must gate clock reads behind a conditional",
 	Run:       runHotPathClock,
 	TestFiles: true,
 }
@@ -107,7 +109,7 @@ func hotPathCheck(p *Pass, fd *ast.FuncDecl, seams map[*types.Var]bool) {
 		if what == "" || gatedByConditional(stack, call.Pos()) {
 			return true
 		}
-		p.Reportf(call.Pos(), "ungated %s in //hermes:hotpath function %s; hot-path clock reads and allocations must sit behind a conditional (e.g. if ph != nil) so the common path stays zero-overhead — gate it, or suppress with //lint:ignore hotpathclock <reason>", what, fd.Name.Name)
+		p.Reportf(call.Pos(), "ungated %s in //hermes:hotpath function %s; hot-path clock reads must sit behind a conditional (e.g. if ph != nil) so the common path stays zero-overhead — gate it, or suppress with //lint:ignore hotpathclock <reason>", what, fd.Name.Name)
 		return true
 	})
 }
@@ -136,8 +138,11 @@ func gatedByConditional(stack []ast.Node, pos token.Pos) bool {
 	return false
 }
 
-// hotCallKind classifies a call as a clock read or a known allocating call,
-// returning a display string, or "" for calls the contract permits.
+// hotCallKind classifies a call as a clock read, returning a display
+// string, or "" for calls the clock contract permits. (Allocating calls —
+// fmt.Sprintf and friends — were part of this classification until the
+// fact engine grew the transitive alloc lattice; hotpathalloc now owns
+// them, seeded by allocFuncs.)
 func hotCallKind(p *Pass, call *ast.CallExpr, seams map[*types.Var]bool) string {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -153,24 +158,6 @@ func hotCallKind(p *Pass, call *ast.CallExpr, seams map[*types.Var]bool) string 
 		if path == "time" && (name == "Now" || name == "Since" || name == "Until") {
 			return "clock read time." + name + "()"
 		}
-		if allocatingCalls[[2]string{path, name}] {
-			return "allocating call " + fn.Pkg().Name() + "." + name
-		}
 	}
 	return ""
-}
-
-// allocatingCalls are formatting/boxing helpers that heap-allocate on every
-// invocation. The list is the fmt family plus errors.New — the calls PR 3's
-// zero-allocation audit actually evicted from the scan loop; it is not a
-// general escape analysis.
-var allocatingCalls = map[[2]string]bool{
-	{"fmt", "Sprint"}:    true,
-	{"fmt", "Sprintf"}:   true,
-	{"fmt", "Sprintln"}:  true,
-	{"fmt", "Errorf"}:    true,
-	{"fmt", "Appendf"}:   true,
-	{"errors", "New"}:    true,
-	{"strconv", "Itoa"}:  true,
-	{"strconv", "Quote"}: true,
 }

@@ -4,13 +4,14 @@
 // The paper's headline numbers (hierarchical-search latency, shard load
 // imbalance, the energy model) are only meaningful if the reproduction is
 // deterministic, data-race-free, and wire-stable across rolling upgrades.
-// The framework loads the whole module from source (Loader), computes
-// cross-package facts over the call graph (ComputeFacts — e.g. "this
-// function transitively performs I/O"), and runs the analyzer suite over
-// every package with deterministic file:line:col finding order, optional
-// machine-readable JSON output (Report), a findings baseline (Baseline),
-// and generated per-package artifacts (Artifacts — the gob wire-schema
-// lock). The analyzers encode the project rules:
+// The framework loads the whole module from source (Loader), runs the
+// cross-package fact engine over the resolved call graph (ComputeFacts — a
+// monotone-fixpoint framework with four registered lattices: io, alloc,
+// acquires, blocks; see factengine.go and Lattices), and runs the analyzer
+// suite over every package with deterministic file:line:col finding order,
+// optional machine-readable JSON output (Report), a findings baseline
+// (Baseline), and generated per-package artifacts (Artifacts — the gob
+// wire-schema lock). The analyzers encode the project rules:
 //
 //   - globalrand:   no package-global math/rand in library code (index
 //     builds must be bit-reproducible from a config seed)
@@ -29,8 +30,15 @@
 //   - poolescape:   sync.Pool Get values must not escape via return,
 //     struct field, or package-level variable
 //   - deferinloop:  no resource-holding defer inside a loop body
-//   - hotpathclock: //hermes:hotpath functions must keep clock reads and
-//     allocating fmt-style calls gated behind a conditional
+//   - hotpathclock: //hermes:hotpath functions must keep clock reads
+//     gated behind a conditional
+//   - hotpathalloc: //hermes:hotpath functions must keep heap allocation
+//     — direct sites and transitively allocating calls — gated behind a
+//     conditional (uses the alloc facts)
+//   - lockorder:    the module-wide lock-acquisition-order graph must stay
+//     acyclic (uses the acquires facts and held-set walking)
+//   - goroutineleak: go statements in request-path packages need a
+//     reachable termination signal (uses the blocks facts)
 //
 // Findings can be suppressed case-by-case with a directive comment on the
 // same line or the line above:
@@ -88,6 +96,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop,
 		WireLock, LockHeldIO, PoolEscape, DeferInLoop, HotPathClock,
+		HotPathAlloc, LockOrder, GoroutineLeak,
 	}
 }
 

@@ -126,9 +126,11 @@ func TestSelect(t *testing.T) {
 		{"", "", []string{
 			"globalrand", "wallclock", "goroutinectx", "lockcopy", "errdrop",
 			"wirelock", "lockheldio", "poolescape", "deferinloop", "hotpathclock",
+			"hotpathalloc", "lockorder", "goroutineleak",
 		}, false},
 		{"globalrand,errdrop", "", []string{"globalrand", "errdrop"}, false},
-		{"", "goroutinectx,wirelock,lockheldio,poolescape,deferinloop,hotpathclock",
+		{"", "goroutinectx,wirelock,lockheldio,poolescape,deferinloop,hotpathclock," +
+			"hotpathalloc,lockorder,goroutineleak",
 			[]string{"globalrand", "wallclock", "lockcopy", "errdrop"}, false},
 		{"globalrand", "globalrand", nil, false},
 		{"nosuchcheck", "", nil, true},

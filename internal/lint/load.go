@@ -46,9 +46,11 @@ type Loader struct {
 	// dependencies of other packages always load without tests.
 	IncludeTests bool
 
-	std     types.Importer
-	cache   map[string]*Package // keyed by absolute dir
-	loading map[string]bool     // cycle guard, keyed by absolute dir
+	std      types.Importer
+	cache    map[string]*Package // keyed by absolute dir
+	loading  map[string]bool     // cycle guard, keyed by absolute dir
+	hard     []error             // parse/build failures, including in dependencies
+	hardSeen map[string]bool     // dirs already recorded in hard
 }
 
 // NewLoader locates the module enclosing startDir (by walking up to go.mod)
@@ -82,6 +84,7 @@ func NewLoader(startDir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      make(map[string]*Package),
 		loading:    make(map[string]bool),
+		hardSeen:   make(map[string]bool),
 	}, nil
 }
 
@@ -247,7 +250,7 @@ func (l *Loader) loadDir(dir string, withTests bool) (*Package, error) {
 			l.cache[key] = nil
 			return nil, nil
 		}
-		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		return nil, l.recordHard(dir, fmt.Errorf("lint: %s: %w", dir, err))
 	}
 
 	pkg := &Package{
@@ -263,7 +266,7 @@ func (l *Loader) loadDir(dir string, withTests bool) (*Package, error) {
 		path := filepath.Join(dir, name)
 		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			return nil, l.recordHard(dir, fmt.Errorf("lint: %w", err))
 		}
 		pkg.Files = append(pkg.Files, f)
 	}
@@ -290,6 +293,27 @@ func (l *Loader) loadDir(dir string, withTests bool) (*Package, error) {
 	pkg.Info = info
 	l.cache[key] = pkg
 	return pkg, nil
+}
+
+// recordHard notes a hard (parse or build) failure, once per directory, and
+// returns err for the caller to propagate. Hard failures in *dependency*
+// packages would otherwise vanish: the types.Config.Error handler files
+// them as type errors of the importing package, analysis proceeds
+// best-effort, and a broken file exits 0. The driver checks HardErrors
+// after loading so broken code fails the run with a load error (exit 2),
+// distinct from findings (exit 1).
+func (l *Loader) recordHard(dir string, err error) error {
+	if !l.hardSeen[dir] {
+		l.hardSeen[dir] = true
+		l.hard = append(l.hard, err)
+	}
+	return err
+}
+
+// HardErrors returns the parse/build failures encountered so far, including
+// those in packages reached only as dependencies.
+func (l *Loader) HardErrors() []error {
+	return l.hard
 }
 
 // Import implements types.Importer: module-internal paths are loaded from

@@ -16,7 +16,8 @@ import (
 // is still caught.
 //
 // The analysis is lexical within one function: held locks are tracked
-// through a statement walk, branches are joined by intersecting the held
+// through a statement walk (lockWalker, shared with the fact engine's
+// lock-order edge extraction), branches are joined by intersecting the held
 // sets of the paths that fall through (a branch ending in return/panic/break
 // contributes nothing), and function literals are excluded — they run on
 // their own goroutine's schedule with their own locking discipline.
@@ -32,31 +33,69 @@ var LockHeldIO = &Analyzer{
 }
 
 func runLockHeldIO(p *Pass) {
+	report := func(pos token.Pos, held []heldLock, what string) {
+		p.Reportf(pos, "%s while %s is held; one blocked goroutine here stalls everyone queuing on the lock — release it first, or suppress with //lint:ignore lockheldio <reason>", what, held[len(held)-1].expr)
+	}
+	lw := &lockWalker{
+		info: p.Info,
+		onNode: func(n ast.Node, held []heldLock) {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				report(x.Pos(), held, "channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x.Pos(), held, "channel receive")
+				}
+			case *ast.SelectStmt:
+				report(x.Pos(), held, "select statement")
+			case *ast.RangeStmt:
+				if t := p.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(x.Pos(), held, "range over channel")
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(p.Info, x); fn != nil && p.Facts.PerformsIO(fn) {
+					report(x.Pos(), held, "call to "+calleeDisplay(fn)+", which performs I/O")
+				}
+			}
+		},
+	}
 	for _, f := range p.Files {
 		if p.SkipFile(f) {
 			continue
 		}
 		for _, d := range f.Decls {
 			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				lw := &lockWalker{p: p}
 				lw.stmts(fd.Body.List, nil)
 			}
 		}
 	}
 }
 
-// heldLock is one acquired mutex, identified by the source text of the
-// receiver it was locked through.
+// heldLock is one acquired mutex, identified for set arithmetic by the
+// source text of the receiver it was locked through; sel retains the lock
+// call's selector so consumers can resolve a class identity (mutexID).
 type heldLock struct {
 	expr string
+	sel  *ast.SelectorExpr
 	pos  token.Pos
 }
 
 // lockWalker walks one function body in source order tracking the held-lock
 // set. Every walk method returns the held set at its exit plus whether the
-// construct terminates (never falls through to the next statement).
+// construct terminates (never falls through to the next statement). The
+// walker itself only tracks; consumers observe through two hooks:
+//
+//   - onNode(n, held) fires for select/range-over-channel statements and
+//     for every node of every inspected expression (never inside function
+//     literals), with len(held) > 0 guaranteed;
+//   - onAcquire(l, held) fires when a Lock/RLock is taken, with the held
+//     set as of just before the acquisition.
 type lockWalker struct {
-	p *Pass
+	info      *types.Info
+	onNode    func(n ast.Node, held []heldLock)
+	onAcquire func(l heldLock, held []heldLock)
 }
 
 func (lw *lockWalker) stmts(list []ast.Stmt, held []heldLock) (out []heldLock, terminates bool) {
@@ -71,18 +110,25 @@ func (lw *lockWalker) stmts(list []ast.Stmt, held []heldLock) (out []heldLock, t
 func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 	switch s := stmt.(type) {
 	case *ast.ExprStmt:
-		if recv, op, ok := lockOp(lw.p, s.X); ok {
-			switch op {
-			case "Lock", "RLock":
-				return append(held[:len(held):len(held)], heldLock{expr: recv, pos: s.Pos()}), false
-			case "Unlock", "RUnlock":
-				return removeLock(held, recv), false
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if sel, op, ok := lockOp(lw.info, call); ok {
+				recv := types.ExprString(sel.X)
+				switch op {
+				case "Lock", "RLock":
+					l := heldLock{expr: recv, sel: sel, pos: s.Pos()}
+					if lw.onAcquire != nil {
+						lw.onAcquire(l, held)
+					}
+					return append(held[:len(held):len(held)], l), false
+				case "Unlock", "RUnlock":
+					return removeLock(held, recv), false
+				}
 			}
 		}
-		lw.inspect(s, held)
-		return held, isPanicCall(lw.p, s.X)
+		lw.scan(s, held)
+		return held, isPanicCall(lw.info, s.X)
 	case *ast.ReturnStmt:
-		lw.inspect(s, held)
+		lw.scan(s, held)
 		return held, true
 	case *ast.BranchStmt:
 		// break/continue/goto leave this statement list; fallthrough moves
@@ -100,7 +146,7 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 		if s.Init != nil {
 			held, _ = lw.stmt(s.Init, held)
 		}
-		lw.inspect(s.Cond, held)
+		lw.scan(s.Cond, held)
 		type path struct {
 			held []heldLock
 			term bool
@@ -120,7 +166,7 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 			held, _ = lw.stmt(s.Init, held)
 		}
 		if s.Cond != nil {
-			lw.inspect(s.Cond, held)
+			lw.scan(s.Cond, held)
 		}
 		// The body is walked for reporting; loop bodies are assumed lock-
 		// balanced (an unbalanced one is its own bug), so the held set
@@ -128,14 +174,10 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 		lw.stmts(s.Body.List, held)
 		return held, false
 	case *ast.RangeStmt:
-		lw.inspect(s.X, held)
-		if len(held) > 0 {
-			if t := lw.p.TypeOf(s.X); t != nil {
-				if _, ok := t.Underlying().(*types.Chan); ok {
-					lw.report(s.Pos(), held, "range over channel")
-				}
-			}
+		if lw.onNode != nil && len(held) > 0 {
+			lw.onNode(s, held)
 		}
+		lw.scan(s.X, held)
 		lw.stmts(s.Body.List, held)
 		return held, false
 	case *ast.SwitchStmt:
@@ -143,7 +185,7 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 			held, _ = lw.stmt(s.Init, held)
 		}
 		if s.Tag != nil {
-			lw.inspect(s.Tag, held)
+			lw.scan(s.Tag, held)
 		}
 		return lw.caseBodies(caseClauses(s.Body), held, hasDefaultCase(s.Body))
 	case *ast.TypeSwitchStmt:
@@ -152,8 +194,8 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 		}
 		return lw.caseBodies(caseClauses(s.Body), held, hasDefaultCase(s.Body))
 	case *ast.SelectStmt:
-		if len(held) > 0 {
-			lw.report(s.Pos(), held, "select statement")
+		if lw.onNode != nil && len(held) > 0 {
+			lw.onNode(s, held)
 		}
 		var bodies [][]ast.Stmt
 		for _, c := range s.Body.List {
@@ -167,7 +209,7 @@ func (lw *lockWalker) stmt(stmt ast.Stmt, held []heldLock) ([]heldLock, bool) {
 	case *ast.LabeledStmt:
 		return lw.stmt(s.Stmt, held)
 	default:
-		lw.inspect(stmt, held)
+		lw.scan(stmt, held)
 		return held, false
 	}
 }
@@ -228,33 +270,21 @@ func intersectHeld(a, b []heldLock) []heldLock {
 	return out
 }
 
-// inspect scans a statement or expression for blocking operations while
-// locks are held, without descending into function literals.
-func (lw *lockWalker) inspect(n ast.Node, held []heldLock) {
-	if n == nil || len(held) == 0 {
+// scan feeds every node of a statement or expression to onNode while locks
+// are held, without descending into function literals.
+func (lw *lockWalker) scan(n ast.Node, held []heldLock) {
+	if n == nil || len(held) == 0 || lw.onNode == nil {
 		return
 	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.FuncLit:
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
 			return false
-		case *ast.SendStmt:
-			lw.report(x.Pos(), held, "channel send")
-		case *ast.UnaryExpr:
-			if x.Op == token.ARROW {
-				lw.report(x.Pos(), held, "channel receive")
-			}
-		case *ast.CallExpr:
-			if fn := calleeFunc(lw.p.Info, x); fn != nil && lw.p.Facts.PerformsIO(fn) {
-				lw.report(x.Pos(), held, "call to "+calleeDisplay(fn)+", which performs I/O")
-			}
+		}
+		if m != nil {
+			lw.onNode(m, held)
 		}
 		return true
 	})
-}
-
-func (lw *lockWalker) report(pos token.Pos, held []heldLock, what string) {
-	lw.p.Reportf(pos, "%s while %s is held; one blocked goroutine here stalls everyone queuing on the lock — release it first, or suppress with //lint:ignore lockheldio <reason>", what, held[len(held)-1].expr)
 }
 
 func calleeDisplay(fn *types.Func) string {
@@ -269,7 +299,7 @@ func calleeDisplay(fn *types.Func) string {
 
 // isPanicCall reports whether expr is a call to the panic builtin or a
 // known never-returns function (os.Exit, log.Fatal*).
-func isPanicCall(p *Pass, expr ast.Expr) bool {
+func isPanicCall(info *types.Info, expr ast.Expr) bool {
 	call, ok := expr.(*ast.CallExpr)
 	if !ok {
 		return false
@@ -277,11 +307,11 @@ func isPanicCall(p *Pass, expr ast.Expr) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if fun.Name == "panic" {
-			_, isBuiltin := p.Info.Uses[fun].(*types.Builtin)
+			_, isBuiltin := info.Uses[fun].(*types.Builtin)
 			return isBuiltin
 		}
 	case *ast.SelectorExpr:
-		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
 			path, name := fn.Pkg().Path(), fn.Name()
 			if path == "os" && name == "Exit" {
 				return true
@@ -294,28 +324,24 @@ func isPanicCall(p *Pass, expr ast.Expr) bool {
 	return false
 }
 
-// lockOp matches expr as a <recv>.Lock/RLock/Unlock/RUnlock() call resolving
-// into package sync (covering Mutex, RWMutex, and fields promoted from an
-// embedded mutex), returning the receiver's source text and the method name.
-func lockOp(p *Pass, expr ast.Expr) (recv, op string, ok bool) {
-	call, ok := expr.(*ast.CallExpr)
+// lockOp matches call as a <recv>.Lock/RLock/Unlock/RUnlock() resolving
+// into package sync (covering Mutex, RWMutex, and methods promoted from an
+// embedded mutex), returning the selector and the method name.
+func lockOp(info *types.Info, call *ast.CallExpr) (sel *ast.SelectorExpr, op string, ok bool) {
+	sel, ok = call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", "", false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", "", false
+		return nil, "", false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", false
+		return nil, "", false
 	}
-	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return nil, "", false
 	}
-	return types.ExprString(sel.X), sel.Sel.Name, true
+	return sel, sel.Sel.Name, true
 }
 
 // removeLock pops the most recent acquisition through the same receiver

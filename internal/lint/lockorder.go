@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports cycles in the module-wide lock-acquisition-order graph
+// the fact engine extracts (Facts.LockEdges): nodes are mutex class
+// identities (Node.mu, not one instance of it — see mutexID), and an edge
+// A -> B is witnessed wherever B is acquired — directly or through a callee
+// whose acquires set contains it — while A is held. Two goroutines walking
+// a cycle from different entry points can each hold the lock the other
+// needs: the classic deadlock -race never sees because it needs the
+// interleaving, and exactly the failure mode that multiplies as the serving
+// path gains queues and shards.
+//
+// Each strongly connected component is reported once, at the earliest
+// witness position, with every witness edge spelled out so the report shows
+// both (or all) conflicting acquisition paths. Instance conflation is the
+// accepted imprecision: same-class self-edges are dropped rather than
+// guessed at, so ordered acquisition across instances of one type (by shard
+// index, say) is neither checked nor flagged.
+//
+// A deliberate inversion — e.g. a teardown path that provably runs alone —
+// takes //lint:ignore lockorder <reason> on the reported line.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "cyclic mutex acquisition order across the module can deadlock; acquire locks in one global order",
+	Run:       runLockOrder,
+	TestFiles: true,
+}
+
+func runLockOrder(p *Pass) {
+	edges := p.Facts.LockEdges()
+	if len(edges) == 0 || p.Fset == nil {
+		return
+	}
+	// Report a cycle only from the pass whose files contain its canonical
+	// witness, so a module-wide fact yields exactly one finding per run and
+	// the //lint:ignore suppression sits next to real code.
+	inPass := make(map[string]bool, len(p.Files))
+	for _, f := range p.Files {
+		inPass[p.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, scc := range lockSCCs(edges) {
+		canonical := scc[0] // witness edges are position-sorted: earliest first
+		if !inPass[p.Fset.Position(canonical.Pos).Filename] {
+			continue
+		}
+		var wits []string
+		for _, e := range scc {
+			pos := p.Fset.Position(e.Pos)
+			w := fmt.Sprintf("%s -> %s at %s:%d in %s", shortMutexID(e.From), shortMutexID(e.To), shortFile(pos.Filename), pos.Line, shortMutexID(e.Func))
+			if e.Via != "" {
+				w += " (via call to " + e.Via + ")"
+			}
+			wits = append(wits, w)
+		}
+		p.Reportf(canonical.Pos, "lock-order cycle: %s; goroutines taking these locks in opposite orders can deadlock — pick one global order, or suppress with //lint:ignore lockorder <reason>", strings.Join(wits, "; "))
+	}
+}
+
+// lockSCCs returns the strongly connected components of the lock-order
+// graph that contain a cycle (size > 1; self-edges never enter the graph),
+// each as its internal witness edges sorted by position, components in
+// deterministic order.
+func lockSCCs(edges []LockEdge) [][]LockEdge {
+	adj := make(map[string][]string)
+	nodeSet := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		nodeSet[e.From] = true
+		nodeSet[e.To] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan, recursive: lock graphs are tiny (one node per mutex class).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var out [][]LockEdge
+	for _, comp := range comps {
+		in := make(map[string]bool, len(comp))
+		for _, n := range comp {
+			in[n] = true
+		}
+		var internal []LockEdge
+		for _, e := range edges {
+			if in[e.From] && in[e.To] {
+				internal = append(internal, e)
+			}
+		}
+		sort.Slice(internal, func(i, j int) bool { return internal[i].Pos < internal[j].Pos })
+		out = append(out, internal)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Pos < out[j][0].Pos })
+	return out
+}
+
+func shortFile(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Mutex class identity. The lock-order graph is keyed on (type, field) —
+// every instance of Node.mu is one node, lockdep-class style — because
+// ordering bugs are properties of the code's locking discipline, not of
+// individual instances. The three resolvable shapes:
+//
+//	"pkgpath.Type.field"  — a sync.Mutex/RWMutex struct field, including
+//	                        fields reached through embedded structs and
+//	                        methods promoted from an embedded mutex
+//	"pkgpath.varname"     — a package-level mutex variable
+//	""                    — locals, anonymous structs: no stable class
+//	                        identity, skipped by the graph
+//
+// Conflating instances means a self-edge (shard[i].mu held while taking
+// shard[j].mu) is not evidence of an ordering violation; addEdge drops
+// same-class edges for exactly that reason.
+
+// mutexID resolves the selector of a <recv>.Lock/RLock call (as matched by
+// lockOp) to the mutex's class identity, or "" when it has none.
+func mutexID(info *types.Info, lockSel *ast.SelectorExpr) string {
+	// Promoted method: n.Lock() where the receiver's type embeds the mutex.
+	// The method selection's index path walks the embedded fields; all but
+	// the final (method) index name the field chain.
+	if ms := info.Selections[lockSel]; ms != nil && ms.Kind() == types.MethodVal && len(ms.Index()) > 1 {
+		return fieldPathID(ms.Recv(), ms.Index()[:len(ms.Index())-1])
+	}
+	switch x := ast.Unparen(lockSel.X).(type) {
+	case *ast.Ident:
+		// mu.Lock() on a bare identifier: package-level vars only.
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		// pkg.Mu.Lock() on a qualified package-level var.
+		if _, ok := pkgNameOf(info, x.X); ok {
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return ""
+		}
+		// n.mu.Lock() (possibly chained / through embedded structs): the
+		// field selection's owner type plus the field name.
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return fieldPathID(sel.Recv(), sel.Index())
+		}
+	}
+	return ""
+}
+
+// fieldPathID walks a selection index path from recv, returning the
+// identity "pkgpath.Owner.field" of the final field, where Owner is the
+// named struct type that declares it.
+func fieldPathID(recv types.Type, index []int) string {
+	owner := namedOf(recv)
+	for k, i := range index {
+		if owner == nil {
+			return ""
+		}
+		st, ok := owner.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(i)
+		if k == len(index)-1 {
+			return typeID(owner) + "." + f.Name()
+		}
+		owner = namedOf(f.Type())
+	}
+	return ""
+}
+
+// namedOf unwraps pointers and aliases to the *types.Named beneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func typeID(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// shortMutexID trims the package path down to its base for display:
+// "repro/internal/distsearch.Node.mu" -> "distsearch.Node.mu".
+func shortMutexID(id string) string {
+	if i := lastSlash(id); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// acquiredMutexIDs returns the sorted class identities of every mutex fd
+// locks directly (Lock or RLock, gated or not — an ordering fact holds
+// whenever the acquisition happens). Acquisitions inside function literals
+// and go statements run on another goroutine and are excluded.
+func acquiredMutexIDs(info *types.Info, fd *ast.FuncDecl) []string {
+	ids := make(map[string]bool)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if sel, op, ok := lockOp(info, x); ok && (op == "Lock" || op == "RLock") {
+					if id := mutexID(info, sel); id != "" {
+						ids[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,10 @@
+// Package brokenimport type-checks against a dependency whose source does
+// not parse: the loader must surface that as a hard error (driver exit 2),
+// not silently proceed best-effort.
+package brokenimport
+
+import dep "repro/internal/lint/testdata/src/brokenimport/dep"
+
+func Use() int {
+	return dep.Value
+}

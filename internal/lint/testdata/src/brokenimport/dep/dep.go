@@ -1,0 +1,7 @@
+// Package dep deliberately does not parse (fixture for hard-error
+// surfacing; the trailing brace is missing).
+package dep
+
+var Value = 42
+
+func broken() {

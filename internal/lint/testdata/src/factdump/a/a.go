@@ -1,0 +1,55 @@
+// Package a is the entry half of the factdump fixture: one function per
+// lattice, plus a lock-order edge, all pinned byte-for-byte by
+// testdata/factdump.golden.json.
+package a
+
+import (
+	"sync"
+
+	b "repro/internal/lint/testdata/src/factdump/b"
+)
+
+// mu is a package-level mutex: identity "pkgpath.mu".
+var mu sync.Mutex
+
+// S carries a field mutex: identity "pkgpath.S.mu".
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Log reaches I/O through the cross-package call to b.Tee.
+func Log(msg string) {
+	b.Tee(msg)
+}
+
+// hello performs I/O; it is only ever invoked through a function value.
+func hello() {
+	b.Tee("hi\n")
+}
+
+// Indirect passes hello to b.Invoke. The call edge Invoke -> hello exists
+// only at runtime, so Indirect carries no io fact in the dump.
+func Indirect() {
+	b.Invoke(hello)
+}
+
+// Grow allocates on its straight-line path.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// WaitDone blocks on a channel receive.
+func WaitDone(ch chan struct{}) {
+	<-ch
+}
+
+// Bump acquires S.mu then mu: one acquires set with both identities and
+// one lock-order edge S.mu -> mu.
+func (s *S) Bump() {
+	s.mu.Lock()
+	mu.Lock()
+	s.n++
+	mu.Unlock()
+	s.mu.Unlock()
+}

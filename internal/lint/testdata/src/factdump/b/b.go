@@ -1,0 +1,19 @@
+// Package b is the dependency half of the factdump fixture: a loads it by
+// import path, so ComputeFacts over Loader.Cached() must propagate facts
+// across the package boundary.
+package b
+
+import "os"
+
+// Tee performs I/O directly; callers in package a inherit the fact.
+func Tee(msg string) {
+	os.Stderr.WriteString(msg)
+}
+
+// Invoke calls a function value. The engine resolves no callee, so no fact
+// flows from the argument back to Invoke — the deliberate
+// under-approximation the golden dump pins: a.hello is an io function,
+// a.Indirect (which reaches it only through Invoke) is not.
+func Invoke(f func()) {
+	f()
+}

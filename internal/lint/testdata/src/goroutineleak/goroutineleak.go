@@ -1,0 +1,71 @@
+// Package batcher (fixture dir testdata/src/goroutineleak) impersonates a
+// request-path package: goroutineleak keys on package *name* so fixtures
+// can opt in. One named spawn has no termination signal anywhere in its
+// call graph and is flagged; every other spawn either blocks (directly,
+// transitively, or via a stdlib rendezvous seed), is a function literal
+// (goroutinectx's territory), or resolves to no static callee (the
+// engine's documented under-approximation).
+package batcher
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+// spin never blocks: no channel op, no WaitGroup, no ctx — a leak when
+// spawned on the request path.
+func spin() {
+	for i := 0; ; i++ {
+		sink = i
+	}
+}
+
+// spinForever is identical but its spawn carries a justification.
+func spinForever() {
+	for {
+		sink++
+	}
+}
+
+// drain blocks on its channel: range ends when the channel closes.
+func drain(ch chan int) {
+	for v := range ch {
+		sink = v
+	}
+}
+
+// signalDone's rendezvous is the sync.WaitGroup.Done seed.
+func signalDone(wg *sync.WaitGroup) {
+	defer wg.Done()
+	sink++
+}
+
+// untilCancelled blocks on ctx.Done — the context-cancellation rendezvous.
+func untilCancelled(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// pump has no channel op of its own; the blocks fact reaches it through
+// drain, exercising transitive propagation.
+func pump(ch chan int) {
+	drain(ch)
+}
+
+func spawnAll(ctx context.Context, ch chan int, wg *sync.WaitGroup) {
+	go spin() // want "no reachable termination signal"
+	go drain(ch)
+	go signalDone(wg)
+	go untilCancelled(ctx)
+	go pump(ch)
+	go func() { // literals are goroutinectx's domain, not this check's
+		for {
+			sink++
+		}
+	}()
+	f := spin
+	go f() // function value: no static callee, deliberately not judged
+	//lint:ignore goroutineleak fixture: process-lifetime pump, dies with the test binary
+	go spinForever()
+}

@@ -1,0 +1,94 @@
+// Package hotpathalloc is the fixture for the transitive allocation check
+// on //hermes:hotpath functions: every recognized ungated allocation site
+// fires, the caller-owned-append and captureless-literal exemptions stay
+// silent, gated slow paths are fine, and a call to a module helper that
+// allocates on its straight-line path is flagged through the alloc fact.
+package hotpathalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var sink any
+
+// suffix is a package-level var so concatenating with it cannot be folded.
+var suffix = "0"
+
+// done backs drainSink without allocating: channel ops are not sites.
+var done = make(chan struct{}, 1)
+
+// newScratch allocates unconditionally: the alloc lattice marks it, and
+// hot callers inherit the finding at their call site.
+func newScratch() []float32 {
+	return make([]float32, 64)
+}
+
+// growGated allocates only behind its nil check — the pool-warm-up shape —
+// so it carries no alloc fact and hot callers may call it freely.
+func growGated(buf []float32) []float32 {
+	if buf == nil {
+		buf = make([]float32, 64)
+	}
+	return buf
+}
+
+//hermes:hotpath
+func scanSites(dst []float32, x float32, n int) []float32 {
+	buf := make([]float32, n)  // want "ungated make call"
+	ids := []int{1, 2, 3}      // want "ungated slice literal"
+	seen := map[int]bool{}     // want "ungated map literal"
+	p := &point{x: 1}          // want "composite literal whose address is taken"
+	q := new(point)            // want "ungated new call"
+	label := "shard-" + suffix // want "ungated string concatenation"
+	boxed := any(x)            // want "interface conversion boxing its operand"
+	raw := []byte(label)       // want "slice conversion copying a string"
+	var grown []float32
+	grown = append(grown, x)  // want "append that may grow its backing array"
+	go drainSink()            // want "go statement"
+	closure := func() { n++ } // want "function literal capturing variables"
+	dst = append(dst, x)      // exempt: caller-owned destination
+	static := func() {}       // exempt: captureless literal is a static singleton
+	sink = buf
+	sink = ids
+	sink = seen
+	sink = p
+	sink = q
+	sink = boxed
+	sink = raw
+	sink = grown
+	closure()
+	static()
+	return dst
+}
+
+//hermes:hotpath
+func scanCalls(dst []float32, x float32) []float32 {
+	s := newScratch()           // want "ungated call to hotpathalloc.newScratch, which allocates"
+	msg := fmt.Sprintf("%f", x) // want "ungated call to fmt.Sprintf, which allocates"
+	dst = growGated(dst)        // gated callee carries no alloc fact: fine
+	if len(dst) == 0 {
+		dst = newScratch()                // gated at the call site: fine
+		panic(fmt.Sprintf("empty %f", x)) // gated: fine
+	}
+	sink = s
+	sink = msg
+	return append(dst, x)
+}
+
+//hermes:hotpath
+func scanSuppressed(k int) []float32 {
+	//lint:ignore hotpathalloc fixture: cold-start table build, runs once per shard
+	table := make([]float32, k)
+	return table
+}
+
+// cold is unannotated and allocates freely.
+func cold(k int) []float32 {
+	out := make([]float32, k)
+	return append(out, float32(k))
+}
+
+func drainSink() {
+	done <- struct{}{}
+	<-done
+}

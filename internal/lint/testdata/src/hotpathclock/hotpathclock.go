@@ -26,9 +26,9 @@ func scan(ph *probe, xs []float32) float32 {
 	if sum < 0 {
 		panic(fmt.Sprintf("bad sum %f", sum)) // gated: fine
 	}
-	_ = time.Since(t0)                  // want "ungated clock read time.Since()"
-	name := fmt.Sprintf("q%d", len(xs)) // want "ungated allocating call fmt.Sprintf"
-	_ = name
+	_ = time.Since(t0) // want "ungated clock read time.Since()"
+	// fmt.Sprintf here would be hotpathalloc's finding, not hotpathclock's:
+	// the clock check is clocks-only since the alloc lattice took over.
 	return sum
 }
 

@@ -1,0 +1,121 @@
+// Package lockorder is the fixture for the lock-order-cycle analyzer. Three
+// lock pairs: A/B cycle via direct acquisitions, C/D cycle where one
+// direction runs through a helper (the witness names the call), and E/F
+// cycle suppressed at its canonical witness. G/H acquire in one global
+// order everywhere and stay silent.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ab holds A.mu while taking B.mu: the A.mu -> B.mu edge. Source order puts
+// this witness first, so the cycle's single finding lands here.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.n++
+	a.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba inverts the order: the B.mu -> A.mu edge closing the cycle.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	b.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpD's acquires fact is {D.mu}; callers holding another lock inherit the
+// edge from the call site.
+func bumpD(d *D) {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+// cThenD witnesses C.mu -> D.mu through the helper call, not a literal
+// Lock() — the interprocedural half of the cycle.
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	bumpD(d) // want "via call to lockorder.bumpD"
+	c.mu.Unlock()
+}
+
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	d.n++
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+// efTeardown inverts fThenE's order, but only ever runs single-threaded
+// after serving stops — the justified-survivor shape.
+func efTeardown(e *E, f *F) {
+	e.mu.Lock()
+	//lint:ignore lockorder fixture: teardown runs alone after all workers join
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock()
+	f.n++
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+
+type H struct {
+	mu sync.Mutex
+	n  int
+}
+
+// gh and ghAgain agree on G.mu before H.mu: a consistent global order is
+// exactly what the analyzer asks for, so no finding.
+func gh(g *G, h *H) {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func ghAgain(g *G, h *H) {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.n += 2
+	h.mu.Unlock()
+	g.mu.Unlock()
+}

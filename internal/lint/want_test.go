@@ -90,7 +90,41 @@ func runWantFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	}
 }
 
-func TestLockHeldIO(t *testing.T)   { runWantFixture(t, "lockheldio", []*Analyzer{LockHeldIO}) }
+func TestLockHeldIO(t *testing.T)       { runWantFixture(t, "lockheldio", []*Analyzer{LockHeldIO}) }
+func TestHotPathAlloc(t *testing.T)     { runWantFixture(t, "hotpathalloc", []*Analyzer{HotPathAlloc}) }
+func TestGoroutineLeak(t *testing.T)    { runWantFixture(t, "goroutineleak", []*Analyzer{GoroutineLeak}) }
+func TestLockOrderFixture(t *testing.T) { runWantFixture(t, "lockorder", []*Analyzer{LockOrder}) }
+
+// TestLockOrderWitnesses pins the shape the fixture's want substrings
+// cannot: one finding per cycle, and the A/B finding spells out BOTH
+// conflicting acquisition paths so the report alone localizes the deadlock.
+func TestLockOrderWitnesses(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	opts := RunOptions{Facts: ComputeFacts([]*Package{pkg})}
+	findings := RunPackageOpts(pkg, []*Analyzer{LockOrder}, opts)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (A/B and C/D cycles; E/F suppressed): %v", len(findings), findings)
+	}
+	ab := findings[0].Msg
+	for _, w := range []string{
+		"lockorder.A.mu -> lockorder.B.mu", "in lockorder.ab",
+		"lockorder.B.mu -> lockorder.A.mu", "in lockorder.ba",
+	} {
+		if !strings.Contains(ab, w) {
+			t.Errorf("A/B cycle finding missing witness %q: %s", w, ab)
+		}
+	}
+	cd := findings[1].Msg
+	for _, w := range []string{
+		"lockorder.C.mu -> lockorder.D.mu", "via call to lockorder.bumpD",
+		"lockorder.D.mu -> lockorder.C.mu", "in lockorder.dThenC",
+	} {
+		if !strings.Contains(cd, w) {
+			t.Errorf("C/D cycle finding missing witness %q: %s", w, cd)
+		}
+	}
+}
+
 func TestPoolEscape(t *testing.T)   { runWantFixture(t, "poolescape", []*Analyzer{PoolEscape}) }
 func TestDeferInLoop(t *testing.T)  { runWantFixture(t, "deferinloop", []*Analyzer{DeferInLoop}) }
 func TestHotPathClock(t *testing.T) { runWantFixture(t, "hotpathclock", []*Analyzer{HotPathClock}) }
