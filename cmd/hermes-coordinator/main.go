@@ -7,9 +7,14 @@
 //
 //	hermes-coordinator -nodes 127.0.0.1:7001,127.0.0.1:7002 -index ./idx -queries 5
 //	hermes-coordinator -nodes ... -index ./idx -queries 5 -all   # naive search-all baseline
-//	hermes-coordinator -nodes ... -index ./idx -stats            # per-node serving table
-//	hermes-coordinator -nodes ... -index ./idx -stats -watch 2s  # live load + modeled energy
+//	hermes-coordinator -nodes ... -index ./idx -stats            # per-node serving table + federated cluster totals
+//	hermes-coordinator -nodes ... -index ./idx -stats -watch 2s  # live load + modeled energy + SLO burn table
 //	hermes-coordinator -nodes ... -index ./idx -trace -queries 3 # per-query cross-node waterfall
+//
+// With -admin the coordinator also serves the cluster observability plane:
+// /metrics/cluster (federated metrics merged from every node, ?node=<shard>
+// for one node's breakdown), /debug/slo (error-budget burn rates for the
+// -slo objectives), and /debug/events (the structured event log ring).
 package main
 
 import (
@@ -24,9 +29,11 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
+	"repro/internal/evlog"
 	"repro/internal/hermes"
 	"repro/internal/hwmodel"
 	"repro/internal/rerank"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
 )
@@ -48,6 +55,7 @@ func main() {
 		watch     = flag.Duration("watch", 0, "with -stats: poll the cluster at this interval, printing load shares and modeled DVFS energy until interrupted")
 		platform  = flag.String("platform", "gold6448y", "CPU platform for the energy model (gold6448y|platinum8380|silver4316|neoverse, or a full hwmodel name)")
 		slowMS    = flag.Int("slow-ms", 100, "flight-recorder pin threshold in milliseconds for /debug/queries (with -admin)")
+		sloSpec   = flag.String("slo", "", `SLO objectives served at /debug/slo and exported as hermes_slo_* ("scatter=latency:50ms@0.99,avail=availability@0.999")`)
 	)
 	flag.Parse()
 
@@ -74,10 +82,12 @@ func main() {
 	}
 
 	rec := telemetry.NewRecorder(256, time.Duration(*slowMS)*time.Millisecond)
+	ev := evlog.New(evlog.Config{Capacity: 256})
 	co, err := distsearch.DialOpts(addrs, distsearch.DialOptions{
 		Timeout:          *timeout,
 		RoundTripTimeout: *rtTimeout,
 		Recorder:         rec,
+		Events:           ev,
 	})
 	if err != nil {
 		fatal(err)
@@ -85,23 +95,47 @@ func main() {
 	defer co.Close()
 	fmt.Printf("connected to %d nodes, %d vectors total, dim %d\n\n", co.Nodes(), co.TotalSize(), co.Dim())
 
+	var engine *slo.Engine
+	if *sloSpec != "" {
+		objs, err := slo.ParseObjectives(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if engine, err = co.NewSLOEngine(objs); err != nil {
+			fatal(err)
+		}
+		telemetry.Default.RegisterCollector(engine.CollectInto())
+		stopTicker := engine.StartTicker(10 * time.Second)
+		defer stopTicker()
+	}
+
 	if *admin != "" {
 		if err := co.EnableEnergyModel(spec, tokensPerChunk); err != nil {
 			fatal(err)
 		}
-		srv, err := telemetry.ServeAdminOpts(*admin, telemetry.Default, rec)
+		mux := telemetry.NewAdminMuxOpts(telemetry.Default, rec)
+		mux.HandleFunc("/metrics/cluster", co.ServeClusterMetrics)
+		mux.HandleFunc("/debug/slo", engine.ServeSLO)
+		mux.HandleFunc("/debug/events", ev.ServeEvents)
+		srv, err := telemetry.ServeAdminMux(*admin, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("admin endpoints on http://%s/metrics (flight recorder at /debug/queries)\n\n", srv.Addr())
+		fmt.Printf("admin endpoints on http://%s/metrics (cluster view at /metrics/cluster, flight recorder at /debug/queries, SLOs at /debug/slo, events at /debug/events)\n\n", srv.Addr())
 	}
 	if *stats {
 		if *watch > 0 {
-			watchStats(co, spec, tokensPerChunk, *watch)
+			watchStats(co, spec, tokensPerChunk, *watch, engine)
 			return
 		}
 		printStats(co, spec)
+		printClusterSummary(co)
+		if engine != nil {
+			engine.Tick()
+			fmt.Println()
+			slo.WriteBurnTable(os.Stdout, engine.Reports())
+		}
 		return
 	}
 
@@ -208,6 +242,33 @@ func printStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec) {
 	}
 }
 
+// printClusterSummary renders the federated headline series from the
+// /metrics/cluster merge: cluster-wide query/request/error totals plus which
+// shards contributed, so -stats shows the same truth the scrape endpoint
+// serves. Shards running a pre-federation release are listed, not fatal.
+func printClusterSummary(co *distsearch.Coordinator) {
+	view := co.ClusterMetrics()
+	flat := telemetry.FlattenFamilies(view.Merged)
+	var nodeReqs, nodeSecs float64
+	for key, v := range flat {
+		if strings.HasPrefix(key, "hermes_node_requests_total{") {
+			nodeReqs += v
+		}
+		if strings.HasPrefix(key, "hermes_node_request_seconds{") && strings.HasSuffix(key, ":sum") {
+			nodeSecs += v
+		}
+	}
+	fmt.Printf("\ncluster (federated from %d node(s)): queries=%.0f node_requests=%.0f node_busy=%.3fs errors=%.0f deadline_hits=%.0f\n",
+		len(view.Nodes),
+		flat["hermes_coordinator_queries_total"],
+		nodeReqs, nodeSecs,
+		flat["hermes_distsearch_errors_total"],
+		flat["hermes_distsearch_deadline_hits_total"])
+	if len(view.Missing) > 0 {
+		fmt.Printf("  shards not contributing metrics (old release or unreachable): %v\n", view.Missing)
+	}
+}
+
 // modelForShare is the static one-shot DVFS estimate: a node carrying its
 // fair share (1/n) of the deep load runs at base frequency; relative
 // over/under-load scales it, clamped to the platform's DVFS range, and power
@@ -232,7 +293,7 @@ func modelForShare(spec hwmodel.CPUSpec, share float64, n int) (ghz, watts float
 // observed deep-search load through the windowed DVFS energy model — real
 // load deltas over real wall windows, so the joules column is the live
 // Fig. 21 account.
-func watchStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec, tokensPerChunk int64, interval time.Duration) {
+func watchStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec, tokensPerChunk int64, interval time.Duration, engine *slo.Engine) {
 	model, err := hwmodel.NewEnergyModel(spec)
 	if err != nil {
 		fatal(err)
@@ -280,6 +341,10 @@ func watchStats(co *distsearch.Coordinator, spec hwmodel.CPUSpec, tokensPerChunk
 			}
 			if err := w.Flush(); err != nil {
 				fatal(err)
+			}
+			if engine != nil {
+				engine.Tick()
+				slo.WriteBurnTable(os.Stdout, engine.Reports())
 			}
 			fmt.Println()
 		}

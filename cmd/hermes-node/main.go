@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"repro/internal/distsearch"
+	"repro/internal/evlog"
 	"repro/internal/telemetry"
 	"repro/pkg/indexfile"
 )
@@ -53,17 +54,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ev := evlog.New(evlog.Config{Capacity: 256})
+	node.SetEvents(ev)
 	if err := node.Listen(*addr); err != nil {
 		fatal(err)
 	}
 	logger.Printf("serving shard %d (%d vectors, %s) on %s", *shard, ix.Len(), ix.QuantizerName(), node.Addr())
 	if *admin != "" {
-		srv, err := telemetry.ServeAdmin(*admin, telemetry.Default)
+		mux := telemetry.NewAdminMux(telemetry.Default)
+		mux.HandleFunc("/debug/events", ev.ServeEvents)
+		srv, err := telemetry.ServeAdminMux(*admin, mux)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		logger.Printf("admin endpoints on http://%s/metrics", srv.Addr())
+		logger.Printf("admin endpoints on http://%s/metrics (events at /debug/events)", srv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,236 @@
+// Command hermes-obsbench measures what the PR 7 observability plane costs
+// the serving path and writes the machine-readable record scripts/bench.sh
+// publishes as BENCH_PR7.json.
+//
+// Three suites run:
+//
+//   - evlog: Emit cost on a nil log, below the level floor, recorded into
+//     the ring, and under per-name rate limiting. The first three must be
+//     zero allocations per op — the disabled paths because instrumentation
+//     a deployment turned off must be free, the enabled path because Emit's
+//     contract is that fields are copied by value into a preallocated ring
+//     slot.
+//   - slo: Engine.Tick and Reports cost with several objectives attached.
+//     These run on a 10s ticker off the serving path, so they carry no
+//     zero-alloc requirement; the record documents their absolute cost.
+//   - store: Store.Search allocations with observability fully disabled
+//     versus with an armed-but-quiet slow-scan detector (threshold no scan
+//     crosses). The two must match exactly: arming events may not add a
+//     single allocation to the scan path.
+//
+// The process exits non-zero when any must-zero scenario allocates or the
+// store pair diverges, so bench.sh doubles as the acceptance gate.
+//
+// Usage:
+//
+//	hermes-obsbench                   # text summary + BENCH_PR7.json
+//	hermes-obsbench -out bench.json   # alternate output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/evlog"
+	"repro/internal/hermes"
+	"repro/internal/slo"
+	"repro/internal/vec"
+)
+
+// scenario is one measured code path.
+type scenario struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MustZeroAllocs marks the acceptance-gated paths.
+	MustZeroAllocs bool `json:"must_zero_allocs"`
+}
+
+type report struct {
+	GOOS   string     `json:"goos"`
+	GOARCH string     `json:"goarch"`
+	CPUs   int        `json:"cpus"`
+	Evlog  []scenario `json:"evlog"`
+	SLO    []scenario `json:"slo"`
+	Store  []scenario `json:"store"`
+}
+
+func main() {
+	outFlag := flag.String("out", "BENCH_PR7.json", "JSON output path")
+	flag.Parse()
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	rep.Evlog = benchEvlog()
+	rep.SLO = benchSLO()
+	rep.Store = benchStore()
+
+	printReport(rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", *outFlag)
+
+	if msg := checkAcceptance(rep); msg != "" {
+		fatal(fmt.Errorf("%s", msg))
+	}
+	fmt.Println("acceptance: all must-zero paths allocation-free; armed events add nothing to the scan path")
+}
+
+// measure runs fn under both the benchmark timer and the allocation counter.
+func measure(name string, mustZero bool, fn func()) scenario {
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return scenario{
+		Name:           name,
+		NsPerOp:        float64(res.NsPerOp()),
+		AllocsPerOp:    testing.AllocsPerRun(1000, fn),
+		MustZeroAllocs: mustZero,
+	}
+}
+
+func benchEvlog() []scenario {
+	var nilLog *evlog.Log
+	leveled := evlog.New(evlog.Config{Capacity: 64, MinLevel: evlog.LevelError})
+	enabled := evlog.New(evlog.Config{Capacity: 64})
+	limited := evlog.New(evlog.Config{Capacity: 64, RatePerSec: 1})
+	// Prime the limiter's per-name bucket so the steady state (token
+	// exhausted, event counted as dropped) is what gets measured.
+	limited.Warn("edge", evlog.Int("shard", 1))
+
+	return []scenario{
+		measure("emit_nil_log", true, func() {
+			nilLog.Warn("edge", evlog.Int("shard", 1), evlog.Dur("dur", time.Millisecond))
+		}),
+		measure("emit_below_min_level", true, func() {
+			leveled.Info("edge", evlog.Int("shard", 1), evlog.Dur("dur", time.Millisecond))
+		}),
+		measure("emit_enabled", true, func() {
+			enabled.Warn("edge", evlog.Int("shard", 1), evlog.Dur("dur", time.Millisecond))
+		}),
+		measure("emit_rate_limited", false, func() {
+			limited.Warn("edge", evlog.Int("shard", 1), evlog.Dur("dur", time.Millisecond))
+		}),
+	}
+}
+
+func benchSLO() []scenario {
+	e := slo.NewEngine()
+	var good, total int64
+	src := func() (int64, int64) {
+		good += 99
+		total += 100
+		return good, total
+	}
+	for i := 0; i < 4; i++ {
+		o := slo.Objective{
+			Name:   fmt.Sprintf("obj%d", i),
+			Kind:   slo.KindAvailability,
+			Target: 0.99,
+		}
+		if err := e.AddObjective(o, src); err != nil {
+			fatal(err)
+		}
+	}
+	e.Tick()
+	return []scenario{
+		measure("tick_4_objectives", false, func() { e.Tick() }),
+		measure("reports_4_objectives", false, func() { _ = e.Reports() }),
+	}
+}
+
+func benchStore() []scenario {
+	const (
+		dim     = 32
+		vectors = 4000
+		shards  = 4
+	)
+	rng := rand.New(rand.NewSource(7))
+	data := vec.NewMatrix(vectors, dim)
+	for i := range data.Data() {
+		data.Data()[i] = float32(rng.NormFloat64())
+	}
+	st, err := hermes.Build(data, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		fatal(err)
+	}
+	p := hermes.DefaultParams()
+	q := make([]float32, dim)
+	for d := range q {
+		q[d] = float32(rng.NormFloat64())
+	}
+	// Warm the scratch pool so steady state is measured.
+	st.Search(q, p)
+
+	baseline := measure("search_no_observability", false, func() { st.Search(q, p) })
+
+	// Armed but quiet: the detector reads the clock around each scan yet no
+	// scan crosses an hour, so the emit (the only allocating branch) never
+	// runs. Cost must equal the baseline allocation-for-allocation.
+	ev := evlog.New(evlog.Config{Capacity: 64})
+	st.SetEvents(ev, time.Hour)
+	armed := measure("search_events_armed_quiet", false, func() { st.Search(q, p) })
+	st.SetEvents(nil, 0)
+
+	return []scenario{baseline, armed}
+}
+
+// checkAcceptance returns a failure message, or "" when the record meets
+// the PR 7 bar.
+func checkAcceptance(rep report) string {
+	for _, suite := range [][]scenario{rep.Evlog, rep.SLO, rep.Store} {
+		for _, s := range suite {
+			if s.MustZeroAllocs && s.AllocsPerOp != 0 {
+				return fmt.Sprintf("scenario %s allocates %.2f/op; must be 0", s.Name, s.AllocsPerOp)
+			}
+		}
+	}
+	var base, armed *scenario
+	for i := range rep.Store {
+		switch rep.Store[i].Name {
+		case "search_no_observability":
+			base = &rep.Store[i]
+		case "search_events_armed_quiet":
+			armed = &rep.Store[i]
+		}
+	}
+	if base == nil || armed == nil {
+		return "store suite incomplete"
+	}
+	if armed.AllocsPerOp != base.AllocsPerOp {
+		return fmt.Sprintf("armed-quiet events changed scan allocations: %.2f/op vs baseline %.2f/op",
+			armed.AllocsPerOp, base.AllocsPerOp)
+	}
+	return ""
+}
+
+func printReport(rep report) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\tns/op\tallocs/op\tmust-zero\n")
+	for _, suite := range [][]scenario{rep.Evlog, rep.SLO, rep.Store} {
+		for _, s := range suite {
+			fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%v\n", s.Name, s.NsPerOp, s.AllocsPerOp, s.MustZeroAllocs)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-obsbench:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -57,6 +58,20 @@ func main() {
 	if err := co.EnableEnergyModel(hwmodel.XeonGold6448Y, int64(corpus.Spec.TokensPerChunk)); err != nil {
 		log.Fatal(err)
 	}
+	// Service-level objectives over the coordinator's own serving metrics:
+	// a latency target on the scatter (sample) phase and an availability
+	// target on shard round-trips. The first Tick sets the baseline; the
+	// tick at the end of the run pulls everything served in between into
+	// the burn windows.
+	objs, err := hermes.ParseSLOObjectives("scatter=latency:5ms@0.95,rpc=availability@0.99")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := co.NewSLOEngine(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.Tick()
 
 	queries := corpus.Queries(12, 4)
 	params := hermes.DefaultParams()
@@ -130,6 +145,14 @@ func main() {
 			fmt.Println("  " + line)
 		}
 	}
+
+	// Pull the traffic into the SLO windows and print the burn-rate table
+	// hermes-coordinator -stats shows: each objective's compliance in the
+	// fast (5m) and slow (1h) windows, and how fast the error budget is
+	// burning relative to the target.
+	engine.Tick()
+	fmt.Println("\nSLO burn rates (cmd binaries serve this at /debug/slo):")
+	hermes.WriteSLOBurnTable(os.Stdout, engine.Reports())
 
 	fmt.Println("\n(hierarchical touches 3 of 8 nodes deeply; on real multi-host nodes")
 	fmt.Println(" that is the throughput and energy win of Figs. 18 and 21)")

@@ -11,6 +11,8 @@
 //   - query encoding: NewEncoder;
 //   - evaluation: NDCGAtK, RecallAtK, exact ground truth via NewFlatIndex;
 //   - distributed serving: LaunchLocalCluster, DialCluster;
+//   - cluster observability: federated metrics (ClusterView), SLO burn
+//     tracking (NewSLOEngine), and the structured event log (NewEventLog);
 //   - end-to-end pipeline modeling: RunPipeline with the Baseline /
 //     PipeRAG / RAGCache / Hermes strategies;
 //   - experiment regeneration: RunExperiment, ExperimentIDs.
@@ -26,6 +28,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
 	"repro/internal/encoder"
+	"repro/internal/evlog"
 	"repro/internal/experiments"
 	"repro/internal/flatindex"
 	"repro/internal/hermes"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rag"
 	"repro/internal/rerank"
+	"repro/internal/slo"
 	"repro/internal/striding"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
@@ -203,6 +207,59 @@ func ServeTelemetryOpts(addr string, reg *TelemetryRegistry, rec *QueryRecorder)
 	}
 	return telemetry.ServeAdminOpts(addr, reg, rec)
 }
+
+// ---------------------------------------------------------------------------
+// Cluster observability: metrics federation, SLOs, and the event log.
+
+// ClusterView is the coordinator's federated metric snapshot: every
+// reachable node's export merged with the coordinator's own registry, plus
+// per-node breakdowns and the shards that could not contribute.
+type ClusterView = distsearch.ClusterView
+
+// NodeFamilies is one node's contribution to a ClusterView.
+type NodeFamilies = distsearch.NodeFamilies
+
+// SLOObjective declares one service-level objective (latency@target or
+// availability@target) evaluated over multi-window sliding counters.
+type SLOObjective = slo.Objective
+
+// SLOEngine tracks objectives and their fast/slow burn rates; serve it at
+// /debug/slo via its ServeSLO method or publish hermes_slo_* metrics with
+// CollectInto.
+type SLOEngine = slo.Engine
+
+// SLOReport is one objective's current compliance and burn rates.
+type SLOReport = slo.Report
+
+// NewSLOEngine returns an engine with the default fast (5m) and slow (1h)
+// burn windows; wire objectives with AddObjective or build one straight
+// from a Coordinator via Coordinator.NewSLOEngine.
+func NewSLOEngine() *SLOEngine { return slo.NewEngine() }
+
+// ParseSLOObjectives parses the -slo flag syntax:
+// "<name>=latency:<dur>@<target>,<name>=availability@<target>".
+func ParseSLOObjectives(s string) ([]SLOObjective, error) { return slo.ParseObjectives(s) }
+
+// WriteSLOBurnTable renders reports as the fixed-width burn-rate table
+// printed by hermes-coordinator -stats.
+func WriteSLOBurnTable(w interface{ Write([]byte) (int, error) }, reports []SLOReport) {
+	slo.WriteBurnTable(w, reports)
+}
+
+// EventLog is the fixed-capacity structured event ring (leveled key-value
+// events with per-name rate limiting); serve it at /debug/events via its
+// ServeEvents method. A nil *EventLog is safe to emit into and costs
+// nothing.
+type EventLog = evlog.Log
+
+// EventLogConfig sizes an EventLog.
+type EventLogConfig = evlog.Config
+
+// Event is one recorded entry in an EventLog.
+type Event = evlog.Event
+
+// NewEventLog builds an event ring (capacity 256 when cfg is zero).
+func NewEventLog(cfg EventLogConfig) *EventLog { return evlog.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Reranking and strided generation.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
@@ -33,6 +34,9 @@ type Config struct {
 	// Telemetry, when non-nil, receives the live queue-depth gauge and the
 	// batch-size histogram (hermes_batcher_*). Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, records lifecycle edges (the Close-time drain
+	// of a partial batch). Nil disables event recording at zero cost.
+	Events *evlog.Log
 }
 
 // Batcher groups queries into batches. Safe for concurrent Search calls.
@@ -78,8 +82,10 @@ func New(cfg Config) (*Batcher, error) {
 	}
 	return &Batcher{
 		cfg: cfg,
+		//lint:ignore metricname queue depth is a resident count, not a flow or a unit-bearing quantity
 		queueDepth: cfg.Telemetry.Gauge("hermes_batcher_queue_depth",
 			"Queries waiting for their batch to flush."),
+		//lint:ignore metricname batch size is a dimensionless query count per flush
 		batchSize: cfg.Telemetry.Histogram("hermes_batcher_batch_size",
 			"Queries per flushed batch.", telemetry.DefSizeBuckets),
 	}, nil
@@ -175,8 +181,9 @@ type Stats struct {
 // Collect publishes the snapshot into reg as hermes_batcher_* gauges; wire
 // it as a scrape-time collector. A nil registry is a no-op.
 func (s Stats) Collect(reg *telemetry.Registry) {
-	reg.Gauge("hermes_batcher_flushes", "Cumulative flushed batches.").Set(float64(s.Flushes))
-	reg.Gauge("hermes_batcher_queries_served", "Cumulative queries served through batches.").Set(float64(s.QueriesServed))
+	reg.Gauge("hermes_batcher_flushes_total", "Cumulative flushed batches.").Set(float64(s.Flushes))
+	reg.Gauge("hermes_batcher_queries_served_total", "Cumulative queries served through batches.").Set(float64(s.QueriesServed))
+	//lint:ignore metricname mean batch size is a dimensionless count-per-flush, not a unit-bearing quantity
 	reg.Gauge("hermes_batcher_mean_batch", "Mean queries per flush.").Set(s.MeanBatch)
 }
 
@@ -203,6 +210,11 @@ func (b *Batcher) Close() {
 	b.closed = true
 	batch := b.takeLocked()
 	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.cfg.Events.Info("batcher.drain", evlog.Int("pending", int64(len(batch))))
+	}
 	b.flush(batch)
 	b.timerFlushes.Wait()
+	b.cfg.Events.Info("batcher.closed",
+		evlog.Int("flushes", b.flushes), evlog.Int("queries", b.queriesServed))
 }

@@ -50,10 +50,10 @@ func TestBatcherTelemetry(t *testing.T) {
 	// Stats.Collect publishes the same numbers as scrape-time gauges.
 	reg.RegisterCollector(func(r *telemetry.Registry) { b.Stats().Collect(r) })
 	snap = reg.Snapshot()
-	if got := snap["hermes_batcher_flushes"]; got != 2 {
+	if got := snap["hermes_batcher_flushes_total"]; got != 2 {
 		t.Errorf("flushes = %v, want 2", got)
 	}
-	if got := snap["hermes_batcher_queries_served"]; got != 8 {
+	if got := snap["hermes_batcher_queries_served_total"]; got != 8 {
 		t.Errorf("queries served = %v, want 8", got)
 	}
 	if got := snap["hermes_batcher_mean_batch"]; got != 4 {

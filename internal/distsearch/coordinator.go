@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/hermes"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
@@ -43,6 +44,9 @@ type nodeClient struct {
 	rtTimeout   time.Duration
 	cm          *coordMetrics
 	met         clientMetrics
+	// ev receives lifecycle events (poisoning, deadline hits, redials); a
+	// nil log swallows them at zero cost.
+	ev *evlog.Log
 
 	shardID  int
 	size     int
@@ -55,12 +59,13 @@ type nodeClient struct {
 	deepLoad atomic.Int64
 }
 
-func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (*nodeClient, error) {
+func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics, ev *evlog.Log) (*nodeClient, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
+		ev.Warn("node.dial", evlog.Str("addr", addr), evlog.Err(err))
 		return nil, fmt.Errorf("distsearch: dial %s: %w", addr, err)
 	}
-	c := &nodeClient{addr: addr, conn: conn, dialTimeout: timeout, rtTimeout: rtTimeout, cm: cm}
+	c := &nodeClient{addr: addr, conn: conn, dialTimeout: timeout, rtTimeout: rtTimeout, cm: cm, ev: ev}
 	// The handshake runs before the shard ID is known, so wire byte counts
 	// attach to the codec only afterwards; the gob codec itself must be
 	// constructed exactly once per connection (it streams type state).
@@ -82,6 +87,7 @@ func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics) (
 	c.met = newClientMetrics(cm.reg, c.shardID)
 	sent.c = c.met.sent
 	recv.c = c.met.recv
+	ev.Info("node.dial", evlog.Str("addr", addr), evlog.Int("shard", int64(c.shardID)))
 	return c, nil
 }
 
@@ -173,7 +179,13 @@ func (c *nodeClient) breakLocked(err error) {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		c.cm.deadlineHits.Inc()
+		//lint:ignore lockheldio the event must be recorded before a queued request can observe (and redial) the broken conn, and Emit only touches the log's in-memory ring
+		c.ev.Warn("deadline.hit", evlog.Int("shard", int64(c.shardID)),
+			evlog.Str("addr", c.addr), evlog.Dur("timeout", c.rtTimeout))
 	}
+	//lint:ignore lockheldio same as above: poisoning and its event are one atomic state change under the per-connection mutex
+	c.ev.Warn("conn.poisoned", evlog.Int("shard", int64(c.shardID)),
+		evlog.Str("addr", c.addr), evlog.Err(err))
 	c.abandonLocked()
 }
 
@@ -195,6 +207,9 @@ func (c *nodeClient) redialLocked() error {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		c.cm.errors.Inc()
+		//lint:ignore lockheldio redial runs serialized under the per-connection mutex by design (see the roundTrip suppression); the event rides the same critical section
+		c.ev.Warn("node.redial", evlog.Int("shard", int64(c.shardID)),
+			evlog.Str("addr", c.addr), evlog.Err(err))
 		return err
 	}
 	c.conn = conn
@@ -218,6 +233,8 @@ func (c *nodeClient) redialLocked() error {
 	}
 	c.size = info.Size
 	c.centroid = info.Centroid
+	//lint:ignore lockheldio see the redial suppression above: the success event belongs to the serialized repair critical section
+	c.ev.Info("node.redial", evlog.Int("shard", int64(c.shardID)), evlog.Str("addr", c.addr))
 	return nil
 }
 
@@ -246,6 +263,8 @@ type Coordinator struct {
 	// rec, when non-nil, receives one QueryRecord per completed
 	// SearchTraced/Search call — the flight-recorder hook.
 	rec *telemetry.Recorder
+	// ev receives serving-path lifecycle events; nil swallows them.
+	ev *evlog.Log
 	// lenient degrades gracefully on node failure instead of failing the
 	// query (see SetLenient).
 	lenient bool
@@ -279,6 +298,11 @@ type DialOptions struct {
 	Recorder *telemetry.Recorder
 	// Lenient starts the coordinator in degraded-mode serving (SetLenient).
 	Lenient bool
+	// Events, when non-nil, receives structured lifecycle events —
+	// connection poisoning, deadline hits, dials/redials, load-imbalance
+	// threshold crossings — for the /debug/events ring. Nil disables event
+	// logging at zero cost.
+	Events *evlog.Log
 }
 
 // Dial connects to every node address with default options. All nodes must
@@ -304,9 +328,9 @@ func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 	if reg == nil {
 		reg = telemetry.Default
 	}
-	co := &Coordinator{m: newCoordMetrics(reg), rec: opts.Recorder, lenient: opts.Lenient}
+	co := &Coordinator{m: newCoordMetrics(reg), rec: opts.Recorder, lenient: opts.Lenient, ev: opts.Events}
 	for _, addr := range addrs {
-		c, err := dialNode(addr, timeout, rtTimeout, co.m)
+		c, err := dialNode(addr, timeout, rtTimeout, co.m, opts.Events)
 		if err != nil {
 			_ = co.Close()
 			return nil, err
@@ -323,13 +347,30 @@ func DialOpts(addrs []string, opts DialOptions) (*Coordinator, error) {
 	}
 	// Imbalance is computed at scrape time from the per-node deep counters:
 	// max/mean load, the figure Hermes' DVFS story keys off (Fig. 13/21).
-	imbalance := reg.Gauge("hermes_coordinator_load_imbalance",
+	// Crossing the event threshold (in either direction) is a lifecycle
+	// edge worth a timestamped event: metrics show the ratio, the event log
+	// shows when the cluster went lopsided.
+	imbalance := reg.Gauge("hermes_coordinator_load_imbalance_ratio",
 		"per-shard deep-search load imbalance seen by this coordinator (max/mean; 1 = perfectly balanced, 0 = no load yet)")
+	var above atomic.Bool
 	reg.RegisterCollector(func(*telemetry.Registry) {
-		imbalance.Set(co.loadImbalance())
+		v := co.loadImbalance()
+		imbalance.Set(v)
+		// CompareAndSwap both races-proofs the crossing state (concurrent
+		// scrapes run collectors concurrently) and dedupes the event.
+		if v >= imbalanceEventThreshold && above.CompareAndSwap(false, true) {
+			co.ev.Warn("load.imbalance", evlog.Float("ratio", v),
+				evlog.Float("threshold", imbalanceEventThreshold))
+		} else if v < imbalanceEventThreshold && above.CompareAndSwap(true, false) {
+			co.ev.Info("load.balanced", evlog.Float("ratio", v))
+		}
 	})
 	return co, nil
 }
+
+// imbalanceEventThreshold is the max/mean deep-load ratio past which the
+// coordinator logs a load.imbalance event.
+const imbalanceEventThreshold = 1.5
 
 // SetRecorder points the coordinator's flight-recorder hook at rec: every
 // completed Search/SearchTraced appends one QueryRecord (trace ID, total,

@@ -48,10 +48,13 @@ func (co *Coordinator) EnableEnergyModel(spec hwmodel.CPUSpec, tokensPerVector i
 	reg := co.m.reg
 	for i, n := range co.nodes {
 		node := strconv.Itoa(n.shardID)
+		//lint:ignore metricname ghz is the series' actual physical unit; seconds/bytes do not apply
 		ec.ghz[i] = reg.Gauge("hermes_energy_model_ghz",
 			"modeled DVFS frequency per node given its observed deep-search load ("+spec.Name+")", "node", node)
+		//lint:ignore metricname watts is the series' actual physical unit; seconds/bytes do not apply
 		ec.watts[i] = reg.Gauge("hermes_energy_model_watts",
 			"modeled average package power per node over the last scrape window ("+spec.Name+")", "node", node)
+		//lint:ignore metricname joules is the series' actual physical unit; seconds/bytes do not apply
 		ec.joules[i] = reg.Gauge("hermes_energy_model_joules",
 			"modeled cumulative package energy per node since the model was enabled ("+spec.Name+")", "node", node)
 	}

@@ -1,0 +1,357 @@
+package distsearch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/evlog"
+	"repro/internal/hermes"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+// v3Response is the Response schema as of PR 4 — everything up to Spans,
+// without Families — i.e. what a node running the previous release encodes
+// and decodes.
+type v3Response struct {
+	Err                                       string
+	ShardID, Size, Dim                        int
+	Neighbors                                 []vec.Neighbor
+	Batch                                     [][]vec.Neighbor
+	Centroid                                  []float32
+	OK                                        bool
+	SampleServed, DeepServed, MutationsServed int64
+	Tombstones                                int
+	ServerNanos                               int64
+	Telemetry                                 map[string]float64
+	Scanned                                   int64
+	Spans                                     []WireSpan
+}
+
+// TestResponseWireCompatV3V4 proves the Families append is gob-compatible
+// in both directions: a v4 response decodes on a v3 peer (Families dropped),
+// and a v3 response decodes on a v4 peer (Families nil).
+func TestResponseWireCompatV3V4(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("hermes_test_requests_total", "r").Add(7)
+	v4 := Response{
+		ShardID:  3,
+		Scanned:  42,
+		Spans:    []WireSpan{{Name: "list_scan", Node: 3, DurNanos: 5}},
+		Families: reg.Export(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v4); err != nil {
+		t.Fatal(err)
+	}
+	var oldSide v3Response
+	if err := gob.NewDecoder(&buf).Decode(&oldSide); err != nil {
+		t.Fatalf("v3 peer failed to decode a v4 response: %v", err)
+	}
+	if oldSide.ShardID != 3 || oldSide.Scanned != 42 || len(oldSide.Spans) != 1 {
+		t.Errorf("v3 decode mangled fields: %+v", oldSide)
+	}
+
+	buf.Reset()
+	old := v3Response{ShardID: 5, ServerNanos: 99, Scanned: 7}
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	var newSide Response
+	if err := gob.NewDecoder(&buf).Decode(&newSide); err != nil {
+		t.Fatalf("v4 peer failed to decode a v3 response: %v", err)
+	}
+	if newSide.ShardID != 5 || newSide.Scanned != 7 || newSide.Families != nil {
+		t.Errorf("v4 decode of v3 response: %+v", newSide)
+	}
+}
+
+// TestMixedVersionFederationDegrades runs a vN coordinator over one real
+// (current) node and one v2-era stub node: queries must keep working, and
+// ClusterMetrics must report the old shard as missing — local-only
+// degradation, never an error.
+func TestMixedVersionFederationDegrades(t *testing.T) {
+	const dim = 16
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 400, Dim: dim, NumTopics: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeReg := telemetry.NewRegistry()
+	node, err := NewNode(0, st.Shards[0].Index, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.SetTelemetry(nodeReg)
+	if err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serveV2Node(t, ln, 1, dim)
+
+	co, err := DialOpts([]string{node.Addr(), ln.Addr().String()},
+		DialOptions{Timeout: time.Second, Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// The old node still serves queries under the new coordinator.
+	p := hermes.DefaultParams()
+	p.DeepClusters = 2
+	if _, err := co.Search(c.Queries(1, 3).Vectors.Row(0), p); err != nil {
+		t.Fatalf("mixed-version query: %v", err)
+	}
+
+	view := co.ClusterMetrics()
+	if len(view.Missing) != 1 || view.Missing[0] != 1 {
+		t.Errorf("Missing = %v, want [1] (the v2 node)", view.Missing)
+	}
+	if len(view.Nodes) != 1 || view.Nodes[0].ShardID != 0 {
+		t.Fatalf("contributing nodes = %+v, want shard 0 only", view.Nodes)
+	}
+	flat := telemetry.FlattenFamilies(view.Merged)
+	if flat[`hermes_node_requests_total{op="info",shard="0"}`] == 0 {
+		t.Errorf("merged view missing the real node's request counters: %v", flat)
+	}
+
+	// The degraded pull must not have poisoned the old node's connection:
+	// another query still works.
+	if _, err := co.Search(c.Queries(1, 4).Vectors.Row(0), p); err != nil {
+		t.Fatalf("query after degraded federation pull: %v", err)
+	}
+}
+
+// delayProxy forwards TCP bytes to a backend, injecting a per-chunk delay
+// on the response direction when enabled — the "artificially slowed node"
+// for deadline/SLO tests, with the real node logic untouched behind it.
+type delayProxy struct {
+	ln      net.Listener
+	backend string
+	delay   atomic.Int64 // nanoseconds; 0 = transparent
+}
+
+func newDelayProxy(t *testing.T, backend string) *delayProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &delayProxy{ln: ln, backend: backend}
+	t.Cleanup(func() { ln.Close() })
+	//lint:ignore goroutinectx accept loop exits when the cleanup ln.Close unblocks Accept
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			//lint:ignore goroutinectx per-conn forwarder exits when either side closes at test end
+			//lint:ignore goroutineleak forwarder unblocks on conn close: cleanup closes the listener-held conns and the coordinator closes its side at test end
+			go p.forward(conn)
+		}
+	}()
+	return p
+}
+
+func (p *delayProxy) forward(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	//lint:ignore goroutinectx request pump exits when the client conn closes at test end
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := server.Read(buf)
+		if n > 0 {
+			if d := p.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestClusterObservabilityEndToEnd is the acceptance e2e for the cluster
+// observability plane, over real TCP nodes and real HTTP admin endpoints:
+//
+//  1. /metrics/cluster serves merged metrics from multiple real nodes;
+//  2. /debug/slo flips an objective from healthy to BURNING when one node
+//     is artificially slowed past the round-trip deadline;
+//  3. /debug/events shows the resulting deadline-hit (and poisoning)
+//     events.
+func TestClusterObservabilityEndToEnd(t *testing.T) {
+	const shards = 3
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 900, Dim: 16, NumTopics: shards, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var addrs []string
+	var proxy *delayProxy
+	for i, shard := range st.Shards {
+		node, err := NewNode(i, shard.Index, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.SetTelemetry(telemetry.NewRegistry())
+		if err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		if i == shards-1 {
+			// The last shard sits behind the delay proxy — the node we
+			// will slow down mid-test.
+			proxy = newDelayProxy(t, node.Addr())
+			addrs = append(addrs, proxy.ln.Addr().String())
+		} else {
+			addrs = append(addrs, node.Addr())
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	coordReg := telemetry.NewRegistry()
+	ev := evlog.New(evlog.Config{Capacity: 256})
+	co, err := DialOpts(addrs, DialOptions{
+		Timeout:          2 * time.Second,
+		RoundTripTimeout: 150 * time.Millisecond,
+		Telemetry:        coordReg,
+		Lenient:          true,
+		Events:           ev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// SLO: 90% of sample scatters under 50ms. Windows are sized so the
+	// whole test fits inside the fast window — the healthy and slowed
+	// phases land in the same window and the burn rate is driven purely by
+	// the good/bad mix, not wall-clock stepping.
+	engine := slo.NewEngineWindows(slo.WindowConfig{
+		Fast: time.Hour, FastSlot: time.Minute,
+		Slow: 2 * time.Hour, SlowSlot: time.Minute,
+	})
+	obj := slo.Objective{Name: "scatter", Kind: slo.KindLatency, Target: 0.9, Threshold: 50 * time.Millisecond}
+	if err := engine.AddObjective(obj, slo.LatencySource(co.m.phaseSample, obj.Threshold)); err != nil {
+		t.Fatal(err)
+	}
+	engine.Tick() // prime
+
+	mux := telemetry.NewAdminMux(coordReg)
+	mux.HandleFunc("/metrics/cluster", co.ServeClusterMetrics)
+	mux.HandleFunc("/debug/slo", engine.ServeSLO)
+	mux.HandleFunc("/debug/events", ev.ServeEvents)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Phase 1 — healthy traffic.
+	p := hermes.DefaultParams()
+	qs := c.Queries(4, 11)
+	for i := 0; i < 8; i++ {
+		if _, err := co.Search(qs.Vectors.Row(i%4), p); err != nil {
+			t.Fatalf("healthy query %d: %v", i, err)
+		}
+	}
+
+	// /metrics/cluster merges all three real nodes plus the coordinator.
+	code, page := scrape(t, srv.URL+"/metrics/cluster")
+	if code != 200 {
+		t.Fatalf("/metrics/cluster status %d", code)
+	}
+	if !strings.Contains(page, "# cluster view: coordinator + 3 node(s)") {
+		t.Errorf("/metrics/cluster header wrong:\n%.300s", page)
+	}
+	if sum, n := sumSeries(t, page, "hermes_node_requests_total"); n == 0 || sum == 0 {
+		t.Errorf("/metrics/cluster missing merged node request counters (n=%d sum=%v)", n, sum)
+	}
+	if _, n := sumSeries(t, page, "hermes_coordinator_queries_total"); n == 0 {
+		t.Error("/metrics/cluster missing coordinator-side families")
+	}
+	// Per-node breakdown: one shard's unmerged view.
+	code, nodePage := scrape(t, srv.URL+"/metrics/cluster?node=0")
+	if code != 200 || !strings.Contains(nodePage, "# node view: shard 0") {
+		t.Errorf("per-node breakdown (status %d):\n%.200s", code, nodePage)
+	}
+
+	// /debug/slo: healthy.
+	_, sloPage := scrape(t, srv.URL+"/debug/slo")
+	if !strings.Contains(sloPage, "scatter") || !strings.Contains(sloPage, "healthy") ||
+		strings.Contains(sloPage, "BURNING") {
+		t.Errorf("pre-slowdown /debug/slo:\n%s", sloPage)
+	}
+
+	// Phase 2 — slow the proxied node past the 150ms round-trip deadline.
+	proxy.delay.Store(int64(400 * time.Millisecond))
+	for i := 0; i < 10; i++ {
+		// Lenient mode: queries survive on the healthy shards while the
+		// slowed node eats deadline hits.
+		if _, err := co.Search(qs.Vectors.Row(i%4), p); err != nil {
+			t.Fatalf("slowed-phase query %d: %v", i, err)
+		}
+	}
+	if co.m.deadlineHits.Value() == 0 {
+		t.Fatal("slowed node produced no deadline hits; the SLO flip would be vacuous")
+	}
+
+	// /debug/slo: burning. 10 of 18 scatters blew the 50ms threshold
+	// against a 10% budget.
+	_, sloPage = scrape(t, srv.URL+"/debug/slo")
+	if !strings.Contains(sloPage, "BURNING") {
+		t.Errorf("post-slowdown /debug/slo did not flip to BURNING:\n%s", sloPage)
+	}
+
+	// /debug/events: the deadline hits and poisonings are on the record.
+	_, evPage := scrape(t, srv.URL+"/debug/events")
+	for _, want := range []string{"deadline.hit", "conn.poisoned", "node.dial"} {
+		if !strings.Contains(evPage, want) {
+			t.Errorf("/debug/events missing %q:\n%s", want, evPage)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/ivf"
 	"repro/internal/telemetry"
 	"repro/internal/vec"
@@ -46,6 +47,7 @@ type Node struct {
 	ln      net.Listener
 	logger  *log.Logger
 	met     *nodeMetrics
+	ev      *evlog.Log
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -85,6 +87,11 @@ func (n *Node) SetTelemetry(reg *telemetry.Registry) {
 	n.met = newNodeMetrics(reg, n.shardID, n.index.QuantizerName())
 }
 
+// SetEvents attaches a structured event log recording connection lifecycle
+// edges (accept, close, decode/encode failures). Call before Listen; a nil
+// log (the default) disables event recording at zero cost.
+func (n *Node) SetEvents(ev *evlog.Log) { n.ev = ev }
+
 // Listen binds the node to addr ("127.0.0.1:0" for an ephemeral port) and
 // starts the accept loop in a background goroutine.
 func (n *Node) Listen(addr string) error {
@@ -122,6 +129,7 @@ func (n *Node) acceptLoop() {
 		}
 		n.conns[conn] = struct{}{}
 		n.mu.Unlock()
+		n.ev.Info("conn.accept", evlog.Int("shard", int64(n.shardID)), evlog.Str("remote", conn.RemoteAddr().String()))
 		n.wg.Add(1)
 		go n.serveConn(conn)
 	}
@@ -134,6 +142,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		delete(n.conns, conn)
 		n.mu.Unlock()
 		_ = conn.Close()
+		n.ev.Info("conn.close", evlog.Int("shard", int64(n.shardID)), evlog.Str("remote", conn.RemoteAddr().String()))
 	}()
 	ar := &arrivalReader{r: conn}
 	dec := gob.NewDecoder(ar)
@@ -144,6 +153,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !n.isClosed() {
 				n.logger.Printf("node %d decode: %v", n.shardID, err)
+				n.ev.Warn("conn.decode_error", evlog.Int("shard", int64(n.shardID)), evlog.Err(err))
 			}
 			return
 		}
@@ -175,6 +185,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			if !n.isClosed() {
 				n.logger.Printf("node %d encode: %v", n.shardID, err)
+				n.ev.Warn("conn.encode_error", evlog.Int("shard", int64(n.shardID)), evlog.Err(err))
 			}
 			return
 		}
@@ -243,6 +254,8 @@ func (n *Node) handle(req *Request, arrival, decodeDone time.Time) *Response {
 			Tombstones:      n.index.Tombstones(),
 			Telemetry:       n.met.reg.Snapshot(),
 		}
+	case OpMetricsSnap:
+		return &Response{ShardID: n.shardID, Families: n.met.reg.Export()}
 	case OpCompact:
 		n.index.Compact()
 		return &Response{ShardID: n.shardID, OK: true}

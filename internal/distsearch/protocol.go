@@ -10,7 +10,10 @@
 // examples/distributed spin up real nodes on localhost.
 package distsearch
 
-import "repro/internal/vec"
+import (
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
 
 // Op selects the request type.
 type Op uint8
@@ -40,6 +43,13 @@ const (
 	// OpCompact reclaims tombstoned space after removals.
 	OpStats
 	OpCompact
+	// OpMetricsSnap returns the node's structured metric export
+	// (Response.Families) for cluster-level federation: the coordinator
+	// merges every node's families into the /metrics/cluster view. Op
+	// values are append-only like the wire structs — a v(N-1) node answers
+	// this op with an "unknown op" error, which the coordinator treats as
+	// "federation absent", not a failure.
+	OpMetricsSnap
 )
 
 // Request is the single wire request envelope.
@@ -112,6 +122,12 @@ type Response struct {
 	// into the query trace. Empty for untraced requests; a v2-era peer
 	// simply drops the field (decoding an old response leaves it nil).
 	Spans []WireSpan
+	// Families is the node's structured, mergeable metric export
+	// (OpMetricsSnap only): full bucket layouts and counts rather than the
+	// flattened strings of Telemetry above, so the coordinator can merge
+	// histograms bucket-wise across nodes. Gob-compatible v4 addition — a
+	// v3-era peer drops or zeroes it like TraceID/Spans before it.
+	Families []telemetry.FamilySnapshot
 }
 
 // WireSpan is one node-side phase shipped inside a Response.

@@ -35,6 +35,8 @@ func opName(op Op) string {
 		return "stats"
 	case OpCompact:
 		return "compact"
+	case OpMetricsSnap:
+		return "metrics_snap"
 	default:
 		return "unknown"
 	}
@@ -43,7 +45,7 @@ func opName(op Op) string {
 // allOps enumerates the wire protocol for per-op handle tables.
 var allOps = []Op{
 	OpInfo, OpSample, OpDeep, OpShutdown, OpSampleBatch, OpDeepBatch,
-	OpAdd, OpRemove, OpStats, OpCompact,
+	OpAdd, OpRemove, OpStats, OpCompact, OpMetricsSnap,
 }
 
 // coordMetrics bundles the coordinator-side metric handles. Handles are
@@ -64,6 +66,7 @@ type coordMetrics struct {
 func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
 	m := &coordMetrics{
 		reg: reg,
+		//lint:ignore metricname in-flight round-trips are a resident count, not a flow or a unit-bearing quantity
 		inflight: reg.Gauge("hermes_distsearch_inflight",
 			"round-trips currently in flight across all nodes"),
 		errors: reg.Counter("hermes_distsearch_errors_total",
@@ -76,6 +79,7 @@ func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
 			"wall time of each search phase", telemetry.DefLatencyBuckets, "phase", "sample"),
 		phaseDeep: reg.Histogram("hermes_coordinator_phase_seconds",
 			"wall time of each search phase", telemetry.DefLatencyBuckets, "phase", "deep"),
+		//lint:ignore metricname batch size is a dimensionless query count per call
 		batchSize: reg.Histogram("hermes_coordinator_batch_size",
 			"queries per SearchBatch call", telemetry.DefSizeBuckets),
 		byOp: make(map[Op]*telemetry.Counter, len(allOps)),

@@ -173,8 +173,8 @@ func TestClusterTracingEndToEnd(t *testing.T) {
 	if _, n := sumSeries(t, page, "hermes_coordinator_shard_deep_total"); n == 0 {
 		t.Error("/metrics missing hermes_coordinator_shard_deep_total")
 	}
-	if _, n := sumSeries(t, page, "hermes_coordinator_load_imbalance"); n == 0 {
-		t.Error("/metrics missing hermes_coordinator_load_imbalance")
+	if _, n := sumSeries(t, page, "hermes_coordinator_load_imbalance_ratio"); n == 0 {
+		t.Error("/metrics missing hermes_coordinator_load_imbalance_ratio")
 	}
 	joules1, n := sumSeries(t, page, "hermes_energy_model_joules")
 	if n != shards {

@@ -1,0 +1,325 @@
+// Package evlog is the serving path's structured event log: a stdlib-only,
+// leveled key-value logger backed by a preallocated ring, built for the
+// lifecycle edges that metrics aggregate away — a connection being poisoned,
+// a deadline hit, a node redial, a batcher drain. Counters tell you *how
+// often*; the event log tells you *which node, when, with what error*.
+//
+// Design constraints, in order:
+//
+//   - Nil safety. A nil *Log swallows everything, so instrumented code emits
+//     unconditionally — the same contract as internal/telemetry handles. The
+//     disabled path adds zero allocations, which keeps //hermes:hotpath
+//     functions clean as long as the Emit call is gated on the handle.
+//   - Bounded memory. Events land in a ring preallocated at New; an event
+//     carries at most MaxFields inline fields and no pointers the caller
+//     retains, so emitting never grows the heap in steady state.
+//   - Bounded volume. A per-name token bucket drops repetitive events (a
+//     flapping node would otherwise own the ring) and counts the drops,
+//     which are themselves observable via Stats.
+//
+// Emission paths count as I/O to hermes-lint (Emit carries //hermes:io), so
+// holding a mutex across an Emit is flagged by lockheldio exactly like a
+// log.Printf would be.
+package evlog
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// now is the injectable clock seam; tests freeze it to pin rate-limiter and
+// timestamp behavior.
+var now = time.Now
+
+// Level orders event severity.
+type Level uint8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "LEVEL(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// Field kinds. Fields are flat tagged unions rather than interface{} values
+// so building one never allocates.
+const (
+	kindInt uint8 = iota
+	kindStr
+	kindDur
+	kindFloat
+)
+
+// Field is one key-value pair attached to an event.
+type Field struct {
+	Key  string
+	Kind uint8
+	Num  int64
+	Str  string
+}
+
+// Int attaches an integer field.
+func Int(key string, v int64) Field { return Field{Key: key, Kind: kindInt, Num: v} }
+
+// Str attaches a string field.
+func Str(key, v string) Field { return Field{Key: key, Kind: kindStr, Str: v} }
+
+// Dur attaches a duration field.
+func Dur(key string, d time.Duration) Field { return Field{Key: key, Kind: kindDur, Num: int64(d)} }
+
+// Float attaches a float field.
+func Float(key string, v float64) Field {
+	return Field{Key: key, Kind: kindFloat, Num: int64(math.Float64bits(v))}
+}
+
+// Err attaches an error under the key "err". Calling Error() may allocate,
+// but only failure paths build error fields.
+func Err(err error) Field {
+	if err == nil {
+		return Field{Key: "err", Kind: kindStr}
+	}
+	return Field{Key: "err", Kind: kindStr, Str: err.Error()}
+}
+
+// Value renders the field's value as a string.
+func (f Field) Value() string {
+	switch f.Kind {
+	case kindInt:
+		return strconv.FormatInt(f.Num, 10)
+	case kindDur:
+		return time.Duration(f.Num).String()
+	case kindFloat:
+		return strconv.FormatFloat(math.Float64frombits(uint64(f.Num)), 'g', -1, 64)
+	default:
+		return f.Str
+	}
+}
+
+// MaxFields is the inline field capacity of an event; Emit truncates beyond
+// it. Six covers every serving-path site (name encodes the edge; fields
+// carry shard, address, duration, error).
+const MaxFields = 6
+
+// Event is one recorded occurrence. Events are plain values: the ring holds
+// them by value and Events returns copies, so readers never race writers.
+type Event struct {
+	Seq    uint64
+	Time   time.Time
+	Level  Level
+	Name   string
+	N      int // fields in use
+	Fields [MaxFields]Field
+}
+
+// String renders the event on one line:
+// `2026-01-02T15:04:05.000Z WARN  conn.poisoned shard=2 err="read timeout"`.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Time.UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	lv := e.Level.String()
+	b.WriteString(lv)
+	for i := len(lv); i < 5; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte(' ')
+	b.WriteString(e.Name)
+	for i := 0; i < e.N; i++ {
+		f := e.Fields[i]
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		if f.Kind == kindStr {
+			b.WriteString(strconv.Quote(f.Str))
+		} else {
+			b.WriteString(f.Value())
+		}
+	}
+	return b.String()
+}
+
+// Config sizes a Log. The zero value is usable: 256-slot ring, Debug level,
+// no rate limiting.
+type Config struct {
+	// Capacity is the ring size; <= 0 means 256.
+	Capacity int
+	// MinLevel drops events below it before rate limiting.
+	MinLevel Level
+	// RatePerSec is the per-event-name sustained emission rate; events over
+	// it are dropped and counted. <= 0 disables limiting.
+	RatePerSec float64
+	// Burst is the token-bucket depth per name; <= 0 means
+	// max(1, RatePerSec).
+	Burst int
+}
+
+// Log is a concurrency-safe ring of recent events. All methods are no-ops
+// on a nil receiver.
+type Log struct {
+	min   Level
+	rate  float64
+	burst float64
+
+	mu        sync.Mutex
+	ring      []Event
+	seq       uint64
+	buckets   map[string]*bucket
+	emitted   uint64
+	dropped   uint64
+	droppedBy map[string]uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New returns a Log sized by cfg.
+func New(cfg Config) *Log {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 256
+	}
+	burst := float64(cfg.Burst)
+	if burst <= 0 {
+		burst = math.Max(1, cfg.RatePerSec)
+	}
+	return &Log{
+		min:       cfg.MinLevel,
+		rate:      cfg.RatePerSec,
+		burst:     burst,
+		ring:      make([]Event, capacity),
+		buckets:   make(map[string]*bucket),
+		droppedBy: make(map[string]uint64),
+	}
+}
+
+// Emit records one event. The variadic fields never escape — they are
+// copied by value into a preallocated ring slot — so a call whose Field
+// arguments are built from the constructors above does not allocate, on nil
+// and non-nil logs alike.
+//
+//hermes:io
+func (l *Log) Emit(level Level, name string, fields ...Field) {
+	if l == nil || level < l.min {
+		return
+	}
+	t := now()
+	l.mu.Lock()
+	if l.rate > 0 && !l.allowLocked(name, t) {
+		l.dropped++
+		l.droppedBy[name]++
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	l.emitted++
+	ev := &l.ring[(l.seq-1)%uint64(len(l.ring))]
+	ev.Seq = l.seq
+	ev.Time = t
+	ev.Level = level
+	ev.Name = name
+	n := len(fields)
+	if n > MaxFields {
+		n = MaxFields
+	}
+	ev.N = n
+	copy(ev.Fields[:n], fields[:n])
+	for i := n; i < MaxFields; i++ {
+		ev.Fields[i] = Field{}
+	}
+	l.mu.Unlock()
+}
+
+// Debug, Info, Warn, and Error are level-pinned Emits.
+func (l *Log) Debug(name string, fields ...Field) { l.Emit(LevelDebug, name, fields...) }
+func (l *Log) Info(name string, fields ...Field)  { l.Emit(LevelInfo, name, fields...) }
+func (l *Log) Warn(name string, fields ...Field)  { l.Emit(LevelWarn, name, fields...) }
+func (l *Log) Error(name string, fields ...Field) { l.Emit(LevelError, name, fields...) }
+
+// allowLocked runs the per-name token bucket; callers hold l.mu.
+func (l *Log) allowLocked(name string, t time.Time) bool {
+	b := l.buckets[name]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[name] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Events returns the retained events, newest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.seq
+	if n > uint64(len(l.ring)) {
+		n = uint64(len(l.ring))
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, l.ring[(l.seq-1-i)%uint64(len(l.ring))])
+	}
+	return out
+}
+
+// Stats summarizes emission volume.
+type Stats struct {
+	// Emitted counts events that made it into the ring (including ones
+	// since overwritten); Dropped counts events suppressed by the rate
+	// limiter.
+	Emitted, Dropped uint64
+}
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Emitted: l.emitted, Dropped: l.dropped}
+}
+
+// DroppedByName reports per-name rate-limit drops.
+func (l *Log) DroppedByName() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.droppedBy))
+	for k, v := range l.droppedBy {
+		out[k] = v
+	}
+	return out
+}

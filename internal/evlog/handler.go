@@ -1,0 +1,72 @@
+package evlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// ServeEvents is the /debug/events handler: retained events newest-first as
+// text, or as JSON with ?format=json. Safe to mount on a nil *Log (reports
+// the log as disabled) so CLIs can register it unconditionally.
+func (l *Log) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	if l == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "event log disabled")
+		return
+	}
+	events := l.Events()
+	stats := l.Stats()
+	if r.URL.Query().Get("format") == "json" {
+		type jsonEvent struct {
+			Seq    uint64         `json:"seq"`
+			Time   string         `json:"time"`
+			Level  string         `json:"level"`
+			Name   string         `json:"name"`
+			Fields map[string]any `json:"fields,omitempty"`
+		}
+		out := struct {
+			Emitted uint64      `json:"emitted"`
+			Dropped uint64      `json:"dropped"`
+			Events  []jsonEvent `json:"events"`
+		}{Emitted: stats.Emitted, Dropped: stats.Dropped, Events: make([]jsonEvent, 0, len(events))}
+		for _, e := range events {
+			je := jsonEvent{
+				Seq:   e.Seq,
+				Time:  e.Time.UTC().Format(time.RFC3339Nano),
+				Level: e.Level.String(),
+				Name:  e.Name,
+			}
+			if e.N > 0 {
+				je.Fields = make(map[string]any, e.N)
+				for i := 0; i < e.N; i++ {
+					f := e.Fields[i]
+					switch f.Kind {
+					case kindInt:
+						je.Fields[f.Key] = f.Num
+					case kindDur:
+						je.Fields[f.Key] = time.Duration(f.Num).String()
+					case kindFloat:
+						je.Fields[f.Key] = math.Float64frombits(uint64(f.Num))
+					default:
+						je.Fields[f.Key] = f.Str
+					}
+				}
+			}
+			out.Events = append(out.Events, je)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// The connection is the only sink for an encode error here.
+		_ = enc.Encode(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "events: %d emitted, %d rate-limited (newest first)\n\n", stats.Emitted, stats.Dropped)
+	for _, e := range events {
+		fmt.Fprintln(w, e.String())
+	}
+}

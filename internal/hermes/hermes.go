@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/ivf"
 	"repro/internal/kmeans"
 	"repro/internal/quant"
@@ -98,6 +99,10 @@ type Store struct {
 	// rec, when non-nil, receives one QueryRecord per Search (see
 	// SetRecorder in telemetry.go).
 	rec *telemetry.Recorder
+	// ev/slowScan arm the slow-scan detector (see SetEvents in
+	// telemetry.go); nil ev or zero slowScan disables it.
+	ev       *evlog.Log
+	slowScan time.Duration
 	// pool recycles searchScratch across queries (see scratch.go).
 	pool sync.Pool
 }

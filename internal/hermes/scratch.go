@@ -3,6 +3,7 @@ package hermes
 import (
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/ivf"
 	"repro/internal/vec"
 )
@@ -76,13 +77,23 @@ func (st *Store) searchShard(sc *searchScratch, s int, q []float32, k, nProbe in
 		sc.samplers[s] = st.Shards[s].Index.NewSearcher()
 	}
 	h := st.met.scanHist(s)
+	slow := st.ev != nil && st.slowScan > 0
 	var t0 time.Time
-	if h != nil {
+	if h != nil || slow {
 		t0 = now()
 	}
 	res, stats := sc.samplers[s].Search(sc.buf[:0], q, k, nProbe)
-	if h != nil {
-		h.ObserveDuration(now().Sub(t0))
+	if h != nil || slow {
+		d := now().Sub(t0)
+		if h != nil {
+			h.ObserveDuration(d)
+		}
+		if slow && d > st.slowScan {
+			// Gated on the threshold crossing: the variadic field slice
+			// only materializes for scans already past slowScan.
+			st.ev.Warn("store.slow_scan",
+				evlog.Int("shard", int64(s)), evlog.Dur("dur", d))
+		}
 	}
 	sc.buf = res
 	return res, stats

@@ -3,6 +3,7 @@ package hermes
 import (
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +38,17 @@ func (m *storeMetrics) scanHist(s int) *telemetry.Histogram {
 		return m.scanSeconds[s]
 	}
 	return nil
+}
+
+// SetEvents points the store's event log at ev and arms the slow-scan
+// detector: a shard scan slower than slowScan emits one "store.slow_scan"
+// warning carrying the shard and duration. Detection rides the same timing
+// gate as SetTelemetry's scan histograms, and the emit itself is gated on
+// the threshold crossing, so the common path stays clock-free and
+// allocation-free; a nil ev or non-positive slowScan disables it entirely.
+func (st *Store) SetEvents(ev *evlog.Log, slowScan time.Duration) {
+	st.ev = ev
+	st.slowScan = slowScan
 }
 
 // SetRecorder points the store's flight-recorder hook at rec: every Search/

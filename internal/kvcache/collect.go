@@ -10,11 +10,12 @@ import "repro/internal/telemetry"
 //
 // A nil registry is a no-op, matching the rest of the telemetry API.
 func (s Stats) Collect(reg *telemetry.Registry) {
-	reg.Gauge("hermes_kvcache_hits", "Cumulative KV-cache lookup hits.").Set(float64(s.Hits))
-	reg.Gauge("hermes_kvcache_misses", "Cumulative KV-cache lookup misses.").Set(float64(s.Misses))
-	reg.Gauge("hermes_kvcache_evictions", "Cumulative LRU evictions.").Set(float64(s.Evictions))
+	reg.Gauge("hermes_kvcache_hits_total", "Cumulative KV-cache lookup hits.").Set(float64(s.Hits))
+	reg.Gauge("hermes_kvcache_misses_total", "Cumulative KV-cache lookup misses.").Set(float64(s.Misses))
+	reg.Gauge("hermes_kvcache_evictions_total", "Cumulative LRU evictions.").Set(float64(s.Evictions))
 	reg.Gauge("hermes_kvcache_used_bytes", "KV state bytes currently cached.").Set(float64(s.UsedBytes))
 	reg.Gauge("hermes_kvcache_capacity_bytes", "Configured KV-cache capacity in bytes.").Set(float64(s.CapacityBytes))
+	//lint:ignore metricname entries is a resident count, not a flow or a unit-bearing quantity
 	reg.Gauge("hermes_kvcache_entries", "Documents currently cached.").Set(float64(s.Entries))
-	reg.Gauge("hermes_kvcache_hit_rate", "Hits over total lookups (0 before any access).").Set(s.HitRate())
+	reg.Gauge("hermes_kvcache_hit_ratio", "Hits over total lookups (0 before any access).").Set(s.HitRate())
 }

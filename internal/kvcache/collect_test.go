@@ -21,20 +21,20 @@ func TestStatsCollect(t *testing.T) {
 
 	snap := reg.Snapshot()
 	want := map[string]float64{
-		"hermes_kvcache_hits":           1,
-		"hermes_kvcache_misses":         2,
-		"hermes_kvcache_evictions":      1,
-		"hermes_kvcache_used_bytes":     60,
-		"hermes_kvcache_capacity_bytes": 100,
-		"hermes_kvcache_entries":        1,
+		"hermes_kvcache_hits_total":      1,
+		"hermes_kvcache_misses_total":    2,
+		"hermes_kvcache_evictions_total": 1,
+		"hermes_kvcache_used_bytes":      60,
+		"hermes_kvcache_capacity_bytes":  100,
+		"hermes_kvcache_entries":         1,
 	}
 	for k, v := range want {
 		if snap[k] != v {
 			t.Errorf("%s = %v, want %v", k, snap[k], v)
 		}
 	}
-	if got := snap["hermes_kvcache_hit_rate"]; got < 0.33 || got > 0.34 {
-		t.Errorf("hit_rate = %v, want 1/3", got)
+	if got := snap["hermes_kvcache_hit_ratio"]; got < 0.33 || got > 0.34 {
+		t.Errorf("hit_ratio = %v, want 1/3", got)
 	}
 
 	// The collector re-snapshots at every scrape.
@@ -43,7 +43,7 @@ func TestStatsCollect(t *testing.T) {
 	if err := reg.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(b.String(), "hermes_kvcache_hits 2") {
+	if !strings.Contains(b.String(), "hermes_kvcache_hits_total 2") {
 		t.Errorf("scrape did not pick up new hit:\n%s", b.String())
 	}
 

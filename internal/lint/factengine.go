@@ -49,7 +49,7 @@ type LatticeInfo struct {
 // Lattices returns the registered fact lattices in stable order.
 func Lattices() []LatticeInfo {
 	return []LatticeInfo{
-		{"io", "function transitively performs I/O or blocks on the outside world (network, files, sleeps, stream codecs)"},
+		{"io", "function transitively performs I/O or blocks on the outside world (network, files, sleeps, stream codecs, //hermes:io declarations)"},
 		{"alloc", "function heap-allocates on its straight-line path (sites and calls not gated behind a conditional)"},
 		{"acquires", "set of mutex class identities (type.field or package var) the function may acquire, transitively"},
 		{"blocks", "function contains a channel, select, or sync rendezvous (WaitGroup/Cond/ctx.Done) — a termination signal"},
@@ -234,8 +234,14 @@ func ComputeFacts(pkgs []*Package) *Facts {
 	// only through ungated, non-literal, non-go calls (see file comment).
 	anyCall := func(callSite) bool { return true }
 	straightLine := func(c callSite) bool { return !c.gated && !c.inLit && !c.goCall }
+	// The io lattice's only local (non-callee) seed is the //hermes:io
+	// directive: a function whose doc comment carries it is declared to be
+	// an I/O edge even when the analysis cannot see one — the structured
+	// event log's Emit, whose writes happen on a later scrape, is the
+	// canonical case. log.Printf and friends need no directive; the log
+	// package is already in the stdlib io seed.
 	fixBool(decls, fc.io, stdlibIO,
-		func(*declInfo) bool { return false }, anyCall)
+		func(di *declInfo) bool { return hasDirective("hermes:io", di.fd.Doc) }, anyCall)
 	fixBool(decls, fc.blocks, stdlibBlocks,
 		func(di *declInfo) bool { return blocksLocally(di.pkg.Info, di.fd.Body) }, anyCall)
 	fixBool(decls, fc.alloc, stdlibAlloc,

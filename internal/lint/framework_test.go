@@ -53,6 +53,10 @@ func TestFactsEngine(t *testing.T) {
 		{flush, true},
 		{fnByName("Pure"), false},
 		{fnByName("viaValue"), false},
+		// //hermes:io declares an edge the analysis cannot see, and the
+		// declared fact propagates to callers like any other.
+		{fnByName("Emit"), true},
+		{fnByName("Record"), true},
 	} {
 		if got := fc.PerformsIO(tc.fn); got != tc.want {
 			t.Errorf("PerformsIO(%s) = %v, want %v", tc.fn.Name(), got, tc.want)
@@ -61,7 +65,9 @@ func TestFactsEngine(t *testing.T) {
 
 	want := []string{
 		pkg.Path + ".Chain",
+		pkg.Path + ".Emit",
 		pkg.Path + ".Probe.Flush",
+		pkg.Path + ".Record",
 		pkg.Path + ".WriteState",
 	}
 	if got := fc.IOFuncs(); strings.Join(got, "|") != strings.Join(want, "|") {
@@ -377,6 +383,8 @@ var raceCriticalPackages = []string{
 	"./internal/telemetry/",
 	"./internal/ivf/",
 	"./internal/hermes/",
+	"./internal/slo/",
+	"./internal/evlog/",
 }
 
 // TestVerifyScriptCoverage cross-checks scripts/verify.sh and its lint

@@ -39,6 +39,8 @@
 //     acyclic (uses the acquires facts and held-set walking)
 //   - goroutineleak: go statements in request-path packages need a
 //     reachable termination signal (uses the blocks facts)
+//   - metricname:   telemetry registry metric names must follow
+//     hermes_<subsystem>_<name>_{total,seconds,bytes,ratio}
 //
 // Findings can be suppressed case-by-case with a directive comment on the
 // same line or the line above:
@@ -96,7 +98,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop,
 		WireLock, LockHeldIO, PoolEscape, DeferInLoop, HotPathClock,
-		HotPathAlloc, LockOrder, GoroutineLeak,
+		HotPathAlloc, LockOrder, GoroutineLeak, MetricName,
 	}
 }
 

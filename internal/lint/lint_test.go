@@ -126,11 +126,11 @@ func TestSelect(t *testing.T) {
 		{"", "", []string{
 			"globalrand", "wallclock", "goroutinectx", "lockcopy", "errdrop",
 			"wirelock", "lockheldio", "poolescape", "deferinloop", "hotpathclock",
-			"hotpathalloc", "lockorder", "goroutineleak",
+			"hotpathalloc", "lockorder", "goroutineleak", "metricname",
 		}, false},
 		{"globalrand,errdrop", "", []string{"globalrand", "errdrop"}, false},
 		{"", "goroutinectx,wirelock,lockheldio,poolescape,deferinloop,hotpathclock," +
-			"hotpathalloc,lockorder,goroutineleak",
+			"hotpathalloc,lockorder,goroutineleak,metricname",
 			[]string{"globalrand", "wallclock", "lockcopy", "errdrop"}, false},
 		{"globalrand", "globalrand", nil, false},
 		{"nosuchcheck", "", nil, true},

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// MetricName enforces the module's metric naming convention at every
+// registry constructor call: Counter/Gauge/Histogram names must read
+//
+//	hermes_<subsystem>_<name>_{total,seconds,bytes,ratio}
+//
+// i.e. a hermes_ prefix, at least one subsystem token, at least one name
+// token, and a trailing unit/kind suffix, all lowercase [a-z0-9] tokens.
+// The convention is what makes the federated /metrics/cluster page and the
+// SLO exports greppable: a dashboard query can rely on _total meaning a
+// monotone counter and _seconds meaning a latency histogram without a
+// per-metric lookup table. Deliberate exceptions (e.g. unitless level
+// gauges) take a //lint:ignore metricname line with the justification.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry registry metric names must follow hermes_<subsystem>_<name>_{total,seconds,bytes,ratio}",
+	Run:  runMetricName,
+}
+
+// metricUnitSuffixes are the admitted trailing tokens and what each claims.
+var metricUnitSuffixes = map[string]bool{
+	"total":   true, // monotone counter
+	"seconds": true, // duration histogram/gauge in base seconds
+	"bytes":   true, // size counter/histogram in bytes
+	"ratio":   true, // dimensionless 0..1 (or load factor) gauge
+}
+
+// registryCtors are the telemetry.Registry constructor methods whose first
+// argument is a metric name.
+var registryCtors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registryCtors[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || recvTypeName(fn) != "Registry" {
+				return true
+			}
+			// Only constant names are checkable; a name built at runtime
+			// (none exist in the module today) is the caller's problem.
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if problem := metricNameProblem(name); problem != "" {
+				p.Reportf(call.Args[0].Pos(), "metric name %q %s; want hermes_<subsystem>_<name>_{total,seconds,bytes,ratio}", name, problem)
+			}
+			return true
+		})
+	}
+}
+
+// metricNameProblem returns "" for a conforming name, else a short clause
+// describing the first violated rule.
+func metricNameProblem(name string) string {
+	tokens := strings.Split(name, "_")
+	for _, tok := range tokens {
+		if tok == "" {
+			return "has an empty token (leading, trailing, or doubled underscore)"
+		}
+		for _, r := range tok {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+				return "has a token with characters outside [a-z0-9]"
+			}
+		}
+	}
+	if tokens[0] != "hermes" {
+		return "does not start with hermes_"
+	}
+	if len(tokens) < 4 {
+		return "is too short: need subsystem, name, and unit tokens after hermes_"
+	}
+	if !metricUnitSuffixes[tokens[len(tokens)-1]] {
+		return "does not end in a unit/kind suffix"
+	}
+	return ""
+}

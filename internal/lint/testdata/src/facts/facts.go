@@ -36,3 +36,18 @@ func viaValue(fn func() error) error {
 }
 
 var _ = viaValue
+
+// Emit performs no visible I/O — it only stores into a buffer — but its doc
+// comment declares it an I/O edge, the seed for event-log-style sinks whose
+// writes happen on a later scrape.
+//
+//hermes:io
+func Emit(buf *[]byte, b byte) {
+	*buf = append(*buf, b)
+}
+
+// Record reaches the declared I/O edge transitively: the directive must
+// propagate like any other io fact.
+func Record(buf *[]byte) {
+	Emit(buf, 0)
+}

@@ -1,0 +1,51 @@
+// Package metricname is a lint fixture: metric registrations against the
+// naming convention, on a local stand-in for telemetry.Registry (the
+// analyzer keys on the receiver type name and constructor-method names).
+package metricname
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter       { return nil }
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge           { return nil }
+func (r *Registry) Histogram(name, help string, b []float64, l ...string) *Histogram { return nil }
+
+func good(reg *Registry) {
+	reg.Counter("hermes_node_requests_total", "ok")
+	reg.Gauge("hermes_coordinator_load_imbalance_ratio", "ok")
+	reg.Histogram("hermes_node_scan_seconds", "ok", nil)
+	reg.Counter("hermes_distsearch_bytes_sent_total", "ok")
+}
+
+func bad(reg *Registry) {
+	reg.Counter("requests_total", "no prefix")                 // want "does not start with hermes_"
+	reg.Counter("hermes_hits", "too short")                    // want "is too short"
+	reg.Gauge("hermes_kvcache_hit_rate", "bad suffix")         // want "does not end in a unit/kind suffix"
+	reg.Counter("hermes_node__requests_total", "double score") // want "empty token"
+	reg.Gauge("hermes_node_Load_ratio", "upper case")          // want "with characters outside"
+}
+
+const dynamicPrefix = "hermes_"
+
+func unckeckable(reg *Registry, suffix string) {
+	// Non-constant names cannot be validated statically and are skipped.
+	reg.Counter(dynamicPrefix+suffix, "runtime-built")
+}
+
+func suppressed(reg *Registry) {
+	//lint:ignore metricname fixture demonstrates an audited unitless exception
+	reg.Gauge("hermes_kvcache_entries", "resident entries (a plain count, not a flow)")
+}
+
+// notARegistry must not be confused with the telemetry registry: same
+// method names on a different receiver type.
+type other struct{}
+
+func (o *other) Counter(name string) *Counter { return nil }
+
+func unrelated(o *other) {
+	o.Counter("whatever_name_goes")
+}

@@ -94,6 +94,7 @@ func TestLockHeldIO(t *testing.T)       { runWantFixture(t, "lockheldio", []*Ana
 func TestHotPathAlloc(t *testing.T)     { runWantFixture(t, "hotpathalloc", []*Analyzer{HotPathAlloc}) }
 func TestGoroutineLeak(t *testing.T)    { runWantFixture(t, "goroutineleak", []*Analyzer{GoroutineLeak}) }
 func TestLockOrderFixture(t *testing.T) { runWantFixture(t, "lockorder", []*Analyzer{LockOrder}) }
+func TestMetricName(t *testing.T)       { runWantFixture(t, "metricname", []*Analyzer{MetricName}) }
 
 // TestLockOrderWitnesses pins the shape the fixture's want substrings
 // cannot: one finding per cycle, and the A/B finding spells out BOTH

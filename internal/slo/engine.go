@@ -1,0 +1,321 @@
+package slo
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// SourceFunc samples the cumulative (good, total) event counts backing an
+// objective. Sources are cumulative — the engine differences successive
+// samples into window slots — so existing monotonic telemetry (histogram
+// bucket counts, counters) plugs in without new per-event instrumentation.
+type SourceFunc func() (good, total int64)
+
+// LatencySource adapts a latency histogram: total is every observation,
+// good the ones at or below threshold (rounded up to a bucket bound, see
+// telemetry.Histogram.CountAtOrBelow).
+func LatencySource(h *telemetry.Histogram, threshold time.Duration) SourceFunc {
+	sec := threshold.Seconds()
+	return func() (int64, int64) { return h.CountAtOrBelow(sec), h.Count() }
+}
+
+// AvailabilitySource adapts a total counter and an error counter:
+// good = attempts - errors.
+func AvailabilitySource(attempts, errors *telemetry.Counter) SourceFunc {
+	return func() (int64, int64) {
+		t := attempts.Value()
+		e := errors.Value()
+		if e > t {
+			e = t
+		}
+		return t - e, t
+	}
+}
+
+// WindowConfig sizes the engine's sliding windows. Slot durations trade
+// resolution for memory; window length must be a multiple of its slot.
+type WindowConfig struct {
+	Fast, FastSlot time.Duration
+	Slow, SlowSlot time.Duration
+}
+
+// DefaultWindows is the conventional fast/slow pairing: a 5-minute window
+// at 10-second resolution to react, a 1-hour window at 1-minute resolution
+// to confirm.
+var DefaultWindows = WindowConfig{
+	Fast: 5 * time.Minute, FastSlot: 10 * time.Second,
+	Slow: time.Hour, SlowSlot: time.Minute,
+}
+
+// ring is one sliding window: a circle of per-slot good/total deltas.
+type ring struct {
+	slotDur  time.Duration
+	slots    []winSlot
+	cur      int
+	curStart time.Time
+	started  bool
+}
+
+type winSlot struct{ good, total int64 }
+
+func newRing(window, slot time.Duration) *ring {
+	n := int(window / slot)
+	if n < 1 {
+		n = 1
+	}
+	return &ring{slotDur: slot, slots: make([]winSlot, n)}
+}
+
+// advance rotates the ring so cur covers t, zeroing slots skipped over.
+func (r *ring) advance(t time.Time) {
+	if !r.started {
+		r.started = true
+		r.curStart = t.Truncate(r.slotDur)
+		return
+	}
+	steps := int(t.Sub(r.curStart) / r.slotDur)
+	if steps <= 0 {
+		return
+	}
+	if steps > len(r.slots) {
+		steps = len(r.slots)
+	}
+	for i := 0; i < steps; i++ {
+		r.cur = (r.cur + 1) % len(r.slots)
+		r.slots[r.cur] = winSlot{}
+	}
+	r.curStart = t.Truncate(r.slotDur)
+}
+
+func (r *ring) add(good, total int64) {
+	r.slots[r.cur].good += good
+	r.slots[r.cur].total += total
+}
+
+func (r *ring) sum() (good, total int64) {
+	for _, s := range r.slots {
+		good += s.good
+		total += s.total
+	}
+	return good, total
+}
+
+// objState is one objective's runtime: its source, the cumulative baseline
+// from the previous tick, and the two windows.
+type objState struct {
+	obj        Objective
+	src        SourceFunc
+	lastGood   int64
+	lastTotal  int64
+	primed     bool
+	fast, slow *ring
+	// cumGood/cumTotal accumulate deltas since the engine started — the
+	// monotonic series exported as hermes_slo_*_total.
+	cumGood, cumTotal int64
+}
+
+// Engine evaluates objectives over sliding windows. Safe for concurrent
+// use; nil-safe like the rest of the observability plane.
+type Engine struct {
+	windows WindowConfig
+
+	mu   sync.Mutex
+	objs []*objState
+
+	// expSent tracks what the cumulative counters have already been fed,
+	// so Collect can Add exact deltas into monotonic telemetry counters.
+	expMu   sync.Mutex
+	expSent map[string]winSlot
+}
+
+// NewEngine returns an engine with DefaultWindows.
+func NewEngine() *Engine { return NewEngineWindows(DefaultWindows) }
+
+// NewEngineWindows returns an engine with custom windows (tests shrink
+// them to step deterministically).
+func NewEngineWindows(w WindowConfig) *Engine {
+	return &Engine{windows: w, expSent: make(map[string]winSlot)}
+}
+
+// AddObjective registers an objective with its sample source.
+func (e *Engine) AddObjective(o Objective, src SourceFunc) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objs = append(e.objs, &objState{
+		obj:  o,
+		src:  src,
+		fast: newRing(e.windows.Fast, e.windows.FastSlot),
+		slow: newRing(e.windows.Slow, e.windows.SlowSlot),
+	})
+	return nil
+}
+
+// Tick samples every source and folds the deltas into the windows. The
+// first tick only establishes the cumulative baseline, so history from
+// before the engine started never lands in a window; a source that moves
+// backwards (process restart behind it) re-primes the same way.
+func (e *Engine) Tick() {
+	if e == nil {
+		return
+	}
+	t := now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, os := range e.objs {
+		good, total := os.src()
+		os.fast.advance(t)
+		os.slow.advance(t)
+		if !os.primed || good < os.lastGood || total < os.lastTotal {
+			os.primed = true
+			os.lastGood, os.lastTotal = good, total
+			continue
+		}
+		dGood, dTotal := good-os.lastGood, total-os.lastTotal
+		os.lastGood, os.lastTotal = good, total
+		if dTotal == 0 {
+			continue
+		}
+		os.fast.add(dGood, dTotal)
+		os.slow.add(dGood, dTotal)
+		os.cumGood += dGood
+		os.cumTotal += dTotal
+	}
+}
+
+// WindowReport is one window's burn computation.
+type WindowReport struct {
+	Window      time.Duration
+	Good, Total int64
+	// BadFraction is (Total-Good)/Total, 0 on an empty window.
+	BadFraction float64
+	// BurnRate is BadFraction/(1-Target): 1.0 consumes budget exactly at
+	// the sustainable rate.
+	BurnRate float64
+}
+
+// Report is one objective's current evaluation.
+type Report struct {
+	Objective Objective
+	Fast      WindowReport
+	Slow      WindowReport
+	// BudgetRemaining is the slow-window error budget left, in [0,1]:
+	// 1 - Slow.BadFraction/(1-Target).
+	BudgetRemaining float64
+	// Burning means the fast-window burn rate has reached 1.0 — the budget
+	// is draining faster than sustainable.
+	Burning bool
+	// CumGood/CumTotal are the engine-lifetime event counts.
+	CumGood, CumTotal int64
+}
+
+func windowReport(r *ring, window time.Duration, target float64) WindowReport {
+	good, total := r.sum()
+	wr := WindowReport{Window: window, Good: good, Total: total}
+	if total > 0 {
+		wr.BadFraction = float64(total-good) / float64(total)
+		wr.BurnRate = wr.BadFraction / (1 - target)
+	}
+	return wr
+}
+
+// Reports evaluates every objective, sorted by name.
+func (e *Engine) Reports() []Report {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Report, 0, len(e.objs))
+	for _, os := range e.objs {
+		rep := Report{
+			Objective: os.obj,
+			Fast:      windowReport(os.fast, e.windows.Fast, os.obj.Target),
+			Slow:      windowReport(os.slow, e.windows.Slow, os.obj.Target),
+			CumGood:   os.cumGood,
+			CumTotal:  os.cumTotal,
+		}
+		rep.BudgetRemaining = 1 - rep.Slow.BurnRate
+		if rep.BudgetRemaining < 0 {
+			rep.BudgetRemaining = 0
+		}
+		if rep.CumTotal == 0 {
+			rep.BudgetRemaining = 1
+		}
+		rep.Burning = rep.Fast.BurnRate >= 1
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objective.Name < out[j].Objective.Name })
+	return out
+}
+
+// Collect publishes the hermes_slo_* metric family into reg; register it as
+// a scrape-time collector (reg.RegisterCollector(engine.CollectInto(reg))
+// or call directly). It ticks first so scrapes always see fresh windows.
+func (e *Engine) Collect(reg *telemetry.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	e.Tick()
+	for _, rep := range e.Reports() {
+		name := rep.Objective.Name
+		reg.Gauge("hermes_slo_burn_rate_ratio",
+			"Error-budget burn rate per objective and window (1.0 = sustainable limit).",
+			"objective", name, "window", "fast").Set(rep.Fast.BurnRate)
+		reg.Gauge("hermes_slo_burn_rate_ratio",
+			"Error-budget burn rate per objective and window (1.0 = sustainable limit).",
+			"objective", name, "window", "slow").Set(rep.Slow.BurnRate)
+		reg.Gauge("hermes_slo_budget_remaining_ratio",
+			"Slow-window error budget remaining, 1 = untouched.",
+			"objective", name).Set(rep.BudgetRemaining)
+
+		// Cumulative counts export as true counters: feed each the delta
+		// since the last Collect. Counter resolution is an idempotent
+		// registry lookup, kept outside expMu so no lock is held across
+		// label formatting.
+		g := reg.Counter("hermes_slo_good_total",
+			"Good events per objective since the engine started.", "objective", name)
+		tot := reg.Counter("hermes_slo_events_total",
+			"Evaluated events per objective since the engine started.", "objective", name)
+		e.expMu.Lock()
+		sent := e.expSent[name]
+		e.expSent[name] = winSlot{good: rep.CumGood, total: rep.CumTotal}
+		e.expMu.Unlock()
+		g.Add(rep.CumGood - sent.good)
+		tot.Add(rep.CumTotal - sent.total)
+	}
+}
+
+// CollectInto adapts Collect to the telemetry.Registry collector signature.
+func (e *Engine) CollectInto() func(*telemetry.Registry) {
+	return func(reg *telemetry.Registry) { e.Collect(reg) }
+}
+
+// StartTicker runs Tick every interval on a background goroutine until the
+// returned stop function is called (stop blocks until the goroutine exits).
+func (e *Engine) StartTicker(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				e.Tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

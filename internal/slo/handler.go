@@ -1,0 +1,88 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"text/tabwriter"
+)
+
+// ServeSLO is the /debug/slo handler: one row per objective as a text table,
+// or JSON with ?format=json. It ticks first so the response reflects the
+// current windows. Safe to mount on a nil *Engine.
+func (e *Engine) ServeSLO(w http.ResponseWriter, r *http.Request) {
+	if e == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "slo engine disabled")
+		return
+	}
+	e.Tick()
+	reports := e.Reports()
+	if r.URL.Query().Get("format") == "json" {
+		type jsonWindow struct {
+			Window      string  `json:"window"`
+			Good        int64   `json:"good"`
+			Total       int64   `json:"total"`
+			BadFraction float64 `json:"bad_fraction"`
+			BurnRate    float64 `json:"burn_rate"`
+		}
+		type jsonReport struct {
+			Name            string     `json:"name"`
+			Kind            string     `json:"kind"`
+			Target          float64    `json:"target"`
+			Threshold       string     `json:"threshold,omitempty"`
+			Fast            jsonWindow `json:"fast"`
+			Slow            jsonWindow `json:"slow"`
+			BudgetRemaining float64    `json:"budget_remaining"`
+			Burning         bool       `json:"burning"`
+		}
+		out := make([]jsonReport, 0, len(reports))
+		for _, rep := range reports {
+			jr := jsonReport{
+				Name:   rep.Objective.Name,
+				Kind:   rep.Objective.Kind.String(),
+				Target: rep.Objective.Target,
+				Fast: jsonWindow{Window: rep.Fast.Window.String(), Good: rep.Fast.Good,
+					Total: rep.Fast.Total, BadFraction: rep.Fast.BadFraction, BurnRate: rep.Fast.BurnRate},
+				Slow: jsonWindow{Window: rep.Slow.Window.String(), Good: rep.Slow.Good,
+					Total: rep.Slow.Total, BadFraction: rep.Slow.BadFraction, BurnRate: rep.Slow.BurnRate},
+				BudgetRemaining: rep.BudgetRemaining,
+				Burning:         rep.Burning,
+			}
+			if rep.Objective.Kind == KindLatency {
+				jr.Threshold = rep.Objective.Threshold.String()
+			}
+			out = append(out, jr)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteBurnTable(w, reports)
+}
+
+// WriteBurnTable renders reports as the burn-rate table shared by
+// /debug/slo and the examples/CLI output.
+func WriteBurnTable(w interface{ Write([]byte) (int, error) }, reports []Report) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "OBJECTIVE\tKIND\tTARGET\tFAST BURN\tSLOW BURN\tBUDGET LEFT\tSTATUS")
+	for _, rep := range reports {
+		kind := rep.Objective.Kind.String()
+		if rep.Objective.Kind == KindLatency {
+			kind = fmt.Sprintf("latency<=%s", rep.Objective.Threshold)
+		}
+		status := "healthy"
+		if rep.Burning {
+			status = "BURNING"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.3g\t%.3g\t%.1f%%\t%s\n",
+			rep.Objective.Name, kind, rep.Objective.Target,
+			rep.Fast.BurnRate, rep.Slow.BurnRate, rep.BudgetRemaining*100, status)
+	}
+	// A tabwriter flush error surfaces the underlying writer's error; the
+	// HTTP response has no better channel for it.
+	_ = tw.Flush()
+}

@@ -1,0 +1,130 @@
+// Package slo turns the serving path's raw telemetry into service-level
+// objectives and error-budget burn rates — the admission-control signal the
+// front door (ROADMAP item 1) and load-driven placement (item 4) consume.
+//
+// An Objective declares what "good" means (latency under a threshold at a
+// target fraction, or plain availability); the Engine samples cumulative
+// good/total counts from existing metrics (histogram bucket counts, error
+// counters) into multi-window sliding counters and computes burn rates:
+//
+//	burn = (bad fraction in window) / (1 - target)
+//
+// Burn 1.0 means the error budget is being consumed exactly at the rate
+// that exhausts it by the end of the SLO period; the conventional
+// multi-window reading (Google SRE workbook ch. 5) pairs a fast window
+// (default 5m) that reacts quickly with a slow window (default 1h) that
+// filters blips. The engine reports Burning when the fast-window burn
+// reaches 1.0 — budget is draining faster than sustainable — and budget
+// remaining over the slow window.
+//
+// The engine is pull-based and clock-seamed: nothing ticks unless Tick (or
+// a Collect-triggered scrape) runs, and tests freeze time to step windows
+// deterministically.
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// now is the injectable clock seam; tests freeze it.
+var now = time.Now
+
+// Kind discriminates objective flavors.
+type Kind int
+
+const (
+	// KindLatency counts an event good when it completed within Threshold.
+	KindLatency Kind = iota
+	// KindAvailability counts an event good when it did not error.
+	KindAvailability
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindAvailability:
+		return "availability"
+	default:
+		return "unknown"
+	}
+}
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name labels the objective in metrics and reports.
+	Name string
+	Kind Kind
+	// Target is the good fraction promised, in (0,1) — e.g. 0.99.
+	Target float64
+	// Threshold is the latency bound for KindLatency, unused otherwise.
+	// Thresholds should sit on a histogram bucket bound; in-between values
+	// are effectively rounded up to the next bound.
+	Threshold time.Duration
+}
+
+// Validate rejects malformed objectives before they reach the engine.
+func (o Objective) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("slo: objective needs a name")
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("slo: objective %s: target %v outside (0,1)", o.Name, o.Target)
+	}
+	if o.Kind == KindLatency && o.Threshold <= 0 {
+		return fmt.Errorf("slo: objective %s: latency objective needs a positive threshold", o.Name)
+	}
+	return nil
+}
+
+// ParseObjectives parses the CLI/config objective list format: a
+// comma-separated sequence of
+//
+//	<name>=latency:<duration>@<target>
+//	<name>=availability@<target>
+//
+// e.g. `search=latency:250ms@0.95,errors=availability@0.999`. An empty
+// string parses to nil.
+func ParseObjectives(s string) ([]Objective, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Objective
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo: objective %q: want <name>=<spec>", part)
+		}
+		spec, targetStr, ok := strings.Cut(spec, "@")
+		if !ok {
+			return nil, fmt.Errorf("slo: objective %q: missing @<target>", part)
+		}
+		target, err := strconv.ParseFloat(targetStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slo: objective %q: bad target: %v", part, err)
+		}
+		o := Objective{Name: strings.TrimSpace(name), Target: target}
+		switch {
+		case spec == "availability":
+			o.Kind = KindAvailability
+		case strings.HasPrefix(spec, "latency:"):
+			d, err := time.ParseDuration(strings.TrimPrefix(spec, "latency:"))
+			if err != nil {
+				return nil, fmt.Errorf("slo: objective %q: bad threshold: %v", part, err)
+			}
+			o.Kind, o.Threshold = KindLatency, d
+		default:
+			return nil, fmt.Errorf("slo: objective %q: spec must be latency:<dur> or availability", part)
+		}
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

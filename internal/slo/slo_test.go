@@ -1,0 +1,287 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func freezeClock(t *testing.T) func(d time.Duration) {
+	t.Helper()
+	cur := time.Date(2026, 1, 2, 15, 0, 0, 0, time.UTC)
+	old := now
+	now = func() time.Time { return cur }
+	t.Cleanup(func() { now = old })
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
+// testWindows keeps ring sizes tiny so tests step whole windows quickly:
+// fast = 4 slots of 10s, slow = 6 slots of 1m.
+var testWindows = WindowConfig{
+	Fast: 40 * time.Second, FastSlot: 10 * time.Second,
+	Slow: 6 * time.Minute, SlowSlot: time.Minute,
+}
+
+func TestParseObjectives(t *testing.T) {
+	got, err := ParseObjectives(" search=latency:250ms@0.95, errors=availability@0.999 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Objective{
+		{Name: "search", Kind: KindLatency, Target: 0.95, Threshold: 250 * time.Millisecond},
+		{Name: "errors", Kind: KindAvailability, Target: 0.999},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed %+v, want %+v", got, want)
+	}
+	if got, err := ParseObjectives(""); err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{
+		"noequals", "x=latency:250ms", "x=latency:bogus@0.9", "x=availability@1.5",
+		"x=availability@0", "x=throughput@0.9", "=latency:1ms@0.9",
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBurnRateFlips drives a latency objective from healthy to burning and
+// back out as the fast window slides past the bad period.
+func TestBurnRateFlips(t *testing.T) {
+	step := freezeClock(t)
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("hermes_test_latency_seconds", "l", telemetry.DefLatencyBuckets)
+	e := NewEngineWindows(testWindows)
+	obj := Objective{Name: "search", Kind: KindLatency, Target: 0.9, Threshold: 100 * time.Millisecond}
+	if err := e.AddObjective(obj, LatencySource(h, obj.Threshold)); err != nil {
+		t.Fatal(err)
+	}
+
+	e.Tick() // prime the baseline
+	// Healthy phase: 100 fast queries.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	step(10 * time.Second)
+	e.Tick()
+	rep := e.Reports()[0]
+	if rep.Burning || rep.Fast.BurnRate != 0 {
+		t.Fatalf("healthy phase: %+v", rep)
+	}
+	if rep.BudgetRemaining != 1 {
+		t.Errorf("budget = %v, want 1", rep.BudgetRemaining)
+	}
+
+	// Slow phase: half the queries blow the threshold — bad fraction 0.5
+	// against a 10% budget is a 5x burn.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.01)
+		h.Observe(5)
+	}
+	step(10 * time.Second)
+	e.Tick()
+	rep = e.Reports()[0]
+	if !rep.Burning {
+		t.Fatalf("slowed phase should burn: %+v", rep)
+	}
+	if rep.Fast.BurnRate < 1.5 || rep.Fast.BurnRate > 5.01 {
+		t.Errorf("fast burn = %v, want ~(100 bad / 300 total)/0.1", rep.Fast.BurnRate)
+	}
+	if rep.BudgetRemaining >= 1 {
+		t.Errorf("budget should be consumed: %v", rep.BudgetRemaining)
+	}
+
+	// Recovery: the fast window (40s) slides past the bad slot, the slow
+	// window (6m) still remembers it.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	step(50 * time.Second)
+	e.Tick()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	step(10 * time.Second)
+	e.Tick()
+	rep = e.Reports()[0]
+	if rep.Burning || rep.Fast.BurnRate != 0 {
+		t.Errorf("recovered fast window: %+v", rep)
+	}
+	if rep.Slow.BurnRate == 0 {
+		t.Errorf("slow window should still see the bad period: %+v", rep)
+	}
+}
+
+func TestAvailabilitySourceAndWindowExpiry(t *testing.T) {
+	step := freezeClock(t)
+	reg := telemetry.NewRegistry()
+	attempts := reg.Counter("hermes_test_requests_total", "r")
+	errs := reg.Counter("hermes_test_errors_total", "e")
+	e := NewEngineWindows(testWindows)
+	obj := Objective{Name: "avail", Kind: KindAvailability, Target: 0.99}
+	if err := e.AddObjective(obj, AvailabilitySource(attempts, errs)); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick()
+	attempts.Add(100)
+	errs.Add(10)
+	step(10 * time.Second)
+	e.Tick()
+	rep := e.Reports()[0]
+	if !rep.Burning || rep.Fast.BurnRate < 9.99 || rep.Fast.BurnRate > 10.01 {
+		t.Fatalf("10%% errors vs 1%% budget: %+v", rep)
+	}
+	// After the slow window fully rotates with clean traffic, the budget
+	// refills.
+	for i := 0; i < 8; i++ {
+		attempts.Add(100)
+		step(time.Minute)
+		e.Tick()
+	}
+	rep = e.Reports()[0]
+	if rep.Burning || rep.BudgetRemaining != 1 {
+		t.Errorf("after slow-window expiry: %+v", rep)
+	}
+	if rep.CumTotal != 900 || rep.CumGood != 890 {
+		t.Errorf("cumulative = %d/%d, want 890/900", rep.CumGood, rep.CumTotal)
+	}
+}
+
+// TestFirstTickPrimes pins that pre-engine history never lands in windows.
+func TestFirstTickPrimes(t *testing.T) {
+	step := freezeClock(t)
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("hermes_test_latency_seconds", "l", telemetry.DefLatencyBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(10) // terrible history before the engine starts
+	}
+	e := NewEngineWindows(testWindows)
+	obj := Objective{Name: "search", Kind: KindLatency, Target: 0.9, Threshold: 100 * time.Millisecond}
+	if err := e.AddObjective(obj, LatencySource(h, obj.Threshold)); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick()
+	step(10 * time.Second)
+	e.Tick()
+	rep := e.Reports()[0]
+	if rep.Fast.Total != 0 || rep.Burning {
+		t.Errorf("history leaked into windows: %+v", rep)
+	}
+}
+
+func TestCollectExportsMetrics(t *testing.T) {
+	step := freezeClock(t)
+	reg := telemetry.NewRegistry()
+	attempts := reg.Counter("hermes_test_requests_total", "r")
+	errs := reg.Counter("hermes_test_errors_total", "e")
+	e := NewEngineWindows(testWindows)
+	if err := e.AddObjective(Objective{Name: "avail", Kind: KindAvailability, Target: 0.99},
+		AvailabilitySource(attempts, errs)); err != nil {
+		t.Fatal(err)
+	}
+	reg.RegisterCollector(e.CollectInto())
+	e.Tick()
+	attempts.Add(200)
+	errs.Add(2)
+	step(10 * time.Second)
+
+	snap := reg.Snapshot() // collector ticks and publishes
+	if got := snap[`hermes_slo_burn_rate_ratio{objective="avail",window="fast"}`]; got < 0.999 || got > 1.001 {
+		t.Errorf("fast burn = %v, want ~1 (1%% errors on 1%% budget)", got)
+	}
+	if got := snap[`hermes_slo_events_total{objective="avail"}`]; got != 200 {
+		t.Errorf("events_total = %v, want 200", got)
+	}
+	if got := snap[`hermes_slo_good_total{objective="avail"}`]; got != 198 {
+		t.Errorf("good_total = %v, want 198", got)
+	}
+	// A second scrape must not double-count the cumulative counters.
+	snap = reg.Snapshot()
+	if got := snap[`hermes_slo_events_total{objective="avail"}`]; got != 200 {
+		t.Errorf("events_total after rescrape = %v, want 200", got)
+	}
+}
+
+func TestServeSLO(t *testing.T) {
+	step := freezeClock(t)
+	reg := telemetry.NewRegistry()
+	attempts := reg.Counter("hermes_test_requests_total", "r")
+	errs := reg.Counter("hermes_test_errors_total", "e")
+	e := NewEngineWindows(testWindows)
+	if err := e.AddObjective(Objective{Name: "avail", Kind: KindAvailability, Target: 0.99},
+		AvailabilitySource(attempts, errs)); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick()
+	attempts.Add(100)
+	errs.Add(50)
+	step(10 * time.Second)
+
+	rec := httptest.NewRecorder()
+	e.ServeSLO(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "avail") || !strings.Contains(body, "BURNING") {
+		t.Errorf("text body: %s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	e.ServeSLO(rec, httptest.NewRequest("GET", "/debug/slo?format=json", nil))
+	var out []struct {
+		Name    string `json:"name"`
+		Burning bool   `json:"burning"`
+		Fast    struct {
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"fast"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("json: %v\n%s", err, rec.Body.String())
+	}
+	if len(out) != 1 || !out[0].Burning || out[0].Fast.BurnRate < 49 || out[0].Fast.BurnRate > 51 {
+		t.Errorf("json = %+v", out)
+	}
+
+	rec = httptest.NewRecorder()
+	(*Engine)(nil).ServeSLO(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if !strings.Contains(rec.Body.String(), "disabled") {
+		t.Errorf("nil engine body = %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentTickReports exercises the engine under -race.
+func TestConcurrentTickReports(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("hermes_test_latency_seconds", "l", telemetry.DefLatencyBuckets)
+	e := NewEngine()
+	if err := e.AddObjective(Objective{Name: "search", Kind: KindLatency, Target: 0.9,
+		Threshold: 100 * time.Millisecond}, LatencySource(h, 100*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(0.01)
+				e.Tick()
+				e.Reports()
+				e.Collect(reg)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStartTickerStops(t *testing.T) {
+	e := NewEngine()
+	stop := e.StartTicker(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop() // must not hang or race
+}

@@ -65,6 +65,14 @@ func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
 
 // ServeAdminOpts is ServeAdmin plus /debug/queries over rec when non-nil.
 func ServeAdminOpts(addr string, reg *Registry, rec *Recorder) (*AdminServer, error) {
+	return ServeAdminMux(addr, NewAdminMuxOpts(reg, rec))
+}
+
+// ServeAdminMux serves a caller-composed mux — typically NewAdminMuxOpts
+// plus extra handlers such as the coordinator's /metrics/cluster,
+// /debug/slo, and /debug/events — on addr in a background goroutine until
+// Close.
+func ServeAdminMux(addr string, mux *http.ServeMux) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
@@ -72,7 +80,7 @@ func ServeAdminOpts(addr string, reg *Registry, rec *Recorder) (*AdminServer, er
 	a := &AdminServer{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           NewAdminMuxOpts(reg, rec),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}

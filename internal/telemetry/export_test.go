@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestExportDeterministicAndStructured(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hermes_test_requests_total", "Requests.", "op", "search").Add(3)
+	reg.Counter("hermes_test_requests_total", "Requests.", "op", "info").Add(1)
+	reg.Gauge("hermes_test_depth_ratio", "Depth.").Set(2.5)
+	h := reg.Histogram("hermes_test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100) // overflow
+
+	a, b := reg.Export(), reg.Export()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two exports of the same state differ:\n%v\n%v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("exported %d families, want 3", len(a))
+	}
+	// Families sorted by name.
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Name >= a[i].Name {
+			t.Errorf("families out of order: %s before %s", a[i-1].Name, a[i].Name)
+		}
+	}
+	var hist *FamilySnapshot
+	for i := range a {
+		if a[i].Kind == KindHistogram {
+			hist = &a[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("no histogram family exported")
+	}
+	ss := hist.Series[0]
+	if ss.Count != 3 || len(ss.BucketCounts) != 4 {
+		t.Fatalf("histogram series = %+v, want count 3 and 4 buckets", ss)
+	}
+	if got := ss.BucketCounts[0] + ss.BucketCounts[1] + ss.BucketCounts[3]; got != 3 {
+		t.Errorf("bucket placement wrong: %v", ss.BucketCounts)
+	}
+}
+
+func TestExportNilRegistry(t *testing.T) {
+	var r *Registry
+	if got := r.Export(); got != nil {
+		t.Fatalf("nil registry exported %v", got)
+	}
+}
+
+func TestMergeFamiliesCountersGaugesHistograms(t *testing.T) {
+	mk := func(reqs int64, depth float64, obs ...float64) []FamilySnapshot {
+		reg := NewRegistry()
+		reg.Counter("hermes_x_requests_total", "r", "op", "search").Add(reqs)
+		reg.Gauge("hermes_x_inflight_ratio", "g").Set(depth)
+		h := reg.Histogram("hermes_x_latency_seconds", "l", []float64{1, 2, 4})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return reg.Export()
+	}
+	merged := MergeFamilies(mk(3, 1, 0.5, 3), mk(4, 2, 1.5, 10))
+	flat := FlattenFamilies(merged)
+	if got := flat[`hermes_x_requests_total{op="search"}`]; got != 7 {
+		t.Errorf("merged counter = %v, want 7", got)
+	}
+	if got := flat["hermes_x_inflight_ratio"]; got != 3 {
+		t.Errorf("merged gauge = %v, want 3", got)
+	}
+	if got := flat["hermes_x_latency_seconds:count"]; got != 4 {
+		t.Errorf("merged histogram count = %v, want 4", got)
+	}
+	if got := flat["hermes_x_latency_seconds:sum"]; got != 15 {
+		t.Errorf("merged histogram sum = %v, want 15", got)
+	}
+}
+
+// TestMergeFamiliesBucketMismatchDegrades pins the cross-version contract:
+// an input whose bucket layout differs still contributes count and sum, but
+// its bucket counts are dropped rather than misfiled.
+func TestMergeFamiliesBucketMismatchDegrades(t *testing.T) {
+	mk := func(buckets []float64, obs float64) []FamilySnapshot {
+		reg := NewRegistry()
+		reg.Histogram("hermes_x_latency_seconds", "l", buckets).Observe(obs)
+		return reg.Export()
+	}
+	merged := MergeFamilies(mk([]float64{1, 2}, 0.5), mk([]float64{1, 2, 4}, 3))
+	if len(merged) != 1 || len(merged[0].Series) != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	ss := merged[0].Series[0]
+	if ss.Count != 2 || ss.Sum != 3.5 {
+		t.Errorf("count/sum = %v/%v, want 2/3.5", ss.Count, ss.Sum)
+	}
+	var bucketed int64
+	for _, c := range ss.BucketCounts {
+		bucketed += c
+	}
+	if bucketed != 1 {
+		t.Errorf("bucketed observations = %d, want 1 (mismatched input dropped)", bucketed)
+	}
+}
+
+// TestMergedQuantileErrorBound is the property test behind the documented
+// merge bound: for random per-node observation sets, the quantile estimated
+// from the merged bucket counts must lie within the bucket that contains the
+// true quantile of the pooled raw samples (clamping overflow to the largest
+// finite bound), i.e. merging histograms costs no accuracy beyond the
+// bucketing itself.
+func TestMergedQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := DefLatencyBuckets
+	for trial := 0; trial < 50; trial++ {
+		nodes := 2 + rng.Intn(4)
+		var exports [][]FamilySnapshot
+		var pooled []float64
+		for n := 0; n < nodes; n++ {
+			reg := NewRegistry()
+			h := reg.Histogram("hermes_x_latency_seconds", "l", bounds)
+			for i, k := 0, 1+rng.Intn(200); i < k; i++ {
+				// Log-uniform over the bucket range plus occasional overflow.
+				v := math.Exp(rng.Float64()*math.Log(4e5)) * 0.00005
+				h.Observe(v)
+				pooled = append(pooled, v)
+			}
+			exports = append(exports, reg.Export())
+		}
+		sort.Float64s(pooled)
+		merged := MergeFamilies(exports...)
+		ss := merged[0].Series[0]
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+			est := BucketQuantile(bounds, ss.BucketCounts, q)
+			rank := int(math.Ceil(q * float64(len(pooled))))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := pooled[rank-1]
+			// The bucket holding the true pooled quantile.
+			bi := sort.SearchFloat64s(bounds, truth)
+			lo, hi := 0.0, math.Inf(1)
+			if bi > 0 {
+				lo = bounds[bi-1]
+			}
+			if bi < len(bounds) {
+				hi = bounds[bi]
+			} else {
+				// Overflow: the estimator clamps to the largest finite bound.
+				lo, hi = bounds[len(bounds)-1], bounds[len(bounds)-1]
+			}
+			if est < lo || est > hi {
+				t.Fatalf("trial %d q=%v: estimate %v outside bucket [%v,%v] of true quantile %v",
+					trial, q, est, lo, hi, truth)
+			}
+		}
+	}
+}
+
+func TestBucketQuantileMalformed(t *testing.T) {
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := BucketQuantile([]float64{1, 2}, []int64{1, 2}, 0.5); got != 0 {
+		t.Errorf("short counts = %v", got)
+	}
+}
+
+// TestWriteFamiliesPrometheusMatchesRegistry pins that a single-registry
+// export renders the same exposition text as the registry itself (modulo
+// exemplars, which exports drop).
+func TestWriteFamiliesPrometheusMatchesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hermes_x_requests_total", "Requests.", "op", "a").Add(2)
+	reg.Gauge("hermes_x_load_ratio", "Load.").Set(0.25)
+	h := reg.Histogram("hermes_x_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var direct, viaExport strings.Builder
+	if err := reg.WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFamiliesPrometheus(&viaExport, reg.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != viaExport.String() {
+		t.Errorf("exposition differs:\n--- registry ---\n%s--- export ---\n%s",
+			direct.String(), viaExport.String())
+	}
+}
+
+func TestFlattenFamiliesMatchesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hermes_x_requests_total", "r", "op", "a").Add(5)
+	h := reg.Histogram("hermes_x_latency_seconds", "l", DefLatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	snap := reg.Snapshot()
+	flat := FlattenFamilies(reg.Export())
+	if !reflect.DeepEqual(snap, flat) {
+		t.Errorf("FlattenFamilies diverges from Snapshot:\nsnap: %v\nflat: %v", snap, flat)
+	}
+}

@@ -196,6 +196,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// CountAtOrBelow returns the number of observations that landed in buckets
+// whose upper bound is <= the smallest bound >= v — i.e. the cumulative
+// count after rounding v up to a bucket boundary. SLO latency objectives
+// read "good events" through this, so thresholds should sit on (or near) a
+// bucket bound; a threshold between bounds is effectively rounded up.
+func (h *Histogram) CountAtOrBelow(v float64) int64 {
+	if h == nil {
+		return 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	var cum int64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		cum += h.counts[j].Load()
+	}
+	return cum
+}
+
 // bucketValue renders one _bucket line's value: the cumulative count, with
 // an OpenMetrics-style exemplar suffix (` # {trace_id="..."} <value>`) only
 // when the bucket holds one — histograms that never saw ObserveExemplar

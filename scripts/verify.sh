@@ -4,8 +4,10 @@
 # (cmd/hermes-lint), the full test suite, the race detector over the
 # concurrency-heavy packages (TCP serving path, the batching front-end, the
 # telemetry registry scraped concurrently with metric writes, the pooled
-# IVF searcher scratch, and the in-process store recording into the flight
-# recorder under concurrent readers), and a single-iteration bench smoke so
+# IVF searcher scratch, the in-process store recording into the flight
+# recorder under concurrent readers, the SLO engine ticking under Collect,
+# and the event ring written under concurrent scrapes), and a
+# single-iteration bench smoke so
 # the kernel benchmarks can never rot unnoticed.
 set -eux
 
@@ -18,5 +20,5 @@ go vet ./...
 # test files, and archives the facts dump — see scripts/lint-diff.sh.
 ./scripts/lint-diff.sh
 go test ./...
-go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/ ./internal/ivf/ ./internal/hermes/
+go test -race ./internal/distsearch/ ./internal/batcher/ ./internal/telemetry/ ./internal/ivf/ ./internal/hermes/ ./internal/slo/ ./internal/evlog/
 go test -bench=. -benchtime=1x -run '^$' ./internal/vec/ ./internal/quant/ ./internal/ivf/
