@@ -1,0 +1,318 @@
+// Command hermes-groupbench measures what PR 8's context-aware query
+// grouping buys the serving path and writes the machine-readable record
+// scripts/bench.sh publishes as BENCH_PR8.json.
+//
+// Three suites run, all over a topic-skewed (cell-skewed) query mix — the
+// workload grouping exists for:
+//
+//   - scan: the ivf-level grouped multi-query cell scan in steady state,
+//     through a reused GroupSearcher and result buffer. This is the
+//     acceptance gate: the grouped scan path must not allocate per batch
+//     once warm, or the shared-scan win leaks back out as GC pressure.
+//   - store: one batch executed grouped (Store.SearchGrouped, shared cell
+//     streams) versus sequentially (per-query Store.Search), with the
+//     shared-scan hit rate — the fraction of logical per-cell code streams
+//     the grouping avoided.
+//   - serving: an open-loop Poisson load driven through the batcher twice —
+//     blind FIFO flushes feeding per-query execution versus the grouping
+//     scheduler (PredictCells + GroupSlack holdback) feeding SearchGrouped —
+//     reporting achieved throughput and sojourn p50/p99 at the same offered
+//     rate.
+//
+// The process exits non-zero when the grouped scan path allocates in steady
+// state, so bench.sh doubles as the acceptance gate.
+//
+// Usage:
+//
+//	hermes-groupbench                   # text summary + BENCH_PR8.json
+//	hermes-groupbench -out bench.json   # alternate output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/loadgen"
+	"repro/internal/vec"
+)
+
+// scanScenario is one measured grouped-scan path.
+type scanScenario struct {
+	Name        string  `json:"name"`
+	Queries     int     `json:"queries"`
+	NsPerBatch  float64 `json:"ns_per_batch"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MustZeroAllocs marks the acceptance-gated paths.
+	MustZeroAllocs bool `json:"must_zero_allocs"`
+}
+
+// storeScenario is one whole-batch execution strategy.
+type storeScenario struct {
+	Name          string  `json:"name"`
+	Queries       int     `json:"queries"`
+	NsPerBatch    float64 `json:"ns_per_batch"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// SharedScanRate is shared / (scanned + shared) cell streams; zero for
+	// the sequential strategy by construction.
+	SharedScanRate float64 `json:"shared_scan_rate"`
+}
+
+// servingScenario is one batcher policy under the open-loop load.
+type servingScenario struct {
+	Name           string  `json:"name"`
+	OfferedQPS     float64 `json:"offered_qps"`
+	AchievedQPS    float64 `json:"achieved_qps"`
+	SojournP50Ms   float64 `json:"sojourn_p50_ms"`
+	SojournP99Ms   float64 `json:"sojourn_p99_ms"`
+	MeanBatch      float64 `json:"mean_batch"`
+	Holdbacks      int64   `json:"holdbacks"`
+	SharedScanRate float64 `json:"shared_scan_rate"`
+}
+
+type report struct {
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	CPUs    int               `json:"cpus"`
+	Scan    []scanScenario    `json:"scan"`
+	Store   []storeScenario   `json:"store"`
+	Serving []servingScenario `json:"serving"`
+}
+
+func main() {
+	var (
+		outFlag = flag.String("out", "BENCH_PR8.json", "JSON output path")
+		chunks  = flag.Int("chunks", 20000, "corpus size")
+		dim     = flag.Int("dim", 64, "embedding dim")
+		shards  = flag.Int("shards", 4, "shard count")
+		topics  = flag.Int("topics", 4, "corpus topics (fewer = heavier cell skew)")
+		batch   = flag.Int("batch", 64, "batcher MaxBatch")
+		wait    = flag.Duration("wait", 8*time.Millisecond, "batcher MaxWait")
+		slack   = flag.Duration("slack", 4*time.Millisecond, "grouping scheduler GroupSlack")
+		qps     = flag.Float64("qps", 600, "offered serving load")
+		queries = flag.Int("queries", 3000, "serving arrivals per policy")
+		seed    = flag.Int64("seed", 17, "generation seed")
+	)
+	flag.Parse()
+
+	c, err := corpus.Generate(corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *topics, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "building %d-shard store over %d chunks (dim %d, %d topics)...\n",
+		*shards, *chunks, *dim, *topics)
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: *shards})
+	if err != nil {
+		fatal(err)
+	}
+	p := hermes.DefaultParams()
+	qs := c.Queries(*batch, *seed+1)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	rep.Scan = benchScan(st, rows, p)
+	rep.Store = benchStore(st, rows, p)
+	rep.Serving = []servingScenario{
+		runServing("fifo_sequential", st, c, p, false, *qps, *queries, *batch, *wait, *slack, *seed),
+		runServing("grouped_shared_scan", st, c, p, true, *qps, *queries, *batch, *wait, *slack, *seed),
+	}
+
+	printReport(rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", *outFlag)
+
+	if msg := checkAcceptance(rep); msg != "" {
+		fatal(fmt.Errorf("%s", msg))
+	}
+	fmt.Println("acceptance: grouped scan path allocation-free in steady state")
+}
+
+// benchScan times the ivf-level grouped scan through a reused GroupSearcher
+// on the first shard — the steady-state serving configuration — and gates it
+// at zero allocations per batch.
+func benchScan(st *hermes.Store, rows [][]float32, p hermes.Params) []scanScenario {
+	ix := st.Shards[0].Index
+	gs := ix.NewGroupSearcher()
+	dst := make([]vec.Neighbor, 0, p.K*len(rows))
+	fn := func() {
+		gs.Search(rows, p.K, p.DeepNProbe)
+		for i := range rows {
+			dst = gs.AppendResults(i, dst[:0])
+		}
+	}
+	fn() // warm the slots, kernels, and pair buffers
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return []scanScenario{{
+		Name:           "groupscan_steady_state",
+		Queries:        len(rows),
+		NsPerBatch:     float64(res.NsPerOp()),
+		AllocsPerOp:    testing.AllocsPerRun(100, fn),
+		MustZeroAllocs: true,
+	}}
+}
+
+// benchStore pits whole-batch grouped execution against the per-query loop
+// on the same skewed batch.
+func benchStore(st *hermes.Store, rows [][]float32, p hermes.Params) []storeScenario {
+	_, gstats := st.SearchGrouped(rows, p) // warm + shared-scan accounting
+	logical := gstats.Sample.CellsScanned + gstats.Deep.CellsScanned + gstats.SharedCellScans()
+	rate := 0.0
+	if logical > 0 {
+		rate = float64(gstats.SharedCellScans()) / float64(logical)
+	}
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range rows {
+				st.Search(q, p)
+			}
+		}
+	})
+	grp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.SearchGrouped(rows, p)
+		}
+	})
+	toScenario := func(name string, ns float64, rate float64) storeScenario {
+		return storeScenario{
+			Name:           name,
+			Queries:        len(rows),
+			NsPerBatch:     ns,
+			QueriesPerSec:  float64(len(rows)) / (ns / 1e9),
+			SharedScanRate: rate,
+		}
+	}
+	return []storeScenario{
+		toScenario("sequential_batch", float64(seq.NsPerOp()), 0),
+		toScenario("grouped_batch", float64(grp.NsPerOp()), rate),
+	}
+}
+
+// runServing drives one batcher policy with the open-loop Poisson load and
+// reports throughput, sojourn tails, and grouping effectiveness.
+func runServing(name string, st *hermes.Store, c *corpus.Corpus, p hermes.Params,
+	grouped bool, qps float64, queries, maxBatch int, maxWait, slack time.Duration, seed int64) servingScenario {
+	qset := c.Queries(queries, seed+2)
+	var mu sync.Mutex
+	shared, logical := 0, 0
+	proc := func(batch [][]float32) ([][]vec.Neighbor, error) {
+		if grouped {
+			out, gs := st.SearchGrouped(batch, p)
+			res := make([][]vec.Neighbor, len(out))
+			for i := range out {
+				res[i] = out[i].Neighbors
+			}
+			mu.Lock()
+			shared += gs.SharedCellScans()
+			logical += gs.Sample.CellsScanned + gs.Deep.CellsScanned + gs.SharedCellScans()
+			mu.Unlock()
+			return res, nil
+		}
+		res := make([][]vec.Neighbor, len(batch))
+		for i, q := range batch {
+			res[i], _ = st.Search(q, p)
+		}
+		return res, nil
+	}
+	cfg := batcher.Config{MaxBatch: maxBatch, MaxWait: maxWait, Process: proc}
+	if grouped {
+		cfg.Predict = func(q []float32) []uint64 { return st.PredictCells(q, p) }
+		cfg.GroupSlack = slack
+	}
+	bat, err := batcher.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		TargetQPS: qps,
+		Queries:   queries,
+		// Workers block inside Batcher.Search until their batch flushes, so
+		// the station count must comfortably exceed MaxBatch for batches to
+		// fill under load.
+		Concurrency: 2 * maxBatch,
+		Seed:        seed,
+	}, func(i int) error {
+		_, err := bat.Search(qset.Vectors.Row(i % qset.Vectors.Len()))
+		return err
+	})
+	bat.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("serving policy %s: %d queries failed", name, rep.Failed))
+	}
+	stats := bat.Stats()
+	rate := 0.0
+	if logical > 0 {
+		rate = float64(shared) / float64(logical)
+	}
+	return servingScenario{
+		Name:           name,
+		OfferedQPS:     qps,
+		AchievedQPS:    rep.AchievedQPS,
+		SojournP50Ms:   float64(rep.Sojourn.P50) / 1e6,
+		SojournP99Ms:   float64(rep.Sojourn.P99) / 1e6,
+		MeanBatch:      stats.MeanBatch,
+		Holdbacks:      stats.Holdbacks,
+		SharedScanRate: rate,
+	}
+}
+
+// checkAcceptance returns a failure message, or "" when the record meets
+// the PR 8 bar: the grouped scan path must be allocation-free in steady
+// state.
+func checkAcceptance(rep report) string {
+	for _, s := range rep.Scan {
+		if s.MustZeroAllocs && s.AllocsPerOp != 0 {
+			return fmt.Sprintf("scenario %s allocates %.2f/op; must be 0", s.Name, s.AllocsPerOp)
+		}
+	}
+	return ""
+}
+
+func printReport(rep report) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scan scenario\tqueries\tns/batch\tallocs/op\tmust-zero\n")
+	for _, s := range rep.Scan {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.2f\t%v\n", s.Name, s.Queries, s.NsPerBatch, s.AllocsPerOp, s.MustZeroAllocs)
+	}
+	fmt.Fprintf(tw, "\nstore scenario\tqueries\tns/batch\tqueries/sec\tshared-scan rate\n")
+	for _, s := range rep.Store {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.3f\n", s.Name, s.Queries, s.NsPerBatch, s.QueriesPerSec, s.SharedScanRate)
+	}
+	fmt.Fprintf(tw, "\nserving policy\toffered\tachieved\tp50 ms\tp99 ms\tmean batch\tholdbacks\tshared-scan rate\n")
+	for _, s := range rep.Serving {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1f\t%.2f\t%.2f\t%.1f\t%d\t%.3f\n",
+			s.Name, s.OfferedQPS, s.AchievedQPS, s.SojournP50Ms, s.SojournP99Ms, s.MeanBatch, s.Holdbacks, s.SharedScanRate)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-groupbench:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/batcher"
 	"repro/internal/corpus"
 	"repro/internal/distsearch"
 	"repro/internal/hermes"
@@ -27,28 +28,31 @@ import (
 	"repro/internal/llm"
 	"repro/internal/loadgen"
 	"repro/internal/telemetry"
+	"repro/internal/vec"
 	"repro/pkg/indexfile"
 )
 
 func main() {
 	var (
-		nodesFlag = flag.String("nodes", "", "comma-separated shard node addresses")
-		dir       = flag.String("index", "hermes-index", "index directory (for the corpus spec)")
-		self      = flag.Bool("selfcontained", false, "build a store and local nodes in-process")
-		chunks    = flag.Int("chunks", 10000, "corpus size for -selfcontained")
-		dim       = flag.Int("dim", 32, "embedding dim for -selfcontained")
-		shards    = flag.Int("shards", 10, "shard count for -selfcontained")
-		qps       = flag.Float64("qps", 200, "offered arrival rate")
-		queries   = flag.Int("queries", 1000, "number of arrivals")
-		conc      = flag.Int("concurrency", 8, "max in-flight queries")
-		deep      = flag.Int("deep", 3, "clusters to deep-search")
-		seed      = flag.Int64("seed", 23, "generation seed")
-		allFlag   = flag.Bool("all", false, "use the naive search-all baseline")
-		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
-		rtTimeout = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
-		kvMiB     = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
-		linger    = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
-		slowMS    = flag.Int("slow-ms", 0, "trace every query into a flight recorder, pin those slower than this many milliseconds, and print the slowest at run end (0 disables tracing)")
+		nodesFlag  = flag.String("nodes", "", "comma-separated shard node addresses")
+		dir        = flag.String("index", "hermes-index", "index directory (for the corpus spec)")
+		self       = flag.Bool("selfcontained", false, "build a store and local nodes in-process")
+		chunks     = flag.Int("chunks", 10000, "corpus size for -selfcontained")
+		dim        = flag.Int("dim", 32, "embedding dim for -selfcontained")
+		shards     = flag.Int("shards", 10, "shard count for -selfcontained")
+		qps        = flag.Float64("qps", 200, "offered arrival rate")
+		queries    = flag.Int("queries", 1000, "number of arrivals")
+		conc       = flag.Int("concurrency", 8, "max in-flight queries")
+		deep       = flag.Int("deep", 3, "clusters to deep-search")
+		seed       = flag.Int64("seed", 23, "generation seed")
+		allFlag    = flag.Bool("all", false, "use the naive search-all baseline")
+		admin      = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		rtTimeout  = flag.Duration("rt-timeout", 0, "per-round-trip I/O deadline; 0 leaves round-trips unbounded")
+		group      = flag.Bool("group", false, "batch queries through the grouping scheduler and execute them as grouped (shared-scan) batch requests")
+		groupSlack = flag.Duration("group-slack", 2*time.Millisecond, "grouping scheduler slack window: a query with no predicted cell overlap may sit out flushes this long (bounded by the batch wait)")
+		kvMiB      = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
+		linger     = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
+		slowMS     = flag.Int("slow-ms", 0, "trace every query into a flight recorder, pin those slower than this many milliseconds, and print the slowest at run end (0 disables tracing)")
 	)
 	flag.Parse()
 
@@ -57,9 +61,16 @@ func main() {
 		rec = telemetry.NewRecorder(1024, time.Duration(*slowMS)*time.Millisecond)
 	}
 
+	params := hermes.DefaultParams()
+	params.DeepClusters = *deep
+
 	tokensPerChunk := corpus.DefaultTokensPerChunk
 	var co *distsearch.Coordinator
 	var qset *corpus.QuerySet
+	// predict is the grouping signal for -group: available in -selfcontained
+	// mode, where the store is in-process (over the wire, grouped node
+	// execution still applies but flushes pack FIFO).
+	var predict batcher.PredictFunc
 	switch {
 	case *self:
 		spec := corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *shards, Seed: *seed}
@@ -85,6 +96,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		predict = func(q []float32) []uint64 { return st.PredictCells(q, params) }
 		qset = c.Queries(*queries, *seed+1)
 	case *nodesFlag != "":
 		meta, err := indexfile.ReadMeta(*dir)
@@ -150,10 +162,40 @@ func main() {
 			*kvMiB, float64(docBytes)/1024)
 	}
 
-	params := hermes.DefaultParams()
-	params.DeepClusters = *deep
-	fmt.Fprintf(os.Stderr, "offered load: %.0f QPS x %d queries, concurrency %d, deep=%d, search-all=%v\n",
-		*qps, *queries, *conc, *deep, *allFlag)
+	fmt.Fprintf(os.Stderr, "offered load: %.0f QPS x %d queries, concurrency %d, deep=%d, search-all=%v, grouped=%v\n",
+		*qps, *queries, *conc, *deep, *allFlag, *group)
+
+	// -group puts the grouping scheduler in front of the cluster: arrivals
+	// form batches (packed by predicted cell overlap when the predictor is
+	// available), and every batch travels as one grouped wire request per
+	// node per phase, asking nodes for shared multi-query cell scans.
+	var bat *batcher.Batcher
+	if *group {
+		if *allFlag {
+			fatal(fmt.Errorf("-group and -all are mutually exclusive"))
+		}
+		co.SetGrouped(true)
+		var err error
+		bat, err = batcher.New(batcher.Config{
+			MaxBatch: *conc,
+			// The wait window trades queueing delay for batch size; twice
+			// the slack keeps held-back queries inside one extra flush.
+			MaxWait:    2 * *groupSlack,
+			GroupSlack: *groupSlack,
+			Predict:    predict,
+			Telemetry:  telemetry.Default,
+			Process: func(batch [][]float32) ([][]vec.Neighbor, error) {
+				res, err := co.SearchBatch(batch, params)
+				if err != nil {
+					return nil, err
+				}
+				return res.Results, nil
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	rep, err := loadgen.Run(loadgen.Config{
 		TargetQPS:   *qps,
@@ -162,30 +204,50 @@ func main() {
 		Seed:        *seed,
 	}, func(i int) error {
 		q := qset.Vectors.Row(i % qset.Vectors.Len())
-		var res *distsearch.Result
+		var neighbors []vec.Neighbor
 		var err error
 		switch {
+		case bat != nil:
+			// Grouped batches are untraced on the wire (nodes fall back to
+			// per-query execution for traced requests), so -slow-ms tracing
+			// does not combine with -group.
+			neighbors, err = bat.Search(q)
 		case *allFlag:
+			var res *distsearch.Result
 			res, err = co.SearchAll(q, params)
+			if res != nil {
+				neighbors = res.Neighbors
+			}
 		case rec != nil:
 			// Trace every query so slow outliers land in the recorder with
 			// their full cross-node breakdown attached.
+			var res *distsearch.Result
 			res, err = co.SearchTraced(q, params, telemetry.NewTrace())
+			if res != nil {
+				neighbors = res.Neighbors
+			}
 		default:
+			var res *distsearch.Result
 			res, err = co.Search(q, params)
+			if res != nil {
+				neighbors = res.Neighbors
+			}
 		}
 		if err != nil {
 			return err
 		}
 		if cache != nil {
 			cacheMu.Lock()
-			for _, n := range res.Neighbors {
+			for _, n := range neighbors {
 				cache.Lookup(n.ID, docBytes)
 			}
 			cacheMu.Unlock()
 		}
 		return nil
 	})
+	if bat != nil {
+		bat.Close()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -196,6 +258,11 @@ func main() {
 		rep.Sojourn.Mean, rep.Sojourn.P50, rep.Sojourn.P95, rep.Sojourn.P99, rep.Sojourn.Max)
 	fmt.Printf("service latency: mean %v  p50 %v  p95 %v\n",
 		rep.Service.Mean, rep.Service.P50, rep.Service.P95)
+	if bat != nil {
+		s := bat.Stats()
+		fmt.Printf("grouping: %d flushes, %.1f queries/batch, %d slack holdbacks\n",
+			s.Flushes, s.MeanBatch, s.Holdbacks)
+	}
 	if cache != nil {
 		cacheMu.Lock()
 		s := cache.Stats()

@@ -51,7 +51,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		wg.Add(1)
 		go func(ni int, n *nodeClient) {
 			defer wg.Done()
-			resp, err := n.roundTrip(&Request{Op: OpSampleBatch, Queries: queries, NProbe: p.SampleNProbe})
+			resp, err := n.roundTrip(&Request{Op: OpSampleBatch, Queries: queries, NProbe: p.SampleNProbe, Grouped: co.grouped})
 			if err != nil {
 				errs[ni] = err
 				return
@@ -122,7 +122,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		go func(ni int, n *nodeClient) {
 			defer wg.Done()
 			resp, err := n.roundTrip(&Request{
-				Op: OpDeepBatch, Queries: deepQueries[ni], K: p.K, NProbe: p.DeepNProbe,
+				Op: OpDeepBatch, Queries: deepQueries[ni], K: p.K, NProbe: p.DeepNProbe, Grouped: co.grouped,
 			})
 			if err != nil {
 				errs[ni] = err

@@ -1,0 +1,270 @@
+package distsearch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/ivf"
+	"repro/internal/telemetry"
+	"repro/internal/vec"
+)
+
+// v4Request is the Request schema as of PR 7 — everything up to TraceID,
+// without Grouped — i.e. what a node running the previous release decodes.
+type v4Request struct {
+	Op      Op
+	Query   []float32
+	K       int
+	NProbe  int
+	Queries [][]float32
+	ID      int64
+	TraceID uint64
+}
+
+// TestRequestWireCompatV4V5 proves the Grouped append is gob-compatible in
+// both directions: a v5 request decodes on a v4 peer (Grouped dropped), and
+// a v4 request decodes on a v5 peer (Grouped false).
+func TestRequestWireCompatV4V5(t *testing.T) {
+	v5 := Request{
+		Op:      OpDeepBatch,
+		K:       4,
+		NProbe:  8,
+		Queries: [][]float32{{1, 2}, {3, 4}},
+		Grouped: true,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v5); err != nil {
+		t.Fatal(err)
+	}
+	var oldSide v4Request
+	if err := gob.NewDecoder(&buf).Decode(&oldSide); err != nil {
+		t.Fatalf("v4 peer failed to decode a v5 request: %v", err)
+	}
+	if oldSide.Op != OpDeepBatch || oldSide.K != 4 || len(oldSide.Queries) != 2 {
+		t.Errorf("v4 decode mangled fields: %+v", oldSide)
+	}
+
+	buf.Reset()
+	old := v4Request{Op: OpSampleBatch, NProbe: 2, Queries: [][]float32{{5, 6}}}
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	var newSide Request
+	if err := gob.NewDecoder(&buf).Decode(&newSide); err != nil {
+		t.Fatalf("v5 peer failed to decode a v4 request: %v", err)
+	}
+	if newSide.Op != OpSampleBatch || newSide.Grouped {
+		t.Errorf("v5 decode of v4 request: %+v", newSide)
+	}
+}
+
+// groupedCluster builds a store, serves every shard from a real node, and
+// returns a coordinator plus the per-node registries.
+func groupedCluster(t *testing.T, shards int, opts DialOptions) (*corpus.Corpus, *Coordinator, []*telemetry.Registry) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 900, Dim: 16, NumTopics: shards, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	regs := make([]*telemetry.Registry, shards)
+	for i, shard := range st.Shards {
+		node, err := NewNode(i, shard.Index, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = telemetry.NewRegistry()
+		node.SetTelemetry(regs[i])
+		if err := node.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr())
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = time.Second
+	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
+	co, err := DialOpts(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	return c, co, regs
+}
+
+// TestSearchBatchGroupedWire proves grouped distributed batches return the
+// same result sets as ungrouped ones, and that the nodes actually took the
+// grouped path (groupscan counters move only when the flag is on).
+func TestSearchBatchGroupedWire(t *testing.T) {
+	const shards = 3
+	c, co, regs := groupedCluster(t, shards, DialOptions{})
+	qs := c.Queries(16, 23)
+	queries := make([][]float32, qs.Vectors.Len())
+	for i := range queries {
+		queries[i] = qs.Vectors.Row(i)
+	}
+	p := hermes.DefaultParams()
+
+	plain, err := co.SearchBatch(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, reg := range regs {
+		key := `hermes_node_groupscan_queries_total{shard="` + strconv.Itoa(i) + `"}`
+		if v := reg.Snapshot()[key]; v > 0 {
+			t.Fatalf("ungrouped batch moved groupscan counters on shard %d: %v", i, v)
+		}
+	}
+
+	co.SetGrouped(true)
+	grouped, err := co.SearchBatch(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grouped.Results, plain.Results) {
+		t.Fatal("grouped wire batch differs from ungrouped")
+	}
+	if !reflect.DeepEqual(grouped.DeepLoads, plain.DeepLoads) {
+		t.Fatalf("deep routing changed: %v vs %v", grouped.DeepLoads, plain.DeepLoads)
+	}
+	groupedQueries := 0.0
+	for i, reg := range regs {
+		key := `hermes_node_groupscan_queries_total{shard="` + strconv.Itoa(i) + `"}`
+		groupedQueries += reg.Snapshot()[key]
+	}
+	// Every node samples the whole batch through the grouped path.
+	if groupedQueries < float64(len(queries)*shards) {
+		t.Fatalf("groupscan_queries_total = %v, want >= %d", groupedQueries, len(queries)*shards)
+	}
+}
+
+// serveV4Node runs an "old release" node for shard shardID backed by a real
+// index: it decodes the v4 request schema (no Grouped field — gob drops the
+// new coordinator's flag on the floor) and serves batch ops per-query, the
+// pre-grouping behavior.
+func serveV4Node(t *testing.T, ln net.Listener, shardID int, ix *ivf.Index) {
+	t.Helper()
+	//lint:ignore goroutinectx accept loop exits when the test's deferred ln.Close unblocks Accept
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			//lint:ignore goroutinectx per-conn handler exits when the coordinator closes the conn at test end
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req v4Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					resp := Response{ShardID: shardID}
+					switch req.Op {
+					case OpInfo:
+						resp.Size = ix.Len()
+						resp.Dim = ix.Dim()
+						resp.Centroid = make([]float32, ix.Dim())
+					case OpSampleBatch:
+						resp.Batch = make([][]vec.Neighbor, len(req.Queries))
+						for i, q := range req.Queries {
+							resp.Batch[i] = ix.Search(q, 1, req.NProbe)
+						}
+					case OpDeepBatch:
+						resp.Batch = make([][]vec.Neighbor, len(req.Queries))
+						for i, q := range req.Queries {
+							resp.Batch[i] = ix.Search(q, req.K, req.NProbe)
+						}
+					default:
+						resp.Err = "unsupported op"
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+// TestGroupedOldNodeDegrades runs a grouped coordinator over a mixed
+// cluster — one current node and one previous-release node that has never
+// heard of Request.Grouped — and requires the batch to come back identical
+// to the all-per-query answer. The old node silently drops the flag and
+// serves per-query; no error, no result drift.
+func TestGroupedOldNodeDegrades(t *testing.T) {
+	const shards = 2
+	c, err := corpus.Generate(corpus.Spec{NumChunks: 700, Dim: 16, NumTopics: shards, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(0, st.Shards[0].Index, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.SetTelemetry(telemetry.NewRegistry())
+	if err := node.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serveV4Node(t, ln, 1, st.Shards[1].Index)
+
+	addrs := []string{node.Addr(), ln.Addr().String()}
+	qs := c.Queries(10, 29)
+	queries := make([][]float32, qs.Vectors.Len())
+	for i := range queries {
+		queries[i] = qs.Vectors.Row(i)
+	}
+	p := hermes.DefaultParams()
+
+	plain, err := func() (*BatchResult, error) {
+		co, err := DialOpts(addrs, DialOptions{Timeout: time.Second, Telemetry: telemetry.NewRegistry()})
+		if err != nil {
+			return nil, err
+		}
+		defer co.Close()
+		return co.SearchBatch(queries, p)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, err := DialOpts(addrs, DialOptions{Timeout: time.Second, Telemetry: telemetry.NewRegistry(), Grouped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	grouped, err := co.SearchBatch(queries, p)
+	if err != nil {
+		t.Fatalf("grouped batch over a mixed-version cluster: %v", err)
+	}
+	if !reflect.DeepEqual(grouped.Results, plain.Results) {
+		t.Fatal("grouped batch over an old node drifted from the per-query answer")
+	}
+}

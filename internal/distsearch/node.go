@@ -296,6 +296,12 @@ func (n *Node) searchResp(req *Request, k, nProbe int, arrival, decodeDone time.
 }
 
 func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
+	if req.Grouped && req.TraceID == 0 {
+		// Grouped execution has no per-phase breakdown, so a traced batch
+		// deliberately falls through to the per-query path below — the
+		// trace's waterfall stays accurate at the cost of the shared scans.
+		return n.groupedBatch(req, k, nProbe)
+	}
 	batch := make([][]vec.Neighbor, len(req.Queries))
 	traced := req.TraceID != 0
 	var scanned int64
@@ -328,6 +334,26 @@ func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time
 		resp.Spans = n.tracedSpans(arrival, decodeDone, scanStart, agg)
 	}
 	return resp
+}
+
+// groupedBatch serves a batch op through the multi-query grouped cell scan:
+// queries probing the same IVF cell share one code stream. The result set is
+// identical to per-query execution; Scanned reports the vectors actually
+// streamed (distinct), so on an overlapping batch it is smaller than the
+// per-query path would report — that gap is the work the grouping saved.
+func (n *Node) groupedBatch(req *Request, k, nProbe int) *Response {
+	for i, q := range req.Queries {
+		if len(q) != n.index.Dim() {
+			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
+		}
+	}
+	// scanSeconds is deliberately not observed here: it is a per-query
+	// histogram and the grouped scan has no per-query wall time — one
+	// observation per batch would skew its quantiles.
+	batch, stats := n.index.SearchGroup(req.Queries, k, nProbe)
+	n.met.groupscanQueries.Add(int64(len(req.Queries)))
+	n.met.groupscanShared.Add(int64(stats.SharedCellScans))
+	return &Response{ShardID: n.shardID, Batch: batch, Scanned: int64(stats.VectorsScanned)}
 }
 
 // tracedSpans lays the node-side phases out as wire spans with offsets

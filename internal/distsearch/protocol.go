@@ -76,6 +76,15 @@ type Request struct {
 	// old node decodes the request and zeroes it when an old coordinator
 	// talks to a new node, so the extension is wire-compatible both ways.
 	TraceID uint64
+	// Grouped asks the node to execute OpSampleBatch/OpDeepBatch through
+	// the multi-query grouped cell scan (ivf.SearchGroup): queries probing
+	// the same IVF cell share one code stream. Results are the same set as
+	// per-query execution, so the flag is purely an execution hint.
+	// Gob-compatible v5 addition, appended after TraceID like every
+	// evolution before it: an old node drops the field and serves the
+	// batch per-query — a silent, correct degrade — and an old coordinator
+	// leaves it false on a new node.
+	Grouped bool
 }
 
 // Response is the single wire response envelope. Err is non-empty when the

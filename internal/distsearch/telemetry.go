@@ -158,6 +158,11 @@ type nodeMetrics struct {
 	// quantizer kind so /metrics answers "how fast does each compression
 	// scheme scan" per node; the coordinator -stats view surfaces its p95.
 	scanSeconds *telemetry.Histogram
+	// groupscanQueries / groupscanShared account the grouped batch path:
+	// queries served through ivf.SearchGroup and the per-cell code streams
+	// the grouping avoided versus per-query execution.
+	groupscanQueries *telemetry.Counter
+	groupscanShared  *telemetry.Counter
 }
 
 func newNodeMetrics(reg *telemetry.Registry, shardID int, quantizer string) *nodeMetrics {
@@ -171,6 +176,10 @@ func newNodeMetrics(reg *telemetry.Registry, shardID int, quantizer string) *nod
 		scanSeconds: reg.Histogram("hermes_node_scan_seconds",
 			"per-query index scan time by shard and quantizer kind",
 			telemetry.DefLatencyBuckets, "shard", shard, "quantizer", quantizer),
+		groupscanQueries: reg.Counter("hermes_node_groupscan_queries_total",
+			"batch queries served through the grouped multi-query cell scan", "shard", shard),
+		groupscanShared: reg.Counter("hermes_node_groupscan_shared_scans_total",
+			"per-cell code streams saved by grouped batch execution", "shard", shard),
 	}
 	for _, op := range allOps {
 		m.requests[op] = reg.Counter("hermes_node_requests_total",

@@ -1,0 +1,239 @@
+package hermes
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSearchGroupedMatchesSequential pins the grouped batch path to per-query
+// Search: same neighbors, same scores, same stats, across default and pruned
+// parameters.
+func TestSearchGroupedMatchesSequential(t *testing.T) {
+	c := testCorpus(t, 1500, 6)
+	st := buildStore(t, c.Vectors, 6)
+	qs := c.Queries(20, 43)
+	params := map[string]Params{
+		"default": DefaultParams(),
+		"pruned":  {K: 5, SampleNProbe: 8, DeepNProbe: 64, DeepClusters: 3, PruneEps: 0.25},
+		"deep1":   {K: 3, SampleNProbe: 4, DeepNProbe: 32, DeepClusters: 1},
+	}
+	for name, p := range params {
+		t.Run(name, func(t *testing.T) {
+			rows := make([][]float32, qs.Vectors.Len())
+			for i := range rows {
+				rows[i] = qs.Vectors.Row(i)
+			}
+			got, gstats := st.SearchGrouped(rows, p)
+			for i, q := range rows {
+				want, wantStats := st.Search(q, p)
+				if !reflect.DeepEqual(got[i].Neighbors, want) {
+					t.Fatalf("query %d: grouped %v != sequential %v", i, got[i].Neighbors, want)
+				}
+				if !reflect.DeepEqual(got[i].Stats, wantStats) {
+					t.Fatalf("query %d: stats %+v != %+v", i, got[i].Stats, wantStats)
+				}
+			}
+			// Every query samples every shard, so the sample phase must share
+			// scans whenever two queries probe a common cell; at minimum the
+			// accounting identities hold.
+			if gstats.Sample.Queries != len(rows)*st.NumShards() {
+				t.Fatalf("sample grouped %d queries, want %d", gstats.Sample.Queries, len(rows)*st.NumShards())
+			}
+			if gstats.SharedCellScans() < 0 {
+				t.Fatalf("negative shared scans %d", gstats.SharedCellScans())
+			}
+		})
+	}
+}
+
+// TestSearchGroupedSharesScans asserts the point of the exercise on a
+// topic-skewed batch: co-probing queries must actually share cell streams,
+// i.e. distinct streamed vectors < logical scanned vectors.
+func TestSearchGroupedSharesScans(t *testing.T) {
+	c := testCorpus(t, 1500, 4) // few topics => heavy probe overlap
+	st := buildStore(t, c.Vectors, 4)
+	qs := c.Queries(24, 47)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+	got, gstats := st.SearchGrouped(rows, DefaultParams())
+	logical := 0
+	for _, r := range got {
+		logical += r.Stats.SampleScanned + r.Stats.DeepScanned
+	}
+	streamed := gstats.Sample.VectorsScanned + gstats.Deep.VectorsScanned
+	if streamed >= logical {
+		t.Fatalf("streamed %d >= logical %d: grouping shared nothing", streamed, logical)
+	}
+	if gstats.SharedCellScans() == 0 {
+		t.Fatal("no shared cell scans on a topic-skewed batch")
+	}
+}
+
+// TestSearchBatchGroupedMatrix checks the matrix wrapper and the grouped
+// telemetry counters.
+func TestSearchBatchGroupedMatrix(t *testing.T) {
+	c := testCorpus(t, 800, 5)
+	st := buildStore(t, c.Vectors, 5)
+	reg := telemetry.NewRegistry()
+	st.SetTelemetry(reg)
+	qs := c.Queries(8, 53)
+	batch := st.SearchBatchGrouped(qs.Vectors, DefaultParams())
+	if len(batch) != 8 {
+		t.Fatalf("batch len %d", len(batch))
+	}
+	for i := 0; i < qs.Vectors.Len(); i++ {
+		want, _ := st.Search(qs.Vectors.Row(i), DefaultParams())
+		if !reflect.DeepEqual(batch[i].Neighbors, want) {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if v := snap["hermes_store_grouped_queries_total"]; v != 8 {
+		t.Fatalf("grouped_queries_total = %v, want 8", v)
+	}
+	if v := snap["hermes_store_group_shared_scans_total"]; v <= 0 {
+		t.Fatalf("group_shared_scans_total = %v, want > 0", v)
+	}
+}
+
+// TestSearchGroupedProperty randomizes batch shape, parameters, and query
+// mix: grouped results must always equal sequential, including with PruneEps
+// active and batches of size 1.
+func TestSearchGroupedProperty(t *testing.T) {
+	c := testCorpus(t, 1200, 8)
+	st := buildStore(t, c.Vectors, 8)
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 12; iter++ {
+		n := rng.Intn(24) + 1
+		rows := make([][]float32, n)
+		seedQs := c.Queries(n, int64(100+iter))
+		for i := range rows {
+			rows[i] = seedQs.Vectors.Row(i)
+		}
+		p := Params{
+			K:            rng.Intn(8) + 1,
+			SampleNProbe: rng.Intn(8) + 1,
+			DeepNProbe:   rng.Intn(64) + 1,
+			DeepClusters: rng.Intn(8) + 1,
+		}
+		if rng.Intn(2) == 0 {
+			p.PruneEps = rng.Float64() * 0.5
+		}
+		got, _ := st.SearchGrouped(rows, p)
+		for i, q := range rows {
+			want, wantStats := st.Search(q, p)
+			if !reflect.DeepEqual(got[i].Neighbors, want) {
+				t.Fatalf("iter %d query %d (p=%+v): grouped != sequential", iter, i, p)
+			}
+			if !reflect.DeepEqual(got[i].Stats, wantStats) {
+				t.Fatalf("iter %d query %d (p=%+v): stats %+v != %+v", iter, i, p, got[i].Stats, wantStats)
+			}
+		}
+	}
+}
+
+// TestSearchGroupedEmpty covers the degenerate shapes.
+func TestSearchGroupedEmpty(t *testing.T) {
+	c := testCorpus(t, 300, 3)
+	st := buildStore(t, c.Vectors, 3)
+	out, gstats := st.SearchGrouped(nil, DefaultParams())
+	if len(out) != 0 || gstats.SharedCellScans() != 0 {
+		t.Fatalf("empty batch: out=%d stats=%+v", len(out), gstats)
+	}
+	one, _ := st.SearchGrouped([][]float32{c.Vectors.Row(0)}, DefaultParams())
+	want, _ := st.Search(c.Vectors.Row(0), DefaultParams())
+	if !reflect.DeepEqual(one[0].Neighbors, want) {
+		t.Fatal("batch of one differs from Search")
+	}
+}
+
+// TestSearchGroupedConcurrent runs grouped batches from several goroutines —
+// the pooled scratch and per-shard group searchers must not share mutable
+// state across concurrent batches. Run under -race in tier-1.
+func TestSearchGroupedConcurrent(t *testing.T) {
+	c := testCorpus(t, 900, 5)
+	st := buildStore(t, c.Vectors, 5)
+	qs := c.Queries(12, 61)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+	want, _ := st.SearchGrouped(rows, DefaultParams())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				got, _ := st.SearchGrouped(rows, DefaultParams())
+				for i := range rows {
+					if !reflect.DeepEqual(got[i].Neighbors, want[i].Neighbors) {
+						t.Errorf("concurrent batch diverged at query %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPredictCellsStable pins the predictor's shape: keys are (shard, cell)
+// pairs from the top centroid-routed shards, deterministic for a given
+// query, and queries from the same topic overlap more than queries from
+// different topics.
+func TestPredictCellsStable(t *testing.T) {
+	c := testCorpus(t, 1200, 6)
+	st := buildStore(t, c.Vectors, 6)
+	p := DefaultParams()
+	q := c.Queries(1, 67).Vectors.Row(0)
+	a := st.PredictCells(q, p)
+	b := st.PredictCells(q, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("prediction not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no predicted cells")
+	}
+	for _, key := range a {
+		shard := int(key >> 32)
+		if shard < 0 || shard >= st.NumShards() {
+			t.Fatalf("key %x names shard %d out of range", key, shard)
+		}
+	}
+	overlap := func(x, y []uint64) int {
+		set := map[uint64]bool{}
+		for _, k := range x {
+			set[k] = true
+		}
+		n := 0
+		for _, k := range y {
+			if set[k] {
+				n++
+			}
+		}
+		return n
+	}
+	// Same-topic queries should predict overlapping keys far more often than
+	// not; average over several pairs to keep the assertion robust.
+	sameQs := c.Queries(40, 71)
+	same, diff, pairs := 0, 0, 0
+	for i := 0; i+1 < sameQs.Vectors.Len(); i += 2 {
+		qa, qb := sameQs.Vectors.Row(i), sameQs.Vectors.Row(i+1)
+		if sameQs.Topics[i] == sameQs.Topics[i+1] {
+			same += overlap(st.PredictCells(qa, p), st.PredictCells(qb, p))
+		} else {
+			diff += overlap(st.PredictCells(qa, p), st.PredictCells(qb, p))
+		}
+		pairs++
+	}
+	if same == 0 {
+		t.Fatal("same-topic queries predicted zero overlapping keys")
+	}
+}

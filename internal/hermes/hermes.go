@@ -105,6 +105,8 @@ type Store struct {
 	slowScan time.Duration
 	// pool recycles searchScratch across queries (see scratch.go).
 	pool sync.Pool
+	// groupPool recycles groupScratch across grouped batches (see grouped.go).
+	groupPool sync.Pool
 }
 
 // BuildOptions configures disaggregation and per-shard index construction.

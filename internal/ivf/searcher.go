@@ -59,7 +59,7 @@ type Searcher struct {
 	dist   []float32 // per-block distances, scanBlock long
 	qres   []float32 // query residual vs. the probed centroid
 	tk     *vec.TopK
-	cells  []int      // selected probe cells, ascending centroid distance
+	cells  []int32    // selected probe cells, ascending centroid distance
 	heap   []cellDist // bounded max-heap scratch for selectCells
 }
 
@@ -153,7 +153,7 @@ func (s *Searcher) search(dst []vec.Neighbor, q []float32, k, nProbe int, ph *Ph
 		if ix.cfg.ByResidual {
 			// Distances to residual codes are computed against the query's
 			// residual from the same centroid: ||q - (c + r)|| = ||(q-c) - r||.
-			centroid := ix.centroids.Row(c)
+			centroid := ix.centroids.Row(int(c))
 			for d := range q {
 				s.qres[d] = q[d] - centroid[d]
 			}
@@ -232,17 +232,26 @@ func (s *Searcher) scanList(l *invList, cs int, dead []uint32) int {
 }
 
 // selectCells fills s.cells with the nProbe cells whose centroids are closest
-// to q, ascending by distance. It is a bounded max-heap partial selection:
-// O(nlist log nProbe) instead of the full O(nlist log nlist) sort, and it
-// reuses the heap scratch across queries.
+// to q, ascending by distance, reusing the searcher's heap scratch.
 //
 //hermes:hotpath
 func (s *Searcher) selectCells(q []float32, nProbe int) {
-	ix := s.ix
-	if cap(s.heap) < nProbe {
-		s.heap = make([]cellDist, 0, nProbe)
+	s.heap, s.cells = selectProbeCells(s.ix, q, nProbe, s.heap, s.cells)
+}
+
+// selectProbeCells is the shared probe-cell selection of the single-query
+// and grouped scan paths: it fills cells with the nProbe cells whose
+// centroids are closest to q, ascending by distance. It is a bounded
+// max-heap partial selection — O(nlist log nProbe) instead of the full
+// O(nlist log nlist) sort — and both scratch slices are returned (grown only
+// on first use) so callers can pool them across queries.
+//
+//hermes:hotpath
+func selectProbeCells(ix *Index, q []float32, nProbe int, heap []cellDist, cells []int32) ([]cellDist, []int32) {
+	if cap(heap) < nProbe {
+		heap = make([]cellDist, 0, nProbe)
 	}
-	h := s.heap[:0]
+	h := heap[:0]
 	for c := 0; c < ix.cfg.NList; c++ {
 		d := vec.L2Squared(q, ix.centroids.Row(c))
 		if len(h) < nProbe {
@@ -256,20 +265,20 @@ func (s *Searcher) selectCells(q []float32, nProbe int) {
 		h[0] = cellDist{d, int32(c)}
 		siftDownCell(h, 0)
 	}
-	s.heap = h
 	// Heapsort extraction: repeatedly move the current max to the end, so the
 	// slice ends up ascending by distance.
 	for end := len(h) - 1; end > 0; end-- {
 		h[0], h[end] = h[end], h[0]
 		siftDownCell(h[:end], 0)
 	}
-	if cap(s.cells) < len(h) {
-		s.cells = make([]int, len(h))
+	if cap(cells) < len(h) {
+		cells = make([]int32, len(h))
 	}
-	s.cells = s.cells[:len(h)]
+	cells = cells[:len(h)]
 	for i := range h {
-		s.cells[i] = int(h[i].cell)
+		cells[i] = h[i].cell
 	}
+	return h, cells
 }
 
 func siftUpCell(h []cellDist, i int) {

@@ -9,6 +9,10 @@
 #     SLO engine tick, store scan with an armed slow-scan detector)
 #     -> BENCH_PR7.json. This one is also an acceptance gate: it exits
 #     non-zero if any disabled path allocates.
+#   - hermes-groupbench: context-aware query grouping (grouped vs FIFO
+#     batcher policies under open-loop load, shared-scan hit rate, grouped
+#     scan allocations) -> BENCH_PR8.json. Acceptance gate: it exits
+#     non-zero if the grouped scan path allocates in steady state.
 #
 # Usage: scripts/bench.sh [extra hermes-kernelbench flags]
 set -eux
@@ -17,3 +21,4 @@ cd "$(dirname "$0")/.."
 
 go run ./cmd/hermes-kernelbench -out BENCH_PR3.json "$@"
 go run ./cmd/hermes-obsbench -out BENCH_PR7.json
+go run ./cmd/hermes-groupbench -out BENCH_PR8.json
