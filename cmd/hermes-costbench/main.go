@@ -1,0 +1,207 @@
+// Command hermes-costbench measures what PR 9's per-query cost ledger and
+// grouped tracing cost the serving path and writes the machine-readable
+// record scripts/bench.sh publishes as BENCH_PR9.json.
+//
+// Two suites run over a topic-skewed query batch on a reused GroupSearcher —
+// the steady-state grouped serving configuration:
+//
+//   - untraced: the grouped scan with the cost ledger live (amortization
+//     counters accumulate into pooled slots, CostStats read per query).
+//     This is the acceptance gate: the untraced grouped hot path must stay
+//     allocation-free per batch with the ledger riding along, and it never
+//     reads a clock by contract.
+//   - traced: the same batch through SearchPhased (phase timers armed) with
+//     per-query ledger and phase reads. Tracing buys the waterfall and the
+//     attributed scan time, and pays clock reads around the three phases;
+//     the record gates its ns/batch at a fixed multiple of the untraced run.
+//
+// The process exits non-zero when the untraced path allocates or the traced
+// overhead ratio exceeds the recorded bound, so bench.sh doubles as the
+// acceptance gate.
+//
+// Usage:
+//
+//	hermes-costbench                   # text summary + BENCH_PR9.json
+//	hermes-costbench -out bench.json   # alternate output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"text/tabwriter"
+
+	"repro/internal/corpus"
+	"repro/internal/hermes"
+	"repro/internal/ivf"
+	"repro/internal/vec"
+)
+
+// scenario is one measured grouped-scan configuration.
+type scenario struct {
+	Name        string  `json:"name"`
+	Queries     int     `json:"queries"`
+	NsPerBatch  float64 `json:"ns_per_batch"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MustZeroAllocs marks the acceptance-gated paths.
+	MustZeroAllocs bool `json:"must_zero_allocs"`
+}
+
+type report struct {
+	GOOS     string     `json:"goos"`
+	GOARCH   string     `json:"goarch"`
+	CPUs     int        `json:"cpus"`
+	Scan     []scenario `json:"scan"`
+	Overhead struct {
+		// TracedRatio is traced ns/batch over untraced ns/batch as measured
+		// by this run; Bound is the acceptance ceiling it is gated against.
+		TracedRatio float64 `json:"traced_ratio"`
+		Bound       float64 `json:"bound"`
+	} `json:"overhead"`
+}
+
+// tracedOverheadBound is the acceptance ceiling on traced/untraced ns per
+// batch. Tracing adds a handful of clock reads around whole phases plus the
+// scan-time attribution, which must stay a modest constant factor — it exists
+// so "trace everything" is a deployable default, not a profiling mode.
+const tracedOverheadBound = 1.75
+
+func main() {
+	var (
+		outFlag = flag.String("out", "BENCH_PR9.json", "JSON output path")
+		chunks  = flag.Int("chunks", 20000, "corpus size")
+		dim     = flag.Int("dim", 64, "embedding dim")
+		shards  = flag.Int("shards", 4, "shard count")
+		topics  = flag.Int("topics", 4, "corpus topics (fewer = heavier cell skew)")
+		batch   = flag.Int("batch", 64, "queries per grouped batch")
+		seed    = flag.Int64("seed", 19, "generation seed")
+	)
+	flag.Parse()
+
+	c, err := corpus.Generate(corpus.Spec{NumChunks: *chunks, Dim: *dim, NumTopics: *topics, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "building %d-shard store over %d chunks (dim %d, %d topics)...\n",
+		*shards, *chunks, *dim, *topics)
+	st, err := hermes.Build(c.Vectors, hermes.BuildOptions{NumShards: *shards})
+	if err != nil {
+		fatal(err)
+	}
+	p := hermes.DefaultParams()
+	qs := c.Queries(*batch, *seed+1)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	rep.Scan = benchScan(st, rows, p)
+	rep.Overhead.TracedRatio = rep.Scan[1].NsPerBatch / rep.Scan[0].NsPerBatch
+	rep.Overhead.Bound = tracedOverheadBound
+
+	printReport(rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", *outFlag)
+
+	if msg := checkAcceptance(rep); msg != "" {
+		fatal(fmt.Errorf("%s", msg))
+	}
+	fmt.Println("acceptance: untraced grouped ledger path allocation-free; traced overhead within bound")
+}
+
+// benchScan times the grouped scan with the cost ledger live on the first
+// shard, untraced (index 0, the zero-alloc gate) and traced through the
+// phase timers (index 1).
+func benchScan(st *hermes.Store, rows [][]float32, p hermes.Params) []scenario {
+	ix := st.Shards[0].Index
+	gs := ix.NewGroupSearcher()
+	dst := make([]vec.Neighbor, 0, p.K*len(rows))
+	costs := make([]ivf.CostStats, len(rows))
+
+	untraced := func() {
+		gs.Search(rows, p.K, p.DeepNProbe)
+		for i := range rows {
+			dst = gs.AppendResults(i, dst[:0])
+			costs[i] = gs.CostStats(i)
+		}
+	}
+	traced := func() {
+		gs.SearchPhased(rows, p.K, p.DeepNProbe)
+		for i := range rows {
+			dst = gs.AppendResults(i, dst[:0])
+			costs[i] = gs.CostStats(i)
+		}
+		_ = gs.Phases()
+	}
+	untraced() // warm the slots, kernels, and pair buffers
+	traced()
+
+	run := func(fn func()) *testing.BenchmarkResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		return &res
+	}
+	un := run(untraced)
+	tr := run(traced)
+	return []scenario{
+		{
+			Name:           "groupscan_ledger_untraced",
+			Queries:        len(rows),
+			NsPerBatch:     float64(un.NsPerOp()),
+			AllocsPerOp:    testing.AllocsPerRun(100, untraced),
+			MustZeroAllocs: true,
+		},
+		{
+			Name:        "groupscan_ledger_traced",
+			Queries:     len(rows),
+			NsPerBatch:  float64(tr.NsPerOp()),
+			AllocsPerOp: testing.AllocsPerRun(100, traced),
+		},
+	}
+}
+
+// checkAcceptance returns a failure message, or "" when the record meets the
+// PR 9 bar: the untraced grouped ledger path must be allocation-free, and
+// traced execution must stay within the recorded overhead bound.
+func checkAcceptance(rep report) string {
+	for _, s := range rep.Scan {
+		if s.MustZeroAllocs && s.AllocsPerOp != 0 {
+			return fmt.Sprintf("scenario %s allocates %.2f/op; must be 0", s.Name, s.AllocsPerOp)
+		}
+	}
+	if rep.Overhead.TracedRatio > rep.Overhead.Bound {
+		return fmt.Sprintf("traced grouped scan is %.2fx untraced; bound is %.2fx",
+			rep.Overhead.TracedRatio, rep.Overhead.Bound)
+	}
+	return ""
+}
+
+func printReport(rep report) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scan scenario\tqueries\tns/batch\tallocs/op\tmust-zero\n")
+	for _, s := range rep.Scan {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.2f\t%v\n", s.Name, s.Queries, s.NsPerBatch, s.AllocsPerOp, s.MustZeroAllocs)
+	}
+	fmt.Fprintf(tw, "\ntraced overhead\t%.2fx (bound %.2fx)\n", rep.Overhead.TracedRatio, rep.Overhead.Bound)
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-costbench:", err)
+	os.Exit(1)
+}

@@ -53,12 +53,19 @@ func main() {
 		kvMiB      = flag.Int64("kvcache", 0, "document KV-cache capacity in MiB (0 disables); retrieved docs feed an LRU so the achievable RAGCache hit rate shows up in /metrics")
 		linger     = flag.Duration("linger", 0, "keep the process (and -admin endpoints) up this long after the report")
 		slowMS     = flag.Int("slow-ms", 0, "trace every query into a flight recorder, pin those slower than this many milliseconds, and print the slowest at run end (0 disables tracing)")
+		traceFlag  = flag.Bool("trace", false, "trace every query; with -group, traces every grouped batch and prints the slowest batch's waterfall and per-query attribution table at run end")
+		costFlag   = flag.Bool("cost", false, "accumulate the per-query cost ledger and print a totals table at run end")
 	)
 	flag.Parse()
 
 	var rec *telemetry.Recorder
-	if *slowMS > 0 {
-		rec = telemetry.NewRecorder(1024, time.Duration(*slowMS)*time.Millisecond)
+	if *slowMS > 0 || *traceFlag {
+		pin := time.Duration(*slowMS) * time.Millisecond
+		if *slowMS <= 0 {
+			// -trace without -slow-ms: record everything, pin nothing.
+			pin = time.Hour
+		}
+		rec = telemetry.NewRecorder(1024, pin)
 	}
 
 	params := hermes.DefaultParams()
@@ -165,6 +172,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "offered load: %.0f QPS x %d queries, concurrency %d, deep=%d, search-all=%v, grouped=%v\n",
 		*qps, *queries, *conc, *deep, *allFlag, *group)
 
+	// The cost ledger and slowest-batch tracking are shared by the load
+	// workers and the batcher's flush goroutine.
+	var (
+		costMu    sync.Mutex
+		costTotal telemetry.QueryCost
+		costN     int
+
+		slowBatchMu    sync.Mutex
+		slowBatchID    uint64
+		slowBatchWall  time.Duration
+		slowBatchCosts []telemetry.QueryCost
+	)
+
 	// -group puts the grouping scheduler in front of the cluster: arrivals
 	// form batches (packed by predicted cell overlap when the predictor is
 	// available), and every batch travels as one grouped wire request per
@@ -184,10 +204,36 @@ func main() {
 			GroupSlack: *groupSlack,
 			Predict:    predict,
 			Telemetry:  telemetry.Default,
-			Process: func(batch [][]float32) ([][]vec.Neighbor, error) {
-				res, err := co.SearchBatch(batch, params)
+			// Each flush travels as one traced grouped batch under the
+			// batcher-minted identity; nodes execute it grouped (shared
+			// cell scans) and ship per-query attribution back.
+			ProcessBatch: func(batchID uint64, batch [][]float32) ([][]vec.Neighbor, error) {
+				var tr *telemetry.Trace
+				if *traceFlag {
+					tr = telemetry.NewTraceWithID(batchID)
+				}
+				flushStart := time.Now()
+				res, err := co.SearchBatchTraced(batch, params, tr)
 				if err != nil {
 					return nil, err
+				}
+				if *costFlag {
+					costMu.Lock()
+					for _, c := range res.Costs {
+						costTotal.Add(c)
+					}
+					costN += len(batch)
+					costMu.Unlock()
+				}
+				if tr != nil {
+					wall := time.Since(flushStart)
+					slowBatchMu.Lock()
+					if wall > slowBatchWall {
+						slowBatchWall = wall
+						slowBatchID = res.BatchID
+						slowBatchCosts = res.Costs
+					}
+					slowBatchMu.Unlock()
 				}
 				return res.Results, nil
 			},
@@ -208,9 +254,8 @@ func main() {
 		var err error
 		switch {
 		case bat != nil:
-			// Grouped batches are untraced on the wire (nodes fall back to
-			// per-query execution for traced requests), so -slow-ms tracing
-			// does not combine with -group.
+			// Batch tracing and cost accounting happen in the ProcessBatch
+			// closure — one trace per flush, not per query.
 			neighbors, err = bat.Search(q)
 		case *allFlag:
 			var res *distsearch.Result
@@ -225,12 +270,24 @@ func main() {
 			res, err = co.SearchTraced(q, params, telemetry.NewTrace())
 			if res != nil {
 				neighbors = res.Neighbors
+				if *costFlag {
+					costMu.Lock()
+					costTotal.Add(res.Cost)
+					costN++
+					costMu.Unlock()
+				}
 			}
 		default:
 			var res *distsearch.Result
 			res, err = co.Search(q, params)
 			if res != nil {
 				neighbors = res.Neighbors
+				if *costFlag {
+					costMu.Lock()
+					costTotal.Add(res.Cost)
+					costN++
+					costMu.Unlock()
+				}
 			}
 		}
 		if err != nil {
@@ -270,8 +327,14 @@ func main() {
 		fmt.Printf("kv cache: %.1f%% hit rate (%d hits / %d lookups, %d evictions)\n",
 			100*s.HitRate(), s.Hits, s.Hits+s.Misses, s.Evictions)
 	}
-	if rec != nil {
+	if *costFlag {
+		printCost(costTotal, costN)
+	}
+	if rec != nil && *slowMS > 0 {
 		printSlowest(rec, *slowMS)
+	}
+	if bat != nil && *traceFlag {
+		printSlowestBatch(rec, slowBatchID, slowBatchWall, slowBatchCosts)
 	}
 	if *linger > 0 {
 		fmt.Fprintf(os.Stderr, "lingering %v for admin scrapes...\n", *linger)
@@ -301,6 +364,55 @@ func printSlowest(rec *telemetry.Recorder, slowMS int) {
 		}
 		fmt.Println()
 	}
+}
+
+// printCost renders the run's accumulated cost ledger: totals across all
+// completed queries plus the per-query mean — the -cost table.
+func printCost(total telemetry.QueryCost, n int) {
+	fmt.Printf("cost ledger (%d queries):\n", n)
+	if n == 0 {
+		return
+	}
+	row := func(name string, v int64, unit string) {
+		fmt.Printf("  %-16s %14d%-3s  mean %.1f%s/query\n", name, v, unit, float64(v)/float64(n), unit)
+	}
+	row("cells probed", total.Cells, "")
+	row("shared cells", total.SharedCells, "")
+	row("codes exclusive", total.CodesExclusive, "")
+	row("codes amortized", total.CodesAmortized, "")
+	row("codes total", total.Codes(), "")
+	row("wire bytes", total.WireBytes, "B")
+	if total.ScanNanos > 0 {
+		fmt.Printf("  %-16s %14v     mean %v/query\n", "scan time",
+			time.Duration(total.ScanNanos), time.Duration(total.ScanNanos/int64(n)))
+	}
+	fmt.Printf("  shared fraction  %13.1f%%\n", 100*total.SharedFrac())
+}
+
+// printSlowestBatch renders the slowest grouped batch of a -group -trace run:
+// the stitched cross-node waterfall (shared phase spans appear once per node,
+// not once per query) followed by the per-query amortization table. The
+// records come from the flight recorder under the batch's identity; if they
+// were evicted by later traffic, the attribution table is rebuilt from the
+// batch result kept aside at flush time.
+func printSlowestBatch(rec *telemetry.Recorder, batchID uint64, wall time.Duration, costs []telemetry.QueryCost) {
+	if batchID == 0 {
+		fmt.Println("slowest grouped batch: none (no batches flushed)")
+		return
+	}
+	fmt.Printf("slowest grouped batch: %016x wall=%v queries=%d\n", batchID, wall, len(costs))
+	batch, members, ok := rec.Batch(batchID)
+	if ok && len(batch.Spans) > 0 {
+		fmt.Println(telemetry.FormatWaterfall(batch.TraceID, batch.Spans))
+	}
+	if !ok || len(members) == 0 {
+		members = make([]telemetry.QueryRecord, len(costs))
+		for i, c := range costs {
+			members[i] = telemetry.QueryRecord{Cost: c}
+		}
+	}
+	fmt.Println("per-query attribution (amortization breakdown):")
+	telemetry.WriteBatchAttribution(os.Stdout, members)
 }
 
 func fatal(err error) {

@@ -38,6 +38,14 @@ var now = time.Now
 // in a closure is the canonical implementation.
 type ProcessFunc func(queries [][]float32) ([][]vec.Neighbor, error)
 
+// ProcessBatchFunc is ProcessFunc plus batch identity: the batcher mints one
+// telemetry trace ID per flush and hands it down, so the processor can thread
+// the same identity through wire requests, stitched waterfalls, and every
+// member query's flight-recorder record (telemetry.NewTraceWithID turns it
+// into the batch trace). Canonical implementation: a closure over
+// distsearch.Coordinator.SearchBatchTraced.
+type ProcessBatchFunc func(batchID uint64, queries [][]float32) ([][]vec.Neighbor, error)
+
 // PredictFunc returns the grouping keys of one query: opaque identifiers of
 // the index regions (canonically shard<<32|cell, see hermes.Store
 // PredictCells) the query is expected to probe. Keys may arrive in any order
@@ -54,6 +62,10 @@ type Config struct {
 	MaxWait time.Duration
 	// Process executes flushed batches.
 	Process ProcessFunc
+	// ProcessBatch, when non-nil, executes flushed batches with a minted
+	// batch identity and takes precedence over Process. Exactly one of the
+	// two must be set.
+	ProcessBatch ProcessBatchFunc
 	// Predict, when non-nil, enables grouped scheduling: flushes pack
 	// queries whose predicted cells overlap the oldest pending query's.
 	// Nil keeps the original FIFO flush.
@@ -117,8 +129,8 @@ func New(cfg Config) (*Batcher, error) {
 	if cfg.MaxWait <= 0 {
 		return nil, fmt.Errorf("batcher: MaxWait must be positive")
 	}
-	if cfg.Process == nil {
-		return nil, fmt.Errorf("batcher: Process is required")
+	if cfg.Process == nil && cfg.ProcessBatch == nil {
+		return nil, fmt.Errorf("batcher: Process or ProcessBatch is required")
 	}
 	if cfg.GroupSlack < 0 {
 		cfg.GroupSlack = 0
@@ -335,7 +347,15 @@ func (b *Batcher) flush(batch []*request) {
 		queries[i] = r.query
 	}
 	b.batchSize.Observe(float64(len(queries)))
-	results, err := b.cfg.Process(queries)
+	var results [][]vec.Neighbor
+	var err error
+	if b.cfg.ProcessBatch != nil {
+		// The minted ID is the batch's identity everywhere downstream: the
+		// batch trace, the wire requests, the member flight records.
+		results, err = b.cfg.ProcessBatch(telemetry.NewTraceID(), queries)
+	} else {
+		results, err = b.cfg.Process(queries)
+	}
 	if err == nil && len(results) != len(batch) {
 		err = fmt.Errorf("batcher: Process returned %d results for %d queries", len(results), len(batch))
 	}

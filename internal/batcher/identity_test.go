@@ -1,0 +1,94 @@
+package batcher
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+// TestProcessBatchIdentity pins the batch-identity contract: every flush
+// reaches ProcessBatch with a distinct nonzero minted ID, and ProcessBatch
+// takes precedence for execution while results still route per caller.
+func TestProcessBatchIdentity(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[uint64]int{}
+	processCalled := false
+	b, err := New(Config{
+		MaxBatch: 4,
+		MaxWait:  2 * time.Millisecond,
+		Process: func(queries [][]float32) ([][]vec.Neighbor, error) {
+			processCalled = true
+			return echoProcess(queries)
+		},
+		ProcessBatch: func(batchID uint64, queries [][]float32) ([][]vec.Neighbor, error) {
+			mu.Lock()
+			seen[batchID] += len(queries)
+			mu.Unlock()
+			if batchID == 0 {
+				t.Error("flush carried a zero batch ID")
+			}
+			return echoProcess(queries)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queries = 32
+	var wg sync.WaitGroup
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Search([]float32{float32(i)})
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if len(res) != 1 || res[0].ID != int64(i) {
+				t.Errorf("query %d routed wrong result %v", i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	if processCalled {
+		t.Fatal("Process ran despite ProcessBatch being set")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for id, n := range seen {
+		if id == 0 {
+			t.Fatal("zero batch ID recorded")
+		}
+		total += n
+	}
+	if total != queries {
+		t.Fatalf("flushes carried %d queries, want %d", total, queries)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("expected multiple flushes with distinct IDs, got %d", len(seen))
+	}
+}
+
+// TestProcessBatchAloneValidates pins the relaxed constructor requirement:
+// ProcessBatch alone is a valid configuration.
+func TestProcessBatchAloneValidates(t *testing.T) {
+	b, err := New(Config{
+		MaxBatch: 2,
+		MaxWait:  time.Millisecond,
+		ProcessBatch: func(batchID uint64, queries [][]float32) ([][]vec.Neighbor, error) {
+			return echoProcess(queries)
+		},
+	})
+	if err != nil {
+		t.Fatalf("ProcessBatch-only config rejected: %v", err)
+	}
+	res, err := b.Search([]float32{7})
+	if err != nil || len(res) != 1 || res[0].ID != 7 {
+		t.Fatalf("search through ProcessBatch-only batcher: %v, %v", res, err)
+	}
+	b.Close()
+}

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/hermes"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -20,6 +22,29 @@ type BatchResult struct {
 	// SampleLatency and DeepLatency are the wall times of the two
 	// scatter/gather rounds.
 	SampleLatency, DeepLatency time.Duration
+	// Costs is the per-query cost ledger, index-aligned with the input:
+	// node-reported cells and exclusive/amortized codes plus each query's
+	// even share of the wire bytes of the batched round-trips that carried
+	// it. Entries stay at their wire-byte floor when every node predates the
+	// v6 ledger.
+	Costs []telemetry.QueryCost
+	// Total is the batch-level cost rollup: codes and cells summed from the
+	// node ledger entries (each node's entries conserve its distinct-scan
+	// counter exactly), scan time from the node-shipped list_scan spans
+	// (traced batches only), wire bytes from the coordinator's own
+	// round-trip byte deltas. With v6 nodes the per-query Costs sum exactly
+	// to Total component-wise — the attribution conserves the measurement.
+	Total telemetry.QueryCost
+	// BatchID is the batch's identity: the batch trace's ID when traced,
+	// else a freshly minted ID when a flight recorder is attached (member
+	// records carry it so /debug/queries?batch= can reassemble the batch),
+	// else 0.
+	BatchID uint64
+	// Degraded counts grouped wire requests that a node served WITHOUT
+	// grouped execution — a pre-v6 node that dropped the Grouped flag and
+	// ran the batch per-query. 0 when grouping is off or all nodes are
+	// current.
+	Degraded int
 }
 
 // SearchBatch runs the hierarchical search for a whole batch using one
@@ -27,6 +52,23 @@ type BatchResult struct {
 // at once, shards are ranked per query, and each node then receives a single
 // deep request carrying exactly the sub-batch of queries routed to it.
 func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*BatchResult, error) {
+	return co.searchBatch(queries, p, nil)
+}
+
+// SearchBatchTraced is SearchBatch with batch-level tracing: the trace's ID
+// rides every wire request (grouped node execution stays grouped — nodes ship
+// one span per shared phase plus per-query attribution, no per-query
+// fallback), the coordinator records its own scatter/rank/gather spans, and
+// node spans from every shard are stitched in anchored at their send times.
+// When a flight recorder is attached, the batch lands as one summary record
+// under the batch ID (the grouped waterfall) plus one member record per
+// query carrying its ledger entry and BatchID — the /debug/queries?batch=
+// view. A nil trace is exactly SearchBatch.
+func (co *Coordinator) SearchBatchTraced(queries [][]float32, p hermes.Params, tr *telemetry.Trace) (*BatchResult, error) {
+	return co.searchBatch(queries, p, tr)
+}
+
+func (co *Coordinator) searchBatch(queries [][]float32, p hermes.Params, tr *telemetry.Trace) (*BatchResult, error) {
 	if len(queries) == 0 {
 		return &BatchResult{DeepLoads: make([]int, len(co.nodes))}, nil
 	}
@@ -40,9 +82,64 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 	}
 	co.m.queries.Add(int64(len(queries)))
 	co.m.batchSize.Observe(float64(len(queries)))
+	batchID := tr.ID()
+	if batchID == 0 && co.rec != nil {
+		batchID = telemetry.NewTraceID()
+	}
+	start := time.Now()
+
+	costs := make([]telemetry.QueryCost, len(queries))
+	var total telemetry.QueryCost
+	degraded := 0
+	var costMu sync.Mutex
+
+	// foldNodeResponse merges one node response's attribution into the
+	// per-query ledger and the batch totals: node-reported per-query entries
+	// (index-aligned with idx), an even split of the round-trip's wire bytes
+	// across the queries the request carried, and the independently sourced
+	// totals (distinct codes scanned, list_scan span time, wire bytes).
+	foldNodeResponse := func(resp *Response, wire int64, idx []int, op string) {
+		costMu.Lock()
+		defer costMu.Unlock()
+		for slot, c := range resp.Costs {
+			if slot >= len(idx) {
+				break
+			}
+			costs[idx[slot]].Add(c)
+		}
+		for slot, share := range telemetry.AttributeTotal(wire, make([]int64, len(idx))) {
+			costs[idx[slot]].WireBytes += share
+		}
+		total.WireBytes += wire
+		for _, c := range resp.Costs {
+			total.Cells += c.Cells
+			total.SharedCells += c.SharedCells
+			total.CodesExclusive += c.CodesExclusive
+			total.CodesAmortized += c.CodesAmortized
+		}
+		for _, ws := range resp.Spans {
+			if ws.Name == "list_scan" {
+				total.ScanNanos += ws.DurNanos
+			}
+		}
+		if co.grouped && !resp.GroupedExec {
+			degraded++
+			co.m.groupDegrades.Inc()
+			co.ev.Warn("group.degrade",
+				evlog.Int("shard", int64(resp.ShardID)), evlog.Str("op", op),
+				evlog.Int("queries", int64(len(idx))))
+		}
+	}
+
+	// allIdx is the identity index map for the sample phase, where every
+	// request carries the full batch.
+	allIdx := make([]int, len(queries))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
 
 	// Phase 1 — one sample-batch request per node.
-	start := time.Now()
+	endScatter := tr.StartSpan("sample_scatter")
 	sampleScores := make([][]float32, len(co.nodes)) // [node][query]
 	sampleOK := make([][]bool, len(co.nodes))
 	errs := make([]error, len(co.nodes))
@@ -51,11 +148,17 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		wg.Add(1)
 		go func(ni int, n *nodeClient) {
 			defer wg.Done()
-			resp, err := n.roundTrip(&Request{Op: OpSampleBatch, Queries: queries, NProbe: p.SampleNProbe, Grouped: co.grouped})
+			sendAt := time.Now()
+			resp, wire, err := n.roundTripBytes(&Request{
+				Op: OpSampleBatch, Queries: queries, NProbe: p.SampleNProbe,
+				Grouped: co.grouped, TraceID: tr.ID(),
+			})
 			if err != nil {
 				errs[ni] = err
 				return
 			}
+			stitchSpans(tr, sendAt, resp.Spans)
+			foldNodeResponse(resp, wire, allIdx, "sample_batch")
 			scores := make([]float32, len(queries))
 			oks := make([]bool, len(queries))
 			for qi, res := range resp.Batch {
@@ -69,6 +172,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		}(ni, n)
 	}
 	wg.Wait()
+	endScatter()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -78,6 +182,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 	co.m.phaseSample.ObserveDuration(sampleLat)
 
 	// Rank shards per query and build per-node deep sub-batches.
+	endRank := tr.StartSpan("rank")
 	type ranked struct {
 		node int
 		d    float32
@@ -106,8 +211,10 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 			deepLoads[r.node]++
 		}
 	}
+	endRank()
 
 	// Phase 2 — one deep-batch request per loaded node.
+	endGather := tr.StartSpan("deep_gather")
 	deepStart := time.Now()
 	merged := make([]*vec.TopK, len(queries))
 	for qi := range merged {
@@ -121,13 +228,17 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		wg.Add(1)
 		go func(ni int, n *nodeClient) {
 			defer wg.Done()
-			resp, err := n.roundTrip(&Request{
-				Op: OpDeepBatch, Queries: deepQueries[ni], K: p.K, NProbe: p.DeepNProbe, Grouped: co.grouped,
+			sendAt := time.Now()
+			resp, wire, err := n.roundTripBytes(&Request{
+				Op: OpDeepBatch, Queries: deepQueries[ni], K: p.K, NProbe: p.DeepNProbe,
+				Grouped: co.grouped, TraceID: tr.ID(),
 			})
 			if err != nil {
 				errs[ni] = err
 				return
 			}
+			stitchSpans(tr, sendAt, resp.Spans)
+			foldNodeResponse(resp, wire, deepQueryIdx[ni], "deep_batch")
 			mu.Lock()
 			defer mu.Unlock()
 			for slot, res := range resp.Batch {
@@ -139,6 +250,7 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		}(ni, n)
 	}
 	wg.Wait()
+	endGather()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -152,9 +264,62 @@ func (co *Coordinator) SearchBatch(queries [][]float32, p hermes.Params) (*Batch
 		DeepLoads:     deepLoads,
 		SampleLatency: sampleLat,
 		DeepLatency:   deepLat,
+		Costs:         costs,
+		Total:         total,
+		BatchID:       batchID,
+		Degraded:      degraded,
 	}
 	for qi := range queries {
 		out.Results[qi] = merged[qi].Results()
 	}
+	for _, c := range costs {
+		co.m.observeCost(c)
+	}
+	co.recordBatch(out, queries, deepQueryIdx, tr, start)
 	return out, nil
+}
+
+// recordBatch lands a completed batch in the flight recorder: one member
+// record per query (fresh trace ID, the shared BatchID, its ledger entry and
+// deep shards) plus one batch summary record under the batch ID itself,
+// carrying the stitched grouped waterfall and the batch totals — what
+// /debug/queries?batch=<id> renders. No-op without a recorder.
+func (co *Coordinator) recordBatch(out *BatchResult, queries [][]float32, deepQueryIdx [][]int, tr *telemetry.Trace, start time.Time) {
+	if co.rec == nil {
+		return
+	}
+	wall := time.Since(start)
+	deepNodes := make([][]int, len(queries))
+	for ni, idx := range deepQueryIdx {
+		for _, qi := range idx {
+			deepNodes[qi] = append(deepNodes[qi], co.nodes[ni].shardID)
+		}
+	}
+	for qi := range queries {
+		qr := telemetry.QueryRecord{
+			TraceID:   telemetry.NewTraceID(),
+			BatchID:   out.BatchID,
+			Start:     start,
+			Total:     wall,
+			Busy:      wall,
+			DeepNodes: deepNodes[qi],
+			Scanned:   out.Costs[qi].Codes(),
+			Cost:      out.Costs[qi],
+		}
+		co.rec.Record(qr)
+	}
+	batch := telemetry.QueryRecord{
+		TraceID: out.BatchID,
+		BatchID: out.BatchID,
+		Start:   start,
+		Total:   wall,
+		Busy:    wall,
+		Scanned: out.Total.Codes(),
+		Cost:    out.Total,
+	}
+	if tr != nil {
+		batch.Spans = tr.Spans()
+		_, batch.Busy = telemetry.SpanTotals(batch.Spans)
+	}
+	co.rec.Record(batch)
 }

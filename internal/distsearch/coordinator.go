@@ -57,6 +57,12 @@ type nodeClient struct {
 	// lifetime — the coordinator-side view of per-shard load, feeding the
 	// imbalance gauge and the DVFS energy collector.
 	deepLoad atomic.Int64
+
+	// wireBytes accumulates every byte sent to or received from this node
+	// (fed by the counting codec wrappers). Because the per-connection mutex
+	// serializes exchanges, the counter's delta across one round-trip is that
+	// request's exact wire cost — the WireBytes source of the query ledger.
+	wireBytes atomic.Int64
 }
 
 func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics, ev *evlog.Log) (*nodeClient, error) {
@@ -70,8 +76,8 @@ func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics, e
 	// attach to the codec only afterwards; the gob codec itself must be
 	// constructed exactly once per connection (it streams type state).
 	c.met = clientMetrics{}
-	sent := &countingWriter{w: conn}
-	recv := &countingReader{r: conn}
+	sent := &countingWriter{w: conn, n: &c.wireBytes}
+	recv := &countingReader{r: conn, n: &c.wireBytes}
 	c.enc = gob.NewEncoder(sent)
 	c.dec = gob.NewDecoder(recv)
 	info, err := c.roundTrip(&Request{Op: OpInfo})
@@ -96,8 +102,19 @@ func dialNode(addr string, timeout, rtTimeout time.Duration, cm *coordMetrics, e
 // trip I/O deadline, and lands in the per-node round-trip histogram. A
 // connection broken by an earlier transport failure is redialed first.
 func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
+	resp, _, err := c.roundTripBytes(req)
+	return resp, err
+}
+
+// roundTripBytes is roundTrip plus the exchange's exact wire cost in bytes
+// (request sent + response received, measured under the gob codec). The
+// delta is read inside the per-connection mutex, so concurrent queries on
+// the same connection cannot bleed into each other's accounting.
+func (c *nodeClient) roundTripBytes(req *Request) (resp *Response, wire int64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	before := c.wireBytes.Load()
+	defer func() { wire = c.wireBytes.Load() - before }()
 	c.cm.opCounter(req.Op).Inc()
 	switch req.Op {
 	case OpDeep:
@@ -118,8 +135,8 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 	}()
 	if c.broken {
 		//lint:ignore lockheldio serializing the redial under the per-connection mutex is the design: one repair at a time, and queued requests must not race a half-built conn
-		if err := c.redialLocked(); err != nil {
-			return nil, fmt.Errorf("distsearch: reconnect %s: %w", c.addr, err)
+		if rerr := c.redialLocked(); rerr != nil {
+			return nil, 0, fmt.Errorf("distsearch: reconnect %s: %w", c.addr, rerr)
 		}
 	}
 	timeout := c.rtTimeout
@@ -129,18 +146,18 @@ func (c *nodeClient) roundTrip(req *Request) (*Response, error) {
 		timeout = c.dialTimeout
 	}
 	//lint:ignore lockheldio the per-connection mutex exists to serialize gob exchanges on one stateful stream; concurrency comes from many nodeClients, not many requests per conn
-	resp, err := c.exchangeLocked(req, timeout)
+	resp, err = c.exchangeLocked(req, timeout)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.ServerNanos > 0 {
 		c.met.compute.ObserveDuration(time.Duration(resp.ServerNanos))
 	}
 	if resp.Err != "" {
 		c.cm.errors.Inc()
-		return nil, fmt.Errorf("distsearch: node %s: %s", c.addr, resp.Err)
+		return nil, 0, fmt.Errorf("distsearch: node %s: %s", c.addr, resp.Err)
 	}
-	return resp, nil
+	return resp, 0, nil
 }
 
 // exchangeLocked runs one encode/decode under an optional I/O deadline. Any
@@ -213,8 +230,8 @@ func (c *nodeClient) redialLocked() error {
 		return err
 	}
 	c.conn = conn
-	c.enc = gob.NewEncoder(&countingWriter{w: conn, c: c.met.sent})
-	c.dec = gob.NewDecoder(&countingReader{r: conn, c: c.met.recv})
+	c.enc = gob.NewEncoder(&countingWriter{w: conn, c: c.met.sent, n: &c.wireBytes})
+	c.dec = gob.NewDecoder(&countingReader{r: conn, c: c.met.recv, n: &c.wireBytes})
 	c.broken = false
 	info, err := c.exchangeLocked(&Request{Op: OpInfo}, c.dialTimeout)
 	if err != nil {
@@ -447,6 +464,11 @@ type Result struct {
 	DeepNodes []int
 	// SampleLatency and DeepLatency are the wall times of the two phases.
 	SampleLatency, DeepLatency time.Duration
+	// Cost is the query's assembled resource-attribution ledger: node-side
+	// cells/codes/scan-time from the wire responses (zeroes when every node
+	// predates the v6 ledger) plus the coordinator-measured wire bytes of
+	// the round-trips that served this query.
+	Cost telemetry.QueryCost
 }
 
 // Search executes the hierarchical search across the cluster: scatter the
@@ -492,6 +514,7 @@ func (co *Coordinator) SearchTraced(q []float32, p hermes.Params, tr *telemetry.
 		qr.Err = err.Error()
 	} else {
 		qr.DeepNodes = res.DeepNodes
+		qr.Cost = res.Cost
 	}
 	co.rec.Record(qr)
 	return res, err
@@ -523,6 +546,7 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 		node    int
 		score   float32
 		scanned int64
+		cost    telemetry.QueryCost
 		ok      bool
 		err     error
 	}
@@ -535,17 +559,21 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 		go func(i int, n *nodeClient) {
 			defer wg.Done()
 			sendAt := time.Now()
-			resp, err := n.roundTrip(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe, TraceID: tr.ID()})
+			resp, wire, err := n.roundTripBytes(&Request{Op: OpSample, Query: q, NProbe: p.SampleNProbe, TraceID: tr.ID()})
 			if err != nil {
 				samples[i] = sample{node: i, err: err}
 				return
 			}
 			stitchSpans(tr, sendAt, resp.Spans)
+			cost := telemetry.QueryCost{WireBytes: wire}
+			if len(resp.Costs) > 0 {
+				cost.Add(resp.Costs[0])
+			}
 			if len(resp.Neighbors) == 0 {
-				samples[i] = sample{node: i, scanned: resp.Scanned}
+				samples[i] = sample{node: i, scanned: resp.Scanned, cost: cost}
 				return
 			}
-			samples[i] = sample{node: i, score: resp.Neighbors[0].Score, scanned: resp.Scanned, ok: true}
+			samples[i] = sample{node: i, score: resp.Neighbors[0].Score, scanned: resp.Scanned, cost: cost, ok: true}
 		}(i, n)
 	}
 	wg.Wait()
@@ -554,11 +582,13 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 	co.m.phaseSample.ObserveExemplar(sampleLat.Seconds(), tr.ID())
 
 	var scanned int64
+	var cost telemetry.QueryCost
 	endRank := tr.StartSpan("rank")
 	ranked := samples[:0:0]
 	var firstErr error
 	for _, s := range samples {
 		scanned += s.scanned
+		cost.Add(s.cost)
 		if s.err != nil {
 			if !co.lenient {
 				endRank()
@@ -578,7 +608,8 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 		if firstErr != nil {
 			return nil, scanned, fmt.Errorf("distsearch: all nodes failed: %w", firstErr)
 		}
-		return &Result{SampleLatency: sampleLat}, scanned, nil
+		co.m.observeCost(cost)
+		return &Result{SampleLatency: sampleLat, Cost: cost}, scanned, nil
 	}
 	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
 	endRank()
@@ -593,6 +624,7 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 	type deepResult struct {
 		neighbors []vec.Neighbor
 		scanned   int64
+		cost      telemetry.QueryCost
 		err       error
 	}
 	deepResults := make([]deepResult, deep)
@@ -603,13 +635,17 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 		go func(slot, nodeIdx int) {
 			defer wg.Done()
 			sendAt := time.Now()
-			resp, err := co.nodes[nodeIdx].roundTrip(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe, TraceID: tr.ID()})
+			resp, wire, err := co.nodes[nodeIdx].roundTripBytes(&Request{Op: OpDeep, Query: q, K: p.K, NProbe: p.DeepNProbe, TraceID: tr.ID()})
 			if err != nil {
 				deepResults[slot] = deepResult{err: err}
 				return
 			}
 			stitchSpans(tr, sendAt, resp.Spans)
-			deepResults[slot] = deepResult{neighbors: resp.Neighbors, scanned: resp.Scanned}
+			dc := telemetry.QueryCost{WireBytes: wire}
+			if len(resp.Costs) > 0 {
+				dc.Add(resp.Costs[0])
+			}
+			deepResults[slot] = deepResult{neighbors: resp.Neighbors, scanned: resp.Scanned, cost: dc}
 		}(i, ranked[i].node)
 	}
 	wg.Wait()
@@ -621,6 +657,7 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 	gotAny := false
 	for _, dr := range deepResults {
 		scanned += dr.scanned
+		cost.Add(dr.cost)
 		if dr.err != nil {
 			if !co.lenient {
 				return nil, scanned, dr.err
@@ -635,11 +672,13 @@ func (co *Coordinator) searchTraced(q []float32, p hermes.Params, tr *telemetry.
 	if !gotAny && deep > 0 {
 		return nil, scanned, fmt.Errorf("distsearch: every deep-search node failed")
 	}
+	co.m.observeCost(cost)
 	return &Result{
 		Neighbors:     tk.Results(),
 		DeepNodes:     deepNodes,
 		SampleLatency: sampleLat,
 		DeepLatency:   deepLat,
+		Cost:          cost,
 	}, scanned, nil
 }
 

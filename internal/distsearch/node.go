@@ -279,30 +279,50 @@ func (n *Node) meanCentroid() []float32 {
 
 // searchResp serves one single-query search. Untraced requests take the
 // clock-free path; a traced request (TraceID != 0) runs the phased search
-// and ships the per-phase spans in the response.
+// and ships the per-phase spans in the response. Either way the response
+// carries the query's cost-ledger entry: a solo query's codes are all
+// exclusive, and its scan time (traced only) is the measured list-scan phase.
 func (n *Node) searchResp(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
 	if req.TraceID == 0 {
-		res, scanned := n.scan(req.Query, k, nProbe)
-		return &Response{ShardID: n.shardID, Neighbors: res, Scanned: scanned}
+		res, st := n.scan(req.Query, k, nProbe)
+		return &Response{
+			ShardID:   n.shardID,
+			Neighbors: res,
+			Scanned:   int64(st.VectorsScanned),
+			Costs:     []telemetry.QueryCost{soloCost(st, 0)},
+		}
 	}
 	scanStart := now()
-	res, scanned, ph := n.scanPhased(req.Query, k, nProbe)
+	res, st, ph := n.scanPhased(req.Query, k, nProbe)
 	return &Response{
 		ShardID:   n.shardID,
 		Neighbors: res,
-		Scanned:   scanned,
+		Scanned:   int64(st.VectorsScanned),
+		Costs:     []telemetry.QueryCost{soloCost(st, ph.Scan)},
 		Spans:     n.tracedSpans(arrival, decodeDone, scanStart, ph),
 	}
 }
 
+// soloCost is the ledger entry of a query that shared nothing: every scanned
+// code is exclusive, no cells were co-probed.
+func soloCost(st ivf.SearchStats, scanNanos int64) telemetry.QueryCost {
+	return telemetry.QueryCost{
+		Cells:          int64(st.CellsProbed),
+		CodesExclusive: int64(st.VectorsScanned),
+		ScanNanos:      scanNanos,
+	}
+}
+
 func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
-	if req.Grouped && req.TraceID == 0 {
-		// Grouped execution has no per-phase breakdown, so a traced batch
-		// deliberately falls through to the per-query path below — the
-		// trace's waterfall stays accurate at the cost of the shared scans.
-		return n.groupedBatch(req, k, nProbe)
+	if req.Grouped {
+		// Grouped execution is first-class traced or not (ISSUE 9): a traced
+		// batch runs the same grouped scan phased, shipping one span per
+		// shared phase plus the per-query attribution ledger — no per-query
+		// fallback, so tracing no longer changes what gets measured.
+		return n.groupedBatch(req, k, nProbe, arrival, decodeDone)
 	}
 	batch := make([][]vec.Neighbor, len(req.Queries))
+	costs := make([]telemetry.QueryCost, len(req.Queries))
 	traced := req.TraceID != 0
 	var scanned int64
 	var agg ivf.PhaseNanos
@@ -315,17 +335,19 @@ func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time
 			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
 		}
 		if traced {
-			res, sc, ph := n.scanPhased(q, k, nProbe)
+			res, st, ph := n.scanPhased(q, k, nProbe)
 			batch[i] = res
-			scanned += sc
+			costs[i] = soloCost(st, ph.Scan)
+			scanned += int64(st.VectorsScanned)
 			agg.Add(ph)
 		} else {
-			res, sc := n.scan(q, k, nProbe)
+			res, st := n.scan(q, k, nProbe)
 			batch[i] = res
-			scanned += sc
+			costs[i] = soloCost(st, 0)
+			scanned += int64(st.VectorsScanned)
 		}
 	}
-	resp := &Response{ShardID: n.shardID, Batch: batch, Scanned: scanned}
+	resp := &Response{ShardID: n.shardID, Batch: batch, Scanned: scanned, Costs: costs}
 	if traced {
 		// A batch interleaves the three phases query by query; the shipped
 		// spans consolidate them into one select/scan/merge sequence whose
@@ -341,19 +363,58 @@ func (n *Node) handleBatch(req *Request, k, nProbe int, arrival, decodeDone time
 // identical to per-query execution; Scanned reports the vectors actually
 // streamed (distinct), so on an overlapping batch it is smaller than the
 // per-query path would report — that gap is the work the grouping saved.
-func (n *Node) groupedBatch(req *Request, k, nProbe int) *Response {
+// Costs attributes that distinct traffic back to the member queries
+// (exclusive vs amortized, summing exactly to Scanned), and a traced request
+// additionally runs the scan phased: the shared phases ship as one
+// probe_select/list_scan/topk_merge span sequence for the whole batch, and
+// each query's ScanNanos carries its codes-proportional share of the
+// measured list-scan time.
+func (n *Node) groupedBatch(req *Request, k, nProbe int, arrival, decodeDone time.Time) *Response {
 	for i, q := range req.Queries {
 		if len(q) != n.index.Dim() {
 			return &Response{Err: fmt.Sprintf("node %d: batch query %d dim %d != %d", n.shardID, i, len(q), n.index.Dim())}
 		}
 	}
+	traced := req.TraceID != 0
+	scanStart := decodeDone
+	if traced {
+		scanStart = now()
+	}
 	// scanSeconds is deliberately not observed here: it is a per-query
 	// histogram and the grouped scan has no per-query wall time — one
 	// observation per batch would skew its quantiles.
-	batch, stats := n.index.SearchGroup(req.Queries, k, nProbe)
+	batch, stats, ph, gcosts := n.index.SearchGroupCosted(req.Queries, k, nProbe, traced)
 	n.met.groupscanQueries.Add(int64(len(req.Queries)))
 	n.met.groupscanShared.Add(int64(stats.SharedCellScans))
-	return &Response{ShardID: n.shardID, Batch: batch, Scanned: int64(stats.VectorsScanned)}
+	costs := make([]telemetry.QueryCost, len(gcosts))
+	for i, c := range gcosts {
+		costs[i] = telemetry.QueryCost{
+			Cells:          int64(c.CellsProbed),
+			SharedCells:    int64(c.SharedCells),
+			CodesExclusive: c.CodesExclusive,
+			CodesAmortized: c.CodesAmortized,
+		}
+	}
+	if traced && ph.Scan > 0 {
+		weights := make([]int64, len(costs))
+		for i := range costs {
+			weights[i] = costs[i].Codes()
+		}
+		for i, share := range telemetry.AttributeTotal(ph.Scan, weights) {
+			costs[i].ScanNanos = share
+		}
+	}
+	resp := &Response{
+		ShardID:     n.shardID,
+		Batch:       batch,
+		Scanned:     int64(stats.VectorsScanned),
+		Costs:       costs,
+		GroupedExec: true,
+	}
+	if traced {
+		resp.Spans = n.tracedSpans(arrival, decodeDone, scanStart, ph)
+	}
+	return resp
 }
 
 // tracedSpans lays the node-side phases out as wire spans with offsets
@@ -375,20 +436,20 @@ func (n *Node) tracedSpans(arrival, decodeDone, scanStart time.Time, ph ivf.Phas
 
 // scan runs one index search, timing it against the shard's per-quantizer
 // scan histogram (protocol decode/encode excluded). It returns the
-// neighbors and the number of vectors scanned.
-func (n *Node) scan(q []float32, k, nProbe int) ([]vec.Neighbor, int64) {
+// neighbors and the search stats (cells probed, vectors scanned).
+func (n *Node) scan(q []float32, k, nProbe int) ([]vec.Neighbor, ivf.SearchStats) {
 	stop := n.met.scanSeconds.Timer()
 	res, st := n.index.SearchWithStats(q, k, nProbe)
 	stop()
-	return res, int64(st.VectorsScanned)
+	return res, st
 }
 
 // scanPhased is scan with the per-phase breakdown, for traced requests.
-func (n *Node) scanPhased(q []float32, k, nProbe int) ([]vec.Neighbor, int64, ivf.PhaseNanos) {
+func (n *Node) scanPhased(q []float32, k, nProbe int) ([]vec.Neighbor, ivf.SearchStats, ivf.PhaseNanos) {
 	stop := n.met.scanSeconds.Timer()
 	res, st, ph := n.index.SearchPhased(q, k, nProbe)
 	stop()
-	return res, int64(st.VectorsScanned), ph
+	return res, st, ph
 }
 
 func (n *Node) isClosed() bool {

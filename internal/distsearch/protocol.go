@@ -137,6 +137,21 @@ type Response struct {
 	// histograms bucket-wise across nodes. Gob-compatible v4 addition — a
 	// v3-era peer drops or zeroes it like TraceID/Spans before it.
 	Families []telemetry.FamilySnapshot
+	// Costs is the per-query resource-attribution ledger for this request
+	// (ISSUE 9): index-aligned with Request.Queries for the batch ops, a
+	// single entry for OpSample/OpDeep. Each entry accounts the cells this
+	// query probed, the codes streamed for it split exclusive vs
+	// shared-amortized, and — for traced requests — its share of the node's
+	// measured scan time. WireBytes is left zero by nodes (only the
+	// coordinator can see the wire) and filled in coordinator-side.
+	// Gob-compatible v6 addition: a v5-era peer drops or zeroes it.
+	Costs []telemetry.QueryCost
+	// GroupedExec reports that the node actually executed the batch through
+	// the grouped scan. A v5-era node serving a Grouped request leaves the
+	// field false (it degraded to per-query execution without attribution),
+	// which is how the coordinator detects — and now counts — the silent
+	// degrade. Gob-compatible v6 addition.
+	GroupedExec bool
 }
 
 // WireSpan is one node-side phase shipped inside a Response.

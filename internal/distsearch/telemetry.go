@@ -3,6 +3,7 @@ package distsearch
 import (
 	"io"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -61,6 +62,20 @@ type coordMetrics struct {
 	phaseDeep    *telemetry.Histogram
 	batchSize    *telemetry.Histogram
 	byOp         map[Op]*telemetry.Counter
+
+	// groupDegrades counts grouped batch requests a node served without
+	// grouped execution (Response.GroupedExec false — a pre-v6 node that
+	// dropped the Grouped flag and ran per-query). Previously invisible.
+	groupDegrades *telemetry.Counter
+
+	// Per-query cost-ledger histograms (hermes_query_cost_*): one observation
+	// per completed query, grouped or not, from the coordinator's assembled
+	// QueryCost.
+	costScan   *telemetry.Histogram
+	costWire   *telemetry.Histogram
+	costShared *telemetry.Histogram
+	costCells  *telemetry.Histogram
+	costCodes  *telemetry.Histogram
 }
 
 func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
@@ -83,12 +98,46 @@ func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
 		batchSize: reg.Histogram("hermes_coordinator_batch_size",
 			"queries per SearchBatch call", telemetry.DefSizeBuckets),
 		byOp: make(map[Op]*telemetry.Counter, len(allOps)),
+		groupDegrades: reg.Counter("hermes_coordinator_group_degrade_total",
+			"grouped batch requests a node degraded to per-query execution (pre-v6 node)"),
+		costScan: reg.Histogram("hermes_query_cost_scan_seconds",
+			"per-query attributed scan time (codes-proportional share of measured scan phases; traced queries only)",
+			telemetry.DefLatencyBuckets),
+		costWire: reg.Histogram("hermes_query_cost_wire_bytes",
+			"per-query attributed coordinator<->node wire traffic", telemetry.DefByteBuckets),
+		costShared: reg.Histogram("hermes_query_cost_shared_ratio",
+			"fraction of a query's attributed codes that came from shared (amortized) cell streams",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}),
+		//lint:ignore metricname probed cells are a dimensionless count per query, not a unit-bearing quantity
+		costCells: reg.Histogram("hermes_query_cost_cells",
+			"IVF cells probed per query across all shards and phases", telemetry.DefSizeBuckets),
+		//lint:ignore metricname attributed codes are a dimensionless count per query, not a unit-bearing quantity
+		costCodes: reg.Histogram("hermes_query_cost_codes",
+			"codes attributed per query (exclusive + shared-amortized)", defCodeBuckets),
 	}
 	for _, op := range allOps {
 		m.byOp[op] = reg.Counter("hermes_distsearch_requests_total",
 			"round-trips issued by op", "op", opName(op))
 	}
 	return m
+}
+
+// defCodeBuckets spans per-query attributed code counts: tiny sampled probes
+// up through deep scans over large shards.
+var defCodeBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// observeCost lands one completed query's assembled ledger entry on the
+// hermes_query_cost_* histograms. ScanNanos is only observed when present
+// (untraced queries carry none by contract — observing their zeros would
+// drown the latency histogram's signal).
+func (m *coordMetrics) observeCost(c telemetry.QueryCost) {
+	if c.ScanNanos > 0 {
+		m.costScan.ObserveDuration(time.Duration(c.ScanNanos))
+	}
+	m.costWire.Observe(float64(c.WireBytes))
+	m.costShared.Observe(c.SharedFrac())
+	m.costCells.Observe(float64(c.Cells))
+	m.costCodes.Observe(float64(c.Codes()))
 }
 
 func (m *coordMetrics) opCounter(op Op) *telemetry.Counter {
@@ -125,25 +174,37 @@ func newClientMetrics(reg *telemetry.Registry, shardID int) clientMetrics {
 
 // countingWriter / countingReader feed the wire byte counters; they wrap the
 // connection underneath the gob codec so encoded sizes are measured exactly.
+// n, when set, additionally accumulates into a per-connection total the
+// coordinator reads before/after a round-trip for exact per-request byte
+// deltas (the per-connection mutex serializes exchanges, so a delta is
+// attributable to exactly one request).
 type countingWriter struct {
 	w io.Writer
 	c *telemetry.Counter
+	n *atomic.Int64
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.c.Add(int64(n))
+	if cw.n != nil {
+		cw.n.Add(int64(n))
+	}
 	return n, err
 }
 
 type countingReader struct {
 	r io.Reader
 	c *telemetry.Counter
+	n *atomic.Int64
 }
 
 func (cr *countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.c.Add(int64(n))
+	if cr.n != nil {
+		cr.n.Add(int64(n))
+	}
 	return n, err
 }
 

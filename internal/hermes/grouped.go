@@ -1,7 +1,10 @@
 package hermes
 
 import (
+	"time"
+
 	"repro/internal/ivf"
+	"repro/internal/telemetry"
 	"repro/internal/vec"
 )
 
@@ -105,7 +108,26 @@ func (s BatchGroupStats) SharedCellScans() int {
 // and returns the same neighbors and stats; only the execution order is
 // grouped, shard-major instead of query-major. The query slices must stay
 // unmodified for the duration of the call.
+//
+// Every BatchResult carries the query's cost-ledger entry (cells probed,
+// codes split exclusive/amortized); the counters ride the pooled scratch, so
+// the untraced path stays allocation- and clock-free.
 func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGroupStats) {
+	return st.searchGrouped(qs, p, nil)
+}
+
+// SearchGroupedTraced is SearchGrouped with batch-level tracing: the shared
+// phases land on tr as one span each (sample, rank, deep — they are executed
+// once for the whole batch, so they are traced once for the whole batch), the
+// shard scans run phased so each query's Cost.ScanNanos carries its share of
+// the measured scan time (distributed in proportion to attributed codes; the
+// shares sum exactly to the measured total). Results are DeepEqual-identical
+// to the untraced path — tracing only adds timestamps around the same code.
+func (st *Store) SearchGroupedTraced(qs [][]float32, p Params, tr *telemetry.Trace) ([]BatchResult, BatchGroupStats) {
+	return st.searchGrouped(qs, p, tr)
+}
+
+func (st *Store) searchGrouped(qs [][]float32, p Params, tr *telemetry.Trace) ([]BatchResult, BatchGroupStats) {
 	p = p.withDefaults()
 	n := len(qs)
 	out := make([]BatchResult, n)
@@ -119,25 +141,55 @@ func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGr
 	defer st.groupPool.Put(sc)
 	sc.sizeFor(n)
 
+	// scanNanos is the measured shard-scan wall time of the batch (ivf phase
+	// timers, Scan component, both phases); attributed across queries after
+	// the fold. Populated only when traced — the untraced path never reads a
+	// clock, so its ledger entries carry zero scan time by contract.
+	var scanNanos int64
+	var mark time.Time
+	if tr != nil {
+		mark = now()
+	}
+
 	// Phase 1 — grouped document sampling: every shard streams its sampled
 	// cells once for all n queries. Shard-major iteration appends to each
 	// query's ranking in shard order, exactly like the sequential loop, so
 	// sortRanked sees identical input.
 	for s := range st.Shards {
 		g := sc.grouper(st, s)
-		stats := g.Search(qs, 1, p.SampleNProbe)
+		var stats ivf.GroupStats
+		if tr != nil {
+			stats = g.SearchPhased(qs, 1, p.SampleNProbe)
+		} else {
+			stats = g.Search(qs, 1, p.SampleNProbe)
+		}
 		gstats.Sample.Queries += stats.Queries
 		gstats.Sample.CellsScanned += stats.CellsScanned
 		gstats.Sample.SharedCellScans += stats.SharedCellScans
 		gstats.Sample.VectorsScanned += stats.VectorsScanned
 		for qi := range qs {
 			sc.sampleScanned[qi] += g.QueryStats(qi).VectorsScanned
+			c := g.CostStats(qi)
+			out[qi].Cost.Cells += int64(c.CellsProbed)
+			out[qi].Cost.SharedCells += int64(c.SharedCells)
+			out[qi].Cost.CodesExclusive += c.CodesExclusive
+			out[qi].Cost.CodesAmortized += c.CodesAmortized
 			sc.drain = g.AppendResults(qi, sc.drain[:0])
 			if len(sc.drain) == 0 {
 				continue
 			}
 			sc.orders[qi] = append(sc.orders[qi], rankedShard{sc.drain[0].Score, int32(s)})
 		}
+		if tr != nil {
+			// Phases is complete only after the drains above (merge time
+			// accumulates in AppendResults).
+			scanNanos += g.Phases().Scan
+		}
+	}
+	if tr != nil {
+		t := now()
+		tr.AddSpan("sample", telemetry.NodeLocal, mark, t.Sub(mark))
+		mark = t
 	}
 
 	// Per-query routing: rank shards and choose the deep set under the
@@ -158,6 +210,11 @@ func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGr
 			sc.buckets[r.shard] = append(sc.buckets[r.shard], int32(qi))
 		}
 	}
+	if tr != nil {
+		t := now()
+		tr.AddSpan("rank", telemetry.NodeLocal, mark, t.Sub(mark))
+		mark = t
+	}
 
 	// Phase 2 — grouped deep search, shard-major over the buckets. Each
 	// query's per-shard results are staged in ranked-list order so the final
@@ -172,13 +229,23 @@ func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGr
 			sc.qrows = append(sc.qrows, qs[qi])
 		}
 		g := sc.grouper(st, s)
-		stats := g.Search(sc.qrows, p.K, p.DeepNProbe)
+		var stats ivf.GroupStats
+		if tr != nil {
+			stats = g.SearchPhased(sc.qrows, p.K, p.DeepNProbe)
+		} else {
+			stats = g.Search(sc.qrows, p.K, p.DeepNProbe)
+		}
 		gstats.Deep.Queries += stats.Queries
 		gstats.Deep.CellsScanned += stats.CellsScanned
 		gstats.Deep.SharedCellScans += stats.SharedCellScans
 		gstats.Deep.VectorsScanned += stats.VectorsScanned
 		for bi, qi := range bucket {
 			sc.deepScanned[qi] += g.QueryStats(bi).VectorsScanned
+			c := g.CostStats(bi)
+			out[qi].Cost.Cells += int64(c.CellsProbed)
+			out[qi].Cost.SharedCells += int64(c.SharedCells)
+			out[qi].Cost.CodesExclusive += c.CodesExclusive
+			out[qi].Cost.CodesAmortized += c.CodesAmortized
 			off := int32(len(sc.buf))
 			sc.buf = g.AppendResults(bi, sc.buf)
 			seg := segRef{off: off, n: int32(len(sc.buf)) - off}
@@ -195,6 +262,12 @@ func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGr
 				}
 			}
 		}
+		if tr != nil {
+			scanNanos += g.Phases().Scan
+		}
+	}
+	if tr != nil {
+		tr.AddSpan("deep", telemetry.NodeLocal, mark, now().Sub(mark))
 	}
 
 	// Fold: per query, push each deep shard's results in ranked order into a
@@ -215,6 +288,20 @@ func (st *Store) SearchGrouped(qs [][]float32, p Params) ([]BatchResult, BatchGr
 		}
 		out[qi].Neighbors = tk.Results()
 		out[qi].Stats = stats
+	}
+
+	// Attribute the measured scan time across the batch in proportion to
+	// attributed codes, summing exactly to the measured total. Traced only:
+	// untraced ledgers carry zero scan time (the hot path never reads a
+	// clock), and their sum — zero — still matches the (unmeasured) total.
+	if tr != nil && scanNanos > 0 {
+		weights := make([]int64, n)
+		for qi := range qs {
+			weights[qi] = out[qi].Cost.Codes()
+		}
+		for qi, share := range telemetry.AttributeTotal(scanNanos, weights) {
+			out[qi].Cost.ScanNanos = share
+		}
 	}
 
 	totalSample, totalDeep := 0, 0

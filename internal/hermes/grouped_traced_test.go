@@ -1,0 +1,98 @@
+package hermes
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestSearchGroupedTracedEquivalence pins traced grouped execution to the
+// untraced path: identical neighbors, stats, and ledger counters — tracing
+// only adds timestamps around the same code — with scan-time attribution
+// present only on the traced side.
+func TestSearchGroupedTracedEquivalence(t *testing.T) {
+	c := testCorpus(t, 1500, 4)
+	st := buildStore(t, c.Vectors, 4)
+	qs := c.Queries(16, 143)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+	p := DefaultParams()
+	plain, pStats := st.SearchGrouped(rows, p)
+	tr := telemetry.NewTrace()
+	traced, tStats := st.SearchGroupedTraced(rows, p, tr)
+	if pStats != tStats {
+		t.Fatalf("group stats diverge: %+v != %+v", pStats, tStats)
+	}
+	var attributed, scanSum int64
+	for i := range rows {
+		if !reflect.DeepEqual(plain[i].Neighbors, traced[i].Neighbors) {
+			t.Fatalf("query %d: traced neighbors diverge", i)
+		}
+		if !reflect.DeepEqual(plain[i].Stats, traced[i].Stats) {
+			t.Fatalf("query %d: traced stats diverge", i)
+		}
+		if plain[i].Cost.ScanNanos != 0 {
+			t.Fatalf("query %d: untraced ledger read the clock: %+v", i, plain[i].Cost)
+		}
+		// Zeroing the traced entry's scan time must reproduce the untraced
+		// entry exactly: the counters are the same measurement.
+		got := traced[i].Cost
+		scanSum += got.ScanNanos
+		got.ScanNanos = 0
+		if got != plain[i].Cost {
+			t.Fatalf("query %d: ledger counters diverge: traced %+v, untraced %+v", i, got, plain[i].Cost)
+		}
+		attributed += traced[i].Cost.Codes()
+	}
+	// The ledger conserves the batch's distinct code traffic across shards
+	// and phases.
+	if want := int64(tStats.Sample.VectorsScanned + tStats.Deep.VectorsScanned); attributed != want {
+		t.Fatalf("attributed %d codes != %d distinct streamed", attributed, want)
+	}
+	if scanSum <= 0 {
+		t.Fatal("traced batch attributed no scan time")
+	}
+	// The shared phases land once each for the whole batch, and the
+	// attributed scan time fits inside the phases that measured it.
+	spans := tr.Spans()
+	byName := map[string]telemetry.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"sample", "rank", "deep"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing shared %q span (got %v)", name, spans)
+		}
+	}
+	if len(spans) != 3 {
+		t.Fatalf("grouped trace has %d spans, want exactly one per shared phase: %v", len(spans), spans)
+	}
+	if wall := byName["sample"].Duration + byName["deep"].Duration; time.Duration(scanSum) > wall {
+		t.Fatalf("attributed scan %v exceeds measured phase wall %v", time.Duration(scanSum), wall)
+	}
+}
+
+// TestSearchGroupedTracedNilTrace pins the nil-trace contract: a nil trace is
+// exactly SearchGrouped, scan time stays unattributed.
+func TestSearchGroupedTracedNilTrace(t *testing.T) {
+	c := testCorpus(t, 600, 3)
+	st := buildStore(t, c.Vectors, 3)
+	qs := c.Queries(6, 151)
+	rows := make([][]float32, qs.Vectors.Len())
+	for i := range rows {
+		rows[i] = qs.Vectors.Row(i)
+	}
+	out, _ := st.SearchGroupedTraced(rows, DefaultParams(), nil)
+	for i := range rows {
+		if out[i].Cost.ScanNanos != 0 {
+			t.Fatalf("query %d: nil trace attributed scan time %+v", i, out[i].Cost)
+		}
+		if out[i].Cost.Codes() == 0 {
+			t.Fatalf("query %d: ledger empty on the untraced path", i)
+		}
+	}
+}

@@ -521,10 +521,14 @@ func BuildMonolithic(data *vec.Matrix, quantBits, nlist int, seed int64) (*ivf.I
 	return ix, nil
 }
 
-// BatchResult couples one query's hierarchical-search output with its stats.
+// BatchResult couples one query's hierarchical-search output with its stats
+// and — on the grouped path — its cost-ledger entry (ISSUE 9): the work
+// attributed to this query, with shared cell streams amortized exactly
+// across their co-probers.
 type BatchResult struct {
 	Neighbors []vec.Neighbor
 	Stats     SearchStats
+	Cost      telemetry.QueryCost
 }
 
 // SearchBatch runs the hierarchical search for every query with a pool of

@@ -2,6 +2,7 @@ package ivf
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/quant"
 	"repro/internal/vec"
@@ -36,6 +37,31 @@ type groupSlot struct {
 	q       []float32 // the bound query, alive for the whole group scan
 	cells   []int32   // selected probe cells, ascending centroid distance
 	scanned int       // live vectors this query logically scanned
+
+	// Cost-ledger counters (ISSUE 9). shared counts probe cells whose code
+	// stream was shared with at least one other query of the batch;
+	// exclusive/amortized split the distinct streamed codes attributed to
+	// this query: codes streamed solely for it versus its exact share of
+	// streams it co-probed. Across a batch,
+	// sum(exclusive+amortized) == GroupStats.VectorsScanned.
+	shared    int
+	exclusive int64
+	amortized int64
+}
+
+// CostStats is one query's slice of a grouped batch's cost ledger, in
+// attribution terms rather than the logical terms of SearchStats:
+// CodesExclusive counts live codes streamed solely for this query,
+// CodesAmortized this query's exact share of streams it co-probed with other
+// queries (shares differ by at most one code; remainders go to the
+// lowest-numbered slots, so the split is deterministic). Summed over a batch,
+// CodesExclusive+CodesAmortized equals GroupStats.VectorsScanned exactly —
+// the distinct code traffic, fully attributed, nothing double-counted.
+type CostStats struct {
+	CellsProbed    int
+	SharedCells    int // probe cells whose stream was shared with >= 1 other query
+	CodesExclusive int64
+	CodesAmortized int64
 }
 
 // GroupStats reports the work done by one grouped batch. VectorsScanned
@@ -67,6 +93,13 @@ type GroupSearcher struct {
 	heap  []cellDist
 	n     int  // queries in the current batch
 	empty bool // true until a Search completes; guards stale results
+
+	// ph points at phase when the current batch is phased (SearchPhased);
+	// nil keeps every clock read off the untraced path, exactly like
+	// Searcher.search's ph parameter. AppendResults folds its drain time
+	// into phase.Merge while armed.
+	ph    *PhaseNanos
+	phase PhaseNanos
 }
 
 // NewGroupSearcher returns a fresh grouped-scan handle. All buffers grow on
@@ -99,9 +132,43 @@ func (ix *Index) getGroupSearcher() *GroupSearcher {
 //
 //hermes:hotpath
 func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
+	return g.search(queries, k, nProbe, nil)
+}
+
+// SearchPhased is Search plus a batch-level per-phase wall-time breakdown:
+// probe selection (per-query setup and the counting-sort flatten), the shared
+// per-cell scan runs, and — accumulated by the AppendResults drains that
+// follow — the top-k merges. Each phase is timed once for the whole batch,
+// which is the truth of grouped execution: the phases are shared, not
+// per-query. Read the breakdown with Phases after draining every slot. Like
+// Searcher.SearchPhased it reads the clock, so it is reserved for traced
+// batches; the untraced hot path stays clock-free.
+func (g *GroupSearcher) SearchPhased(queries [][]float32, k, nProbe int) GroupStats {
+	g.phase = PhaseNanos{}
+	return g.search(queries, k, nProbe, &g.phase)
+}
+
+// Phases returns the current batch's phase breakdown: zero unless the batch
+// ran through SearchPhased, and complete only once every slot has been
+// drained (AppendResults accounts the merge phase).
+func (g *GroupSearcher) Phases() PhaseNanos { return g.phase }
+
+// search is the shared body; ph non-nil turns on batch-level phase timing.
+// The //hermes:hotpath contract (enforced by hermes-lint) keeps every clock
+// read gated behind `if ph != nil`, so steady-state untraced batches on a
+// warmed GroupSearcher perform no heap allocations and never read the clock.
+//
+//hermes:hotpath
+func (g *GroupSearcher) search(queries [][]float32, k, nProbe int, ph *PhaseNanos) GroupStats {
 	ix := g.ix
 	g.n = len(queries)
 	g.empty = true
+	g.ph = ph
+	if ph == nil {
+		// A pooled searcher may have served a phased batch last; stale phase
+		// numbers must not survive into this batch's Phases view.
+		g.phase = PhaseNanos{}
+	}
 	var stats GroupStats
 	stats.Queries = len(queries)
 	if !ix.trained || k <= 0 || ix.count == 0 || len(queries) == 0 {
@@ -121,6 +188,10 @@ func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
 	}
 	g.slots = g.slots[:n]
 
+	var mark time.Time
+	if ph != nil {
+		mark = now()
+	}
 	// Per-query setup: lazily create the slot, select probe cells with the
 	// same bounded-heap selection as the single-query path, and bind the
 	// query into the slot's kernel (residual queries re-bind per cell).
@@ -144,6 +215,9 @@ func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
 		}
 		s.q = q
 		s.scanned = 0
+		s.shared = 0
+		s.exclusive = 0
+		s.amortized = 0
 		g.heap, s.cells = selectProbeCells(ix, q, nProbe, g.heap, s.cells)
 		if !ix.cfg.ByResidual {
 			s.kernel.BindQuery(q)
@@ -183,6 +257,12 @@ func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
 		}
 	}
 
+	if ph != nil {
+		t := now()
+		ph.Select += t.Sub(mark).Nanoseconds()
+		mark = t
+	}
+
 	cs := ix.cfg.Quantizer.CodeSize()
 	pairs := g.pairs
 	for p0 := 0; p0 < len(pairs); {
@@ -195,6 +275,13 @@ func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
 		p0 = p1
 		stats.CellsScanned++
 		stats.SharedCellScans += len(group) - 1
+		if len(group) > 1 {
+			// Shared-cell marking counts empty cells too, mirroring how
+			// CellsScanned/SharedCellScans account every distinct visit.
+			for _, pr := range group {
+				g.slots[pr.slot].shared++
+			}
+		}
 		l := &ix.lists[c]
 		if len(l.ids) == 0 {
 			continue
@@ -218,9 +305,31 @@ func (g *GroupSearcher) Search(queries [][]float32, k, nProbe int) GroupStats {
 		}
 		live := g.scanCellGroup(l, cs, dead, group)
 		stats.VectorsScanned += live
-		for _, pr := range group {
-			g.slots[pr.slot].scanned += live
+		if len(group) == 1 {
+			s := g.slots[group[0].slot]
+			s.scanned += live
+			s.exclusive += int64(live)
+		} else {
+			// Amortize the one shared stream across its co-probers exactly:
+			// each gets floor(live/G), the first live%G slots (deterministic —
+			// the counting sort scatters slots ascending within a cell) one
+			// more. The split sums to live, so batch-wide
+			// Σ(exclusive+amortized) == VectorsScanned with no rounding loss.
+			gN := len(group)
+			share := int64(live / gN)
+			rem := live % gN
+			for j, pr := range group {
+				s := g.slots[pr.slot]
+				s.scanned += live
+				s.amortized += share
+				if j < rem {
+					s.amortized++
+				}
+			}
 		}
+	}
+	if ph != nil {
+		ph.Scan += now().Sub(mark).Nanoseconds()
 	}
 	g.empty = false
 	return stats
@@ -299,9 +408,17 @@ func (g *GroupSearcher) scanCellGroup(l *invList, cs int, dead []uint32, group [
 
 // AppendResults drains query i's neighbors (best first) into dst and returns
 // it. Destructive: a slot can be drained once per Search. Out-of-range
-// indexes and searches that returned early yield dst unchanged.
+// indexes and searches that returned early yield dst unchanged. After
+// SearchPhased the drain time folds into the batch's merge phase; on the
+// untraced path g.ph is nil and the clock is never read.
 func (g *GroupSearcher) AppendResults(i int, dst []vec.Neighbor) []vec.Neighbor {
 	if g.empty || i < 0 || i >= g.n {
+		return dst
+	}
+	if g.ph != nil {
+		mark := now()
+		dst = g.slots[i].tk.AppendResults(dst)
+		g.ph.Merge += now().Sub(mark).Nanoseconds()
 		return dst
 	}
 	return g.slots[i].tk.AppendResults(dst)
@@ -316,6 +433,23 @@ func (g *GroupSearcher) QueryStats(i int) SearchStats {
 	}
 	s := g.slots[i]
 	return SearchStats{CellsProbed: len(s.cells), VectorsScanned: s.scanned}
+}
+
+// CostStats reports query i's slice of the batch's cost ledger — its probe
+// cells, how many of those streams it shared, and its exact
+// exclusive/amortized split of the distinct codes streamed (see the CostStats
+// type). Zero for out-of-range indexes and searches that returned early.
+func (g *GroupSearcher) CostStats(i int) CostStats {
+	if g.empty || i < 0 || i >= g.n {
+		return CostStats{}
+	}
+	s := g.slots[i]
+	return CostStats{
+		CellsProbed:    len(s.cells),
+		SharedCells:    s.shared,
+		CodesExclusive: s.exclusive,
+		CodesAmortized: s.amortized,
+	}
 }
 
 // SearchGroup executes all queries as one grouped batch with shared per-cell
@@ -335,6 +469,36 @@ func (ix *Index) SearchGroup(queries [][]float32, k, nProbe int) ([][]vec.Neighb
 	}
 	ix.groupPool.Put(g)
 	return out, stats
+}
+
+// SearchGroupCosted is SearchGroup plus the per-query cost ledger and — when
+// phased — the batch-level phase breakdown. phased=false keeps the untraced
+// contract (no clock reads, zero PhaseNanos); phased=true runs the batch
+// through SearchPhased, so the returned PhaseNanos carries the shared
+// select/scan wall time and the summed drain (merge) time. Results are
+// identical either way: phasing only adds timestamps around the same code.
+func (ix *Index) SearchGroupCosted(queries [][]float32, k, nProbe int, phased bool) ([][]vec.Neighbor, GroupStats, PhaseNanos, []CostStats) {
+	out := make([][]vec.Neighbor, len(queries))
+	costs := make([]CostStats, len(queries))
+	if !ix.trained || k <= 0 || ix.count == 0 || len(queries) == 0 {
+		return out, GroupStats{Queries: len(queries)}, PhaseNanos{}, costs
+	}
+	g := ix.getGroupSearcher()
+	var stats GroupStats
+	if phased {
+		stats = g.SearchPhased(queries, k, nProbe)
+	} else {
+		stats = g.Search(queries, k, nProbe)
+	}
+	for i := range queries {
+		out[i] = g.AppendResults(i, nil)
+		costs[i] = g.CostStats(i)
+	}
+	// Phases is complete only after every slot has been drained: the merge
+	// component accumulates in AppendResults.
+	ph := g.Phases()
+	ix.groupPool.Put(g)
+	return out, stats, ph, costs
 }
 
 // PredictCells appends the nProbe cells q would probe (ascending centroid

@@ -18,6 +18,9 @@ func good(reg *Registry) {
 	reg.Gauge("hermes_coordinator_load_imbalance_ratio", "ok")
 	reg.Histogram("hermes_node_scan_seconds", "ok", nil)
 	reg.Counter("hermes_distsearch_bytes_sent_total", "ok")
+	reg.Histogram("hermes_query_cost_scan_seconds", "ok", nil)
+	reg.Histogram("hermes_query_cost_wire_bytes", "ok", nil)
+	reg.Counter("hermes_coordinator_group_degrade_total", "ok")
 }
 
 func bad(reg *Registry) {
@@ -38,6 +41,8 @@ func unckeckable(reg *Registry, suffix string) {
 func suppressed(reg *Registry) {
 	//lint:ignore metricname fixture demonstrates an audited unitless exception
 	reg.Gauge("hermes_kvcache_entries", "resident entries (a plain count, not a flow)")
+	//lint:ignore metricname attributed codes are a dimensionless count per query
+	reg.Histogram("hermes_query_cost_codes", "per-query attributed codes", nil)
 }
 
 // notARegistry must not be confused with the telemetry registry: same

@@ -17,14 +17,21 @@ import (
 // fact, without holding the live *Trace.
 type QueryRecord struct {
 	TraceID   uint64
+	BatchID   uint64        // grouped-batch identity; 0 for solo queries
 	Start     time.Time
 	Total     time.Duration // wall time, request start to reply
 	Busy      time.Duration // sum of span durations (> Total under overlap)
 	Spans     []Span        // per-phase/per-node breakdown, may be nil
 	DeepNodes []int         // shards deep-searched
 	Scanned   int64         // vectors scanned across all shards
+	Cost      QueryCost     // per-query resource attribution ledger
 	Err       string        // empty on success
 }
+
+// IsBatch reports whether the record is a grouped batch's summary record
+// (the batch identity recorded under its own ID, carrying the shared-phase
+// waterfall and the batch totals) rather than a member query.
+func (r QueryRecord) IsBatch() bool { return r.BatchID != 0 && r.BatchID == r.TraceID }
 
 // PhaseSummary renders the record's spans compactly on one line in start
 // order ("sample_scatter=412µs n3.list_scan=1.1ms ..."), or "" without spans.
@@ -203,6 +210,36 @@ func (rec *Recorder) Find(traceID uint64) (QueryRecord, bool) {
 	return rec.slow.find(traceID)
 }
 
+// Batch collects a grouped batch by its ID: the batch's own summary record
+// (the shared-phase waterfall and batch totals, recorded under the batch ID)
+// and the member query records that carry the same BatchID, oldest first.
+// ok is false when neither the summary nor any member is still retained.
+func (rec *Recorder) Batch(batchID uint64) (batch QueryRecord, members []QueryRecord, ok bool) {
+	if rec == nil || batchID == 0 {
+		return QueryRecord{}, nil, false
+	}
+	var all []QueryRecord
+	for i := range rec.stripes {
+		all = rec.stripes[i].appendAll(all)
+	}
+	all = rec.slow.appendAll(all)
+	seen := make(map[uint64]bool, len(all))
+	for _, qr := range all {
+		if qr.BatchID != batchID || seen[qr.TraceID] {
+			continue
+		}
+		seen[qr.TraceID] = true
+		if qr.IsBatch() {
+			batch, ok = qr, true
+			continue
+		}
+		members = append(members, qr)
+		ok = true
+	}
+	sort.SliceStable(members, func(i, j int) bool { return members[i].Start.Before(members[j].Start) })
+	return batch, members, ok
+}
+
 // ServeQueries is the /debug/queries HTTP handler: the recent and pinned
 // slow queries as text (default) or JSON (?format=json), ?n=<max> to bound
 // the listing, and ?trace=<hex id> for one query's full waterfall.
@@ -231,7 +268,44 @@ func (rec *Recorder) ServeQueries(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "start=%s total=%v busy=%v deep=%v scanned=%d err=%q\n",
 			qr.Start.Format(time.RFC3339Nano), qr.Total, qr.Busy, qr.DeepNodes, qr.Scanned, qr.Err)
+		if !qr.Cost.IsZero() {
+			fmt.Fprintf(w, "cost: %s\n", qr.Cost)
+		}
+		if qr.BatchID != 0 && !qr.IsBatch() {
+			fmt.Fprintf(w, "batch: %016x (use ?batch=%016x for the grouped view)\n", qr.BatchID, qr.BatchID)
+		}
 		fmt.Fprintln(w, qr.Waterfall())
+		return
+	}
+	if bs := q.Get("batch"); bs != "" {
+		id, err := strconv.ParseUint(strings.TrimPrefix(bs, "0x"), 16, 64)
+		if err != nil {
+			http.Error(w, "batch must be a hex batch ID: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch, members, ok := rec.Batch(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("batch %016x not in recorder", id), http.StatusNotFound)
+			return
+		}
+		if asJSON {
+			writeJSON(w, struct {
+				Batch   QueryRecord   `json:"batch"`
+				Members []QueryRecord `json:"members"`
+			}{batch, members})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "grouped batch %016x: %d member queries\n", id, len(members))
+		if batch.TraceID != 0 {
+			fmt.Fprintf(w, "batch total=%v busy=%v scanned=%d\n", batch.Total, batch.Busy, batch.Scanned)
+			if !batch.Cost.IsZero() {
+				fmt.Fprintf(w, "batch cost: %s\n", batch.Cost)
+			}
+			fmt.Fprintln(w, batch.Waterfall())
+		}
+		fmt.Fprintln(w, "\nper-query attribution (amortization breakdown):")
+		WriteBatchAttribution(w, members)
 		return
 	}
 	n := 32
@@ -254,7 +328,7 @@ func (rec *Recorder) ServeQueries(w http.ResponseWriter, r *http.Request) {
 		len(recent), len(slow), rec.SlowThreshold())
 	writeRecordList(w, "recent queries (newest first):", recent)
 	writeRecordList(w, "pinned slow queries (slowest first):", slow)
-	fmt.Fprintln(w, "\nuse ?trace=<id> for one query's waterfall, ?format=json for machine output")
+	fmt.Fprintln(w, "\nuse ?trace=<id> for one query's waterfall, ?batch=<id> for a grouped batch's attribution, ?format=json for machine output")
 }
 
 func writeRecordList(w http.ResponseWriter, title string, recs []QueryRecord) {
@@ -265,6 +339,14 @@ func writeRecordList(w http.ResponseWriter, title string, recs []QueryRecord) {
 	}
 	for _, qr := range recs {
 		fmt.Fprintf(w, "  %016x total=%-12v busy=%-12v deep=%v scanned=%d", qr.TraceID, qr.Total, qr.Busy, qr.DeepNodes, qr.Scanned)
+		if qr.IsBatch() {
+			fmt.Fprintf(w, " [batch]")
+		} else if qr.BatchID != 0 {
+			fmt.Fprintf(w, " batch=%016x", qr.BatchID)
+		}
+		if !qr.Cost.IsZero() {
+			fmt.Fprintf(w, " codes=%d shared=%.0f%%", qr.Cost.Codes(), 100*qr.Cost.SharedFrac())
+		}
 		if qr.Err != "" {
 			fmt.Fprintf(w, " err=%q", qr.Err)
 		}

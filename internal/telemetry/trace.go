@@ -61,6 +61,14 @@ func NewTrace() *Trace {
 	return &Trace{id: NewTraceID()}
 }
 
+// NewTraceWithID wraps an already-minted identifier (NewTraceID) in a live
+// Trace. The batcher mints a batch ID at flush time and the coordinator
+// adopts it as the batch trace's ID, so the wire requests, the stitched
+// waterfall, and every member query's BatchID agree on one identity.
+func NewTraceWithID(id uint64) *Trace {
+	return &Trace{id: id}
+}
+
 // NewTraceID mints a bare trace identifier with the same layout and
 // uniqueness guarantees as NewTrace, for callers (e.g. the flight recorder's
 // clients) that need an ID to correlate a query without carrying a *Trace.
