@@ -14,16 +14,27 @@
 //	hermes-lint -json ./... > lint.json    # machine-readable report on stdout
 //	hermes-lint -diff lint-report.json ./... # fail only on NEW findings
 //	hermes-lint -update-wirelock ./...     # regenerate wire.lock artifacts
+//	hermes-lint -update-alloclock ./...    # regenerate alloc.lock artifacts
 //	hermes-lint -list                      # describe checks and fact lattices
 //	hermes-lint -facts ./...               # dump the cross-package facts
 //	hermes-lint -facts -json ./...         # ... as stable JSON
 //
 // Before any analyzer runs, the driver computes the cross-package fact
-// lattices (io, alloc, acquires, blocks — see internal/lint's fact engine)
-// over every module package reached while loading, so analyzers like
-// lockheldio, hotpathalloc, lockorder, and goroutineleak see through call
-// chains that end at a socket, an allocation, or a mutex three packages
-// away.
+// lattices (io, alloc, acquires, blocks, netio, cancel — see internal/
+// lint's fact engine) over every module package reached while loading, so
+// analyzers like lockheldio, hotpathalloc, lockorder, goroutineleak, and
+// ctxflow see through call chains that end at a socket, an allocation, or
+// a mutex three packages away.
+//
+// When the escapeaudit check is selected and a matched package declares
+// //hermes:hotpath functions, the driver additionally invokes the go
+// compiler (`go build -gcflags=-m=2`, cached by the go tool) to collect
+// escape/inlining diagnostics and diffs them against each package's
+// committed alloc.lock. Because those diagnostics move between toolchains,
+// the pass runs only when `go env GOVERSION` matches the version recorded
+// in the lock headers; on mismatch the driver prints a warning to stderr
+// and skips escapeaudit rather than hard-blocking contributors on a newer
+// toolchain. -update-alloclock always records with the current toolchain.
 //
 // A baseline file (-baseline) subtracts previously accepted findings,
 // matched by (check, file, message); -write-baseline records the current
@@ -64,6 +75,7 @@ func main() {
 		diffPath      = flag.String("diff", "", "committed report to diff against: report everything, but exit 1 only on findings absent from it")
 		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 		updateWire    = flag.Bool("update-wirelock", false, "regenerate wire.lock artifacts for matched packages and exit")
+		updateAlloc   = flag.Bool("update-alloclock", false, "regenerate alloc.lock artifacts for matched packages (runs the compiler) and exit")
 		showFacts     = flag.Bool("facts", false, "dump the cross-package fact lattices and lock-order graph, then exit")
 		typeWarn      = flag.Bool("typewarnings", false, "print type-check problems encountered while loading")
 	)
@@ -124,9 +136,46 @@ func main() {
 		}
 	}
 
-	if *updateWire {
+	// Compiler escape/inlining diagnostics, collected once and shared by the
+	// escapeaudit pass and the alloc.lock artifact generator. nil when
+	// nothing needs them, no package declares a hot path, or the toolchain
+	// differs from the recorded lock version (skip-with-warning: diagnostics
+	// are toolchain-specific, and a contributor on a newer go should not be
+	// hard-blocked by a lock they cannot legitimately regenerate).
+	var escape *lint.EscapeDiags
+	hotDirs := lint.HotPathDirs(pkgs)
+	if (*updateAlloc || hasAnalyzer(analyzers, "escapeaudit")) && len(hotDirs) > 0 {
+		runner := lint.NewEscapeRunner(loader.ModuleRoot)
+		version, err := runner.GoVersion()
+		if err != nil {
+			fatal(err)
+		}
+		skip := false
+		if !*updateAlloc {
+			for _, locked := range lint.AllocLockGoVersions(hotDirs) {
+				if locked != version {
+					fmt.Fprintf(os.Stderr, "hermes-lint: skipping escapeaudit: %s recorded with %s, toolchain is %s (regenerate with -update-alloclock on a matching toolchain)\n", lint.AllocLockFile, locked, version)
+					skip = true
+				}
+			}
+		}
+		if !skip {
+			escape, err = runner.Run(hotDirs)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *updateWire || *updateAlloc {
 		for _, ar := range lint.AllArtifacts() {
-			written, err := ar.Update(pkgs)
+			if ar.Name == "wirelock" && !*updateWire {
+				continue
+			}
+			if ar.Name == "escapeaudit" && !*updateAlloc {
+				continue
+			}
+			written, err := ar.Update(pkgs, escape)
 			if err != nil {
 				fatal(err)
 			}
@@ -178,6 +227,7 @@ func main() {
 
 	findings := lint.RunPackages(pkgs, analyzers, lint.RunOptions{
 		Facts:        facts,
+		Escape:       escape,
 		IncludeTests: *includeTests,
 	})
 
@@ -250,6 +300,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hermes-lint: %d %s in %d package(s)\n", len(gate), what, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+func hasAnalyzer(analyzers []*lint.Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

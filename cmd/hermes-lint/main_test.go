@@ -1,0 +1,175 @@
+package main
+
+// The driver's exit status is CI interface, consumed by scripts/lint-diff.sh
+// and scripts/verify.sh: 0 clean, 1 findings (with -diff: new findings),
+// 2 usage or load error. These tests build the real binary once and drive it
+// as a subprocess over throwaway single-purpose modules, so the contract is
+// pinned end to end — flag parsing, loading, gating, and exit code — not
+// just at the library layer.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var lintBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hermes-lint-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	lintBin = filepath.Join(dir, "hermes-lint")
+	if out, err := exec.Command("go", "build", "-o", lintBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building hermes-lint: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// writeModule lays out a throwaway module the binary is run inside; keys are
+// slash-separated paths relative to the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.24.0\n"
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runLint executes the built binary with dir as the working directory and
+// returns its exit code plus combined output.
+func runLint(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(lintBin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("hermes-lint %v: %v\n%s", args, err, out)
+	}
+	return exit.ExitCode(), string(out)
+}
+
+const cleanSrc = `package clean
+
+// Add is finding-free under every analyzer.
+func Add(a, b int) int { return a + b }
+`
+
+// dirtySrc trips globalrand: a library call into the package-global
+// math/rand source.
+const dirtySrc = `package lib
+
+import "math/rand"
+
+func Pick() int { return rand.Intn(10) }
+`
+
+func TestExitCleanIsZero(t *testing.T) {
+	root := writeModule(t, map[string]string{"clean.go": cleanSrc})
+	code, out := runLint(t, root, "./...")
+	if code != 0 {
+		t.Errorf("clean module: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	root := writeModule(t, map[string]string{"lib.go": dirtySrc})
+	code, out := runLint(t, root, "./...")
+	if code != 1 {
+		t.Errorf("module with findings: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "globalrand") {
+		t.Errorf("finding listing missing the check name:\n%s", out)
+	}
+}
+
+func TestExitLoadErrorIsTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{"broken.go": "package broken\n\nfunc (\n"})
+	code, out := runLint(t, root, "./...")
+	if code != 2 {
+		t.Errorf("syntactically broken module: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "broken.go") {
+		t.Errorf("stderr should name the broken file:\n%s", out)
+	}
+}
+
+// TestExitLoadErrorInDependency pins the subtle half of the exit-2 contract:
+// the broken package is reached only as an import of the pattern target, where
+// type-check error recovery would otherwise swallow it and exit 0.
+func TestExitLoadErrorInDependency(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"fixture/b\"\n\nfunc Use() int { return b.V }\n",
+		"b/b.go": "package b\n\nvar V int = \n",
+	})
+	code, out := runLint(t, root, "./a")
+	if code != 2 {
+		t.Errorf("broken dependency: exit %d, want 2\n%s", code, out)
+	}
+}
+
+func TestExitUsageErrorIsTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{"clean.go": cleanSrc})
+	code, out := runLint(t, root, "-baseline", "x.json", "-diff", "y.json", "./...")
+	if code != 2 {
+		t.Errorf("mutually exclusive flags: exit %d, want 2\n%s", code, out)
+	}
+}
+
+// TestDiffGate drives the incremental-adoption loop scripts/lint-diff.sh
+// depends on: a committed report absorbs its own findings (exit 0), and a
+// finding in a file the committed report has never seen — the new-file case —
+// still gates (exit 1).
+func TestDiffGate(t *testing.T) {
+	root := writeModule(t, map[string]string{"lib.go": dirtySrc})
+
+	cmd := exec.Command(lintBin, "-json", "./...")
+	cmd.Dir = root
+	report, err := cmd.Output() // exit 1: findings exist; the report is still complete
+	if len(report) == 0 {
+		t.Fatalf("-json produced no report (%v)", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "report.json"), report, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, out := runLint(t, root, "-diff", "report.json", "./..."); code != 0 {
+		t.Errorf("all findings in the committed report: exit %d, want 0\n%s", code, out)
+	}
+
+	// A brand-new file with a finding: nothing in the committed report can
+	// absorb it, so the gate must fail.
+	if err := os.WriteFile(filepath.Join(root, "fresh.go"),
+		[]byte("package lib\n\nimport \"math/rand\"\n\nfunc Fresh() float64 { return rand.Float64() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runLint(t, root, "-diff", "report.json", "./...")
+	if code != 1 {
+		t.Errorf("new finding in a new file: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "new finding(s)") {
+		t.Errorf("diff-gated run should report new finding(s):\n%s", out)
+	}
+}

@@ -217,11 +217,22 @@ func New(cfg Config) *Log {
 // arguments are built from the constructors above does not allocate, on nil
 // and non-nil logs alike.
 //
+// Emit is the serving path's logging entry point, so the disabled/filtered
+// fast path carries the //hermes:hotpath contract: no clock read, no lock,
+// no allocation until the level gate passes. The slow path (clock, token
+// bucket, ring write) lives in record, reached only through the gate.
+//
 //hermes:io
+//hermes:hotpath
 func (l *Log) Emit(level Level, name string, fields ...Field) {
-	if l == nil || level < l.min {
-		return
+	if l != nil && level >= l.min {
+		l.record(level, name, fields)
 	}
+}
+
+// record is Emit's slow path: stamp, rate-limit, and copy the event into
+// the ring. Callers have already passed the nil/level gate.
+func (l *Log) record(level Level, name string, fields []Field) {
 	t := now()
 	l.mu.Lock()
 	if l.rate > 0 && !l.allowLocked(name, t) {

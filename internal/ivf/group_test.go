@@ -28,6 +28,9 @@ func TestSearchGroupEquivalence(t *testing.T) {
 			}
 			logical := 0
 			g := ix.getGroupSearcher() // fresh or pooled; re-run to read QueryStats
+			// Deferred so a Fatalf in the loop below cannot skip the Put
+			// and leak the searcher — the bracket shape poolretain endorses.
+			defer ix.groupPool.Put(g)
 			g.Search(qs, 7, 4)
 			for qi, q := range qs {
 				want, wantStats := ix.SearchWithStats(q, 7, 4)
@@ -39,7 +42,6 @@ func TestSearchGroupEquivalence(t *testing.T) {
 				}
 				logical += wantStats.VectorsScanned
 			}
-			ix.groupPool.Put(g)
 			// Shared streams must never exceed the per-query logical work,
 			// and the savings counter must account for every duplicate probe.
 			if stats.VectorsScanned > logical {

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markerLine returns the 1-based line of the first occurrence of marker in
+// the file — the anchor for fabricated compiler diagnostics, so fixture
+// edits move the diags along instead of rotting a line table.
+func markerLine(t *testing.T, path, marker string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, path)
+	return 0
+}
+
+// fixtureGoVersion is the toolchain stamp shared by the fabricated
+// EscapeDiags and the hand-written fixture alloc.lock — fake on purpose, so
+// the fixture never depends on the host toolchain.
+const fixtureGoVersion = "go1.99.9-fixture"
+
+// fabricatedDiags builds the compiler diagnostics the escapeaudit fixture's
+// alloc.lock was written against: Clean matches, Boxed/Leaky/Gained carry
+// unrecorded diags, LostInline/Stale/Unrecorded carry none.
+func fabricatedDiags(t *testing.T, pkg *Package) *EscapeDiags {
+	t.Helper()
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	diag := func(marker string, kind EscapeKind, text string) EscapeDiag {
+		return EscapeDiag{File: file, Line: markerLine(t, file, marker), Col: 2, Kind: kind, Text: text}
+	}
+	return &EscapeDiags{
+		GoVersion: fixtureGoVersion,
+		byFile: map[string][]EscapeDiag{file: {
+			diag("func Clean(p *int)", KindLeak, "leaking param: p to result ~r0 level=0"),
+			diag("x := 42", KindEscape, "moved to heap: x"),
+			diag("func Leaky(q", KindLeak, "leaking param: q"),
+			diag("return tiny(x)", KindInline, "escapeaudit.tiny"),
+		}},
+	}
+}
+
+// TestEscapeAudit drives every diff class through the want harness: an
+// unrecorded escape and leak (regressions at the compiler's position), an
+// unrecorded inline, a recorded inline that vanished, a recorded escape that
+// vanished, an unrecorded hotpath function, and a locked function that no
+// longer exists.
+func TestEscapeAudit(t *testing.T) {
+	pkg := loadFixture(t, "escapeaudit")
+	runWantFixturePkg(t, pkg, []*Analyzer{EscapeAudit}, RunOptions{Escape: fabricatedDiags(t, pkg)})
+}
+
+// TestEscapeAuditNilEscape pins the version-gate contract: with no compiler
+// diagnostics (driver skipped the build), the analyzer is a no-op even on a
+// package whose lock is full of divergence.
+func TestEscapeAuditNilEscape(t *testing.T) {
+	pkg := loadFixture(t, "escapeaudit")
+	if fs := RunPackageOpts(pkg, []*Analyzer{EscapeAudit}, RunOptions{}); len(fs) != 0 {
+		t.Errorf("nil Escape should disable the pass, got %d finding(s): %v", len(fs), fs)
+	}
+}
+
+// TestEscapeAuditVersionMismatch: a lock recorded under one toolchain is not
+// diffed against another's diagnostics — one finding, then stop.
+func TestEscapeAuditVersionMismatch(t *testing.T) {
+	pkg := loadFixture(t, "escapeaudit")
+	escape := fabricatedDiags(t, pkg)
+	escape.GoVersion = "go0.0.0"
+	fs := RunPackageOpts(pkg, []*Analyzer{EscapeAudit}, RunOptions{Escape: escape})
+	if len(fs) != 1 {
+		t.Fatalf("got %d finding(s), want exactly 1 version-mismatch: %v", len(fs), fs)
+	}
+	for _, w := range []string{"recorded with " + fixtureGoVersion, "toolchain is go0.0.0"} {
+		if !strings.Contains(fs[0].Msg, w) {
+			t.Errorf("finding missing %q: %s", w, fs[0].Msg)
+		}
+	}
+}
+
+func TestEscapeAuditMissingLock(t *testing.T) {
+	pkg := loadFixture(t, "escapeauditmissing")
+	runWantFixturePkg(t, pkg, []*Analyzer{EscapeAudit},
+		RunOptions{Escape: &EscapeDiags{GoVersion: fixtureGoVersion, byFile: map[string][]EscapeDiag{}}})
+}
+
+func TestEscapeAuditStaleLock(t *testing.T) {
+	pkg := loadFixture(t, "escapeauditstale")
+	runWantFixturePkg(t, pkg, []*Analyzer{EscapeAudit},
+		RunOptions{Escape: &EscapeDiags{GoVersion: fixtureGoVersion, byFile: map[string][]EscapeDiag{}}})
+}
+
+// TestGenerateAllocLockRoundTrip: what the artifact generator writes, the
+// parser reads back verbatim — kinds, per-function multisets, version.
+func TestGenerateAllocLockRoundTrip(t *testing.T) {
+	pkg := loadFixture(t, "escapeaudit")
+	data := GenerateAllocLock(pkg, fabricatedDiags(t, pkg))
+	if data == nil {
+		t.Fatal("GenerateAllocLock returned nil for a hotpath package")
+	}
+	lock, err := parseAllocLock(data)
+	if err != nil {
+		t.Fatalf("parseAllocLock(generated): %v", err)
+	}
+	if lock.GoVersion != fixtureGoVersion {
+		t.Errorf("GoVersion = %q, want %q", lock.GoVersion, fixtureGoVersion)
+	}
+	wantFuncs := map[string][]allocEntry{
+		"Clean":      {{KindLeak, "leaking param: p to result ~r0 level=0"}},
+		"Boxed":      {{KindEscape, "moved to heap: x"}},
+		"Leaky":      {{KindLeak, "leaking param: q"}},
+		"Gained":     {{KindInline, "escapeaudit.tiny"}},
+		"LostInline": nil,
+		"Stale":      nil,
+		"Unrecorded": nil,
+	}
+	if len(lock.Funcs) != len(wantFuncs) {
+		t.Errorf("got %d func blocks %v, want %d", len(lock.Funcs), lock.Order, len(wantFuncs))
+	}
+	for name, want := range wantFuncs {
+		got, ok := lock.Funcs[name]
+		if !ok {
+			t.Errorf("generated lock missing func %s", name)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("func %s: got %d entries %v, want %v", name, len(got), got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("func %s entry %d: got %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	// Empty-budget functions still get a block: the empty budget is the
+	// contract (a new escape there must be a diff, not an unrecorded func).
+	if !strings.Contains(string(data), "\nfunc Stale\n") {
+		t.Errorf("generated lock lost the empty budget block for Stale:\n%s", data)
+	}
+}
+
+func TestParseAllocLockErrors(t *testing.T) {
+	cases := map[string]string{
+		"no version":   "func A\n\tescape moved to heap: x\n",
+		"bad kind":     "# go go1.24.0\nfunc A\n\tboom moved to heap: x\n",
+		"entry first":  "# go go1.24.0\n\tescape moved to heap: x\n",
+		"empty func":   "# go go1.24.0\nfunc \n",
+		"dup func":     "# go go1.24.0\nfunc A\nfunc A\n",
+		"stray line":   "# go go1.24.0\nwhat is this\n",
+		"kind no text": "# go go1.24.0\nfunc A\n\tescape\n",
+	}
+	for name, in := range cases {
+		if _, err := parseAllocLock([]byte(in)); err == nil {
+			t.Errorf("%s: parseAllocLock accepted %q", name, in)
+		}
+	}
+}
+
+// TestParseEscapeOutput pins the -m=2 line discipline: per-flow headers
+// (trailing colon) and indented flow lines are dropped so each diagnostic is
+// one entry per site, inline texts lose their prefix, ignorable verdicts and
+// out-of-module paths vanish, and entries sort by position.
+func TestParseEscapeOutput(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	out := strings.Join([]string{
+		"# repro/internal/ivf",
+		"a.go:10:8: &slot{...} escapes to heap:",
+		"a.go:10:8:   flow: s = &{storage for &slot{...}}:",
+		"a.go:10:8:     from &slot{...} (spill) at a.go:10:8",
+		"a.go:10:8: &slot{...} escapes to heap",
+		"a.go:4:6: moved to heap: wg",
+		"a.go:2:7: leaking param: l",
+		"a.go:2:7: parameter l leaks to {heap} with derefs=0:",
+		"a.go:3:9: inlining call to vec.(*TopK).Reset",
+		"a.go:5:5: x does not escape",
+		"a.go:6:6: can inline tiny",
+		filepath.Join(string(filepath.Separator), "goroot", "src", "fmt", "print.go") + ":100:1: moved to heap: p",
+		"",
+	}, "\n")
+	byFile := parseEscapeOutput(root, out)
+	file := filepath.Join(root, "a.go")
+	got := byFile[file]
+	want := []EscapeDiag{
+		{File: file, Line: 2, Col: 7, Kind: KindLeak, Text: "leaking param: l"},
+		{File: file, Line: 3, Col: 9, Kind: KindInline, Text: "vec.(*TopK).Reset"},
+		{File: file, Line: 4, Col: 6, Kind: KindEscape, Text: "moved to heap: wg"},
+		{File: file, Line: 10, Col: 8, Kind: KindEscape, Text: "&slot{...} escapes to heap"},
+	}
+	if len(byFile) != 1 {
+		t.Errorf("got diagnostics for %d files, want 1 (stdlib path dropped)", len(byFile))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diags %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestModuleAllocLocksCurrent locks the real serving-path budgets: every
+// committed alloc.lock must be byte-identical to a regeneration from live
+// compiler diagnostics, and escapeaudit must be clean on those packages.
+// Skipped (like the driver skips) when the running toolchain differs from
+// the recorded one. If this fails after a deliberate hot-path change, run
+// `go run ./cmd/hermes-lint -update-alloclock ./...`.
+func TestModuleAllocLocksCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build -gcflags=-m=2 over the module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(l.ModuleRoot + string(filepath.Separator) + "...")
+	if err != nil {
+		t.Fatalf("Load module: %v", err)
+	}
+	dirs := HotPathDirs(pkgs)
+	if len(dirs) == 0 {
+		t.Fatal("module has no //hermes:hotpath packages; the escapeaudit tentpole should cover several")
+	}
+	runner := NewEscapeRunner(l.ModuleRoot)
+	version, err := runner.GoVersion()
+	if err != nil {
+		t.Fatalf("GoVersion: %v", err)
+	}
+	for _, rec := range AllocLockGoVersions(dirs) {
+		if rec != version {
+			t.Skipf("alloc.lock recorded with %s, toolchain is %s", rec, version)
+		}
+	}
+	escape, err := runner.Run(dirs)
+	if err != nil {
+		t.Fatalf("EscapeRunner.Run: %v", err)
+	}
+	byDir := make(map[string]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byDir[pkg.Dir] = pkg
+	}
+	for _, dir := range dirs {
+		pkg := byDir[dir]
+		committed, err := os.ReadFile(filepath.Join(dir, AllocLockFile))
+		if err != nil {
+			t.Errorf("%s: hotpath package without committed %s: %v", pkg.Path, AllocLockFile, err)
+			continue
+		}
+		if got := GenerateAllocLock(pkg, escape); string(got) != string(committed) {
+			t.Errorf("%s: committed %s is stale; run `go run ./cmd/hermes-lint -update-alloclock ./...`\n--- generated ---\n%s", pkg.Path, AllocLockFile, got)
+		}
+		for _, f := range RunPackageOpts(pkg, []*Analyzer{EscapeAudit}, RunOptions{Escape: escape}) {
+			t.Errorf("%s: unexpected escapeaudit finding: %s", pkg.Path, f)
+		}
+	}
+}

@@ -20,13 +20,15 @@ type Artifact struct {
 	// Doc is a one-line description.
 	Doc string
 	// Generate renders the artifact for pkg, or nil when the artifact does
-	// not apply to this package.
-	Generate func(pkg *Package) []byte
+	// not apply to this package. escape carries the compiler diagnostics for
+	// artifacts derived from them (alloc.lock); wire.lock ignores it, and it
+	// is nil when the driver did not run the escape runner.
+	Generate func(pkg *Package, escape *EscapeDiags) []byte
 }
 
 // AllArtifacts returns every registered artifact generator in stable order.
 func AllArtifacts() []*Artifact {
-	return []*Artifact{WireLockArtifact}
+	return []*Artifact{WireLockArtifact, AllocLockArtifact}
 }
 
 // WireLockArtifact regenerates wire.lock for packages with //hermes:wire
@@ -35,15 +37,15 @@ var WireLockArtifact = &Artifact{
 	Name:     "wirelock",
 	Filename: WireLockFile,
 	Doc:      "append-only gob wire schema of //hermes:wire structs",
-	Generate: GenerateWireLock,
+	Generate: func(pkg *Package, _ *EscapeDiags) []byte { return GenerateWireLock(pkg) },
 }
 
 // Update writes the artifact for every applicable package and returns the
 // paths written.
-func (ar *Artifact) Update(pkgs []*Package) ([]string, error) {
+func (ar *Artifact) Update(pkgs []*Package, escape *EscapeDiags) ([]string, error) {
 	var written []string
 	for _, pkg := range pkgs {
-		data := ar.Generate(pkg)
+		data := ar.Generate(pkg, escape)
 		if data == nil {
 			continue
 		}

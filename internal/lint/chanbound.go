@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ChanBound guards the serving path's queues against unbounded growth. A
+// RAG-serving node lives or dies on backpressure: every buffer between
+// arrival and completion must either have a hard capacity or a visible
+// bound check, or a slow downstream turns into unbounded memory growth and
+// an OOM kill instead of load shedding (the failure mode the batcher's
+// MaxBatch/MaxWait contract exists to prevent). Two rules, request-path
+// packages only (requestPathPkgs):
+//
+//  1. Queue appends: `x.field = append(x.field, ...)` onto a field rooted
+//     at the method receiver, or onto a package-level slice, is flagged
+//     unless the enclosing function also inspects len/cap of that same
+//     field in a comparison — the batcher's `len(b.pending) >= MaxBatch`
+//     flush check is the canonical bound. Only receiver/global state can
+//     accumulate across requests; appends building a local value (a
+//     response struct, a per-call result slice) are bounded by the call
+//     and not flagged. The check is per-function by design: a bound
+//     enforced by some caller is invisible here (the engine does not track
+//     interprocedural data flow for this), so a genuinely-bounded append
+//     takes a //lint:ignore chanbound <reason> naming the invariant that
+//     bounds it.
+//
+//  2. Channel capacities: `make(chan T, N)` with a constant N >= 65536 is
+//     an unbounded queue in practice — a buffer sized "big enough to never
+//     block" is exactly the queue that hides overload until memory runs
+//     out. Size channels to the protocol's real in-flight bound, or
+//     suppress with the invariant that justifies the capacity.
+//
+// Appends building a bounded-by-construction local (scatter results sized
+// by node count) bind to locals and are not flagged; only state that
+// outlives the call (fields, globals) can grow without bound.
+var ChanBound = &Analyzer{
+	Name: "chanbound",
+	Doc:  "request-path queues must stay bounded: field/global slice appends need a visible len/cap bound, channel buffers a sane constant capacity",
+	Run:  runChanBound,
+}
+
+// chanCapLimit is the smallest constant channel capacity treated as
+// effectively unbounded.
+const chanCapLimit = 65536
+
+func runChanBound(p *Pass) {
+	if p.Pkg == nil || !requestPathPkgs[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				chanBoundFunc(p, fd)
+			}
+		}
+	}
+}
+
+func chanBoundFunc(p *Pass, fd *ast.FuncDecl) {
+	bounded := boundCheckedObjects(p, fd)
+	var recv *types.Var
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv, _ = p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch builtinName(p, call) {
+		case "append":
+			if len(call.Args) == 0 {
+				return true
+			}
+			obj, display := growableTarget(p, call.Args[0])
+			if obj == nil || bounded[obj] {
+				return true
+			}
+			if !outlivesCall(p, call.Args[0], recv) {
+				return true
+			}
+			p.Reportf(call.Pos(), "append grows %s with no len/cap bound check in %s; on the request path a queue nothing bounds grows until the process is OOM-killed instead of shedding load — add a capacity check, or suppress with //lint:ignore chanbound <invariant that bounds it>", display, fd.Name.Name)
+		case "make":
+			if len(call.Args) < 2 {
+				return true
+			}
+			t := p.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return true
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact && v >= chanCapLimit {
+				p.Reportf(call.Pos(), "channel buffered to %d is effectively unbounded; a buffer sized to never block hides overload until memory runs out — size it to the protocol's real in-flight bound, or suppress with //lint:ignore chanbound <reason>", v)
+			}
+		}
+		return true
+	})
+}
+
+// builtinName returns the builtin a call invokes ("append", "make", ...) or
+// "".
+func builtinName(p *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	return id.Name
+}
+
+// growableTarget resolves an append destination to the object it grows:
+// the field object of a selector (b.pending), or a package-level variable.
+// Plain locals return nil — they cannot grow across requests. Whether a
+// FIELD's state actually outlives the call depends on what the selector is
+// rooted at (outlivesCall); the object itself is also how a bound check on
+// the same field is matched, so this resolution stays root-agnostic.
+func growableTarget(p *Pass, e ast.Expr) (types.Object, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), "field " + types.ExprString(x)
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok && isPackageLevel(v, p.Pkg) {
+			return v, "package-level slice " + x.Name
+		}
+	}
+	return nil, ""
+}
+
+// outlivesCall reports whether the append destination is state that
+// survives the enclosing call: a selector chain rooted at the method
+// receiver, or anything rooted at a package-level variable. A chain rooted
+// at a local (a response struct under construction, a scratch value) dies
+// with the frame and is bounded by it.
+func outlivesCall(p *Pass, e ast.Expr, recv *types.Var) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[x].(*types.Var); ok {
+				return v == recv || isPackageLevel(v, p.Pkg)
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// boundCheckedObjects collects the field/global objects whose len or cap
+// the function compares against something — the visible bound checks rule 1
+// credits.
+func boundCheckedObjects(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			call, ok := ast.Unparen(side).(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			name := builtinName(p, call)
+			if name != "len" && name != "cap" {
+				continue
+			}
+			if obj, _ := growableTarget(p, call.Args[0]); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract on the serving path: every
+// exported function in a request-path package that (transitively) blocks on
+// the network must also have a cancellation escape hatch — a
+// context.Context parameter, a ctx.Done/Err check, or a connection deadline
+// (net.Conn.SetDeadline, DialTimeout/DialContext) somewhere on the path.
+// The judgment is interprocedural, built on the fact engine's netio and
+// cancel lattices: netio is the "this call can hang on a peer" fact, cancel
+// is the "someone can make it stop" fact, and a function carrying the first
+// without the second is a request that survives its caller — the exact
+// invariant an HTTP front door (ROADMAP item 1) needs from every handler it
+// fans out to.
+//
+// Scope is the exported API of the request-path packages only
+// (requestPathPkgs): unexported helpers inherit their bound from whichever
+// exported entry point reaches them, and flagging them separately would
+// just demand context plumbing through frames that cannot time out on
+// their own. Both lattices under-approximate through unresolvable calls
+// (function values, module interface methods), and the cancel lattice
+// over-approximates toward fewer findings — a context parameter counts even
+// if the function ignores it, and one deadline anywhere on the path
+// satisfies the whole path. What survives those biases is a path that
+// provably has NO exit.
+//
+// A deliberately synchronous-forever API (a blocking accept loop owned by
+// the process lifetime) takes //lint:ignore ctxflow <reason> on the
+// declaration.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported request-path functions reaching network I/O must accept a cancellable context or set a deadline",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg == nil || !requestPathPkgs[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if !p.Facts.NetIO(fn) || p.Facts.Cancelable(fn) {
+				continue
+			}
+			p.Reportf(fd.Pos(), "exported function %s blocks on the network (netio fact) with no cancellation escape hatch anywhere on the path (no context.Context parameter, ctx.Done check, or connection deadline) — a peer that stalls pins this call and its caller forever; thread a context or set a deadline, or suppress with //lint:ignore ctxflow <reason>", funcLockName(fd))
+		}
+	}
+}

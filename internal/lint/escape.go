@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the compiler-diagnostics half of the escapeaudit pass: a
+// cached, module-root runner that invokes `go build -gcflags=-m=2` over the
+// packages that declare //hermes:hotpath functions, parses the compiler's
+// escape-analysis and inlining diagnostics, and exposes them per file so
+// the escapeaudit analyzer (alloclock.go) can attribute each diagnostic to
+// its enclosing function and diff the result against the committed
+// alloc.lock budget.
+//
+// Unlike every other check in this package, the input here is not the AST —
+// it is what the gc compiler actually decided: which values escape to the
+// heap, which parameters leak, and which calls were inlined. That is the
+// ground truth PR 3's "0 allocs/op" benchmarks measure indirectly; the
+// runner makes it a first-class, diffable input. The go tool replays
+// cached compile diagnostics, so repeated runs (the three hermes-lint
+// invocations in scripts/lint-diff.sh) cost one real compile.
+//
+// Diagnostics depend on the compiler version (inlining budgets and the
+// escape analysis itself move between releases), which is why alloc.lock
+// records the toolchain (see AllocLockGoVersion) and the driver skips the
+// pass with a warning when the running toolchain differs.
+
+// EscapeKind classifies one compiler diagnostic the audit tracks.
+type EscapeKind string
+
+const (
+	// KindEscape is a value moving to the heap ("x escapes to heap",
+	// "moved to heap: x") — a straight-line allocation the hot path pays.
+	KindEscape EscapeKind = "escape"
+	// KindLeak is a parameter flowing somewhere that outlives the call
+	// ("leaking param: q") — the kernel-argument hazard: a leaked param
+	// forces the CALLER's value to heap-allocate.
+	KindLeak EscapeKind = "leak"
+	// KindInline is a call the compiler inlined ("inlining call to f").
+	// Losing one on a distance kernel re-introduces call overhead on every
+	// scanned block.
+	KindInline EscapeKind = "inline"
+)
+
+// EscapeDiag is one parsed compiler diagnostic.
+type EscapeDiag struct {
+	File string // absolute path
+	Line int
+	Col  int
+	Kind EscapeKind
+	// Text is the normalized message: for inline diagnostics just the
+	// callee ("vec.(*TopK).Reset"); -m=2 flow headers are dropped in
+	// parsing, so each diagnostic appears once per site.
+	Text string
+}
+
+// EscapeDiags is the parsed result of one compiler run.
+type EscapeDiags struct {
+	// GoVersion is the toolchain that produced the diagnostics, as
+	// `go env GOVERSION` reports it (e.g. "go1.24.0").
+	GoVersion string
+	byFile    map[string][]EscapeDiag
+}
+
+// File returns the diagnostics attributed to the given absolute filename,
+// in (line, col, kind, text) order.
+func (d *EscapeDiags) File(filename string) []EscapeDiag {
+	if d == nil {
+		return nil
+	}
+	return d.byFile[filename]
+}
+
+// EscapeRunner invokes the go compiler for escape/inlining diagnostics,
+// caching parsed results per package-directory set so the analyzer passes
+// and the -update-alloclock artifact generator share one build.
+type EscapeRunner struct {
+	// ModuleRoot is the directory `go build` runs in; package directories
+	// are addressed relative to it.
+	ModuleRoot string
+	goVersion  string
+	cache      map[string]*EscapeDiags
+}
+
+// NewEscapeRunner returns a runner rooted at the module directory.
+func NewEscapeRunner(moduleRoot string) *EscapeRunner {
+	return &EscapeRunner{ModuleRoot: moduleRoot, cache: make(map[string]*EscapeDiags)}
+}
+
+// GoVersion reports the active toolchain (`go env GOVERSION`), cached.
+func (r *EscapeRunner) GoVersion() (string, error) {
+	if r.goVersion != "" {
+		return r.goVersion, nil
+	}
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go env GOVERSION: %w", err)
+	}
+	r.goVersion = strings.TrimSpace(string(out))
+	if r.goVersion == "" {
+		return "", fmt.Errorf("lint: go env GOVERSION reported nothing")
+	}
+	return r.goVersion, nil
+}
+
+// Run builds the given package directories (absolute paths under the module
+// root) with -gcflags=-m=2 and returns the parsed diagnostics. The gcflags
+// apply only to the named packages, so dependency compiles stay quiet. All
+// target packages must be non-main (no object file is written for them);
+// every //hermes:hotpath package is.
+func (r *EscapeRunner) Run(dirs []string) (*EscapeDiags, error) {
+	if len(dirs) == 0 {
+		return &EscapeDiags{byFile: map[string][]EscapeDiag{}}, nil
+	}
+	rels := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(r.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: escape target %s is outside module root %s", dir, r.ModuleRoot)
+		}
+		rels = append(rels, "./"+filepath.ToSlash(rel))
+	}
+	sort.Strings(rels)
+	key := strings.Join(rels, "\x00")
+	if d, ok := r.cache[key]; ok {
+		return d, nil
+	}
+	version, err := r.GoVersion()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=2"}, rels...)...)
+	cmd.Dir = r.ModuleRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m=2 %s: %w\n%s", strings.Join(rels, " "), err, out)
+	}
+	d := &EscapeDiags{GoVersion: version, byFile: parseEscapeOutput(r.ModuleRoot, string(out))}
+	r.cache[key] = d
+	return d, nil
+}
+
+// diagLineRe matches one positioned diagnostic line. Indented flow
+// explanations (-m=2 prints the escape derivation beneath each verdict)
+// and "# package" headers do not match and are skipped.
+var diagLineRe = regexp.MustCompile(`^([^\s:][^:]*\.go):(\d+):(\d+): (.*)$`)
+
+// parseEscapeOutput extracts the tracked diagnostic classes from compiler
+// output. Paths are resolved against moduleRoot; diagnostics pointing
+// outside it (stdlib instantiation chatter) are dropped.
+func parseEscapeOutput(moduleRoot, out string) map[string][]EscapeDiag {
+	byFile := make(map[string][]EscapeDiag)
+	for _, line := range strings.Split(out, "\n") {
+		m := diagLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		kind, text := classifyDiag(m[4])
+		if kind == "" {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleRoot, filepath.FromSlash(file))
+		}
+		if rel, err := filepath.Rel(moduleRoot, file); err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		byFile[file] = append(byFile[file], EscapeDiag{
+			File: file, Line: lineNo, Col: col, Kind: kind, Text: text,
+		})
+	}
+	for _, diags := range byFile {
+		sort.Slice(diags, func(i, j int) bool {
+			a, b := diags[i], diags[j]
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			return a.Text < b.Text
+		})
+	}
+	return byFile
+}
+
+// classifyDiag maps a raw compiler message to a tracked kind and its
+// normalized text, or ("", "") for messages the audit ignores ("does not
+// escape", "can inline", "cannot inline", ...). A trailing colon marks the
+// header of a -m=2 flow explanation ("x escapes to heap:" + indented flow
+// lines); the compiler always follows the headers with exactly one plain
+// summary line, so headers are skipped to keep the lock a per-site multiset
+// rather than a per-flow one.
+func classifyDiag(msg string) (EscapeKind, string) {
+	msg = strings.TrimSpace(msg)
+	if strings.HasSuffix(msg, ":") {
+		return "", ""
+	}
+	switch {
+	case strings.HasSuffix(msg, "escapes to heap"),
+		strings.HasPrefix(msg, "moved to heap"):
+		return KindEscape, msg
+	case strings.HasPrefix(msg, "leaking param"):
+		return KindLeak, msg
+	case strings.HasPrefix(msg, "inlining call to "):
+		return KindInline, strings.TrimPrefix(msg, "inlining call to ")
+	}
+	return "", ""
+}

@@ -23,6 +23,12 @@ import (
 //     function may take, directly or through callees
 //   - blocks:   the function contains a channel/select/sync rendezvous —
 //     the termination signals goroutineleak looks for
+//   - netio:    the function transitively blocks on the network (sockets,
+//     TLS, stream codecs driving a connection) — a strict subset of io,
+//     the "RPC/exchange path" ctxflow audits
+//   - cancel:   the function has a cancellation escape hatch: a
+//     context.Context parameter, a ctx.Done/Err check, or a deadline set
+//     on a connection (directly or through a callee)
 //
 // All lattices are monotone (facts only turn on / sets only grow), so the
 // fixpoint is order-independent and the result deterministic. Calls that
@@ -53,6 +59,8 @@ func Lattices() []LatticeInfo {
 		{"alloc", "function heap-allocates on its straight-line path (sites and calls not gated behind a conditional)"},
 		{"acquires", "set of mutex class identities (type.field or package var) the function may acquire, transitively"},
 		{"blocks", "function contains a channel, select, or sync rendezvous (WaitGroup/Cond/ctx.Done) — a termination signal"},
+		{"netio", "function transitively blocks on the network (sockets, TLS, stream codecs driving a connection)"},
+		{"cancel", "function has a cancellation escape hatch: a context.Context parameter, ctx.Done/Err, or a connection deadline, transitively"},
 	}
 }
 
@@ -63,6 +71,8 @@ type Facts struct {
 	io       map[*types.Func]bool
 	alloc    map[*types.Func]bool
 	blocks   map[*types.Func]bool
+	netio    map[*types.Func]bool
+	cancel   map[*types.Func]bool
 	acquires map[*types.Func][]string
 	edges    []LockEdge
 	edgeSeen map[[2]string]bool
@@ -115,6 +125,32 @@ func (fc *Facts) Blocks(fn *types.Func) bool {
 		return true
 	}
 	return fc != nil && fc.blocks[fn]
+}
+
+// NetIO reports whether fn is known to (transitively) block on the network:
+// a socket/TLS primitive or stream codec, or a module function whose body
+// reaches one. A nil Facts answers using the stdlib model alone.
+func (fc *Facts) NetIO(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibNetIO(fn) {
+		return true
+	}
+	return fc != nil && fc.netio[fn]
+}
+
+// Cancelable reports whether fn is known to have a cancellation escape
+// hatch on some path: a context.Context parameter, a ctx.Done/Err check, or
+// a connection deadline set directly or through a callee.
+func (fc *Facts) Cancelable(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if stdlibCancel(fn) {
+		return true
+	}
+	return fc != nil && fc.cancel[fn]
 }
 
 // Acquires returns the sorted mutex class identities fn may acquire,
@@ -199,6 +235,8 @@ func ComputeFacts(pkgs []*Package) *Facts {
 		io:       make(map[*types.Func]bool),
 		alloc:    make(map[*types.Func]bool),
 		blocks:   make(map[*types.Func]bool),
+		netio:    make(map[*types.Func]bool),
+		cancel:   make(map[*types.Func]bool),
 		acquires: make(map[*types.Func][]string),
 		edgeSeen: make(map[[2]string]bool),
 	}
@@ -246,6 +284,20 @@ func ComputeFacts(pkgs []*Package) *Facts {
 		func(di *declInfo) bool { return blocksLocally(di.pkg.Info, di.fd.Body) }, anyCall)
 	fixBool(decls, fc.alloc, stdlibAlloc,
 		func(di *declInfo) bool { return len(allocSites(di.pkg.Info, di.fd)) > 0 }, straightLine)
+	// netio has no local seed beyond its stdlib model, and does not flow
+	// through go statements or function literals: a function that LAUNCHES
+	// a blocking loop returns immediately — the spawned goroutine blocks,
+	// not the caller ctxflow would flag. cancel's local seed is a
+	// context.Context parameter — the function RECEIVED the means to be
+	// cancelled, whatever it does with it — and it flows through every
+	// call: one deadline anywhere on the path (even armed in a spawned
+	// worker) is an escape hatch (the engine does not track argument flow,
+	// so both choices over-approximate toward fewer findings).
+	synchronous := func(c callSite) bool { return !c.inLit && !c.goCall }
+	fixBool(decls, fc.netio, stdlibNetIO,
+		func(*declInfo) bool { return false }, synchronous)
+	fixBool(decls, fc.cancel, stdlibCancel,
+		func(di *declInfo) bool { return hasContextParam(di.fn) }, anyCall)
 
 	// Acquires: set-union fixpoint over mutex identities. Calls inside
 	// function literals and go statements run on another goroutine's stack
@@ -521,6 +573,97 @@ func stdlibBlocks(fn *types.Func) bool {
 	return false
 }
 
+// netBlockingPrefixes identify the net/crypto-tls functions and methods
+// that can block on a peer indefinitely: connects, accepts, reads, writes,
+// serve loops, resolver queries, HTTP client calls. Everything else in
+// those packages — Close, Addr, mux construction, option setters, bind-only
+// Listen — returns without waiting on the network and carries no netio
+// fact. (SetDeadline and friends start with "Set" and fall outside the
+// list; they seed the cancel lattice instead.)
+var netBlockingPrefixes = []string{
+	"Dial", "Accept", "Read", "Write", "Serve", "ListenAndServe",
+	"Lookup", "Resolve", "Do", "Get", "Post", "Head", "RoundTrip",
+	"Handshake", "Exchange", "Shutdown",
+}
+
+// stdlibNetIO is the netio lattice's seed: standard-library functions that
+// block on a socket until a peer acts. Deliberately narrower than the io
+// seed twice over — file I/O, logging, and printing are irrelevant to the
+// RPC-cancellation contract ctxflow enforces, and within the net packages
+// only the peer-blocking operations count (netBlockingPrefixes). Stream
+// codec Encoder/Decoder methods are included because every serving-path
+// use drives a net.Conn.
+func stdlibNetIO(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if path == "net" || strings.HasPrefix(path, "net/") || path == "crypto/tls" {
+		name := fn.Name()
+		for _, prefix := range netBlockingPrefixes {
+			if strings.HasPrefix(name, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	if ioCodecPackages[path] {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := receiverName(sig.Recv().Type())
+			if strings.HasSuffix(recv, "Encoder") || strings.HasSuffix(recv, "Decoder") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stdlibCancel is the cancel lattice's seed: the standard-library
+// primitives that give a blocking path an exit — connection deadlines,
+// bounded dials, and context plumbing. A gated SetDeadline counts (the
+// contract is "an opt-in deadline exists", not "it is always armed").
+func stdlibCancel(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "net", "crypto/tls":
+		switch name {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			return true // conn/listener deadline methods, concrete and interface alike
+		case "DialTimeout", "DialContext":
+			return true
+		}
+	case "context":
+		switch name {
+		case "Done", "Err", "WithCancel", "WithTimeout", "WithDeadline":
+			return true
+		}
+	}
+	return false
+}
+
+// hasContextParam reports whether fn's signature takes a context.Context
+// (conventionally first, but any position counts).
+func hasContextParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if n := namedOf(sig.Params().At(i).Type()); n != nil {
+			obj := n.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // recvTypeName is the bare named-type name of fn's receiver ("WaitGroup"
 // for (*sync.WaitGroup).Wait), or "" for plain functions.
 func recvTypeName(fn *types.Func) string {
@@ -575,6 +718,8 @@ type FactsDump struct {
 	IO        []string       `json:"io"`
 	Alloc     []string       `json:"alloc"`
 	Blocks    []string       `json:"blocks"`
+	NetIO     []string       `json:"netio"`
+	Cancel    []string       `json:"cancel"`
 	Acquires  []AcquireJSON  `json:"acquires"`
 	LockEdges []LockEdgeJSON `json:"lock_edges"`
 }
@@ -602,6 +747,8 @@ func (fc *Facts) Dump(moduleRoot string) *FactsDump {
 		IO:        []string{},
 		Alloc:     []string{},
 		Blocks:    []string{},
+		NetIO:     []string{},
+		Cancel:    []string{},
 		Acquires:  []AcquireJSON{},
 		LockEdges: []LockEdgeJSON{},
 	}
@@ -619,6 +766,8 @@ func (fc *Facts) Dump(moduleRoot string) *FactsDump {
 	d.IO = names(fc.io)
 	d.Alloc = names(fc.alloc)
 	d.Blocks = names(fc.blocks)
+	d.NetIO = names(fc.netio)
+	d.Cancel = names(fc.cancel)
 	for fn, ids := range fc.acquires {
 		d.Acquires = append(d.Acquires, AcquireJSON{Func: qualifiedName(fn), Mutexes: ids})
 	}

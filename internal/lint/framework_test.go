@@ -184,9 +184,11 @@ func loadFactdump(t *testing.T) *Loader {
 }
 
 // TestFactsDumpGolden pins the -facts -json dump byte-for-byte over the
-// factdump fixture: all four lattices populate (io crosses the a -> b
-// package boundary; alloc, blocks, and acquires are per-function; the
-// S.mu -> mu lock edge carries its witness), and the function-value
+// factdump fixture: all six lattices populate (io crosses the a -> b
+// package boundary; alloc, blocks, and acquires are per-function; netio
+// seeds at a.Ping's net.Dial and propagates synchronously to a.Relay,
+// which also consumes its context and so lands in cancel; the S.mu -> mu
+// lock edge carries its witness), and the function-value
 // under-approximation is visible as data — a.hello is in the io list,
 // a.Indirect is not. Regenerate with -update-golden.
 func TestFactsDumpGolden(t *testing.T) {
@@ -390,9 +392,11 @@ var raceCriticalPackages = []string{
 // TestVerifyScriptCoverage cross-checks scripts/verify.sh and its lint
 // gate scripts/lint-diff.sh against this package: verify.sh must delegate
 // to lint-diff.sh; lint-diff.sh must refresh the committed report through
-// the -diff gate, re-gate test files, and archive the facts dump; the
-// committed lint-report.json must exist; and verify.sh's -race package
-// list must match raceCriticalPackages exactly.
+// the -diff gate, re-gate test files, archive the facts dump, and run the
+// artifact identity gate (byte-compare of every committed artifact against
+// a fresh regeneration, alloc.lock gated on the recorded toolchain); the
+// committed lint-report.json and lint-facts.json must exist; and
+// verify.sh's -race package list must match raceCriticalPackages exactly.
 func TestVerifyScriptCoverage(t *testing.T) {
 	l, err := NewLoader(".")
 	if err != nil {
@@ -415,17 +419,25 @@ func TestVerifyScriptCoverage(t *testing.T) {
 	diffScript := string(diffData)
 	for _, line := range []string{
 		`^go run \./cmd/hermes-lint -json -diff lint-report\.json \./\.\.\. > lint-report\.json\.tmp$`,
+		`^cmp -s lint-report\.json\.tmp lint-report\.json \|\| stale="\$stale lint-report\.json"$`,
 		`^mv lint-report\.json\.tmp lint-report\.json$`,
 		`^go run \./cmd/hermes-lint -diff lint-report\.json -include-tests \./\.\.\.$`,
-		`^go run \./cmd/hermes-lint -facts -json \./\.\.\. > lint-facts\.json$`,
+		`^go run \./cmd/hermes-lint -facts -json \./\.\.\. > lint-facts\.json\.tmp$`,
+		`^cmp -s lint-facts\.json\.tmp lint-facts\.json \|\| stale="\$stale lint-facts\.json"$`,
+		`^go run \./cmd/hermes-lint -update-wirelock \./\.\.\.$`,
+		`^\s*go run \./cmd/hermes-lint -update-alloclock \./\.\.\.$`,
+		`^recorded=\$\(sed -n 's/\^# go //p' .* \| sort -u\)$`,
+		`^\s*exit 1$`,
 	} {
 		if !regexp.MustCompile(`(?m)` + line).MatchString(diffScript) {
 			t.Errorf("lint-diff.sh is missing a line matching %s", line)
 		}
 	}
 
-	if _, err := os.Stat(filepath.Join(l.ModuleRoot, "lint-report.json")); err != nil {
-		t.Errorf("committed diff base lint-report.json: %v", err)
+	for _, artifact := range []string{"lint-report.json", "lint-facts.json"} {
+		if _, err := os.Stat(filepath.Join(l.ModuleRoot, artifact)); err != nil {
+			t.Errorf("committed lint artifact %s: %v", artifact, err)
+		}
 	}
 
 	raceLine := regexp.MustCompile(`(?m)^go test -race (.+)$`).FindStringSubmatch(script)

@@ -41,6 +41,17 @@
 //     reachable termination signal (uses the blocks facts)
 //   - metricname:   telemetry registry metric names must follow
 //     hermes_<subsystem>_<name>_{total,seconds,bytes,ratio}
+//   - escapeaudit:  compiler escape/inline diagnostics of //hermes:hotpath
+//     functions must match the committed alloc.lock (runs the go compiler
+//     via the escape runner; skipped on toolchain mismatch)
+//   - ctxflow:      exported request-path functions that reach network I/O
+//     must accept a cancellable context or deadline (uses the netio and
+//     cancel facts)
+//   - poolretain:   values derived from a sync.Pool Get must not be used
+//     after the matching Put returns the buffer
+//   - chanbound:    request-path queues must stay bounded — no
+//     unbounded-growth appends under a held mutex, no effectively
+//     unbounded channel capacities
 //
 // Findings can be suppressed case-by-case with a directive comment on the
 // same line or the line above:
@@ -99,6 +110,7 @@ func All() []*Analyzer {
 		GlobalRand, WallClock, GoroutineCtx, LockCopy, ErrDrop,
 		WireLock, LockHeldIO, PoolEscape, DeferInLoop, HotPathClock,
 		HotPathAlloc, LockOrder, GoroutineLeak, MetricName,
+		EscapeAudit, CtxFlow, PoolRetain, ChanBound,
 	}
 }
 
@@ -169,6 +181,10 @@ type Pass struct {
 	// Facts is the cross-package fact set (nil when running a single
 	// package standalone; Facts methods are nil-tolerant).
 	Facts *Facts
+	// Escape carries the compiler escape/inlining diagnostics for the run
+	// (see EscapeRunner); nil when the driver did not invoke the compiler,
+	// which makes escapeaudit a no-op.
+	Escape *EscapeDiags
 	// IncludeTests reports whether the loader parsed _test.go files into
 	// this package; see (*Pass).SkipFile.
 	IncludeTests bool
@@ -213,6 +229,9 @@ type RunOptions struct {
 	// Facts is the cross-package fact set (see ComputeFacts); nil degrades
 	// fact-consuming analyzers to their stdlib-only seed knowledge.
 	Facts *Facts
+	// Escape is the compiler diagnostic set for escapeaudit; nil disables
+	// the audit (no compiler run, or toolchain/lock version mismatch).
+	Escape *EscapeDiags
 	// IncludeTests marks the packages as having been loaded with test
 	// files, unlocking TestFiles-capable analyzers on them.
 	IncludeTests bool
@@ -238,6 +257,7 @@ func RunPackageOpts(pkg *Package, analyzers []*Analyzer, opts RunOptions) []Find
 			Info:         pkg.Info,
 			Dir:          pkg.Dir,
 			Facts:        opts.Facts,
+			Escape:       opts.Escape,
 			IncludeTests: opts.IncludeTests,
 			ignores:      ign,
 			findings:     &findings,

@@ -127,10 +127,12 @@ func TestSelect(t *testing.T) {
 			"globalrand", "wallclock", "goroutinectx", "lockcopy", "errdrop",
 			"wirelock", "lockheldio", "poolescape", "deferinloop", "hotpathclock",
 			"hotpathalloc", "lockorder", "goroutineleak", "metricname",
+			"escapeaudit", "ctxflow", "poolretain", "chanbound",
 		}, false},
 		{"globalrand,errdrop", "", []string{"globalrand", "errdrop"}, false},
 		{"", "goroutinectx,wirelock,lockheldio,poolescape,deferinloop,hotpathclock," +
-			"hotpathalloc,lockorder,goroutineleak,metricname",
+			"hotpathalloc,lockorder,goroutineleak,metricname," +
+			"escapeaudit,ctxflow,poolretain,chanbound",
 			[]string{"globalrand", "wallclock", "lockcopy", "errdrop"}, false},
 		{"globalrand", "globalrand", nil, false},
 		{"nosuchcheck", "", nil, true},

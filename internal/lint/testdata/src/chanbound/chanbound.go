@@ -1,0 +1,80 @@
+// Package batcher is the fixture for the chanbound analyzer. The package
+// name impersonates a request-path package — chanbound scopes by package
+// name (requestPathPkgs), exactly so fixtures can do this.
+package batcher
+
+// Q is a request-path queue whose pending slice accumulates across calls.
+type Q struct {
+	pending []int
+	limit   int
+}
+
+// Enqueue grows receiver state with no visible bound: the OOM-instead-of-
+// shedding failure mode.
+func (q *Q) Enqueue(v int) {
+	q.pending = append(q.pending, v) // want "no len/cap bound check"
+}
+
+// EnqueueBounded checks len against the limit before growing — the
+// canonical batcher flush shape, clean.
+func (q *Q) EnqueueBounded(v int) bool {
+	if len(q.pending) >= q.limit {
+		return false
+	}
+	q.pending = append(q.pending, v)
+	return true
+}
+
+// EnqueueCap credits cap comparisons too.
+func (q *Q) EnqueueCap(v int) {
+	if len(q.pending) < cap(q.pending) {
+		q.pending = append(q.pending, v)
+	}
+}
+
+// Build appends only to a local: the value dies with the frame, bounded by
+// the call. Clean, including the field of a local struct.
+func Build(vs []int) []int {
+	var out []int
+	scratch := &Q{}
+	for _, v := range vs {
+		out = append(out, v)
+		scratch.pending = append(scratch.pending, v)
+	}
+	return out
+}
+
+// backlog is package-level state: appends to it accumulate for the process
+// lifetime.
+var backlog []int
+
+// Publish grows the global with no bound.
+func Publish(v int) {
+	backlog = append(backlog, v) // want "no len/cap bound check"
+}
+
+// PublishBounded is the same global behind a visible bound — clean.
+func PublishBounded(v int, max int) {
+	if len(backlog) >= max {
+		return
+	}
+	backlog = append(backlog, v)
+}
+
+// Pipe buffers a channel past the limit: a queue sized to never block is
+// the queue that hides overload until memory runs out.
+func Pipe() chan int {
+	return make(chan int, 1<<16) // want "effectively unbounded"
+}
+
+// PipeSized keeps the capacity at the protocol's real in-flight bound.
+func PipeSized() chan int {
+	return make(chan int, 64)
+}
+
+// EnqueueJustified carries the line-above suppression: the invariant that
+// bounds the append lives in the directive's reason.
+func (q *Q) EnqueueJustified(v int) {
+	//lint:ignore chanbound fixture: the caller drains synchronously after every call
+	q.pending = append(q.pending, v)
+}

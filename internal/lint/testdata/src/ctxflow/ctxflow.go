@@ -1,0 +1,91 @@
+// Package distsearch is the fixture for the ctxflow analyzer. The package
+// name impersonates a request-path package — ctxflow scopes by package name
+// (requestPathPkgs), exactly so fixtures can do this.
+package distsearch
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Fetch blocks on the network (netio seeds from net.Dial) with no
+// cancellation escape hatch anywhere on its call path.
+func Fetch(addr string) error { // want "no cancellation escape hatch"
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// FetchCtx threads a context parameter: the cancel fact seeds locally and
+// the function is clean.
+func FetchCtx(ctx context.Context, addr string) error {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// FetchDeadline has no context but sets a deadline — the other accepted
+// escape hatch.
+func FetchDeadline(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// Relay is exported and blocks only transitively, through the unexported
+// helper — the netio fact propagates up the call graph.
+func Relay(addr string) error { // want "blocks on the network"
+	return dial(addr)
+}
+
+// RelayCtx wraps the same helper but carries a context, which counts as a
+// cancellation escape hatch wherever on the path it is consumed.
+func RelayCtx(ctx context.Context, addr string) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return dial(addr)
+}
+
+// dial is unexported: not an API boundary, so ctxflow leaves it to its
+// exported callers.
+func dial(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// Sum never touches the network: no netio fact, no finding.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Push is deliberately suppressed via the doc-comment placement: the
+// directive is the last line of the doc comment, directly above the decl.
+//
+//lint:ignore ctxflow fixture: the owning server enforces a global write deadline
+func Push(addr string) error {
+	return dial(addr)
+}
+
+//lint:ignore ctxflow fixture: line-above placement, same contract as Push
+func Pull(addr string) error {
+	return dial(addr)
+}

@@ -1,0 +1,72 @@
+// Package escapeaudit is the fixture for the escapeaudit analyzer's diff
+// classes. The test fabricates the compiler diagnostics (EscapeDiags) in
+// process — anchored to marker lines in this file — so the committed
+// alloc.lock is hand-written against those fabricated diagnostics and the
+// fixture stays deterministic across toolchains. Each function exercises
+// one diff class; Ghost below is recorded in the lock but does not exist.
+package escapeaudit // want "no such //hermes:hotpath function"
+
+// Clean's budget matches the fabricated diagnostics exactly: no finding.
+//
+//hermes:hotpath
+func Clean(p *int) *int {
+	return p
+}
+
+// Boxed has an empty budget in the lock, so the fabricated moved-to-heap
+// diagnostic on the marker line is an unrecorded escape regression reported
+// at the compiler's exact position.
+//
+//hermes:hotpath
+func Boxed() *int {
+	x := 42 // want "gained a heap allocation"
+	return &x
+}
+
+// Leaky has an empty budget; the fabricated leaking-param diagnostic lands
+// on the declaration line below.
+//
+//hermes:hotpath
+func Leaky(q []float32) []float32 { // want "leaking param forces the caller"
+	return q
+}
+
+// Gained has an empty budget; the fabricated inlining diagnostic is an
+// unrecorded improvement — still a finding, so the committed lock stays
+// byte-identical to a regeneration.
+//
+//hermes:hotpath
+func Gained(x int) int {
+	return tiny(x) // want "newly inlined call to escapeaudit.tiny"
+}
+
+// LostInline's lock records an inline of heavy that the fabricated
+// diagnostics no longer contain: call overhead is back on the hot path.
+//
+//hermes:hotpath
+func LostInline(x int) int { // want "no longer inlined"
+	return heavy(x)
+}
+
+// Stale's lock records an escape the fabricated diagnostics no longer emit:
+// the budget can be tightened.
+//
+//hermes:hotpath
+func Stale(xs []int) int { // want "no longer emits it"
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Unrecorded is a hotpath function missing from the lock entirely.
+//
+//hermes:hotpath
+func Unrecorded(x int) int { // want "is not recorded in alloc.lock"
+	return x + 1
+}
+
+func tiny(x int) int { return x * 2 }
+
+func heavy(x int) int { return x*x + x }

@@ -1,0 +1,8 @@
+// Package escapeauditmissing declares a //hermes:hotpath function but
+// commits no alloc.lock: the budget was never recorded.
+package escapeauditmissing
+
+//hermes:hotpath
+func Hot(x int) int { // want "but no alloc.lock; run hermes-lint -update-alloclock"
+	return x * 2
+}

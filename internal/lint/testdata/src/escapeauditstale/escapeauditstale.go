@@ -1,0 +1,7 @@
+// Package escapeauditstale commits an alloc.lock but no longer annotates
+// any function //hermes:hotpath: the lock is a leftover.
+package escapeauditstale // want "declares no //hermes:hotpath functions"
+
+func cold(x int) int { return x + 1 }
+
+var _ = cold

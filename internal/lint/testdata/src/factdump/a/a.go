@@ -4,6 +4,8 @@
 package a
 
 import (
+	"context"
+	"net"
 	"sync"
 
 	b "repro/internal/lint/testdata/src/factdump/b"
@@ -42,6 +44,25 @@ func Grow(n int) []int {
 // WaitDone blocks on a channel receive.
 func WaitDone(ch chan struct{}) {
 	<-ch
+}
+
+// Ping blocks on the network: a netio seed (net.Dial matches the
+// netBlockingPrefixes filter) that propagates to synchronous callers.
+func Ping(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// Relay inherits netio from Ping through the synchronous call, and cancel
+// from consuming its context parameter.
+func Relay(ctx context.Context, addr string) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return Ping(addr)
 }
 
 // Bump acquires S.mu then mu: one acquires set with both identities and

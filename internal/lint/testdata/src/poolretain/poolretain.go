@@ -1,0 +1,79 @@
+// Package poolretain is the fixture for the poolretain analyzer: uses of a
+// pooled object, or an alias derived from it, after the matching Put.
+package poolretain
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// UseAfterPut reads the pooled object after handing it back.
+func UseAfterPut() int {
+	v := pool.Get().(*buf)
+	pool.Put(v)
+	return len(v.b) // want "use of pooled value v after v was returned to the pool"
+}
+
+// AliasAfterPut returns a sub-slice of the pooled backing array after the
+// Put — the stale-alias class: the memory is concurrently rewritten by the
+// next borrower.
+func AliasAfterPut() []byte {
+	v := pool.Get().(*buf)
+	tail := v.b[4:]
+	pool.Put(v)
+	return tail // want "derived from pooled v"
+}
+
+// DeferredPut is the recommended bracket: the Put runs at return, after
+// every use.
+func DeferredPut() int {
+	v := pool.Get().(*buf)
+	defer pool.Put(v)
+	return len(v.b)
+}
+
+// Rebind starts a new bracket: after v = pool.Get() again, uses are against
+// the new object, not the returned one.
+func Rebind() int {
+	v := pool.Get().(*buf)
+	pool.Put(v)
+	v = pool.Get().(*buf)
+	n := len(v.b)
+	pool.Put(v)
+	return n
+}
+
+// getBuf is the typed-facade pattern: a single-result accessor wrapping
+// pool.Get. Calls to it seed roots exactly like a literal Get — without
+// this, every real bracket in the module would be invisible.
+func getBuf() *buf {
+	//lint:ignore poolescape fixture: typed pool accessor, callers pair it with Put
+	return pool.Get().(*buf)
+}
+
+// FacadeAfterPut draws through the accessor; tracking must still engage.
+func FacadeAfterPut() int {
+	v := getBuf()
+	pool.Put(v)
+	return cap(v.b) // want "use of pooled value v after v was returned to the pool"
+}
+
+// CopiedOut reads only data copied out before the Put — clean.
+func CopiedOut() int {
+	v := pool.Get().(*buf)
+	n := len(v.b)
+	pool.Put(v)
+	return n
+}
+
+// Suppressed demonstrates the line-above //lint:ignore placement on a
+// statement-level finding.
+func Suppressed() int {
+	v := pool.Get().(*buf)
+	pool.Put(v)
+	//lint:ignore poolretain fixture: the test rig owns the pool and nothing else Gets from it
+	return len(v.b)
+}

@@ -60,7 +60,13 @@ func parseWants(t *testing.T, dir string) map[string][]string {
 func runWantFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	t.Helper()
 	pkg := loadFixture(t, name)
-	opts := RunOptions{Facts: ComputeFacts([]*Package{pkg})}
+	runWantFixturePkg(t, pkg, analyzers, RunOptions{Facts: ComputeFacts([]*Package{pkg})})
+}
+
+// runWantFixturePkg is runWantFixture for callers that need to build the
+// RunOptions themselves (escapeaudit fixtures fabricate EscapeDiags).
+func runWantFixturePkg(t *testing.T, pkg *Package, analyzers []*Analyzer, opts RunOptions) {
+	t.Helper()
 	findings := RunPackageOpts(pkg, analyzers, opts)
 	wants := parseWants(t, pkg.Dir)
 
@@ -127,6 +133,9 @@ func TestLockOrderWitnesses(t *testing.T) {
 }
 
 func TestPoolEscape(t *testing.T)   { runWantFixture(t, "poolescape", []*Analyzer{PoolEscape}) }
+func TestPoolRetain(t *testing.T)   { runWantFixture(t, "poolretain", []*Analyzer{PoolRetain}) }
+func TestCtxFlow(t *testing.T)      { runWantFixture(t, "ctxflow", []*Analyzer{CtxFlow}) }
+func TestChanBound(t *testing.T)    { runWantFixture(t, "chanbound", []*Analyzer{ChanBound}) }
 func TestDeferInLoop(t *testing.T)  { runWantFixture(t, "deferinloop", []*Analyzer{DeferInLoop}) }
 func TestHotPathClock(t *testing.T) { runWantFixture(t, "hotpathclock", []*Analyzer{HotPathClock}) }
 

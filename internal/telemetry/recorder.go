@@ -243,6 +243,8 @@ func (rec *Recorder) Batch(batchID uint64) (batch QueryRecord, members []QueryRe
 // ServeQueries is the /debug/queries HTTP handler: the recent and pinned
 // slow queries as text (default) or JSON (?format=json), ?n=<max> to bound
 // the listing, and ?trace=<hex id> for one query's full waterfall.
+//
+//lint:ignore ctxflow HTTP handler: the response writes are bounded by the owning server's write deadline, and cancellation arrives via r.Context, not a parameter of ours
 func (rec *Recorder) ServeQueries(w http.ResponseWriter, r *http.Request) {
 	if rec == nil {
 		http.Error(w, "flight recorder disabled", http.StatusNotFound)

@@ -21,7 +21,17 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []Span
+	// droppedSpans counts spans discarded past maxTraceSpans.
+	droppedSpans int64
 }
+
+// maxTraceSpans caps one trace's span list. A request-scoped trace records
+// a handful of phases plus one span set per contacted shard node, staying
+// far below the cap; the cap exists for the pathological cases — a trace
+// object reused across requests, a stitching loop gone wrong — where
+// unbounded telemetry would otherwise become the outage it is supposed to
+// explain. Excess spans are counted (DroppedSpans), not recorded.
+const maxTraceSpans = 4096
 
 // NodeLocal marks a span recorded by the process that owns the trace (the
 // coordinator itself) rather than shipped from a remote shard node.
@@ -99,9 +109,29 @@ func (t *Trace) StartSpan(name string) func() {
 	return func() {
 		d := now().Sub(start)
 		t.mu.Lock()
-		t.spans = append(t.spans, Span{Name: name, Node: NodeLocal, Start: start, Duration: d})
+		t.appendSpanLocked(Span{Name: name, Node: NodeLocal, Start: start, Duration: d})
 		t.mu.Unlock()
 	}
+}
+
+// appendSpanLocked records a span under t.mu, enforcing maxTraceSpans.
+func (t *Trace) appendSpanLocked(s Span) {
+	if len(t.spans) >= maxTraceSpans {
+		t.droppedSpans++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// DroppedSpans reports how many spans were discarded past maxTraceSpans —
+// zero for every healthy request-scoped trace.
+func (t *Trace) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedSpans
 }
 
 // AddSpan records an already-completed span, attributed to a node. The
@@ -112,7 +142,7 @@ func (t *Trace) AddSpan(name string, node int, start time.Time, d time.Duration)
 		return
 	}
 	t.mu.Lock()
-	t.spans = append(t.spans, Span{Name: name, Node: node, Start: start, Duration: d})
+	t.appendSpanLocked(Span{Name: name, Node: node, Start: start, Duration: d})
 	t.mu.Unlock()
 }
 
